@@ -1,0 +1,54 @@
+// Package sqlciv is a Go implementation of the grammar-based static
+// analysis for SQL command injection vulnerabilities from Wassermann & Su,
+// "Sound and Precise Analysis of Web Applications for Injection
+// Vulnerabilities" (PLDI 2007).
+//
+// The analyzer characterizes every database query a PHP web application can
+// issue as a context-free grammar with taint-labeled nonterminals, models
+// string operations as finite state transducers, refines branch
+// environments with the languages of regex guards, and checks that every
+// user-influenced substring is syntactically confined within the query
+// (Definition 2.3). No per-query specifications are needed; absence of
+// reports is a soundness guarantee relative to the modeled PHP subset.
+//
+// This package re-exports the high-level entry points; the building blocks
+// live under internal/ (grammar, automata, rx, fst, php, phplib, analysis,
+// policy, sqlgram, deriv, taintcheck, corpus).
+//
+// Quick start:
+//
+//	resolver := sqlciv.NewMapResolver(map[string]string{"page.php": src})
+//	result, err := sqlciv.AnalyzeApp(resolver, []string{"page.php"}, sqlciv.Options{})
+//	if err != nil { ... }
+//	if !result.Verified() {
+//	    for _, f := range result.Findings { fmt.Println(f) }
+//	}
+package sqlciv
+
+import (
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/core"
+)
+
+// Options configures an analysis run.
+type Options = core.Options
+
+// AppResult is the aggregated outcome for an application.
+type AppResult = core.AppResult
+
+// Finding is one deduplicated SQLCIV report.
+type Finding = core.Finding
+
+// Resolver supplies PHP sources to the analyzer.
+type Resolver = analysis.Resolver
+
+// NewMapResolver returns a Resolver over an in-memory path→source map.
+func NewMapResolver(sources map[string]string) *analysis.MapResolver {
+	return analysis.NewMapResolver(sources)
+}
+
+// AnalyzeApp analyzes the given entry pages of an application and returns
+// the verified/bug-report outcome with Table 1-style statistics.
+func AnalyzeApp(resolver Resolver, entries []string, opts Options) (*AppResult, error) {
+	return core.AnalyzeApp(resolver, entries, opts)
+}

@@ -1,0 +1,77 @@
+// Command appgen writes the synthetic evaluation corpus — the five PHP
+// applications standing in for the paper's test subjects (§5.1) — to disk,
+// so they can be inspected or fed back to sqlcheck.
+//
+// Usage:
+//
+//	appgen [-app name] <outdir>
+//
+// Without -app, all five applications are emitted, each under its own
+// subdirectory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sqlciv/internal/corpus"
+)
+
+func main() {
+	appName := flag.String("app", "", "emit only the named application (e107, eve, tiger, utopia, warp)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: appgen [-app name] <outdir>")
+		os.Exit(2)
+	}
+	outdir := flag.Arg(0)
+	apps := corpus.Apps()
+	if *appName != "" {
+		var filtered []*corpus.App
+		for _, a := range apps {
+			if strings.Contains(strings.ToLower(a.Name), strings.ToLower(*appName)) {
+				filtered = append(filtered, a)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "appgen: no app matches %q\n", *appName)
+			os.Exit(1)
+		}
+		apps = filtered
+	}
+	for _, app := range apps {
+		dir := filepath.Join(outdir, slug(app.Name))
+		for path, src := range app.Sources {
+			full := filepath.Join(dir, filepath.FromSlash(path))
+			if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("%s: %d files, %d lines -> %s (entries: %s)\n",
+			app.Name, len(app.Sources), app.TotalLines(), dir, strings.Join(app.Entries[:min(3, len(app.Entries))], ", ")+", …")
+	}
+}
+
+func slug(name string) string {
+	s := strings.ToLower(name)
+	s = strings.ReplaceAll(s, " ", "-")
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "appgen:", err)
+	os.Exit(1)
+}

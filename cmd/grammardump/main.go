@@ -1,0 +1,85 @@
+// Command grammardump runs the string-taint analysis on a single PHP page
+// and prints, for every hotspot, the annotated query grammar in the style
+// of the paper's Figure 4: productions with direct/indirect annotations,
+// plus a shortest derivable query as a sanity witness.
+//
+// Usage:
+//
+//	grammardump <page.php> [include-dir]
+//
+// Include resolution uses the page's directory (or include-dir when given)
+// as the project layout.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/grammar"
+)
+
+func main() {
+	if len(os.Args) < 2 || len(os.Args) > 3 {
+		fmt.Fprintln(os.Stderr, "usage: grammardump <page.php> [include-dir]")
+		os.Exit(2)
+	}
+	page := os.Args[1]
+	dir := filepath.Dir(page)
+	if len(os.Args) == 3 {
+		dir = os.Args[2]
+	}
+	sources := map[string]string{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".php") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(dir, path)
+		sources[filepath.ToSlash(rel)] = string(data)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grammardump:", err)
+		os.Exit(1)
+	}
+	entry, _ := filepath.Rel(dir, page)
+	entry = filepath.ToSlash(entry)
+	res, err := analysis.Analyze(analysis.NewMapResolver(sources), entry, analysis.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grammardump:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d hotspot(s), |V|=%d |R|=%d, string analysis %v\n\n",
+		entry, len(res.Hotspots), res.NumNTs, res.NumProds, res.AnalysisTime)
+	for i, h := range res.Hotspots {
+		fmt.Printf("=== hotspot %d: %s:%d %s ===\n", i+1, h.File, h.Line, h.Call)
+		sub, remap := res.G.Extract(h.Root)
+		fmt.Printf("sub-grammar: |V|=%d |R|=%d\n", sub.NumNTs(), sub.NumProds())
+		if w, ok := sub.WitnessString(remap[h.Root]); ok {
+			fmt.Printf("shortest query: %q\n", w)
+		}
+		var direct, indirect []string
+		for j := 0; j < sub.NumNTs(); j++ {
+			nt := grammar.Sym(grammar.NumTerminals + j)
+			if sub.HasLabel(nt, grammar.Direct) {
+				direct = append(direct, sub.Name(nt))
+			}
+			if sub.HasLabel(nt, grammar.Indirect) {
+				indirect = append(indirect, sub.Name(nt))
+			}
+		}
+		fmt.Printf("direct = {%s}\nindirect = {%s}\n", strings.Join(direct, ", "), strings.Join(indirect, ", "))
+		if sub.NumProds() <= 200 {
+			fmt.Println(sub.String())
+		} else {
+			fmt.Printf("(grammar too large to print; %d productions)\n", sub.NumProds())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,247 @@
+// Command sqlcheck analyzes a PHP web application for SQL command injection
+// vulnerabilities (SQLCIVs) using the grammar-based string-taint analysis.
+//
+// Usage:
+//
+//	sqlcheck [-entry page.php]... <dir>    analyze an application directory
+//	sqlcheck -table1                       run the five synthetic evaluation
+//	                                       subjects and print the paper's
+//	                                       Table 1 side by side
+//	sqlcheck -no-refine ...                disable regex-guard refinement
+//	                                       (the precision ablation)
+//
+// Without -entry flags, every .php file in the directory that is not
+// obviously an include (name beginning with "common", "class", "lib" or in
+// an includes/ or languages/ directory) is treated as a top-level page.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/core"
+	"sqlciv/internal/corpus"
+	"sqlciv/internal/xss"
+)
+
+func main() {
+	var entries multiFlag
+	table1 := flag.Bool("table1", false, "run the synthetic evaluation suite (paper Table 1)")
+	noRefine := flag.Bool("no-refine", false, "disable regex-guard refinement")
+	doXSS := flag.Bool("xss", false, "also check page HTML output for cross-site scripting")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	flag.Var(&entries, "entry", "top-level page (repeatable)")
+	flag.Parse()
+
+	opts := core.Options{}
+	opts.Analysis.DisableGuardRefinement = *noRefine
+
+	if *table1 {
+		runTable1(opts)
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sqlcheck [-table1] [-no-refine] [-entry page.php]... <dir>")
+		os.Exit(2)
+	}
+	dir := flag.Arg(0)
+	sources, err := loadDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlcheck:", err)
+		os.Exit(1)
+	}
+	pages := []string(entries)
+	if len(pages) == 0 {
+		pages = guessEntries(sources)
+	}
+	res, err := core.AnalyzeApp(analysis.NewMapResolver(sources), pages, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlcheck:", err)
+		os.Exit(1)
+	}
+	bad := !res.Verified()
+	var xssFindings []xss.Finding
+	if *doXSS {
+		xssFindings, err = xss.Audit(analysis.NewMapResolver(sources), pages, opts.Analysis)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sqlcheck:", err)
+			os.Exit(1)
+		}
+		if len(xssFindings) > 0 {
+			bad = true
+		}
+	}
+	if *asJSON {
+		emitJSON(res, xssFindings)
+	} else {
+		fmt.Print(res.Summary())
+		if *doXSS {
+			if len(xssFindings) == 0 {
+				fmt.Println("XSS: no findings")
+			} else {
+				fmt.Printf("XSS: %d findings:\n", len(xssFindings))
+				for _, f := range xssFindings {
+					fmt.Println("  " + f.String())
+				}
+			}
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// jsonReport is the machine-readable output shape of sqlcheck -json.
+type jsonReport struct {
+	Verified bool          `json:"verified"`
+	Files    int           `json:"files"`
+	Lines    int           `json:"lines"`
+	GrammarV int           `json:"grammar_nonterminals"`
+	GrammarR int           `json:"grammar_productions"`
+	Findings []jsonFinding `json:"findings"`
+	XSS      []jsonXSS     `json:"xss,omitempty"`
+}
+
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Call    string `json:"call"`
+	Kind    string `json:"kind"` // direct | indirect
+	Check   string `json:"check"`
+	Source  string `json:"source,omitempty"`
+	Witness string `json:"witness"`
+}
+
+type jsonXSS struct {
+	Entry   string `json:"entry"`
+	Kind    string `json:"kind"`
+	Check   string `json:"check"`
+	Witness string `json:"witness"`
+}
+
+func emitJSON(res *core.AppResult, xssFindings []xss.Finding) {
+	rep := jsonReport{
+		Verified: res.Verified() && len(xssFindings) == 0,
+		Files:    res.Files,
+		Lines:    res.Lines,
+		GrammarV: res.NumNTs,
+		GrammarR: res.NumProds,
+		Findings: []jsonFinding{},
+	}
+	for _, f := range res.Findings {
+		kind := "indirect"
+		if f.Direct() {
+			kind = "direct"
+		}
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File: f.File, Line: f.Line, Call: f.Call, Kind: kind,
+			Check: f.Check.String(), Source: f.Source, Witness: f.Witness,
+		})
+	}
+	for _, f := range xssFindings {
+		kind := "indirect"
+		if f.Direct() {
+			kind = "direct"
+		}
+		rep.XSS = append(rep.XSS, jsonXSS{
+			Entry: f.Entry, Kind: kind, Check: f.Check.String(), Witness: f.Witness,
+		})
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func loadDir(dir string) (map[string]string, error) {
+	sources := map[string]string{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".php") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		sources[filepath.ToSlash(rel)] = string(data)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("no .php files under %s", dir)
+	}
+	return sources, nil
+}
+
+func guessEntries(sources map[string]string) []string {
+	var out []string
+	for path := range sources {
+		base := filepath.Base(path)
+		dir := filepath.Dir(path)
+		if strings.HasPrefix(base, "common") || strings.HasPrefix(base, "class") ||
+			strings.HasPrefix(base, "lib") || strings.HasPrefix(base, "config") ||
+			strings.HasPrefix(base, "session") || strings.HasPrefix(base, "encode") ||
+			strings.Contains(dir, "includes") || strings.Contains(dir, "languages") {
+			continue
+		}
+		out = append(out, path)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func runTable1(opts core.Options) {
+	fmt.Printf("%-28s %8s %9s %9s %11s %12s %10s %-16s %s\n",
+		"Name (version)", "Files", "Lines", "|V|", "|R|", "StringAn", "Check", "direct", "indirect")
+	for _, app := range corpus.Apps() {
+		res, err := core.AnalyzeApp(analysis.NewMapResolver(app.Sources), app.Entries, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sqlcheck: %s: %v\n", app.Name, err)
+			continue
+		}
+		dr, df, ind := classify(app, res)
+		fmt.Printf("%-28s %8d %9d %9d %11d %12v %10v %-16s %d\n",
+			app.Name+" ("+app.Version+")",
+			res.Files, res.Lines, res.NumNTs, res.NumProds,
+			res.StringAnalysisTime.Round(time.Millisecond),
+			res.CheckTime.Round(time.Millisecond),
+			fmt.Sprintf("%d real / %d false", dr, df), ind)
+		fmt.Printf("%-28s %8d %9d %9d %11d %12s %10s %-16s %d   (paper, scale 1/%d)\n",
+			"  ↳ paper", app.Paper.Files, app.Paper.Lines, app.Paper.V, app.Paper.R,
+			"-", "-", app.Paper.Direct, app.Paper.Indirect, app.Scale)
+	}
+}
+
+func classify(app *corpus.App, res *core.AppResult) (directReal, directFalse, indirect int) {
+	for _, f := range res.Findings {
+		switch {
+		case !f.Direct():
+			indirect++
+		case app.FalseFiles[f.File]:
+			directFalse++
+		default:
+			directReal++
+		}
+	}
+	return
+}

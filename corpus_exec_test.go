@@ -1,0 +1,127 @@
+// Corpus-wide executable validation: run every synthetic application
+// concretely under adversarial inputs (the interpreter tracks taint at the
+// character level), check each rendered query's tainted spans against the
+// Definition 2.2 confinement oracle, and reconcile with the static
+// analyzer's verdicts:
+//
+//   - soundness: a page that concretely renders an unconfined span must be
+//     statically reported;
+//   - plant validity: pages planted as real vulnerabilities must
+//     concretely reproduce under some battery input;
+//   - false-positive validity: pages planted as false positives must
+//     never concretely reproduce (that is what makes them FPs).
+package sqlciv
+
+import (
+	"testing"
+
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/core"
+	"sqlciv/internal/corpus"
+	"sqlciv/internal/interp"
+	"sqlciv/internal/sqlgram"
+)
+
+// battery is the adversarial input set every superglobal read returns.
+var battery = []string{
+	"42",
+	"1'; DROP TABLE unp_user; --",
+	"0 OR 1=1",
+}
+
+// dbBattery varies the synthetic database contents (indirect channel).
+var dbBattery = []string{"stored", "sto'red; DROP TABLE x; --"}
+
+// concretelyVulnerable runs one page under the batteries and reports
+// whether any rendered query has an unconfined tainted span, together with
+// the witnessing query.
+func concretelyVulnerable(t *testing.T, app *corpus.App, entry string) (bool, string) {
+	t.Helper()
+	sql := sqlgram.Get()
+	for _, in := range battery {
+		for _, db := range dbBattery {
+			input := in
+			res, err := interp.Run(analysis.NewMapResolver(app.Sources), entry, interp.Options{
+				DefaultInput: &input,
+				DBValue:      db,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", app.Name, entry, err)
+			}
+			for _, q := range res.Queries {
+				for _, span := range q.TaintSpans() {
+					if !sql.Confined(q.SQL, span[0], span[1]) {
+						return true, q.SQL
+					}
+				}
+			}
+		}
+	}
+	return false, ""
+}
+
+func validateApp(t *testing.T, app *corpus.App) {
+	res, err := core.AnalyzeApp(analysis.NewMapResolver(app.Sources), app.Entries, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reported := map[string]bool{}
+	for _, f := range res.Findings {
+		reported[f.File] = true
+	}
+	for _, entry := range app.Entries {
+		vuln, witness := concretelyVulnerable(t, app, entry)
+		switch {
+		case vuln && !reported[entry]:
+			t.Errorf("%s/%s: UNSOUND — concrete attack query %q but page not reported",
+				app.Name, entry, witness)
+		case vuln && app.FalseFiles[entry]:
+			t.Errorf("%s/%s: planted as false positive but concretely exploitable: %q",
+				app.Name, entry, witness)
+		}
+	}
+}
+
+func TestCorpusExecutableSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus execution is slow; skipped with -short")
+	}
+	for _, app := range corpus.Apps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) { validateApp(t, app) })
+	}
+}
+
+// TestPlantedVulnsReproduceConcretely confirms the ground-truth labels: a
+// sample of planted real vulnerabilities must be concretely exploitable,
+// and the planted false positives must not be.
+func TestPlantedVulnsReproduceConcretely(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped with -short")
+	}
+	utopia := corpus.Utopia()
+	for _, entry := range []string{"members.php", "news.php", "postnews.php"} {
+		vuln, _ := concretelyVulnerable(t, utopia, entry)
+		if !vuln {
+			t.Errorf("utopia/%s: planted vulnerability did not reproduce", entry)
+		}
+	}
+	for entry := range utopia.FalseFiles {
+		vuln, w := concretelyVulnerable(t, utopia, entry)
+		if vuln {
+			t.Errorf("utopia/%s: false-positive plant is exploitable: %q", entry, w)
+		}
+	}
+	tiger := corpus.Tiger()
+	for entry := range tiger.FalseFiles {
+		vuln, w := concretelyVulnerable(t, tiger, entry)
+		if vuln {
+			t.Errorf("tiger/%s: false-positive plant is exploitable: %q", entry, w)
+		}
+	}
+	eve := corpus.EVE()
+	vuln, _ := concretelyVulnerable(t, eve, "activity.php")
+	if !vuln {
+		t.Error("eve/activity.php: planted vulnerability did not reproduce")
+	}
+}

@@ -1,0 +1,73 @@
+package sqlciv_test
+
+import (
+	"fmt"
+
+	"sqlciv"
+)
+
+// ExampleAnalyzeApp analyzes a page with the paper's Figure 2 bug (an
+// unanchored regex guard) and its corrected version.
+func ExampleAnalyzeApp() {
+	vulnerable := `<?php
+$userid = $_GET['userid'];
+if (!eregi('[0-9]+', $userid)) { exit; }   // missing ^...$ anchors
+mysql_query("SELECT * FROM users WHERE userid='$userid'");
+`
+	res, err := sqlciv.AnalyzeApp(
+		sqlciv.NewMapResolver(map[string]string{"page.php": vulnerable}),
+		[]string{"page.php"}, sqlciv.Options{})
+	if err != nil {
+		panic(err)
+	}
+	f := res.Findings[0]
+	fmt.Printf("verified=%v findings=%d\n", res.Verified(), len(res.Findings))
+	fmt.Printf("at %s:%d from %s via %s\n", f.File, f.Line, f.Source, f.Check)
+
+	fixed := `<?php
+$userid = $_GET['userid'];
+if (!eregi('^[0-9]+$', $userid)) { exit; }
+mysql_query("SELECT * FROM users WHERE userid='$userid'");
+`
+	res2, err := sqlciv.AnalyzeApp(
+		sqlciv.NewMapResolver(map[string]string{"page.php": fixed}),
+		[]string{"page.php"}, sqlciv.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("after anchoring: verified=%v\n", res2.Verified())
+
+	// Output:
+	// verified=false findings=1
+	// at page.php:4 from _GET[userid] via odd-unescaped-quotes
+	// after anchoring: verified=true
+}
+
+// ExampleAnalyzeApp_sanitizer shows context-sensitive sanitizer verdicts:
+// the same escaping function is safe inside quotes and exploitable outside
+// them.
+func ExampleAnalyzeApp_sanitizer() {
+	check := func(src string) bool {
+		res, err := sqlciv.AnalyzeApp(
+			sqlciv.NewMapResolver(map[string]string{"p.php": src}),
+			[]string{"p.php"}, sqlciv.Options{})
+		if err != nil {
+			panic(err)
+		}
+		return res.Verified()
+	}
+	quoted := `<?php
+$n = addslashes($_GET['n']);
+mysql_query("SELECT * FROM u WHERE name='$n'");
+`
+	numeric := `<?php
+$id = addslashes($_GET['id']);
+mysql_query("SELECT * FROM u WHERE id=" . $id);
+`
+	fmt.Printf("addslashes in quotes: verified=%v\n", check(quoted))
+	fmt.Printf("addslashes unquoted:  verified=%v\n", check(numeric))
+
+	// Output:
+	// addslashes in quotes: verified=true
+	// addslashes unquoted:  verified=false
+}

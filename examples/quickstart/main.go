@@ -1,0 +1,52 @@
+// Quickstart: analyze a tiny vulnerable PHP page and print the verdict.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/core"
+)
+
+const page = `<?php
+$userid = $_GET['userid'];
+if (!eregi('[0-9]+', $userid)) {     // BUG: no ^...$ anchors
+    exit;
+}
+mysql_query("SELECT * FROM users WHERE userid='$userid'");
+`
+
+func main() {
+	resolver := analysis.NewMapResolver(map[string]string{"page.php": page})
+	res, err := core.AnalyzeApp(resolver, []string{"page.php"}, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== quickstart: the paper's Figure 2 in one page ==")
+	fmt.Print(res.Summary())
+	if res.Verified() {
+		log.Fatal("unexpected: the unanchored guard should be reported")
+	}
+	fmt.Println("\nThe guard eregi('[0-9]+', ...) lacks anchors, so any input")
+	fmt.Println("containing a digit — e.g. \"1'; DROP TABLE users; --\" — passes")
+	fmt.Println("and breaks out of the string literal. Anchoring the pattern")
+	fmt.Println("(^[0-9]+$) makes the same page verify:")
+
+	fixed := `<?php
+$userid = $_GET['userid'];
+if (!eregi('^[0-9]+$', $userid)) {
+    exit;
+}
+mysql_query("SELECT * FROM users WHERE userid='$userid'");
+`
+	resolver2 := analysis.NewMapResolver(map[string]string{"page.php": fixed})
+	res2, err := core.AnalyzeApp(resolver2, []string{"page.php"}, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res2.Summary())
+}

@@ -1,0 +1,93 @@
+// Sanitizers: shows why modeling sanitizer *semantics* beats binary taint
+// tracking (the paper's §1.1 motivating comparison). The same escaping
+// function is safe in a quoted context and exploitable in a numeric
+// context; the grammar-based analysis distinguishes the two, the taint
+// baseline cannot — in either direction.
+//
+//	go run ./examples/sanitizers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/core"
+	"sqlciv/internal/taintcheck"
+)
+
+type scenario struct {
+	name    string
+	src     string
+	exploit string // "" when actually safe
+}
+
+var scenarios = []scenario{
+	{
+		name: "addslashes, quoted context (safe)",
+		src: `<?php
+$name = addslashes($_GET['name']);
+mysql_query("SELECT * FROM users WHERE name='$name'");
+`,
+	},
+	{
+		name: "addslashes, numeric context (exploitable!)",
+		src: `<?php
+$id = addslashes($_GET['id']);
+mysql_query("SELECT * FROM users WHERE id=" . $id);
+`,
+		exploit: "id=1 OR 1=1 — no quote needed, escaping does nothing",
+	},
+	{
+		name: "anchored numeric guard, numeric context (safe)",
+		src: `<?php
+$id = $_GET['id'];
+if (!preg_match('/^[0-9]+$/', $id)) { exit; }
+mysql_query("SELECT * FROM users WHERE id=$id");
+`,
+	},
+	{
+		name: "htmlspecialchars default, quoted context (exploitable!)",
+		src: `<?php
+$c = htmlspecialchars($_GET['c']);
+mysql_query("SELECT * FROM t WHERE c='$c'");
+`,
+		exploit: "ENT_COMPAT leaves single quotes alone — ' breaks out",
+	},
+}
+
+func main() {
+	fmt.Println("scenario                                              grammar-based   taint baseline   ground truth")
+	fmt.Println("----------------------------------------------------  -------------   --------------   ------------")
+	for _, sc := range scenarios {
+		resolver := analysis.NewMapResolver(map[string]string{"page.php": sc.src})
+		res, err := core.AnalyzeApp(resolver, []string{"page.php"}, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := taintcheck.Check(analysis.NewMapResolver(map[string]string{"page.php": sc.src}), []string{"page.php"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ours := "VERIFIED"
+		if !res.Verified() {
+			ours = "REPORTED"
+		}
+		baseline := "clean"
+		if len(base.Findings) > 0 {
+			baseline = "REPORTED"
+		}
+		truth := "safe"
+		if sc.exploit != "" {
+			truth = "VULNERABLE"
+		}
+		fmt.Printf("%-53s  %-14s  %-15s  %s\n", sc.name, ours, baseline, truth)
+	}
+	fmt.Println()
+	fmt.Println("Rows 2-4 are the paper's point. The baseline trusts 'sanitizers'")
+	fmt.Println("unconditionally: it misses the numeric-context exploit (row 2) and")
+	fmt.Println("the htmlspecialchars quote pass-through (row 4), while reporting a")
+	fmt.Println("false positive on the airtight anchored guard (row 3). Modeling the")
+	fmt.Println("operations as transducers and checking the query grammar gets all")
+	fmt.Println("four right.")
+}

@@ -1,0 +1,3 @@
+module sqlciv
+
+go 1.22

@@ -1,0 +1,482 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"sqlciv/internal/grammar"
+)
+
+// run analyzes a single-page app given as index.php (plus optional extra
+// files) and returns the result.
+func run(t *testing.T, sources map[string]string, opts Options) *Result {
+	t.Helper()
+	res, err := Analyze(NewMapResolver(sources), "index.php", opts)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return res
+}
+
+func runOne(t *testing.T, src string) *Result {
+	t.Helper()
+	return run(t, map[string]string{"index.php": src}, Options{})
+}
+
+func hotspot0(t *testing.T, res *Result) grammar.Sym {
+	t.Helper()
+	if len(res.Hotspots) == 0 {
+		t.Fatal("no hotspots found")
+	}
+	return res.Hotspots[0].Root
+}
+
+// labeledReachable collects labeled nonterminals reachable from root.
+func labeledReachable(g *grammar.Grammar, root grammar.Sym, lbl grammar.Label) []grammar.Sym {
+	var out []grammar.Sym
+	for i, ok := range g.Reachable(root) {
+		if !ok {
+			continue
+		}
+		nt := grammar.Sym(grammar.NumTerminals + i)
+		if g.HasLabel(nt, lbl) {
+			out = append(out, nt)
+		}
+	}
+	return out
+}
+
+func TestStraightLineConcat(t *testing.T) {
+	res := runOne(t, `<?php
+$q = "SELECT * FROM t WHERE id=";
+$q = $q . "42";
+mysql_query($q);
+`)
+	root := hotspot0(t, res)
+	if !res.G.DerivesString(root, "SELECT * FROM t WHERE id=42") {
+		t.Fatal("query string not derivable")
+	}
+	if res.G.DerivesString(root, "SELECT * FROM t WHERE id=") {
+		t.Fatal("grammar over-wide for straight-line code")
+	}
+}
+
+// TestFigure5Dataflow mirrors the paper's Figure 5: grammar reflects the
+// program's dataflow through branches.
+func TestFigure5Dataflow(t *testing.T) {
+	res := runOne(t, `<?php
+$x = $_GET['u'];
+if ($a) {
+    $x = $x . "s";
+} else {
+    $x = $x . "s";
+}
+$z = $x;
+mysql_query($z);
+`)
+	root := hotspot0(t, res)
+	// Both branches append "s": derivable strings end in s.
+	if !res.G.DerivesString(root, "hellos") {
+		t.Fatal("branch concat lost")
+	}
+	if res.G.DerivesString(root, "") {
+		t.Fatal("empty string should not be derivable (both branches append)")
+	}
+	if len(labeledReachable(res.G, root, grammar.Direct)) == 0 {
+		t.Fatal("direct taint lost")
+	}
+}
+
+// TestFigure2And4 is the paper's running example: the unanchored eregi
+// guard admits the injection.
+func TestFigure2And4(t *testing.T) {
+	src := `<?php
+isset($_GET['userid']) ?
+    $userid = $_GET['userid'] : $userid = '';
+if ($userid == '')
+{
+    unp_msg('invalid');
+    exit;
+}
+if (!eregi('[0-9]+', $userid))
+{
+    unp_msg('You entered an invalid user ID.');
+    exit;
+}
+$getuser = mysql_query("SELECT * FROM unp_user WHERE userid='$userid'");
+`
+	res := runOne(t, src)
+	root := hotspot0(t, res)
+	attack := "SELECT * FROM unp_user WHERE userid='1'; DROP TABLE unp_user; --'"
+	if !res.G.DerivesString(root, attack) {
+		t.Fatal("Figure 2 attack must be derivable through the unanchored guard")
+	}
+	benign := "SELECT * FROM unp_user WHERE userid='42'"
+	if !res.G.DerivesString(root, benign) {
+		t.Fatal("benign query must be derivable")
+	}
+	// The guard still excludes digit-free inputs.
+	if res.G.DerivesString(root, "SELECT * FROM unp_user WHERE userid='abc'") {
+		t.Fatal("refinement lost: digit-free value passed the guard")
+	}
+	if len(labeledReachable(res.G, root, grammar.Direct)) == 0 {
+		t.Fatal("direct label missing from query grammar")
+	}
+}
+
+func TestAnchoredGuardConfines(t *testing.T) {
+	src := `<?php
+$id = $_GET['id'];
+if (!preg_match('/^[0-9]+$/', $id)) {
+    exit;
+}
+mysql_query("SELECT * FROM t WHERE id=$id");
+`
+	res := runOne(t, src)
+	root := hotspot0(t, res)
+	if !res.G.DerivesString(root, "SELECT * FROM t WHERE id=42") {
+		t.Fatal("digits must pass")
+	}
+	if res.G.DerivesString(root, "SELECT * FROM t WHERE id=1 OR 1=1") {
+		t.Fatal("anchored guard must exclude non-digits")
+	}
+}
+
+func TestAddSlashesModeledPrecisely(t *testing.T) {
+	src := `<?php
+$name = addslashes($_POST['name']);
+mysql_query("SELECT * FROM u WHERE name='$name'");
+`
+	res := runOne(t, src)
+	root := hotspot0(t, res)
+	if !res.G.DerivesString(root, `SELECT * FROM u WHERE name='bob'`) {
+		t.Fatal("plain value must be derivable")
+	}
+	if !res.G.DerivesString(root, `SELECT * FROM u WHERE name='b\'ob'`) {
+		t.Fatal("escaped quote must be derivable")
+	}
+	// The unescaped attack is NOT derivable: addslashes is modeled exactly.
+	if res.G.DerivesString(root, `SELECT * FROM u WHERE name='b'ob'`) {
+		t.Fatal("addslashes image contains an unescaped quote")
+	}
+}
+
+func TestLoopBuildsRecursiveGrammar(t *testing.T) {
+	src := `<?php
+$list = "0";
+while ($more) {
+    $list = $list . ",1";
+}
+mysql_query("SELECT * FROM t WHERE id IN ($list)");
+`
+	res := runOne(t, src)
+	root := hotspot0(t, res)
+	for _, q := range []string{
+		"SELECT * FROM t WHERE id IN (0)",
+		"SELECT * FROM t WHERE id IN (0,1)",
+		"SELECT * FROM t WHERE id IN (0,1,1,1)",
+	} {
+		if !res.G.DerivesString(root, q) {
+			t.Fatalf("loop grammar missing %q", q)
+		}
+	}
+	if res.G.DerivesString(root, "SELECT * FROM t WHERE id IN (1)") {
+		t.Fatal("loop grammar too wide")
+	}
+}
+
+func TestUserFunctionSanitizer(t *testing.T) {
+	src := `<?php
+function clean($s) {
+    return addslashes($s);
+}
+$v = clean($_GET['v']);
+mysql_query("INSERT INTO t VALUES ('$v')");
+`
+	res := runOne(t, src)
+	root := hotspot0(t, res)
+	if res.G.DerivesString(root, "INSERT INTO t VALUES (''; DROP TABLE t; --')") {
+		t.Fatal("sanitizer through user function lost")
+	}
+	if !res.G.DerivesString(root, `INSERT INTO t VALUES ('a\'b')`) {
+		t.Fatal("escaped value must flow through user function")
+	}
+}
+
+func TestConstantInclude(t *testing.T) {
+	res := run(t, map[string]string{
+		"index.php": `<?php include('db.php'); mysql_query($prefix . "x");`,
+		"db.php":    `<?php $prefix = "SELECT ";`,
+	}, Options{})
+	root := hotspot0(t, res)
+	if !res.G.DerivesString(root, "SELECT x") {
+		t.Fatal("include env effects lost")
+	}
+	if res.Files != 2 {
+		t.Fatalf("Files = %d", res.Files)
+	}
+}
+
+func TestDynamicInclude(t *testing.T) {
+	res := run(t, map[string]string{
+		"index.php": `<?php
+$lang = $_GET['lang'];
+include("lang_" . $lang . ".php");
+mysql_query("SELECT * FROM t WHERE g='" . $greet . "'");
+`,
+		"lang_en.php": `<?php $greet = "hello";`,
+		"lang_de.php": `<?php $greet = "hallo";`,
+	}, Options{})
+	root := hotspot0(t, res)
+	if !res.G.DerivesString(root, "SELECT * FROM t WHERE g='hello'") ||
+		!res.G.DerivesString(root, "SELECT * FROM t WHERE g='hallo'") {
+		t.Fatal("dynamic include candidates not both analyzed")
+	}
+}
+
+func TestIndirectSourceLabeled(t *testing.T) {
+	src := `<?php
+$row = mysql_fetch_assoc($res);
+$poster = $row['name'];
+mysql_query("INSERT INTO news VALUES ('$poster')");
+`
+	res := runOne(t, src)
+	root := hotspot0(t, res)
+	if len(labeledReachable(res.G, root, grammar.Indirect)) == 0 {
+		t.Fatal("indirect label missing")
+	}
+	if len(labeledReachable(res.G, root, grammar.Direct)) != 0 {
+		t.Fatal("spurious direct label")
+	}
+}
+
+func TestCookieIsDirect(t *testing.T) {
+	src := `<?php
+$c = $_COOKIE['lastvisit'];
+mysql_query("SELECT * FROM t WHERE v='$c'");
+`
+	res := runOne(t, src)
+	root := hotspot0(t, res)
+	if len(labeledReachable(res.G, root, grammar.Direct)) == 0 {
+		t.Fatal("cookie should be direct")
+	}
+}
+
+func TestIntCastConfines(t *testing.T) {
+	src := `<?php
+$id = (int)$_GET['id'];
+mysql_query("SELECT * FROM t WHERE id=$id");
+`
+	res := runOne(t, src)
+	root := hotspot0(t, res)
+	if !res.G.DerivesString(root, "SELECT * FROM t WHERE id=42") {
+		t.Fatal("cast result not numeric")
+	}
+	if res.G.DerivesString(root, "SELECT * FROM t WHERE id=1 OR 1=1") {
+		t.Fatal("int cast must confine to numerals")
+	}
+	// Taint survives the cast (the language is confined, not the taint).
+	if len(labeledReachable(res.G, root, grammar.Direct)) == 0 {
+		t.Fatal("cast dropped taint")
+	}
+}
+
+func TestOrDieIdiom(t *testing.T) {
+	src := `<?php
+$id = $_GET['id'];
+preg_match('/^[0-9]+$/', $id) or die('bad id');
+mysql_query("SELECT * FROM t WHERE id=$id");
+`
+	res := runOne(t, src)
+	root := hotspot0(t, res)
+	if res.G.DerivesString(root, "SELECT * FROM t WHERE id=x") {
+		t.Fatal("or-die guard not applied")
+	}
+	if !res.G.DerivesString(root, "SELECT * FROM t WHERE id=7") {
+		t.Fatal("or-die guard too strict")
+	}
+}
+
+func TestAblationNoRefinement(t *testing.T) {
+	src := `<?php
+$id = $_GET['id'];
+if (!preg_match('/^[0-9]+$/', $id)) { exit; }
+mysql_query("SELECT * FROM t WHERE id=$id");
+`
+	res := run(t, map[string]string{"index.php": src}, Options{DisableGuardRefinement: true})
+	root := hotspot0(t, res)
+	// Without refinement the guard is ignored: anything flows.
+	if !res.G.DerivesString(root, "SELECT * FROM t WHERE id=1 OR 1=1") {
+		t.Fatal("ablation should admit unfiltered input")
+	}
+}
+
+func TestSprintfTemplate(t *testing.T) {
+	src := `<?php
+$q = sprintf("SELECT * FROM t WHERE a='%s' AND b=%d", $_GET['a'], $_GET['b']);
+mysql_query($q);
+`
+	res := runOne(t, src)
+	root := hotspot0(t, res)
+	if !res.G.DerivesString(root, "SELECT * FROM t WHERE a='x' AND b=3") {
+		t.Fatal("sprintf template lost")
+	}
+	if res.G.DerivesString(root, "SELECT * FROM t WHERE a='x' AND b=y") {
+		t.Fatal("the sprintf integer verb must produce numerals only")
+	}
+}
+
+func TestImplodeExplode(t *testing.T) {
+	src := `<?php
+$parts = explode(",", $_GET['ids']);
+$joined = implode("','", $parts);
+mysql_query("SELECT * FROM t WHERE id IN ('$joined')");
+`
+	res := runOne(t, src)
+	root := hotspot0(t, res)
+	if !res.G.DerivesString(root, "SELECT * FROM t WHERE id IN ('1','2')") {
+		t.Fatal("explode/implode pipeline lost")
+	}
+}
+
+func TestSwitchMerges(t *testing.T) {
+	src := `<?php
+switch ($_GET['mode']) {
+case 'a': $t = "alpha"; break;
+case 'b': $t = "beta"; break;
+default: $t = "gamma";
+}
+mysql_query("SELECT * FROM $t");
+`
+	res := runOne(t, src)
+	root := hotspot0(t, res)
+	for _, tbl := range []string{"alpha", "beta", "gamma"} {
+		if !res.G.DerivesString(root, "SELECT * FROM "+tbl) {
+			t.Fatalf("switch case %q lost", tbl)
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	res := runOne(t, "<?php\n$x = 1;\nmysql_query(\"SELECT 1\");\n")
+	if res.NumNTs == 0 || res.NumProds == 0 || res.Files != 1 || res.Lines < 3 {
+		t.Fatalf("stats: %+v", res)
+	}
+	if res.AnalysisTime <= 0 {
+		t.Fatal("analysis time not measured")
+	}
+}
+
+func TestMethodCallSinkAndFetch(t *testing.T) {
+	src := `<?php
+$r = $DB->query("SELECT * FROM sessions WHERE sid='" . $_COOKIE['sid'] . "'");
+$row = $DB->fetch_assoc($r);
+$DB->query("UPDATE t SET v='" . $row['v'] . "'");
+`
+	res := runOne(t, src)
+	if len(res.Hotspots) != 2 {
+		t.Fatalf("hotspots = %d", len(res.Hotspots))
+	}
+	if len(labeledReachable(res.G, res.Hotspots[0].Root, grammar.Direct)) == 0 {
+		t.Fatal("cookie flow into first query lost")
+	}
+	if len(labeledReachable(res.G, res.Hotspots[1].Root, grammar.Indirect)) == 0 {
+		t.Fatal("fetch flow into second query lost")
+	}
+}
+
+func TestHotspotMetadata(t *testing.T) {
+	res := runOne(t, "<?php\nmysql_query(\"SELECT 1\");\n")
+	h := res.Hotspots[0]
+	if h.File != "index.php" || h.Line != 2 || !strings.Contains(h.Call, "mysql_query") {
+		t.Fatalf("hotspot metadata: %+v", h)
+	}
+}
+
+func TestPageOutputAccumulation(t *testing.T) {
+	res := runOne(t, `<?php
+echo '<h1>';
+echo $_GET['title'];
+echo '</h1>';
+mysql_query("SELECT 1");
+`)
+	if res.PageOutput == 0 {
+		t.Fatal("no page output recorded")
+	}
+	if !res.G.DerivesString(res.PageOutput, "<h1>hello</h1>") {
+		t.Fatal("output grammar wrong")
+	}
+	if res.G.DerivesString(res.PageOutput, "<h1>") {
+		t.Fatal("partial output should not be derivable (echoes concatenate)")
+	}
+}
+
+func TestPageOutputInlineHTML(t *testing.T) {
+	res := run(t, map[string]string{"index.php": "<html><?php mysql_query(\"SELECT 1\"); ?><body>"}, Options{})
+	if !res.G.DerivesString(res.PageOutput, "<html><body>") {
+		t.Fatal("inline HTML lost")
+	}
+}
+
+func TestSliceToSinksSkipsDisplayOps(t *testing.T) {
+	src := `<?php
+$body = str_replace('[b]', '<b>', $_POST['body']);
+echo $body;
+mysql_query("SELECT * FROM t WHERE id=" . (int)$_GET['id']);
+`
+	full := run(t, map[string]string{"index.php": src}, Options{})
+	sliced := run(t, map[string]string{"index.php": src}, Options{SliceToSinks: true})
+	if sliced.SlicedOps == 0 {
+		t.Fatal("display-only op should be sliced away")
+	}
+	if full.SlicedOps != 0 {
+		t.Fatal("no slicing without the option")
+	}
+	// The query grammar is identical either way.
+	wq := "SELECT * FROM t WHERE id=42"
+	if !full.G.DerivesString(full.Hotspots[0].Root, wq) ||
+		!sliced.G.DerivesString(sliced.Hotspots[0].Root, wq) {
+		t.Fatal("query grammar affected by slicing")
+	}
+	if sliced.NumProds >= full.NumProds {
+		t.Fatalf("slicing should shrink the grammar: %d >= %d", sliced.NumProds, full.NumProds)
+	}
+}
+
+func TestSliceKeepsQueryFeedingOps(t *testing.T) {
+	src := `<?php
+$v = addslashes($_GET['v']);
+mysql_query("SELECT * FROM t WHERE a='$v'");
+`
+	sliced := run(t, map[string]string{"index.php": src}, Options{SliceToSinks: true})
+	root := sliced.Hotspots[0].Root
+	if !sliced.G.DerivesString(root, `SELECT * FROM t WHERE a='x\'y'`) {
+		t.Fatal("query-feeding op must still be materialized")
+	}
+	if sliced.SlicedOps != 0 {
+		t.Fatal("nothing to slice here")
+	}
+}
+
+func TestExplodePieceLanguagePrecise(t *testing.T) {
+	// §3.1.3: with a constant delimiter, pieces cannot contain it. An
+	// explode(',') piece bounded by an anchored guard stays comma-free even
+	// though the input is arbitrary.
+	src := `<?php
+$parts = explode(",", $_GET['csv']);
+$first = $parts[0];
+mysql_query("SELECT * FROM t WHERE tag='" . $first . "'");
+`
+	res := runOne(t, src)
+	root := hotspot0(t, res)
+	if !res.G.DerivesString(root, "SELECT * FROM t WHERE tag='ab'") {
+		t.Fatal("comma-free piece must be derivable")
+	}
+	if res.G.DerivesString(root, "SELECT * FROM t WHERE tag='a,b'") {
+		t.Fatal("explode piece must not contain the delimiter")
+	}
+	// Quotes still flow (the vulnerability is still found).
+	if !res.G.DerivesString(root, "SELECT * FROM t WHERE tag='a'b'") {
+		t.Fatal("quote-bearing piece should remain derivable")
+	}
+}

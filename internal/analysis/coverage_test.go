@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"testing"
+
+	"sqlciv/internal/grammar"
+)
+
+func TestGlobalStatementFlow(t *testing.T) {
+	res := runOne(t, `<?php
+$site_user = $_COOKIE['u'];
+function who() {
+    global $site_user;
+    return $site_user;
+}
+mysql_query("SELECT * FROM t WHERE u='" . who() . "'");
+`)
+	root := hotspot0(t, res)
+	if len(labeledReachable(res.G, root, grammar.Direct)) == 0 {
+		t.Fatal("global flow through function lost")
+	}
+}
+
+func TestRecursiveFunction(t *testing.T) {
+	res := runOne(t, `<?php
+function rep($s, $n) {
+    if ($n < 1) { return ''; }
+    return $s . rep($s, $n - 1);
+}
+mysql_query("SELECT '" . rep('x', 3) . "'");
+`)
+	root := hotspot0(t, res)
+	for _, q := range []string{"SELECT ''", "SELECT 'x'", "SELECT 'xxx'"} {
+		if !res.G.DerivesString(root, q) {
+			t.Fatalf("recursive function grammar missing %q", q)
+		}
+	}
+	if res.G.DerivesString(root, "SELECT 'y'") {
+		t.Fatal("recursive function grammar too wide")
+	}
+}
+
+func TestIncludeOnceSkipsRepeat(t *testing.T) {
+	res := run(t, map[string]string{
+		"index.php": `<?php
+include_once('lib.php');
+include_once('lib.php');
+mysql_query("SELECT " . $v);
+`,
+		"lib.php": `<?php $v = 'x';`,
+	}, Options{})
+	if res.Files != 2 {
+		t.Fatalf("Files = %d (include_once should load once)", res.Files)
+	}
+}
+
+func TestRegularSpecResult(t *testing.T) {
+	res := runOne(t, `<?php
+$h = md5($_GET['p']);
+mysql_query("SELECT * FROM t WHERE h='$h'");
+`)
+	root := hotspot0(t, res)
+	// md5 output is quote-free: safe even in a literal.
+	if res.G.DerivesString(root, "SELECT * FROM t WHERE h='it's'") {
+		t.Fatal("md5 language should exclude quotes")
+	}
+	if !res.G.DerivesString(root, "SELECT * FROM t WHERE h='d41d8cd9'") {
+		t.Fatal("md5 language lost hex strings")
+	}
+}
+
+func TestPassThroughSpec(t *testing.T) {
+	res := runOne(t, `<?php
+$v = strval($_GET['v']);
+mysql_query("SELECT '$v'");
+`)
+	root := hotspot0(t, res)
+	if len(labeledReachable(res.G, root, grammar.Direct)) == 0 {
+		t.Fatal("strval should pass taint through")
+	}
+}
+
+func TestUnknownFunctionSoundDefault(t *testing.T) {
+	res := runOne(t, `<?php
+$v = totally_unknown_helper($_GET['v']);
+mysql_query("SELECT '$v'");
+`)
+	root := hotspot0(t, res)
+	if len(labeledReachable(res.G, root, grammar.Direct)) == 0 {
+		t.Fatal("unknown function must keep argument taint")
+	}
+	if !res.G.DerivesString(root, "SELECT 'anything at all'") {
+		t.Fatal("unknown function must be Σ*")
+	}
+}
+
+func TestOrElseBranchRefinement(t *testing.T) {
+	// else-branch of a || guard: ¬(A ∨ B) refines with both negations.
+	res := runOne(t, `<?php
+$id = $_GET['id'];
+if (preg_match('/^[0-9]+$/', $id) || preg_match('/^[a-z]+$/', $id)) {
+    exit;
+}
+mysql_query("SELECT * FROM t WHERE id='$id'");
+`)
+	root := hotspot0(t, res)
+	if res.G.DerivesString(root, "SELECT * FROM t WHERE id='42'") {
+		t.Fatal("digits should have exited")
+	}
+	if res.G.DerivesString(root, "SELECT * FROM t WHERE id='abc'") {
+		t.Fatal("lowercase should have exited")
+	}
+	if !res.G.DerivesString(root, "SELECT * FROM t WHERE id='AB1'") {
+		t.Fatal("mixed input must remain")
+	}
+}
+
+func TestNonConstSprintfFallsBack(t *testing.T) {
+	res := runOne(t, `<?php
+$q = sprintf($_GET['fmt'], 'x');
+mysql_query($q);
+`)
+	root := hotspot0(t, res)
+	if !res.G.DerivesString(root, "whatever") {
+		t.Fatal("non-constant format must fall back to sigma*")
+	}
+}
+
+func TestPostfixIncrementTaint(t *testing.T) {
+	res := runOne(t, `<?php
+$n = $_GET['n'];
+$n++;
+mysql_query("SELECT * FROM t LIMIT $n");
+`)
+	root := hotspot0(t, res)
+	if !res.G.DerivesString(root, "SELECT * FROM t LIMIT 42") {
+		t.Fatal("incremented value should be numeric")
+	}
+	if res.G.DerivesString(root, "SELECT * FROM t LIMIT x") {
+		t.Fatal("increment must confine to numerals")
+	}
+}
+
+func TestHeredocQueryAnalyzed(t *testing.T) {
+	src := "<?php\n$id = (int)$_GET['id'];\n$sql = <<<EOT\nSELECT * FROM t WHERE id=$id\nEOT;\nmysql_query($sql);\n"
+	res := runOne(t, src)
+	root := hotspot0(t, res)
+	if !res.G.DerivesString(root, "SELECT * FROM t WHERE id=7") {
+		t.Fatal("heredoc query lost")
+	}
+}
+
+func TestArrayLitKeyedPrecision(t *testing.T) {
+	res := runOne(t, `<?php
+$conf = array('table' => 'users', 'limit' => '10');
+mysql_query("SELECT * FROM " . $conf['table'] . " LIMIT " . $conf['limit']);
+`)
+	root := hotspot0(t, res)
+	if !res.G.DerivesString(root, "SELECT * FROM users LIMIT 10") {
+		t.Fatal("keyed array literal lost")
+	}
+	if res.G.DerivesString(root, "SELECT * FROM 10 LIMIT users") {
+		t.Fatal("keys confused")
+	}
+}
+
+func TestStrIReplaceFallback(t *testing.T) {
+	res := runOne(t, `<?php
+$v = str_ireplace('a', 'b', $_GET['v']);
+mysql_query("SELECT '$v'");
+`)
+	root := hotspot0(t, res)
+	// Sound fallback: anything, still tainted.
+	if !res.G.DerivesString(root, "SELECT 'zzz'") {
+		t.Fatal("fallback should be sigma*")
+	}
+	if len(labeledReachable(res.G, root, grammar.Direct)) == 0 {
+		t.Fatal("fallback lost taint")
+	}
+}
+
+func TestApproxInCycleCounted(t *testing.T) {
+	res := runOne(t, `<?php
+$s = $_GET['s'];
+while ($more) {
+    $s = addslashes($s);
+}
+mysql_query("SELECT '$s'");
+`)
+	if res.ApproxInCycle == 0 {
+		t.Fatal("op inside a loop-carried cycle should be approximated")
+	}
+	root := hotspot0(t, res)
+	// The range approximation still carries taint.
+	if len(labeledReachable(res.G, root, grammar.Direct)) == 0 {
+		t.Fatal("cycle approximation lost taint")
+	}
+}
+
+func TestListAssignTaint(t *testing.T) {
+	res := runOne(t, `<?php
+list($user, $pass) = explode(':', $_GET['auth']);
+mysql_query("SELECT * FROM t WHERE u='" . $user . "'");
+`)
+	root := hotspot0(t, res)
+	if len(labeledReachable(res.G, root, grammar.Direct)) == 0 {
+		t.Fatal("list() destructuring lost taint")
+	}
+	// Pieces are colon-free (the explode delimiter refinement).
+	if res.G.DerivesString(root, "SELECT * FROM t WHERE u='a:b'") {
+		t.Fatal("list element should be delimiter-free")
+	}
+}
+
+func TestDoWhileAnalyzed(t *testing.T) {
+	res := runOne(t, `<?php
+$s = "a";
+do { $s = $s . "b"; } while ($more);
+mysql_query("SELECT '$s'");
+`)
+	root := hotspot0(t, res)
+	for _, q := range []string{"SELECT 'ab'", "SELECT 'abb'"} {
+		if !res.G.DerivesString(root, q) {
+			t.Fatalf("missing %q", q)
+		}
+	}
+}
+
+func TestMagicQuotesQuotedContextVerifies(t *testing.T) {
+	src := `<?php
+mysql_query("SELECT * FROM t WHERE a='" . $_GET['v'] . "'");
+`
+	plain := run(t, map[string]string{"index.php": src}, Options{})
+	root := hotspot0(t, plain)
+	if !plain.G.DerivesString(root, "SELECT * FROM t WHERE a='x' OR '1'='1'") {
+		t.Fatal("without magic quotes the breakout is derivable")
+	}
+	magic := run(t, map[string]string{"index.php": src}, Options{MagicQuotes: true})
+	mroot := hotspot0(t, magic)
+	if magic.G.DerivesString(mroot, "SELECT * FROM t WHERE a='x' OR '1'='1'") {
+		t.Fatal("magic quotes should exclude unescaped quotes")
+	}
+	if !magic.G.DerivesString(mroot, `SELECT * FROM t WHERE a='x\' OR 1=1'`) {
+		t.Fatal("escaped variant must remain derivable")
+	}
+}
+
+func TestMagicQuotesNumericContextStillVulnerable(t *testing.T) {
+	// The classic residual hole: escaping does nothing outside quotes.
+	src := `<?php
+mysql_query("SELECT * FROM t WHERE id=" . $_GET['id']);
+`
+	magic := run(t, map[string]string{"index.php": src}, Options{MagicQuotes: true})
+	root := hotspot0(t, magic)
+	if !magic.G.DerivesString(root, "SELECT * FROM t WHERE id=1 OR 1=1") {
+		t.Fatal("quote-free payloads pass straight through magic quotes")
+	}
+}
+
+func TestMagicQuotesStripslashesRestores(t *testing.T) {
+	src := `<?php
+$v = stripslashes($_GET['v']);
+mysql_query("SELECT * FROM t WHERE a='" . $v . "'");
+`
+	magic := run(t, map[string]string{"index.php": src}, Options{MagicQuotes: true})
+	root := hotspot0(t, magic)
+	if !magic.G.DerivesString(root, "SELECT * FROM t WHERE a='x' OR '1'='1'") {
+		t.Fatal("stripslashes undoes magic quotes: breakout must be derivable again")
+	}
+}

@@ -1,0 +1,39 @@
+package analysis
+
+import "testing"
+
+// FuzzAnalyze asserts the static analysis never panics on any parseable
+// program — the soundness theorem is only as good as the analyzer's
+// robustness on arbitrary input code.
+func FuzzAnalyze(f *testing.F) {
+	seeds := []string{
+		`<?php $x = $_GET['a']; mysql_query("SELECT '$x'");`,
+		`<?php if (!preg_match('/^[0-9]+$/', $_GET['i'])) { exit; } mysql_query("SELECT " . $_GET['i']);`,
+		`<?php while ($m) { $s = addslashes($s) . "'"; } mysql_query($s);`,
+		`<?php function f($v) { global $g; return $g . $v; } mysql_query(f($_POST['p']));`,
+		`<?php $p = explode(',', $_GET['csv']); mysql_query("IN ('" . implode("','", $p) . "')");`,
+		`<?php include('x.php'); echo htmlspecialchars($_GET['q']);`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 2000 {
+			return // keep per-case cost bounded
+		}
+		resolver := NewMapResolver(map[string]string{"f.php": src})
+		if _, ok := resolver.Load("f.php"); !ok {
+			return
+		}
+		res, err := Analyze(resolver, "f.php", Options{})
+		if err != nil {
+			t.Fatalf("Analyze error on parseable program: %v", err)
+		}
+		// Every hotspot root must belong to the grammar.
+		for _, h := range res.Hotspots {
+			if !res.G.IsNT(h.Root) {
+				t.Fatal("hotspot root outside grammar")
+			}
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestDeepIncludeChainBounded: a 64-deep include chain stops at the depth
+// cap instead of recursing unboundedly.
+func TestDeepIncludeChainBounded(t *testing.T) {
+	sources := map[string]string{}
+	for i := 0; i < 64; i++ {
+		sources[fmt.Sprintf("f%02d.php", i)] = fmt.Sprintf(`<?php
+$depth = '%02d';
+include('f%02d.php');
+`, i, i+1)
+	}
+	sources["f64.php"] = `<?php $depth = 'leaf';`
+	sources["index.php"] = `<?php include('f00.php'); mysql_query("SELECT '" . $depth . "'");`
+	res := run(t, sources, Options{MaxIncludeDepth: 8})
+	if len(res.Hotspots) != 1 {
+		t.Fatal("hotspot lost in deep include chain")
+	}
+}
+
+// TestSelfIncludeTerminates: a file including itself must not loop.
+func TestSelfIncludeTerminates(t *testing.T) {
+	res := run(t, map[string]string{
+		"index.php": `<?php include('index.php'); mysql_query("SELECT 1");`,
+	}, Options{})
+	if len(res.Hotspots) == 0 {
+		t.Fatal("self-include lost the hotspot")
+	}
+}
+
+// TestWideSwitch: 100 cases merge without blowup.
+func TestWideSwitch(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<?php\nswitch ($_GET['m']) {\n")
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&b, "case '%d': $t = 'tbl%d'; break;\n", i, i)
+	}
+	b.WriteString("default: $t = 'tbl';\n}\nmysql_query(\"SELECT * FROM $t\");\n")
+	res := run(t, map[string]string{"index.php": b.String()}, Options{})
+	root := hotspot0(t, res)
+	if !res.G.DerivesString(root, "SELECT * FROM tbl42") ||
+		!res.G.DerivesString(root, "SELECT * FROM tbl") {
+		t.Fatal("wide switch lost cases")
+	}
+}
+
+// TestLongConcatChain: a thousand concatenations stay linear.
+func TestLongConcatChain(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<?php\n$q = 'SELECT ';\n")
+	for i := 0; i < 1000; i++ {
+		b.WriteString("$q = $q . 'x';\n")
+	}
+	b.WriteString("mysql_query($q);\n")
+	res := run(t, map[string]string{"index.php": b.String()}, Options{})
+	root := hotspot0(t, res)
+	want := "SELECT " + strings.Repeat("x", 1000)
+	if w, _ := res.G.WitnessString(root); w != want {
+		t.Fatalf("witness length %d, want %d", len(w), len(want))
+	}
+}
+
+// TestDeeplyNestedBranches: 40 nested ifs do not blow the merge logic up.
+func TestDeeplyNestedBranches(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<?php\n$s = 'a';\n")
+	for i := 0; i < 40; i++ {
+		b.WriteString("if ($c) {\n$s = $s . 'b';\n")
+	}
+	for i := 0; i < 40; i++ {
+		b.WriteString("}\n")
+	}
+	b.WriteString("mysql_query(\"SELECT '$s'\");\n")
+	res := run(t, map[string]string{"index.php": b.String()}, Options{})
+	root := hotspot0(t, res)
+	if !res.G.DerivesString(root, "SELECT 'a'") ||
+		!res.G.DerivesString(root, "SELECT 'a"+strings.Repeat("b", 40)+"'") {
+		t.Fatal("nested branch language wrong")
+	}
+}
+
+// TestManyHotspots: a page with 200 query sites is handled.
+func TestManyHotspots(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<?php\n")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&b, "mysql_query(\"SELECT %d\");\n", i)
+	}
+	res := run(t, map[string]string{"index.php": b.String()}, Options{})
+	if len(res.Hotspots) != 200 {
+		t.Fatalf("hotspots = %d", len(res.Hotspots))
+	}
+}

@@ -1,0 +1,314 @@
+package automata
+
+// DFA is a complete deterministic finite automaton: every state has a
+// transition on every symbol (Determinize and the hand constructions below
+// always produce complete automata).
+type DFA struct {
+	trans  [][]int32 // trans[s][sym] = target state
+	accept []bool
+	start  int
+}
+
+// NewDFA returns a DFA with no states.
+func NewDFA() *DFA { return &DFA{} }
+
+// AddState adds a fresh non-accepting state with all transitions unset (-1)
+// and returns its index.
+func (d *DFA) AddState() int {
+	row := make([]int32, AlphabetSize)
+	for i := range row {
+		row[i] = -1
+	}
+	d.trans = append(d.trans, row)
+	d.accept = append(d.accept, false)
+	return len(d.trans) - 1
+}
+
+// NumStates reports the number of states.
+func (d *DFA) NumStates() int { return len(d.trans) }
+
+// Start returns the start state.
+func (d *DFA) Start() int { return d.start }
+
+// SetStart makes s the start state.
+func (d *DFA) SetStart(s int) { d.start = s }
+
+// SetAccept marks s accepting or not.
+func (d *DFA) SetAccept(s int, v bool) { d.accept[s] = v }
+
+// IsAccept reports whether s accepts.
+func (d *DFA) IsAccept(s int) bool { return d.accept[s] }
+
+// SetEdge sets the transition from→to on sym.
+func (d *DFA) SetEdge(from, sym, to int) { d.trans[from][sym] = int32(to) }
+
+// Step returns the successor of state s on sym (-1 if unset).
+func (d *DFA) Step(s, sym int) int { return int(d.trans[s][sym]) }
+
+// Complete fills any unset transition with a dead state so the automaton is
+// total, adding the dead state only if needed.
+func (d *DFA) Complete() {
+	dead := -1
+	for s := range d.trans {
+		for sym := 0; sym < AlphabetSize; sym++ {
+			if d.trans[s][sym] < 0 {
+				if dead < 0 {
+					dead = d.AddState()
+					for k := 0; k < AlphabetSize; k++ {
+						d.trans[dead][k] = int32(dead)
+					}
+				}
+				d.trans[s][sym] = int32(dead)
+			}
+		}
+	}
+}
+
+// Complement flips acceptance. The DFA must be complete.
+func (d *DFA) Complement() *DFA {
+	d.Complete()
+	out := &DFA{start: d.start}
+	out.trans = make([][]int32, len(d.trans))
+	out.accept = make([]bool, len(d.accept))
+	for s := range d.trans {
+		row := make([]int32, AlphabetSize)
+		copy(row, d.trans[s])
+		out.trans[s] = row
+		out.accept[s] = !d.accept[s]
+	}
+	return out
+}
+
+// Intersect returns the product DFA accepting L(d) ∩ L(o). Both automata
+// must be complete. Only the reachable part of the product is built.
+func (d *DFA) Intersect(o *DFA) *DFA {
+	d.Complete()
+	o.Complete()
+	type pair struct{ a, b int }
+	ids := map[pair]int{}
+	out := NewDFA()
+	get := func(p pair) int {
+		if id, ok := ids[p]; ok {
+			return id
+		}
+		id := out.AddState()
+		ids[p] = id
+		out.accept[id] = d.accept[p.a] && o.accept[p.b]
+		return id
+	}
+	startP := pair{d.start, o.start}
+	out.start = get(startP)
+	work := []pair{startP}
+	done := map[pair]bool{startP: true}
+	for len(work) > 0 {
+		p := work[len(work)-1]
+		work = work[:len(work)-1]
+		id := ids[p]
+		for sym := 0; sym < AlphabetSize; sym++ {
+			np := pair{int(d.trans[p.a][sym]), int(o.trans[p.b][sym])}
+			nid := get(np)
+			out.trans[id][sym] = int32(nid)
+			if !done[np] {
+				done[np] = true
+				work = append(work, np)
+			}
+		}
+	}
+	return out
+}
+
+// Accepts reports whether d accepts the symbol sequence.
+func (d *DFA) Accepts(syms []int) bool {
+	s := d.start
+	for _, sym := range syms {
+		s = int(d.trans[s][sym])
+		if s < 0 {
+			return false
+		}
+	}
+	return d.accept[s]
+}
+
+// AcceptsString reports whether d accepts the bytes of str.
+func (d *DFA) AcceptsString(str string) bool {
+	syms := make([]int, len(str))
+	for i := 0; i < len(str); i++ {
+		syms[i] = int(str[i])
+	}
+	return d.Accepts(syms)
+}
+
+// IsEmpty reports whether L(d) is empty.
+func (d *DFA) IsEmpty() bool {
+	if len(d.trans) == 0 {
+		return true
+	}
+	seen := make([]bool, len(d.trans))
+	work := []int{d.start}
+	seen[d.start] = true
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		if d.accept[s] {
+			return false
+		}
+		for sym := 0; sym < AlphabetSize; sym++ {
+			t := int(d.trans[s][sym])
+			if t >= 0 && !seen[t] {
+				seen[t] = true
+				work = append(work, t)
+			}
+		}
+	}
+	return true
+}
+
+// MinWord returns a shortest accepted symbol sequence, or nil, false if the
+// language is empty.
+func (d *DFA) MinWord() ([]int, bool) {
+	if len(d.trans) == 0 {
+		return nil, false
+	}
+	type back struct {
+		prev int
+		sym  int
+	}
+	prev := make([]back, len(d.trans))
+	for i := range prev {
+		prev[i] = back{-1, -1}
+	}
+	seen := make([]bool, len(d.trans))
+	queue := []int{d.start}
+	seen[d.start] = true
+	goal := -1
+	for i := 0; i < len(queue); i++ {
+		s := queue[i]
+		if d.accept[s] {
+			goal = s
+			break
+		}
+		for sym := 0; sym < AlphabetSize; sym++ {
+			t := int(d.trans[s][sym])
+			if t >= 0 && !seen[t] {
+				seen[t] = true
+				prev[t] = back{s, sym}
+				queue = append(queue, t)
+			}
+		}
+	}
+	if goal < 0 {
+		return nil, false
+	}
+	var rev []int
+	for s := goal; s != d.start || len(rev) == 0; {
+		b := prev[s]
+		if b.prev < 0 {
+			break
+		}
+		rev = append(rev, b.sym)
+		s = b.prev
+		if s == d.start {
+			break
+		}
+	}
+	out := make([]int, len(rev))
+	for i, sym := range rev {
+		out[len(rev)-1-i] = sym
+	}
+	return out, true
+}
+
+// Minimize returns an equivalent minimal complete DFA (Moore partition
+// refinement over the reachable states).
+func (d *DFA) Minimize() *DFA {
+	d.Complete()
+	// Restrict to reachable states.
+	reach := make([]int, len(d.trans)) // old -> new (compact) or -1
+	for i := range reach {
+		reach[i] = -1
+	}
+	var order []int
+	work := []int{d.start}
+	reach[d.start] = 0
+	order = append(order, d.start)
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		for sym := 0; sym < AlphabetSize; sym++ {
+			t := int(d.trans[s][sym])
+			if reach[t] < 0 {
+				reach[t] = len(order)
+				order = append(order, t)
+				work = append(work, t)
+			}
+		}
+	}
+	n := len(order)
+	// class[i] for compact index i.
+	class := make([]int, n)
+	for i, old := range order {
+		if d.accept[old] {
+			class[i] = 1
+		}
+	}
+	numClasses := 2
+	// If all states agree, there is a single class.
+	allSame := true
+	for i := 1; i < n; i++ {
+		if class[i] != class[0] {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		numClasses = 1
+		for i := range class {
+			class[i] = 0
+		}
+	}
+	for {
+		// Signature: (class, class of successor per symbol).
+		type sigKey string
+		next := make([]int, n)
+		ids := map[sigKey]int{}
+		buf := make([]byte, 0, (AlphabetSize+1)*4)
+		for i, old := range order {
+			buf = buf[:0]
+			buf = appendInt(buf, class[i])
+			for sym := 0; sym < AlphabetSize; sym++ {
+				t := reach[int(d.trans[old][sym])]
+				buf = appendInt(buf, class[t])
+			}
+			k := sigKey(buf)
+			id, ok := ids[k]
+			if !ok {
+				id = len(ids)
+				ids[k] = id
+			}
+			next[i] = id
+		}
+		if len(ids) == numClasses {
+			class = next
+			break
+		}
+		numClasses = len(ids)
+		class = next
+	}
+	out := NewDFA()
+	for i := 0; i < numClasses; i++ {
+		out.AddState()
+	}
+	for i, old := range order {
+		c := class[i]
+		out.accept[c] = d.accept[old]
+		for sym := 0; sym < AlphabetSize; sym++ {
+			out.trans[c][sym] = int32(class[reach[int(d.trans[old][sym])]])
+		}
+	}
+	out.start = class[reach[d.start]]
+	return out
+}
+
+func appendInt(b []byte, v int) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}

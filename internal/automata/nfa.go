@@ -1,0 +1,332 @@
+// Package automata implements nondeterministic and deterministic finite
+// automata over the analysis alphabet: the 256 byte values plus one reserved
+// context-marker symbol. It provides the standard constructions the string
+// analysis needs — subset construction, completion, complement, product
+// intersection, minimization, emptiness, and shortest-witness extraction.
+package automata
+
+import "sort"
+
+// AlphabetSize is the number of input symbols an automaton ranges over:
+// bytes 0..255 plus the reserved context marker used by the policy checker.
+const AlphabetSize = 257
+
+// Marker is the reserved non-byte input symbol. The policy-conformance
+// checker substitutes it for a labeled nonterminal to discover the syntactic
+// contexts in which that nonterminal occurs (paper §3.2.1).
+const Marker = 256
+
+// NFA is a nondeterministic finite automaton with epsilon moves.
+// The zero value is an empty automaton with no states; use New.
+type NFA struct {
+	trans  []map[int][]int // trans[s][sym] = target states
+	eps    [][]int         // eps[s] = epsilon targets
+	accept []bool
+	start  int
+}
+
+// NewNFA returns an empty NFA with a single non-accepting start state.
+func NewNFA() *NFA {
+	n := &NFA{}
+	n.start = n.AddState()
+	return n
+}
+
+// AddState adds a fresh non-accepting state and returns its index.
+func (n *NFA) AddState() int {
+	n.trans = append(n.trans, nil)
+	n.eps = append(n.eps, nil)
+	n.accept = append(n.accept, false)
+	return len(n.trans) - 1
+}
+
+// NumStates reports the number of states.
+func (n *NFA) NumStates() int { return len(n.trans) }
+
+// Start returns the start state.
+func (n *NFA) Start() int { return n.start }
+
+// SetStart makes s the start state.
+func (n *NFA) SetStart(s int) { n.start = s }
+
+// SetAccept marks s accepting or not.
+func (n *NFA) SetAccept(s int, v bool) { n.accept[s] = v }
+
+// IsAccept reports whether s is accepting.
+func (n *NFA) IsAccept(s int) bool { return n.accept[s] }
+
+// AddEdge adds a transition from→to on symbol sym (0 ≤ sym < AlphabetSize).
+func (n *NFA) AddEdge(from, sym, to int) {
+	if sym < 0 || sym >= AlphabetSize {
+		panic("automata: symbol out of range")
+	}
+	if n.trans[from] == nil {
+		n.trans[from] = make(map[int][]int)
+	}
+	n.trans[from][sym] = append(n.trans[from][sym], to)
+}
+
+// AddByteRange adds transitions for every byte in [lo, hi].
+func (n *NFA) AddByteRange(from int, lo, hi byte, to int) {
+	for c := int(lo); c <= int(hi); c++ {
+		n.AddEdge(from, c, to)
+	}
+}
+
+// AddEps adds an epsilon transition from→to.
+func (n *NFA) AddEps(from, to int) {
+	n.eps[from] = append(n.eps[from], to)
+}
+
+// EpsTargets returns the direct epsilon successors of state s. The caller
+// must not mutate the returned slice.
+func (n *NFA) EpsTargets(s int) []int { return n.eps[s] }
+
+// Edges calls f for every non-epsilon transition.
+func (n *NFA) Edges(f func(from, sym, to int)) {
+	for s, m := range n.trans {
+		for sym, tos := range m {
+			for _, t := range tos {
+				f(s, sym, t)
+			}
+		}
+	}
+}
+
+// epsClosure expands set (sorted slice of states) to its epsilon closure.
+func (n *NFA) epsClosure(set []int) []int {
+	seen := make(map[int]bool, len(set))
+	stack := append([]int(nil), set...)
+	for _, s := range set {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.eps[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Determinize converts the NFA to an equivalent complete DFA via the subset
+// construction. The result always has a dead state, so every transition is
+// defined.
+func (n *NFA) Determinize() *DFA {
+	type key string
+	enc := func(set []int) key {
+		b := make([]byte, 0, len(set)*3)
+		for _, s := range set {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16))
+		}
+		return key(b)
+	}
+	d := &DFA{}
+	dead := d.AddState() // state 0 is the dead state
+	for sym := 0; sym < AlphabetSize; sym++ {
+		d.SetEdge(dead, sym, dead)
+	}
+
+	startSet := n.epsClosure([]int{n.start})
+	ids := map[key]int{enc(startSet): 0}
+	// Reserve: we want start to be its own DFA state distinct from dead.
+	startID := d.AddState()
+	ids[enc(startSet)] = startID
+	d.start = startID
+	sets := map[int][]int{startID: startSet}
+	work := []int{startID}
+
+	anyAccept := func(set []int) bool {
+		for _, s := range set {
+			if n.accept[s] {
+				return true
+			}
+		}
+		return false
+	}
+	d.accept[startID] = anyAccept(startSet)
+
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		set := sets[id]
+		// Gather successor sets per symbol.
+		succ := make(map[int][]int)
+		for _, s := range set {
+			for sym, tos := range n.trans[s] {
+				succ[sym] = append(succ[sym], tos...)
+			}
+		}
+		for sym := 0; sym < AlphabetSize; sym++ {
+			tos, ok := succ[sym]
+			if !ok {
+				d.SetEdge(id, sym, dead)
+				continue
+			}
+			cl := n.epsClosure(tos)
+			k := enc(cl)
+			tid, ok := ids[k]
+			if !ok {
+				tid = d.AddState()
+				ids[k] = tid
+				sets[tid] = cl
+				d.accept[tid] = anyAccept(cl)
+				work = append(work, tid)
+			}
+			d.SetEdge(id, sym, tid)
+		}
+	}
+	return d
+}
+
+// Accepts reports whether the NFA accepts the given symbol sequence.
+func (n *NFA) Accepts(syms []int) bool {
+	cur := n.epsClosure([]int{n.start})
+	for _, sym := range syms {
+		var next []int
+		for _, s := range cur {
+			next = append(next, n.trans[s][sym]...)
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = n.epsClosure(next)
+	}
+	for _, s := range cur {
+		if n.accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// AcceptsString reports whether the NFA accepts the bytes of s.
+func (n *NFA) AcceptsString(s string) bool {
+	syms := make([]int, len(s))
+	for i := 0; i < len(s); i++ {
+		syms[i] = int(s[i])
+	}
+	return n.Accepts(syms)
+}
+
+// Union returns an NFA accepting L(a) ∪ L(b).
+func Union(a, b *NFA) *NFA {
+	u := NewNFA()
+	oa := u.graft(a)
+	ob := u.graft(b)
+	u.AddEps(u.start, oa)
+	u.AddEps(u.start, ob)
+	return u
+}
+
+// Concat returns an NFA accepting L(a)·L(b).
+func Concat(a, b *NFA) *NFA {
+	u := NewNFA()
+	oa := u.graft(a)
+	baseA := oa - a.start
+	ob := u.graft(b)
+	u.AddEps(u.start, oa)
+	for s := 0; s < a.NumStates(); s++ {
+		if a.accept[s] {
+			u.accept[baseA+s] = false
+			u.AddEps(baseA+s, ob)
+		}
+	}
+	return u
+}
+
+// Star returns an NFA accepting L(a)*.
+func Star(a *NFA) *NFA {
+	u := NewNFA()
+	oa := u.graft(a)
+	base := oa - a.start
+	u.SetAccept(u.start, true)
+	u.AddEps(u.start, oa)
+	for s := 0; s < a.NumStates(); s++ {
+		if a.accept[s] {
+			u.AddEps(s+base, u.start)
+		}
+	}
+	return u
+}
+
+// graft copies all of src's states into n and returns src's mapped start
+// state. Acceptance flags are preserved.
+func (n *NFA) graft(src *NFA) int {
+	base := len(n.trans)
+	for s := 0; s < src.NumStates(); s++ {
+		n.AddState()
+		n.accept[base+s] = src.accept[s]
+	}
+	for s := 0; s < src.NumStates(); s++ {
+		for sym, tos := range src.trans[s] {
+			for _, t := range tos {
+				n.AddEdge(base+s, sym, base+t)
+			}
+		}
+		for _, t := range src.eps[s] {
+			n.AddEps(base+s, base+t)
+		}
+	}
+	return base + src.start
+}
+
+// FromString returns an NFA accepting exactly the bytes of s.
+func FromString(s string) *NFA {
+	n := NewNFA()
+	cur := n.start
+	for i := 0; i < len(s); i++ {
+		next := n.AddState()
+		n.AddEdge(cur, int(s[i]), next)
+		cur = next
+	}
+	n.SetAccept(cur, true)
+	return n
+}
+
+// FromBytes returns an NFA accepting any single byte in set.
+func FromBytes(set []byte) *NFA {
+	n := NewNFA()
+	acc := n.AddState()
+	n.SetAccept(acc, true)
+	for _, b := range set {
+		n.AddEdge(n.start, int(b), acc)
+	}
+	return n
+}
+
+// AnyByte returns an NFA accepting any single byte (not the marker).
+func AnyByte() *NFA {
+	n := NewNFA()
+	acc := n.AddState()
+	n.SetAccept(acc, true)
+	n.AddByteRange(n.start, 0, 255, acc)
+	return n
+}
+
+// SigmaStar returns an NFA accepting every byte string (markers excluded).
+func SigmaStar() *NFA {
+	n := NewNFA()
+	n.SetAccept(n.start, true)
+	n.AddByteRange(n.start, 0, 255, n.start)
+	return n
+}
+
+// EmptyLang returns an NFA accepting nothing.
+func EmptyLang() *NFA { return NewNFA() }
+
+// EpsilonLang returns an NFA accepting only the empty string.
+func EpsilonLang() *NFA {
+	n := NewNFA()
+	n.SetAccept(n.start, true)
+	return n
+}

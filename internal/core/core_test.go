@@ -1,0 +1,221 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/policy"
+)
+
+func analyzeApp(t *testing.T, sources map[string]string, entries []string) *AppResult {
+	t.Helper()
+	res, err := AnalyzeApp(analysis.NewMapResolver(sources), entries, Options{})
+	if err != nil {
+		t.Fatalf("AnalyzeApp: %v", err)
+	}
+	return res
+}
+
+func TestVerifiedSafeApp(t *testing.T) {
+	res := analyzeApp(t, map[string]string{
+		"index.php": `<?php
+$id = addslashes($_GET['id']);
+mysql_query("SELECT * FROM t WHERE name='$id'");
+`,
+	}, []string{"index.php"})
+	if !res.Verified() {
+		t.Fatalf("safe app reported: %v", res.Findings)
+	}
+	if !strings.Contains(res.Summary(), "VERIFIED") {
+		t.Fatal("summary should say VERIFIED")
+	}
+}
+
+func TestFigure2EndToEnd(t *testing.T) {
+	res := analyzeApp(t, map[string]string{
+		"user.php": `<?php
+isset($_GET['userid']) ?
+    $userid = $_GET['userid'] : $userid = '';
+if (!eregi('[0-9]+', $userid)) {
+    exit;
+}
+$getuser = mysql_query("SELECT * FROM unp_user WHERE userid='$userid'");
+`,
+	}, []string{"user.php"})
+	if res.Verified() {
+		t.Fatal("Figure 2 vulnerability missed")
+	}
+	f := res.Findings[0]
+	if !f.Direct() {
+		t.Fatal("should be a direct finding")
+	}
+	if f.File != "user.php" || f.Line != 7 {
+		t.Fatalf("finding location: %s:%d", f.File, f.Line)
+	}
+	if !strings.Contains(res.Summary(), "direct") {
+		t.Fatal("summary missing direct count")
+	}
+}
+
+func TestAnchoredVersionVerifies(t *testing.T) {
+	// The fixed Figure 2: anchors make the guard airtight.
+	res := analyzeApp(t, map[string]string{
+		"user.php": `<?php
+isset($_GET['userid']) ?
+    $userid = $_GET['userid'] : $userid = '';
+if (!eregi('^[0-9]+$', $userid)) {
+    exit;
+}
+$getuser = mysql_query("SELECT * FROM unp_user WHERE userid='$userid'");
+`,
+	}, []string{"user.php"})
+	if !res.Verified() {
+		t.Fatalf("anchored guard should verify, got %v", res.Findings)
+	}
+}
+
+func TestFigure10IndirectFinding(t *testing.T) {
+	res := analyzeApp(t, map[string]string{
+		"post.php": `<?php
+$row = mysql_fetch_assoc($r);
+$newsposter = $row['username'];
+mysql_query("INSERT INTO news (poster) VALUES ('$newsposter')");
+`,
+	}, []string{"post.php"})
+	if res.Verified() {
+		t.Fatal("indirect flow missed")
+	}
+	if res.IndirectFindings() != 1 || res.DirectFindings() != 0 {
+		t.Fatalf("counts: %d direct, %d indirect", res.DirectFindings(), res.IndirectFindings())
+	}
+}
+
+func TestCrossFileCookieFlow(t *testing.T) {
+	// e107-style: a cookie read in one file used in a query in another.
+	res := analyzeApp(t, map[string]string{
+		"page.php": `<?php
+include('common.php');
+mysql_query("SELECT * FROM prefs WHERE u='" . $cookie_user . "'");
+`,
+		"common.php": `<?php
+$cookie_user = $_COOKIE['u'];
+`,
+	}, []string{"page.php"})
+	if res.Verified() {
+		t.Fatal("cross-file cookie vulnerability missed")
+	}
+	if res.DirectFindings() != 1 {
+		t.Fatalf("findings: %v", res.Findings)
+	}
+}
+
+func TestDedupAcrossPages(t *testing.T) {
+	// Two pages include the same vulnerable helper: one finding.
+	sources := map[string]string{
+		"a.php":   `<?php include('lib.php');`,
+		"b.php":   `<?php include('lib.php');`,
+		"lib.php": `<?php mysql_query("SELECT * FROM t WHERE a='" . $_GET['x'] . "'");`,
+	}
+	res := analyzeApp(t, sources, []string{"a.php", "b.php"})
+	if len(res.Findings) != 1 {
+		t.Fatalf("expected 1 deduplicated finding, got %d", len(res.Findings))
+	}
+	if res.Files != 3 {
+		t.Fatalf("Files = %d", res.Files)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	res := analyzeApp(t, map[string]string{
+		"index.php": `<?php mysql_query("SELECT 1");`,
+	}, []string{"index.php"})
+	if res.NumNTs == 0 || res.NumProds == 0 || res.Lines == 0 {
+		t.Fatalf("stats empty: %+v", res)
+	}
+	if len(res.Pages) != 1 || len(res.Pages[0].Hotspots) != 1 {
+		t.Fatal("page structure wrong")
+	}
+	if !res.Pages[0].Hotspots[0].Policy.Verified {
+		t.Fatal("constant query should verify")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "x.php", Line: 3, Call: "mysql_query", Check: policy.CheckAttackString, Witness: "w"}
+	s := f.String()
+	if !strings.Contains(s, "x.php:3") || !strings.Contains(s, "indirect") {
+		t.Fatalf("finding string: %s", s)
+	}
+}
+
+func TestMissingEntryFails(t *testing.T) {
+	_, err := AnalyzeApp(analysis.NewMapResolver(map[string]string{}), []string{"nope.php"}, Options{})
+	if err == nil {
+		t.Fatal("missing entry should error")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	sources := map[string]string{
+		"a.php":   `<?php include('lib.php'); mysql_query("SELECT '" . $_GET['x'] . "'");`,
+		"b.php":   `<?php include('lib.php'); mysql_query("SELECT * FROM t WHERE id=" . (int)$_GET['id']);`,
+		"c.php":   `<?php mysql_query("SELECT '" . addslashes($_POST['v']) . "'");`,
+		"lib.php": `<?php $unused = 'x';`,
+	}
+	entries := []string{"a.php", "b.php", "c.php"}
+	seq, err := AnalyzeApp(analysis.NewMapResolver(sources), entries, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AnalyzeApp(analysis.NewMapResolver(sources), entries, Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Findings) != len(par.Findings) {
+		t.Fatalf("sequential %d findings, parallel %d", len(seq.Findings), len(par.Findings))
+	}
+	for i := range seq.Findings {
+		if seq.Findings[i].File != par.Findings[i].File || seq.Findings[i].Line != par.Findings[i].Line {
+			t.Fatalf("finding %d differs: %v vs %v", i, seq.Findings[i], par.Findings[i])
+		}
+	}
+	if seq.NumProds != par.NumProds {
+		t.Fatalf("grammar sizes differ: %d vs %d", seq.NumProds, par.NumProds)
+	}
+}
+
+func TestPreparedStatementVerifies(t *testing.T) {
+	res := analyzeApp(t, map[string]string{
+		"p.php": `<?php
+$stmt = $db->prepare("SELECT * FROM users WHERE id=? AND name=?");
+$stmt->execute($_GET['id'], $_GET['name']);
+`,
+	}, []string{"p.php"})
+	// The template is constant; bound parameters are confined by the API.
+	// (execute's first arg here is data, not SQL — but even as a sink it is
+	// Σ*-tainted and correctly reported; the paper's point is the TEMPLATE
+	// verifies. Check the prepare hotspot specifically.)
+	prepareVerified := false
+	for _, page := range res.Pages {
+		for _, hr := range page.Hotspots {
+			if hr.Call == "->prepare" && hr.Policy.Verified {
+				prepareVerified = true
+			}
+		}
+	}
+	if !prepareVerified {
+		t.Fatal("constant prepared template should verify")
+	}
+}
+
+func TestConcatenatedPrepareReported(t *testing.T) {
+	res := analyzeApp(t, map[string]string{
+		"p.php": `<?php
+$stmt = $db->prepare("SELECT * FROM t WHERE name='" . $_GET['n'] . "' AND id=?");
+`,
+	}, []string{"p.php"})
+	if res.Verified() {
+		t.Fatal("tainted prepared template must be reported")
+	}
+}

@@ -1,0 +1,270 @@
+package corpus
+
+import "fmt"
+
+// Utopia builds the Utopia News Pro stand-in: 25 files, full-scale line
+// count (paper: 5,611 lines; 14 real direct errors — three of them the
+// Figure 2 unanchored-regex pattern — 2 direct false positives of the
+// Figure 9 kind, and 12 indirect reports).
+func Utopia() *App {
+	a := &App{
+		Name: "Utopia News Pro", Version: "1.3.0", Scale: 1,
+		Sources:    map[string]string{},
+		Expect:     Expectation{DirectReal: 14, DirectFalse: 2, Indirect: 12},
+		Paper:      PaperRow{Files: 25, Lines: 5611, V: 5222, R: 336362, Direct: "14 real / 2 false", Indirect: 12},
+		FalseFiles: map[string]bool{},
+	}
+	a.Sources["common.php"] = commonFile()
+	a.Sources["session.php"] = userLoaderFile()
+
+	page := func(name, src string) {
+		a.Sources[name] = pad(src, 224)
+		a.Entries = append(a.Entries, name)
+	}
+	// Figure 2 and its two siblings (the paper: "Two others in Utopia News
+	// Pro are similar to this one").
+	page("members.php", vulnUnanchoredPage("unp_user", "userid"))
+	page("useredit.php", vulnUnanchoredPage("unp_user", "edituser"))
+	page("userdel.php", vulnUnanchoredPage("unp_user", "deluser"))
+	// Eleven further direct vulnerabilities, unfiltered input.
+	rawNames := []string{
+		"news.php", "search.php", "comment.php", "category.php", "login.php",
+		"profile.php", "rating.php", "poll.php", "rss.php", "tags.php", "mail.php",
+	}
+	for i, n := range rawNames {
+		page(n, vulnRawPage(fmt.Sprintf("unp_tbl%d", i), fmt.Sprintf("q%d", i)))
+	}
+	// The two Figure 9 false positives.
+	page("shownews.php", fp9Page("unp_news", "newsid"))
+	a.FalseFiles["shownews.php"] = true
+	page("archive.php", fp9Page("unp_archive", "aid"))
+	a.FalseFiles["archive.php"] = true
+	// Twelve indirect reports: Figure 10 twice, five double-flow pages.
+	page("postnews.php", fig10Page("unp_news"))
+	page("editnews.php", fig10Page("unp_news"))
+	for i := 0; i < 5; i++ {
+		page(fmt.Sprintf("admin%d.php", i), indirectDoublePage(fmt.Sprintf("unp_adm%d", i)))
+	}
+	return a
+}
+
+// EVE builds the EVE Activity Tracker stand-in: 8 files, 905 lines; 4 real
+// direct errors and 1 indirect report.
+func EVE() *App {
+	a := &App{
+		Name: "EVE Activity Tracker", Version: "1.0", Scale: 1,
+		Sources:    map[string]string{},
+		Expect:     Expectation{DirectReal: 4, DirectFalse: 0, Indirect: 1},
+		Paper:      PaperRow{Files: 8, Lines: 905, V: 57, R: 1628, Direct: "4 real / 0 false", Indirect: 1},
+		FalseFiles: map[string]bool{},
+	}
+	a.Sources["common.php"] = commonFile()
+	page := func(name, src string) {
+		a.Sources[name] = pad(src, 113)
+		a.Entries = append(a.Entries, name)
+	}
+	page("activity.php", vulnRawPage("eve_activity", "pilot"))
+	page("kills.php", vulnRawPage("eve_kills", "shipid"))
+	page("corp.php", vulnRawPage("eve_corp", "corpname"))
+	page("alliance.php", vulnRawPage("eve_alliance", "tag"))
+	page("summary.php", indirectFetchPage("eve_summary"))
+	page("index.php", safeConstPage("eve_activity"))
+	page("config.php", safeCastPage("eve_config", "page"))
+	return a
+}
+
+// tigerEncode is the hand-written ASCII-dispatch sanitizer the paper blames
+// for Tiger's three false positives: it encodes low-ASCII characters
+// (including the quote) entity-style, but the analyzer has no map from
+// characters to their ASCII values and cannot see that.
+func tigerEncode() string {
+	return `<?php
+function tiger_encode($s)
+{
+    $out = '';
+    for ($i = 0; $i < strlen($s); $i = $i + 1)
+    {
+        $c = substr($s, $i, 1);
+        $n = ord($c);
+        if ($n < 48)
+        {
+            $out = $out . '&#' . $n . ';';
+        }
+        else
+        {
+            $out = $out . $c;
+        }
+    }
+    return $out;
+}
+`
+}
+
+// forumSource is Tiger's markup-replacement code (§5.3): replacement
+// operations on unbounded input that inflate the query grammar even though
+// the data is ultimately escaped. Each replacement multiplies the grammar
+// by roughly the square of its transducer's state count, so the full
+// six-replacement chain of the real Tiger grows exponentially — the paper
+// had to remove two such sections to finish its run, and the
+// ReplaceChainBlowup ablation bench measures the per-stage growth on a
+// bounded language. One multi-character replacement plus the escaping pass
+// reproduces the shape (Tiger's query grammar dwarfing apps ten times its
+// size) while keeping the suite runnable.
+func forumSource() string {
+	return `<?php
+include('common.php');
+$body = $_POST['body'];
+$body = str_replace('[b]', '<b>', $body);
+$body = str_replace(':)', '<img src="smile.png">', $body);
+$safe = addslashes($body);
+mysql_query("INSERT INTO tiger_posts (body) VALUES ('$safe')");
+`
+}
+
+// Tiger builds the Tiger PHP News System stand-in: 16 files (paper: 7,961
+// lines; 0 real direct, 3 false positives from the hand-written sanitizer,
+// 2 indirect reports; the largest query grammar of the suite).
+func Tiger() *App {
+	a := &App{
+		Name: "Tiger PHP News System", Version: "1.0 beta 39", Scale: 1,
+		Sources:    map[string]string{},
+		Expect:     Expectation{DirectReal: 0, DirectFalse: 3, Indirect: 2},
+		Paper:      PaperRow{Files: 16, Lines: 7961, V: 82082, R: 1078768, Direct: "0 real / 3 false", Indirect: 2},
+		FalseFiles: map[string]bool{},
+	}
+	a.Sources["common.php"] = commonFile()
+	a.Sources["encode.php"] = tigerEncode()
+	page := func(name, src string) {
+		a.Sources[name] = pad(src, 500)
+		a.Entries = append(a.Entries, name)
+	}
+	fpPage := func(name, table, param string) {
+		src := fmt.Sprintf(`<?php
+include('common.php');
+include('encode.php');
+$val = tiger_encode($_POST['%s']);
+mysql_query("INSERT INTO %s (subject) VALUES ('$val')");
+`, param, table)
+		page(name, src)
+		a.FalseFiles[name] = true
+	}
+	fpPage("addnews.php", "tiger_news", "subject")
+	fpPage("addcomment.php", "tiger_comments", "comment")
+	fpPage("feedback.php", "tiger_feedback", "message")
+	page("shownews.php", indirectFetchPage("tiger_news"))
+	page("comments.php", indirectFetchPage("tiger_comments"))
+	page("forum.php", forumSource())
+	// A second markup page with its own replacement chain — the paper
+	// notes Tiger has several such sections; two suffice to push the query
+	// grammar past apps an order of magnitude larger (§5.3).
+	page("signature.php", `<?php
+include('common.php');
+$sig = $_POST['sig'];
+$sig = str_replace('[u]', '<u>', $sig);
+$sig = str_replace(';)', '<img src="wink.png">', $sig);
+$esc = addslashes($sig);
+mysql_query("UPDATE tiger_users SET sig='$esc' WHERE uid=1");
+`)
+	for i := 0; i < 7; i++ {
+		page(fmt.Sprintf("static%d.php", i), safeConstPage(fmt.Sprintf("tiger_page%d", i)))
+	}
+	return a
+}
+
+// E107 builds the e107 stand-in at 1/10 line scale (paper: 741 files and
+// 132,850 lines; here 74 files and ~13,300 lines): 1 real direct error —
+// the cookie read in one file used in a query in another — 4 indirect
+// reports, and dynamic includes resolved against the directory layout.
+func E107() *App {
+	a := &App{
+		Name: "e107", Version: "0.7.5", Scale: 10,
+		Sources:    map[string]string{},
+		Expect:     Expectation{DirectReal: 1, DirectFalse: 0, Indirect: 4},
+		Paper:      PaperRow{Files: 741, Lines: 132850, V: 62350, R: 377348, Direct: "1 real / 0 false", Indirect: 4},
+		FalseFiles: map[string]bool{},
+	}
+	a.Sources["common.php"] = commonFile()
+	// class2.php: the cookie field read here is used in a query elsewhere.
+	a.Sources["class2.php"] = `<?php
+$e107_cookie = $_COOKIE['e107cookie'];
+$e107_theme = 'default';
+`
+	for _, lang := range []string{"en", "de", "fr"} {
+		a.Sources["languages/lan_"+lang+".php"] = fmt.Sprintf(`<?php
+$LAN_TITLE = 'Site title %s';
+$LAN_FOOTER = 'Footer %s';
+`, lang, lang)
+	}
+	page := func(name, src string) {
+		a.Sources[name] = pad(src, 180)
+		a.Entries = append(a.Entries, name)
+	}
+	// The cross-file cookie vulnerability (direct, real).
+	page("user.php", `<?php
+include('common.php');
+include('class2.php');
+mysql_query("SELECT * FROM e107_user WHERE sess='" . $e107_cookie . "'");
+`)
+	// Four indirect reports.
+	for i := 0; i < 4; i++ {
+		page(fmt.Sprintf("admin/indirect%d.php", i), indirectFetchPage(fmt.Sprintf("e107_tbl%d", i)))
+	}
+	// Dynamic include against the language directory layout.
+	page("menu.php", `<?php
+include('common.php');
+include('class2.php');
+$choice = $_GET['lang'];
+include('languages/lan_' . $choice . '.php');
+mysql_query("SELECT * FROM e107_menu ORDER BY menu_order");
+echo $LAN_TITLE;
+`)
+	// Sixty-three safe filler pages.
+	for i := 0; i < 63; i++ {
+		var src string
+		switch i % 4 {
+		case 0:
+			src = safeQuotedPage(fmt.Sprintf("e107_page%d", i), "q")
+		case 1:
+			src = safeAnchoredPage(fmt.Sprintf("e107_page%d", i), "id")
+		case 2:
+			src = safeCastPage(fmt.Sprintf("e107_page%d", i), "p")
+		default:
+			src = safeConstPage(fmt.Sprintf("e107_page%d", i))
+		}
+		page(fmt.Sprintf("pages/page%02d.php", i), src)
+	}
+	return a
+}
+
+// Warp builds the Warp Content Management System stand-in: 42 files at full
+// line scale (paper: 23,003 lines) with no errors at all — the app the tool
+// verifies.
+func Warp() *App {
+	a := &App{
+		Name: "Warp Content MS", Version: "1.2.1", Scale: 1,
+		Sources:    map[string]string{},
+		Expect:     Expectation{},
+		Paper:      PaperRow{Files: 42, Lines: 23003, V: 1025, R: 73543, Direct: "0 real / 0 false", Indirect: 0},
+		FalseFiles: map[string]bool{},
+	}
+	a.Sources["common.php"] = commonFile()
+	page := func(name, src string) {
+		a.Sources[name] = pad(src, 560)
+		a.Entries = append(a.Entries, name)
+	}
+	for i := 0; i < 41; i++ {
+		var src string
+		switch i % 4 {
+		case 0:
+			src = safeQuotedPage(fmt.Sprintf("warp_tbl%d", i), "name")
+		case 1:
+			src = safeAnchoredPage(fmt.Sprintf("warp_tbl%d", i), "id")
+		case 2:
+			src = safeCastPage(fmt.Sprintf("warp_tbl%d", i), "page")
+		default:
+			src = safeConstPage(fmt.Sprintf("warp_tbl%d", i))
+		}
+		page(fmt.Sprintf("warp%02d.php", i), src)
+	}
+	return a
+}

@@ -1,0 +1,256 @@
+// Package corpus generates the five synthetic PHP applications that stand
+// in for the paper's evaluation subjects (§5.1, Table 1): e107, EVE
+// Activity Tracker, Tiger PHP News System, Utopia News Pro, and Warp
+// Content Management System. The real applications are not redistributable,
+// so each synthetic app reproduces the paper's reported *vulnerability
+// census* — how many direct real errors, direct false positives, and
+// indirect reports the tool finds, and why — using the exact code patterns
+// the paper describes: Figure 2's unanchored regex, Figure 9's
+// string→boolean conversion false positive, Tiger's hand-rolled
+// ASCII-dispatch sanitizer, Figure 10's $USER-sourced indirect flows,
+// e107's cross-file cookie flow and dynamic includes, and Tiger's
+// replacement-chain grammar blowup (§5.3). Line counts are scaled where
+// noted; the per-app scale is recorded in the App struct and surfaced by
+// EXPERIMENTS.md.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expectation is the ground-truth census for one application: the counts
+// the paper's Table 1 reports for the analysis tool.
+type Expectation struct {
+	DirectReal  int // reported and actually exploitable
+	DirectFalse int // reported but safe (the paper's false positives)
+	Indirect    int // reports on indirectly user-influenced data
+}
+
+// PaperRow holds the paper's original Table 1 numbers for side-by-side
+// printing.
+type PaperRow struct {
+	Files    int
+	Lines    int
+	V        int // grammar |V|
+	R        int // grammar |R|
+	Direct   string
+	Indirect int
+}
+
+// App is one synthetic evaluation subject.
+type App struct {
+	Name    string
+	Version string
+	// Scale is the line-count scaling factor versus the original (1 =
+	// full scale).
+	Scale   int
+	Sources map[string]string
+	// Entries are the top-level pages (each is analyzed as its own
+	// program, like the paper's per-page analysis).
+	Entries []string
+	Expect  Expectation
+	Paper   PaperRow
+	// FalseFiles lists files whose findings are known-safe (planted FP
+	// patterns) — the evaluation oracle.
+	FalseFiles map[string]bool
+}
+
+// TotalLines counts the generated source lines.
+func (a *App) TotalLines() int {
+	n := 0
+	for _, src := range a.Sources {
+		n += strings.Count(src, "\n") + 1
+	}
+	return n
+}
+
+// Apps returns all five synthetic subjects in the paper's Table 1 order.
+func Apps() []*App {
+	return []*App{E107(), EVE(), Tiger(), Utopia(), Warp()}
+}
+
+// ---- shared page fragments -------------------------------------------------
+
+// pad appends inert HTML filler after the closing tag until the source has
+// roughly target lines. Inline HTML is a single token for the front end, so
+// filler is cheap for the analysis — just like real template-heavy pages.
+func pad(src string, target int) string {
+	lines := strings.Count(src, "\n") + 1
+	if lines >= target {
+		return src
+	}
+	var b strings.Builder
+	b.WriteString(src)
+	if !strings.Contains(src, "?>") {
+		b.WriteString("?>\n")
+		lines++
+	}
+	for i := lines; i < target; i++ {
+		fmt.Fprintf(&b, "<div class=\"row\"><span>item %d</span><p>static page content, layout markup and template text</p></div>\n", i)
+	}
+	return b.String()
+}
+
+// vulnRawPage: direct, unsanitized flow into a quoted literal — the classic
+// injection.
+func vulnRawPage(table, param string) string {
+	return fmt.Sprintf(`<?php
+include('common.php');
+$val = $_GET['%s'];
+$res = mysql_query("SELECT * FROM %s WHERE name='$val'");
+`, param, table)
+}
+
+// vulnUnanchoredPage: the paper's Figure 2 — eregi without anchors.
+func vulnUnanchoredPage(table, param string) string {
+	return fmt.Sprintf(`<?php
+include('common.php');
+isset($_GET['%[1]s']) ?
+    $id = $_GET['%[1]s'] : $id = '';
+if ($id == '')
+{
+    unp_msg($gp_invalidrequest);
+    exit;
+}
+if (!eregi('[0-9]+', $id))
+{
+    unp_msg('You entered an invalid user ID.');
+    exit;
+}
+$get = mysql_query("SELECT * FROM %[2]s WHERE userid='$id'");
+`, param, table)
+}
+
+// fp9Page: the paper's Figure 9 — the string→boolean conversion the
+// analysis does not model, producing a known false positive.
+func fp9Page(table, param string) string {
+	return fmt.Sprintf(`<?php
+include('common.php');
+isset($_GET['%[1]s']) ?
+    $getnewsid = $_GET['%[1]s'] : $getnewsid = false;
+if (($getnewsid != false) && (!preg_match('/^[0-9]+$/', $getnewsid)))
+{
+    unp_msg('You entered an invalid news ID.');
+    exit;
+}
+if (!$showall && $getnewsid)
+{
+    $getnews = mysql_query("SELECT * FROM %[2]s WHERE newsid='$getnewsid' ORDER BY date DESC LIMIT 1");
+}
+`, param, table)
+}
+
+// fig10Page: the paper's Figure 10 — $USER-sourced indirect flow; the
+// checked id verifies, the unchecked name is reported.
+func fig10Page(table string) string {
+	return fmt.Sprintf(`<?php
+include('common.php');
+include('session.php');
+$newsposter = $USER['username'];
+$newsposterid = $USER['userid'];
+$subject = $_POST['subject'];
+$news = $_POST['news'];
+if (unp_isEmpty($subject) || unp_isEmpty($news))
+{
+    unp_msg($gp_allfields);
+    exit;
+}
+if (!preg_match('/^[0-9]+$/', $newsposterid))
+{
+    unp_msg($gp_invalidrequest);
+    exit;
+}
+$submitnews = mysql_query("INSERT INTO %s (date, subject, posterid, poster) VALUES ('2007', 'news', '$newsposterid', '$newsposter')");
+`, table)
+}
+
+// indirectDoublePage carries two distinct fetched-row flows (two hotspots,
+// two indirect reports).
+func indirectDoublePage(table string) string {
+	return fmt.Sprintf(`<?php
+include('common.php');
+$res = mysql_query("SELECT * FROM %[1]s ORDER BY id");
+$row = mysql_fetch_assoc($res);
+$title = $row['title'];
+mysql_query("UPDATE %[1]s SET prev='$title' WHERE id=1");
+$author = $row['author'];
+mysql_query("UPDATE %[1]s SET last_author='$author' WHERE id=1");
+`, table)
+}
+
+// indirectFetchPage: a fetched row flowing back into a query.
+func indirectFetchPage(table string) string {
+	return fmt.Sprintf(`<?php
+include('common.php');
+$res = mysql_query("SELECT * FROM %[1]s ORDER BY id");
+$row = mysql_fetch_assoc($res);
+$prev = $row['title'];
+mysql_query("UPDATE %[1]s SET prev='$prev' WHERE id=1");
+`, table)
+}
+
+// safeQuotedPage: addslashes + quoted literal — verifies.
+func safeQuotedPage(table, param string) string {
+	return fmt.Sprintf(`<?php
+include('common.php');
+$val = addslashes($_GET['%s']);
+mysql_query("SELECT * FROM %s WHERE name='$val'");
+`, param, table)
+}
+
+// safeAnchoredPage: anchored numeric guard — verifies.
+func safeAnchoredPage(table, param string) string {
+	return fmt.Sprintf(`<?php
+include('common.php');
+$id = $_GET['%s'];
+if (!preg_match('/^[0-9]+$/', $id))
+{
+    exit;
+}
+mysql_query("SELECT * FROM %s WHERE id=$id");
+`, param, table)
+}
+
+// safeCastPage: (int) cast — verifies.
+func safeCastPage(table, param string) string {
+	return fmt.Sprintf(`<?php
+include('common.php');
+$id = (int)$_GET['%s'];
+mysql_query("SELECT * FROM %s WHERE id=$id LIMIT 1");
+`, param, table)
+}
+
+// safeConstPage: constant query only.
+func safeConstPage(table string) string {
+	return fmt.Sprintf(`<?php
+include('common.php');
+mysql_query("SELECT * FROM %s ORDER BY id DESC LIMIT 20");
+`, table)
+}
+
+// commonFile: the shared helper include (message helpers; no DB writes).
+func commonFile() string {
+	return `<?php
+$gp_invalidrequest = 'Invalid request';
+$gp_permserror = 'Permission denied';
+$gp_allfields = 'All fields are required';
+function unp_msg($m)
+{
+    echo '<div class="msg">' . htmlspecialchars($m) . '</div>';
+}
+function unp_isEmpty($v)
+{
+    return $v == '';
+}
+`
+}
+
+// userLoaderFile populates the $USER array from the database (the Figure 10
+// source).
+func userLoaderFile() string {
+	return `<?php
+$ures = mysql_query("SELECT * FROM unp_user WHERE sessid='x' LIMIT 1");
+$USER = mysql_fetch_assoc($ures);
+`
+}

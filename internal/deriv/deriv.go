@@ -1,0 +1,256 @@
+// Package deriv implements the grammar-derivability check of paper §3.2.2:
+// a conservative approximation of context-free language inclusion after
+// Thiemann. A generated grammar G1 is derivable from a reference grammar G2
+// (Definition 3.2) when a single mapping F from G1's nonterminals to G2
+// symbols exists such that every production X → α of G1 satisfies
+// F(X) ⇒*_{G2} F*(α).
+//
+// Derivability implies inclusion (Lemma 3.3), and — because F witnesses a
+// reference nonterminal covering each labeled nonterminal inside a
+// reference derivation of the whole query — it also witnesses syntactic
+// confinement (Definition 2.2) for every labeled nonterminal. The checker
+// is budgeted: when flattening or the mapping search exceeds its budget it
+// answers "not derivable", which the policy layer treats as a violation —
+// the sound direction.
+package deriv
+
+import (
+	"sqlciv/internal/grammar"
+)
+
+// Checker holds a reference grammar and search budgets.
+type Checker struct {
+	ref *grammar.Grammar
+	// MaxFlattenProds caps the flattened production count.
+	MaxFlattenProds int
+	// MaxFormLen caps the length of a flattened sentential form.
+	MaxFormLen int
+	// MaxParses caps the number of Earley runs in refinement + search.
+	MaxParses int
+
+	parses   int
+	nullable []bool
+}
+
+// New returns a Checker against ref with default budgets.
+func New(ref *grammar.Grammar) *Checker {
+	return &Checker{ref: ref, MaxFlattenProds: 4000, MaxFormLen: 600, MaxParses: 50000}
+}
+
+// form is a sentential form over the reference alphabet plus variables:
+// values >= 0 encode terminals / would-be ref symbols, values < 0 encode
+// variable ids as -(id+1).
+type form []int32
+
+func varID(v int32) (int, bool) {
+	if v < 0 {
+		return int(-v - 1), true
+	}
+	return 0, false
+}
+
+// Derivable reports whether the sub-grammar of g rooted at root is
+// derivable from the checker's reference grammar with F(root) drawn from
+// targets (reference nonterminals). It returns the witnessing target when
+// derivable.
+func (c *Checker) Derivable(g *grammar.Grammar, root grammar.Sym, targets []grammar.Sym) (grammar.Sym, bool) {
+	c.parses = 0
+	sub, remap := g.Extract(root)
+	nroot := remap[root]
+
+	vars, rules, ok := c.flatten(sub, nroot)
+	if !ok {
+		return 0, false
+	}
+	nvars := len(vars)
+	rootVar := -1
+	for i, v := range vars {
+		if v == nroot {
+			rootVar = i
+		}
+	}
+	if rootVar < 0 {
+		// Root was inlined away: it had exactly one production and no
+		// self-reference; re-add it as a variable with that single rule.
+		// flatten never drops the root, so this is unreachable; guard
+		// anyway.
+		return 0, false
+	}
+
+	// Candidate sets: every ref nonterminal, plus every terminal (a
+	// variable that only ever derives one byte can map to that byte).
+	refNTs := c.ref.NumNTs()
+	candOf := make([][]bool, nvars)
+	for i := range candOf {
+		cand := make([]bool, grammar.NumTerminals+refNTs)
+		for j := range cand {
+			cand[j] = true
+		}
+		candOf[i] = cand
+	}
+	// Root candidates restricted to targets.
+	rootCand := make([]bool, grammar.NumTerminals+refNTs)
+	for _, t := range targets {
+		rootCand[int(t)] = true
+	}
+	candOf[rootVar] = rootCand
+
+	// ---- fixpoint refinement -------------------------------------------
+	changed := true
+	for changed {
+		changed = false
+		for vi := 0; vi < nvars; vi++ {
+			for ci := range candOf[vi] {
+				if !candOf[vi][ci] {
+					continue
+				}
+				if !c.feasible(grammar.Sym(ci), rules[vi], candOf) {
+					candOf[vi][ci] = false
+					changed = true
+				}
+			}
+			if countTrue(candOf[vi]) == 0 {
+				return 0, false
+			}
+		}
+		if c.parses > c.MaxParses {
+			return 0, false
+		}
+	}
+
+	// ---- single-mapping search -------------------------------------------
+	assign := make([]int32, nvars)
+	for i := range assign {
+		assign[i] = -1
+	}
+	if c.search(0, nvars, assign, candOf, rules) {
+		return grammar.Sym(assign[rootVar]), true
+	}
+	return 0, false
+}
+
+func countTrue(b []bool) int {
+	n := 0
+	for _, v := range b {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// feasible reports whether cand ⇒* every production form of one variable,
+// with variable occurrences ranging over their current candidate sets.
+func (c *Checker) feasible(cand grammar.Sym, prods []form, candOf [][]bool) bool {
+	if grammar.IsTerminal(cand) {
+		// A terminal maps only productions that are exactly one symbol
+		// which can be that terminal.
+		for _, f := range prods {
+			if len(f) != 1 {
+				return false
+			}
+			if !c.symCanBe(f[0], cand, candOf) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, f := range prods {
+		if !c.parse(cand, f, candOf) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Checker) symCanBe(v int32, want grammar.Sym, candOf [][]bool) bool {
+	if id, isVar := varID(v); isVar {
+		return candOf[id][int(want)]
+	}
+	return grammar.Sym(v) == want
+}
+
+// search assigns variables depth-first, verifying all productions whose
+// variables are fully assigned as soon as possible.
+func (c *Checker) search(vi, nvars int, assign []int32, candOf [][]bool, rules [][]form) bool {
+	if c.parses > c.MaxParses {
+		return false
+	}
+	if vi == nvars {
+		return true
+	}
+	for ci := range candOf[vi] {
+		if !candOf[vi][ci] {
+			continue
+		}
+		assign[vi] = int32(ci)
+		ok := true
+		// Verify this variable's own productions under the partial
+		// assignment (unassigned vars keep their sets).
+		single := c.singletonSets(assign, candOf)
+		for _, f := range rules[vi] {
+			if !c.verifyProd(grammar.Sym(ci), f, single) {
+				ok = false
+				break
+			}
+		}
+		// Re-verify earlier variables' productions that mention vi.
+		if ok {
+			for pv := 0; pv < vi && ok; pv++ {
+				if !mentions(rules[pv], vi) {
+					continue
+				}
+				for _, f := range rules[pv] {
+					if !c.verifyProd(grammar.Sym(assign[pv]), f, single) {
+						ok = false
+						break
+					}
+				}
+			}
+		}
+		if ok && c.search(vi+1, nvars, assign, candOf, rules) {
+			return true
+		}
+		assign[vi] = -1
+		if c.parses > c.MaxParses {
+			return false
+		}
+	}
+	return false
+}
+
+func mentions(prods []form, varIdx int) bool {
+	for _, f := range prods {
+		for _, s := range f {
+			if id, isVar := varID(s); isVar && id == varIdx {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// singletonSets narrows candidate sets to assigned singletons.
+func (c *Checker) singletonSets(assign []int32, candOf [][]bool) [][]bool {
+	out := make([][]bool, len(candOf))
+	for i := range candOf {
+		if assign[i] >= 0 {
+			s := make([]bool, len(candOf[i]))
+			s[assign[i]] = true
+			out[i] = s
+		} else {
+			out[i] = candOf[i]
+		}
+	}
+	return out
+}
+
+func (c *Checker) verifyProd(cand grammar.Sym, f form, sets [][]bool) bool {
+	if grammar.IsTerminal(cand) {
+		if len(f) != 1 {
+			return false
+		}
+		return c.symCanBe(f[0], cand, sets)
+	}
+	return c.parse(cand, f, sets)
+}

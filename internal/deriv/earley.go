@@ -1,0 +1,112 @@
+package deriv
+
+import "sqlciv/internal/grammar"
+
+// parse is the extension of Earley's algorithm the paper describes in
+// §3.2.2: it parses a sentential form in which some positions are variables
+// ranging over sets of reference symbols. A variable position scans
+// successfully against an expected reference symbol (terminal or
+// nonterminal) when that symbol is in the variable's candidate set; a
+// reference-symbol position scans only against itself. Parsing succeeds
+// when start ⇒* some instantiation of the input form.
+func (c *Checker) parse(start grammar.Sym, input form, sets [][]bool) bool {
+	c.parses++
+	g := c.ref
+	c.ensureNullable()
+
+	type item struct {
+		nt     grammar.Sym
+		prod   int
+		dot    int
+		origin int
+	}
+	n := len(input)
+	sets2 := make([]map[item]bool, n+1)
+	order := make([][]item, n+1)
+	for i := range sets2 {
+		sets2[i] = map[item]bool{}
+	}
+	add := func(k int, it item) {
+		if !sets2[k][it] {
+			sets2[k][it] = true
+			order[k] = append(order[k], it)
+		}
+	}
+	matches := func(k int, expected grammar.Sym) bool {
+		v := input[k]
+		if id, isVar := varID(v); isVar {
+			return sets[id][int(expected)]
+		}
+		return grammar.Sym(v) == expected
+	}
+	for pi := range g.Prods(start) {
+		add(0, item{start, pi, 0, 0})
+	}
+	// Top-level: the whole input may be the single symbol `start` itself
+	// (F(X) ⇒* F(X) in zero steps).
+	if n == 1 && matches(0, start) {
+		return true
+	}
+	for k := 0; k <= n; k++ {
+		for idx := 0; idx < len(order[k]); idx++ {
+			it := order[k][idx]
+			rhs := g.Prods(it.nt)[it.prod]
+			if it.dot < len(rhs) {
+				next := rhs[it.dot]
+				// scan: both terminals and nonterminals can be scanned —
+				// a nonterminal in the derived sentential form stays
+				// unexpanded when it matches the input position.
+				if k < n && matches(k, next) {
+					add(k+1, item{it.nt, it.prod, it.dot + 1, it.origin})
+				}
+				if !grammar.IsTerminal(next) {
+					for pi := range g.Prods(next) {
+						add(k, item{next, pi, 0, k})
+					}
+					if c.nullable[int(next)-grammar.NumTerminals] {
+						add(k, item{it.nt, it.prod, it.dot + 1, it.origin})
+					}
+				}
+				continue
+			}
+			for _, back := range order[it.origin] {
+				brhs := g.Prods(back.nt)[back.prod]
+				if back.dot < len(brhs) && brhs[back.dot] == it.nt {
+					add(k, item{back.nt, back.prod, back.dot + 1, back.origin})
+				}
+			}
+		}
+	}
+	for _, it := range order[n] {
+		if it.nt == start && it.origin == 0 && it.dot == len(g.Prods(start)[it.prod]) {
+			return true
+		}
+	}
+	return false
+}
+
+// nullable computation for the reference grammar, cached on the Checker.
+func (c *Checker) ensureNullable() {
+	if c.nullable != nil {
+		return
+	}
+	g := c.ref
+	c.nullable = make([]bool, g.NumNTs())
+	changed := true
+	for changed {
+		changed = false
+		g.ForEachProd(func(lhs grammar.Sym, rhs []grammar.Sym) {
+			li := int(lhs) - grammar.NumTerminals
+			if c.nullable[li] {
+				return
+			}
+			for _, s := range rhs {
+				if grammar.IsTerminal(s) || !c.nullable[int(s)-grammar.NumTerminals] {
+					return
+				}
+			}
+			c.nullable[li] = true
+			changed = true
+		})
+	}
+}

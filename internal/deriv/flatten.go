@@ -1,0 +1,150 @@
+package deriv
+
+import "sqlciv/internal/grammar"
+
+// flatten inlines every nonterminal of sub that is neither labeled, nor in
+// a cycle, nor the root, producing for each remaining "variable" the list
+// of its productions as sentential forms over terminals and variables.
+// Inlining is what makes Thiemann-style derivability effective on the
+// dataflow-shaped grammars the string analysis emits: concatenation chains
+// collapse into the long literal fragments a reference parse can actually
+// recognize.
+func (c *Checker) flatten(sub *grammar.Grammar, root grammar.Sym) (vars []grammar.Sym, rules [][]form, ok bool) {
+	n := sub.NumNTs()
+	inCycle := sub.InCycle()
+	isVar := make([]bool, n)
+	for i := 0; i < n; i++ {
+		nt := grammar.Sym(grammar.NumTerminals + i)
+		if nt == root || inCycle[i] || sub.LabelOf(nt) != 0 {
+			isVar[i] = true
+		}
+	}
+	varIdx := make([]int, n)
+	for i := range varIdx {
+		varIdx[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if isVar[i] {
+			varIdx[i] = len(vars)
+			vars = append(vars, grammar.Sym(grammar.NumTerminals+i))
+		}
+	}
+
+	// expansions[i] for non-variable i: all expanded forms (cross product of
+	// constituent expansions), capped.
+	const maxFormsPerNT = 16
+	expansions := make([][]form, n)
+	var expand func(i int) bool
+	visiting := make([]bool, n)
+	expand = func(i int) bool {
+		if expansions[i] != nil || isVar[i] {
+			return true
+		}
+		if visiting[i] {
+			// Acyclicity of non-variables guarantees this cannot happen;
+			// bail conservatively if it somehow does.
+			return false
+		}
+		visiting[i] = true
+		defer func() { visiting[i] = false }()
+		nt := grammar.Sym(grammar.NumTerminals + i)
+		var out []form
+		for _, rhs := range sub.Prods(nt) {
+			partial := []form{{}}
+			for _, s := range rhs {
+				var pieces []form
+				if grammar.IsTerminal(s) {
+					pieces = []form{{int32(s)}}
+				} else {
+					j := int(s) - grammar.NumTerminals
+					if isVar[j] {
+						pieces = []form{{int32(-(varIdx[j] + 1))}}
+					} else {
+						if !expand(j) {
+							return false
+						}
+						pieces = expansions[j]
+					}
+				}
+				var next []form
+				for _, p := range partial {
+					for _, q := range pieces {
+						if len(p)+len(q) > c.MaxFormLen {
+							return false
+						}
+						f := make(form, 0, len(p)+len(q))
+						f = append(f, p...)
+						f = append(f, q...)
+						next = append(next, f)
+						if len(next) > maxFormsPerNT {
+							return false
+						}
+					}
+				}
+				partial = next
+			}
+			out = append(out, partial...)
+			if len(out) > maxFormsPerNT {
+				return false
+			}
+		}
+		expansions[i] = out
+		if expansions[i] == nil {
+			expansions[i] = []form{} // empty language: no forms
+		}
+		return true
+	}
+
+	total := 0
+	rules = make([][]form, len(vars))
+	for i := 0; i < n; i++ {
+		if !isVar[i] {
+			continue
+		}
+		nt := grammar.Sym(grammar.NumTerminals + i)
+		for _, rhs := range sub.Prods(nt) {
+			partial := []form{{}}
+			okRHS := true
+			for _, s := range rhs {
+				var pieces []form
+				if grammar.IsTerminal(s) {
+					pieces = []form{{int32(s)}}
+				} else {
+					j := int(s) - grammar.NumTerminals
+					if isVar[j] {
+						pieces = []form{{int32(-(varIdx[j] + 1))}}
+					} else {
+						if !expand(j) {
+							return nil, nil, false
+						}
+						pieces = expansions[j]
+					}
+				}
+				var next []form
+				for _, p := range partial {
+					for _, q := range pieces {
+						if len(p)+len(q) > c.MaxFormLen {
+							return nil, nil, false
+						}
+						f := make(form, 0, len(p)+len(q))
+						f = append(f, p...)
+						f = append(f, q...)
+						next = append(next, f)
+					}
+				}
+				partial = next
+				if len(partial) > maxFormsPerNT*4 {
+					return nil, nil, false
+				}
+			}
+			if okRHS {
+				rules[varIdx[i]] = append(rules[varIdx[i]], partial...)
+				total += len(partial)
+				if total > c.MaxFlattenProds {
+					return nil, nil, false
+				}
+			}
+		}
+	}
+	return vars, rules, true
+}

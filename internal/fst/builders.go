@@ -1,0 +1,280 @@
+package fst
+
+import (
+	"sqlciv/internal/automata"
+	"sqlciv/internal/rx"
+)
+
+// Identity returns the identity transducer (copies its input).
+func Identity() *FST {
+	t := New()
+	t.SetAccept(t.start, nil)
+	for c := 0; c < 256; c++ {
+		t.AddEdge(t.start, c, []byte{byte(c)}, t.start)
+	}
+	return t
+}
+
+// CharMap returns a single-state transducer that rewrites every byte b to
+// f(b). This models strtolower, strtoupper, htmlspecialchars, nl2br and the
+// other per-character PHP functions exactly.
+func CharMap(f func(b byte) []byte) *FST {
+	t := New()
+	t.SetAccept(t.start, nil)
+	for c := 0; c < 256; c++ {
+		t.AddEdge(t.start, c, f(byte(c)), t.start)
+	}
+	return t
+}
+
+// AddSlashes models PHP addslashes: a backslash is inserted before single
+// quote, double quote, backslash, and NUL.
+func AddSlashes() *FST {
+	return CharMap(func(b byte) []byte {
+		switch b {
+		case '\'', '"', '\\':
+			return []byte{'\\', b}
+		case 0:
+			return []byte{'\\', '0'}
+		}
+		return []byte{b}
+	})
+}
+
+// EscapeQuotes models the paper's escape_quotes: a backslash before each
+// single quote.
+func EscapeQuotes() *FST {
+	return CharMap(func(b byte) []byte {
+		if b == '\'' {
+			return []byte{'\\', b}
+		}
+		return []byte{b}
+	})
+}
+
+// ReplaceAllClass returns the exact transducer for replacing every byte in
+// set with repl — the shape of sanitizers like preg_replace("/[^0-9]/","",x)
+// and single-character str_replace.
+func ReplaceAllClass(set *[256]bool, repl []byte) *FST {
+	return CharMap(func(b byte) []byte {
+		if set[b] {
+			return repl
+		}
+		return []byte{b}
+	})
+}
+
+// ReplaceAllString returns the exact deterministic transducer for PHP
+// str_replace(pattern, repl, subject) with a fixed nonempty pattern:
+// leftmost, non-overlapping, replace-all semantics. State k means the last k
+// input bytes matched pattern[0:k] and are pending (unemitted); a pending
+// prefix at end of input is flushed as a final output. Figure 6 of the paper
+// is ReplaceAllString("”", "'").
+func ReplaceAllString(pattern string, repl []byte) *FST {
+	m := len(pattern)
+	if m == 0 {
+		return Identity()
+	}
+	t := New()
+	states := make([]int, m)
+	states[0] = t.start
+	for k := 1; k < m; k++ {
+		states[k] = t.AddState()
+	}
+	for k := 0; k < m; k++ {
+		pend := pattern[:k]
+		t.SetAccept(states[k], []byte(pend))
+		for c := 0; c < 256; c++ {
+			if byte(c) == pattern[k] {
+				if k+1 == m {
+					t.AddEdge(states[k], c, repl, states[0])
+				} else {
+					t.AddEdge(states[k], c, nil, states[k+1])
+				}
+				continue
+			}
+			// Mismatch: the pending text is pend+c. Emit the longest chunk
+			// that cannot start a match anymore; keep the longest suffix of
+			// pend+c that is a proper prefix of pattern.
+			txt := pend + string(byte(c))
+			keep := 0
+			for l := min(len(txt), m-1); l > 0; l-- {
+				if txt[len(txt)-l:] == pattern[:l] {
+					keep = l
+					break
+				}
+			}
+			t.AddEdge(states[k], c, []byte(txt[:len(txt)-keep]), states[keep])
+		}
+	}
+	return t
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SQLQuoteUnescape is the paper's Figure 6 transducer: the effect of
+// str_replace("”", "'", subject).
+func SQLQuoteUnescape() *FST { return ReplaceAllString("''", []byte{'\''}) }
+
+// TrimApprox over-approximates PHP trim: the output set always contains the
+// exactly-trimmed string, and may contain partially trimmed variants (an
+// exact trim transducer would need unbounded lookahead). Over-approximation
+// keeps the analysis sound.
+func TrimApprox() *FST {
+	isWS := func(b byte) bool {
+		switch b {
+		case ' ', '\t', '\n', '\r', 0, '\v':
+			return true
+		}
+		return false
+	}
+	t := New()
+	lead := t.start // skipping leading whitespace
+	mid := t.AddState()
+	tail := t.AddState() // claimed-trailing whitespace
+	t.SetAccept(lead, nil)
+	t.SetAccept(mid, nil)
+	t.SetAccept(tail, nil)
+	for c := 0; c < 256; c++ {
+		b := byte(c)
+		if isWS(b) {
+			t.AddEdge(lead, c, nil, lead)
+			t.AddEdge(mid, c, []byte{b}, mid) // inner whitespace kept
+			t.AddEdge(mid, c, nil, tail)      // or claimed trailing
+			t.AddEdge(tail, c, nil, tail)
+		} else {
+			t.AddEdge(lead, c, []byte{b}, mid)
+			t.AddEdge(mid, c, []byte{b}, mid)
+			// tail has no non-whitespace edge: a wrong claim dies.
+		}
+	}
+	return t
+}
+
+// PregReplaceGeneral over-approximates preg_replace(re, repl, subject) for
+// arbitrary patterns: at any point the transducer may consume a substring in
+// L(re) while emitting the replacement template, in which a backreference
+// \n emits any string in the language of capture group n (a sound
+// over-approximation of copying, after Mohri–Sproat; the paper uses the same
+// idea, §3.1.2). Literal replacement bytes are emitted exactly. The
+// transducer may also skip replacing (over-approximation of match
+// positions).
+//
+// When the pattern is a plain character class and the replacement has no
+// backreferences, callers should prefer the exact ReplaceAllClass.
+func PregReplaceGeneral(re *rx.Regex, repl string) *FST {
+	t := New()
+	t.SetAccept(t.start, nil)
+	for c := 0; c < 256; c++ {
+		t.AddEdge(t.start, c, []byte{byte(c)}, t.start)
+	}
+	// Embed the pattern NFA: consume matched bytes, emit nothing.
+	pn := re.NFA()
+	pstates := make([]int, pn.NumStates())
+	for i := range pstates {
+		pstates[i] = t.AddState()
+	}
+	t.AddEdge(t.start, EpsIn, nil, pstates[pn.Start()])
+	pn.Edges(func(from, sym, to int) {
+		if sym <= 255 {
+			t.AddEdge(pstates[from], sym, nil, pstates[to])
+		}
+	})
+	for s := 0; s < pn.NumStates(); s++ {
+		for _, e := range pn.EpsTargets(s) {
+			t.AddEdge(pstates[s], EpsIn, nil, pstates[e])
+		}
+	}
+	// From each accepting pattern state, emit the replacement template and
+	// return to the copy state.
+	for s := 0; s < pn.NumStates(); s++ {
+		if !pn.IsAccept(s) {
+			continue
+		}
+		cur := pstates[s]
+		i := 0
+		for i < len(repl) {
+			if repl[i] == '\\' && i+1 < len(repl) && repl[i+1] >= '0' && repl[i+1] <= '9' {
+				grp := int(repl[i+1] - '0')
+				i += 2
+				next := t.AddState()
+				embedOutputNFA(t, cur, next, groupNFA(re, grp))
+				cur = next
+				continue
+			}
+			b := repl[i]
+			if b == '\\' && i+1 < len(repl) {
+				i++
+				b = repl[i]
+			}
+			next := t.AddState()
+			t.AddEdge(cur, EpsIn, []byte{b}, next)
+			cur = next
+			i++
+		}
+		t.AddEdge(cur, EpsIn, nil, t.start)
+	}
+	return t
+}
+
+func groupNFA(re *rx.Regex, idx int) *automata.NFA {
+	if idx == 0 {
+		return re.NFA()
+	}
+	node := re.FindGroup(idx)
+	if node == nil {
+		return automata.EpsilonLang()
+	}
+	return rx.CompileNode(node)
+}
+
+// embedOutputNFA wires an NFA's language as input-epsilon output between
+// from and to: every path from→to emits one string of L(n).
+func embedOutputNFA(t *FST, from, to int, n *automata.NFA) {
+	states := make([]int, n.NumStates())
+	for i := range states {
+		states[i] = t.AddState()
+	}
+	t.AddEdge(from, EpsIn, nil, states[n.Start()])
+	n.Edges(func(f, sym, tt int) {
+		if sym <= 255 {
+			t.AddEdge(states[f], EpsIn, []byte{byte(sym)}, states[tt])
+		}
+	})
+	for s := 0; s < n.NumStates(); s++ {
+		for _, e := range n.EpsTargets(s) {
+			t.AddEdge(states[s], EpsIn, nil, states[e])
+		}
+		if n.IsAccept(s) {
+			t.AddEdge(states[s], EpsIn, nil, to)
+		}
+	}
+}
+
+// IntvalApprox models (int) casts and intval(): the output is always an
+// optionally-signed decimal integer, regardless of input. Modeled as: read
+// the whole input emitting nothing, then emit any integer.
+func IntvalApprox() *FST {
+	t := New()
+	eat := t.start
+	for c := 0; c < 256; c++ {
+		t.AddEdge(eat, c, nil, eat)
+	}
+	sign := t.AddState()
+	digits := t.AddState()
+	t.AddEdge(eat, EpsIn, nil, sign)
+	t.AddEdge(sign, EpsIn, []byte{'-'}, digits)
+	t.AddEdge(sign, EpsIn, nil, digits)
+	first := t.AddState()
+	for d := '0'; d <= '9'; d++ {
+		t.AddEdge(digits, EpsIn, []byte{byte(d)}, first)
+		t.AddEdge(first, EpsIn, []byte{byte(d)}, first)
+	}
+	t.SetAccept(first, nil)
+	return t
+}

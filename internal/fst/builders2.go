@@ -1,0 +1,201 @@
+package fst
+
+// Builders for the PHP library function models that need more than a
+// character map (package phplib wires these to function names).
+
+// StripSlashes models PHP stripslashes: removes one level of backslash
+// quoting. A trailing lone backslash is dropped, matching PHP.
+func StripSlashes() *FST {
+	t := New()
+	esc := t.AddState()
+	t.SetAccept(t.start, nil)
+	t.SetAccept(esc, nil) // trailing backslash dropped
+	for c := 0; c < 256; c++ {
+		b := byte(c)
+		if b == '\\' {
+			t.AddEdge(t.start, c, nil, esc)
+		} else {
+			t.AddEdge(t.start, c, []byte{b}, t.start)
+		}
+		t.AddEdge(esc, c, []byte{b}, t.start)
+	}
+	return t
+}
+
+// UcFirst models ucfirst: upper-cases the first byte only.
+func UcFirst() *FST {
+	t := New()
+	rest := t.AddState()
+	t.SetAccept(t.start, nil)
+	t.SetAccept(rest, nil)
+	for c := 0; c < 256; c++ {
+		b := byte(c)
+		first := b
+		if b >= 'a' && b <= 'z' {
+			first = b - 'a' + 'A'
+		}
+		t.AddEdge(t.start, c, []byte{first}, rest)
+		t.AddEdge(rest, c, []byte{b}, rest)
+	}
+	return t
+}
+
+// Substr returns the transducer whose output language, per input w, is the
+// set of contiguous substrings of w (including w itself and ""). It models
+// substr / strstr / stristr with non-constant offsets soundly and exactly at
+// the language level.
+func Substr() *FST {
+	t := New()
+	mid := t.AddState()
+	tail := t.AddState()
+	t.SetAccept(t.start, nil)
+	t.SetAccept(mid, nil)
+	t.SetAccept(tail, nil)
+	for c := 0; c < 256; c++ {
+		b := byte(c)
+		t.AddEdge(t.start, c, nil, t.start)   // skip prefix
+		t.AddEdge(t.start, c, []byte{b}, mid) // first kept byte
+		t.AddEdge(mid, c, []byte{b}, mid)     // keep middle
+		t.AddEdge(mid, c, nil, tail)          // start skipping suffix
+		t.AddEdge(tail, c, nil, tail)         // skip suffix
+	}
+	return t
+}
+
+// URLDecode models urldecode exactly: %HH decodes to the byte, '+' decodes
+// to space, everything else copies. A malformed % sequence copies through.
+func URLDecode() *FST {
+	t := New()
+	t.SetAccept(t.start, nil)
+	hexVal := func(b byte) (int, bool) {
+		switch {
+		case b >= '0' && b <= '9':
+			return int(b - '0'), true
+		case b >= 'a' && b <= 'f':
+			return int(b-'a') + 10, true
+		case b >= 'A' && b <= 'F':
+			return int(b-'A') + 10, true
+		}
+		return 0, false
+	}
+	pct := t.AddState()
+	t.SetAccept(pct, []byte{'%'})
+	t.AddEdge(t.start, '%', nil, pct)
+	// After '%': first hex digit leads to a per-value state.
+	h1 := map[int]int{}
+	for c := 0; c < 256; c++ {
+		b := byte(c)
+		if _, ok := hexVal(b); ok {
+			s := t.AddState()
+			t.SetAccept(s, []byte{'%', b})
+			h1[c] = s
+			t.AddEdge(pct, c, nil, s)
+		} else if b == '%' {
+			// "%%" : emit the first, stay pending on the second.
+			t.AddEdge(pct, c, []byte{'%'}, pct)
+		} else {
+			t.AddEdge(pct, c, []byte{'%', b}, t.start)
+		}
+	}
+	for c1, s1 := range h1 {
+		v1, _ := hexVal(byte(c1))
+		for c2 := 0; c2 < 256; c2++ {
+			b2 := byte(c2)
+			if v2, ok := hexVal(b2); ok {
+				t.AddEdge(s1, c2, []byte{byte(v1*16 + v2)}, t.start)
+			} else if b2 == '%' {
+				t.AddEdge(s1, c2, []byte{'%', byte(c1)}, pct)
+			} else {
+				t.AddEdge(s1, c2, []byte{'%', byte(c1), b2}, t.start)
+			}
+		}
+	}
+	// Copy edges on the start state; '+' decodes to space.
+	for c := 0; c < 256; c++ {
+		b := byte(c)
+		if b == '%' {
+			continue
+		}
+		if b == '+' {
+			t.AddEdge(t.start, c, []byte{' '}, t.start)
+		} else {
+			t.AddEdge(t.start, c, []byte{b}, t.start)
+		}
+	}
+	return t
+}
+
+// URLEncode models urlencode exactly: unreserved bytes copy, space becomes
+// '+', everything else becomes %HH (uppercase hex).
+func URLEncode() *FST {
+	const hexDigits = "0123456789ABCDEF"
+	return CharMap(func(b byte) []byte {
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9',
+			b == '-', b == '_', b == '.':
+			return []byte{b}
+		case b == ' ':
+			return []byte{'+'}
+		}
+		return []byte{'%', hexDigits[b>>4], hexDigits[b&0xf]}
+	})
+}
+
+// HTMLSpecialChars models htmlspecialchars. entQuotes selects ENT_QUOTES
+// (single quotes also encoded); the PHP default (ENT_COMPAT) leaves single
+// quotes alone — the detail behind many real injection bugs.
+func HTMLSpecialChars(entQuotes bool) *FST {
+	return CharMap(func(b byte) []byte {
+		switch b {
+		case '&':
+			return []byte("&amp;")
+		case '<':
+			return []byte("&lt;")
+		case '>':
+			return []byte("&gt;")
+		case '"':
+			return []byte("&quot;")
+		case '\'':
+			if entQuotes {
+				return []byte("&#039;")
+			}
+		}
+		return []byte{b}
+	})
+}
+
+// StripTags approximates strip_tags: everything between '<' and the next
+// '>' is removed. (PHP's handling of quotes inside tags is not modeled; the
+// approximation errs toward keeping the language simple and the output set
+// correct for well-formed markup.)
+func StripTags() *FST {
+	t := New()
+	tag := t.AddState()
+	t.SetAccept(t.start, nil)
+	t.SetAccept(tag, nil) // unterminated tag: dropped, like PHP
+	for c := 0; c < 256; c++ {
+		b := byte(c)
+		switch {
+		case b == '<':
+			t.AddEdge(t.start, c, nil, tag)
+		default:
+			t.AddEdge(t.start, c, []byte{b}, t.start)
+		}
+		if b == '>' {
+			t.AddEdge(tag, c, nil, t.start)
+		} else {
+			t.AddEdge(tag, c, nil, tag)
+		}
+	}
+	return t
+}
+
+// NL2BR models nl2br: inserts "<br />" before newlines.
+func NL2BR() *FST {
+	return CharMap(func(b byte) []byte {
+		if b == '\n' {
+			return []byte("<br />\n")
+		}
+		return []byte{b}
+	})
+}

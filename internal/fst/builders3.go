@@ -1,0 +1,63 @@
+package fst
+
+// CharMapFirst applies f to the first byte only and copies the rest —
+// lcfirst-style transformations.
+func CharMapFirst(f func(b byte) []byte) *FST {
+	t := New()
+	rest := t.AddState()
+	t.SetAccept(t.start, nil)
+	t.SetAccept(rest, nil)
+	for c := 0; c < 256; c++ {
+		t.AddEdge(t.start, c, f(byte(c)), rest)
+		t.AddEdge(rest, c, []byte{byte(c)}, rest)
+	}
+	return t
+}
+
+// ReverseApprox over-approximates strrev. String reversal is not a rational
+// (finite-state) function, so the output language is approximated by all
+// strings over the multiset-preserving alphabet of the input — here
+// simplified soundly to: any string over the bytes the input may contain is
+// not trackable per-input, so the transducer consumes the input and emits
+// any string of bytes that occurred in it. We implement the standard sound
+// version: consume all input emitting nothing, then emit any string over
+// the full byte alphabet (the taint carries; the language degrades to Σ*,
+// exactly what the analysis would do for an unknown function, but keeping
+// the operation explicit in the registry documents the limitation).
+func ReverseApprox() *FST {
+	t := New()
+	for c := 0; c < 256; c++ {
+		t.AddEdge(t.start, c, nil, t.start)
+	}
+	out := t.AddState()
+	t.AddEdge(t.start, EpsIn, nil, out)
+	for c := 0; c < 256; c++ {
+		t.AddEdge(out, EpsIn, []byte{byte(c)}, out)
+	}
+	t.SetAccept(out, nil)
+	return t
+}
+
+// SurroundApprox returns a transducer whose outputs are the input with any
+// number of pad bytes prepended and appended (str_pad's sound union of
+// left/right/both padding).
+func SurroundApprox(pad []byte) *FST {
+	t := New()
+	mid := t.AddState()
+	tail := t.AddState()
+	// Leading pad bytes.
+	for _, b := range pad {
+		t.AddEdge(t.start, EpsIn, []byte{b}, t.start)
+	}
+	t.AddEdge(t.start, EpsIn, nil, mid)
+	// Copy the subject.
+	for c := 0; c < 256; c++ {
+		t.AddEdge(mid, c, []byte{byte(c)}, mid)
+	}
+	t.AddEdge(mid, EpsIn, nil, tail)
+	for _, b := range pad {
+		t.AddEdge(tail, EpsIn, []byte{b}, tail)
+	}
+	t.SetAccept(tail, nil)
+	return t
+}

@@ -1,0 +1,310 @@
+package fst
+
+import "sqlciv/internal/grammar"
+
+// ImageInto computes the image of the context-free language rooted at root
+// under the transducer t, materializing the result into g and returning its
+// fresh root nonterminal. This is the construction Minamide's string
+// analysis uses to model string operations, extended (paper §3.1.2) to
+// propagate the direct/indirect taint labels: every nonterminal X_{pq} of
+// the image inherits X's labels, so tainted-substring boundaries survive the
+// transduction (the FST analogue of Theorem 3.1).
+//
+// The boolean result reports whether the image is nonempty.
+func ImageInto(g *grammar.Grammar, root grammar.Sym, t *FST) (grammar.Sym, bool) {
+	nq := t.NumStates()
+
+	// ---- input-epsilon reachability and Eps-path nonterminals -----------
+	// epsReach[p] = states reachable from p via input-epsilon edges.
+	epsReach := make([][]bool, nq)
+	for p := 0; p < nq; p++ {
+		seen := make([]bool, nq)
+		seen[p] = true
+		stack := []int{p}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range t.edges[s] {
+				if e.In == EpsIn && !seen[e.To] {
+					seen[e.To] = true
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		epsReach[p] = seen
+	}
+	// epsNT(p,q) generates the outputs of input-epsilon paths p→q.
+	type pq struct{ p, q int }
+	epsNTs := map[pq]grammar.Sym{}
+	var epsNT func(p, q int) grammar.Sym
+	epsNT = func(p, q int) grammar.Sym {
+		if s, ok := epsNTs[pq{p, q}]; ok {
+			return s
+		}
+		nt := g.NewNT("")
+		epsNTs[pq{p, q}] = nt
+		if p == q {
+			g.Add(nt)
+		}
+		for _, e := range t.edges[p] {
+			if e.In == EpsIn && epsReach[e.To][q] {
+				rhs := make([]grammar.Sym, 0, len(e.Out)+1)
+				for _, b := range e.Out {
+					rhs = append(rhs, grammar.T(b))
+				}
+				rhs = append(rhs, epsNT(e.To, q))
+				g.Add(nt, rhs...)
+			}
+		}
+		return nt
+	}
+
+	// ---- snapshot + normalize the sub-grammar ---------------------------
+	type rule struct {
+		lhs int
+		rhs []int // >=0: local NT; <0: terminal ^(-1-sym)
+	}
+	encTerm := func(s grammar.Sym) int { return -1 - int(s) }
+	decTerm := func(v int) grammar.Sym { return grammar.Sym(-1 - v) }
+
+	localOf := map[grammar.Sym]int{}
+	var localSyms []grammar.Sym
+	newLocal := func(orig grammar.Sym) int {
+		id := len(localSyms)
+		localSyms = append(localSyms, orig)
+		if orig >= 0 {
+			localOf[orig] = id
+		}
+		return id
+	}
+	var rules []rule
+	seen := map[grammar.Sym]bool{root: true}
+	newLocal(root)
+	stack := []grammar.Sym{root}
+	for len(stack) > 0 {
+		nt := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, rhs := range g.Prods(nt) {
+			for _, s := range rhs {
+				if !grammar.IsTerminal(s) && !seen[s] {
+					seen[s] = true
+					newLocal(s)
+					stack = append(stack, s)
+				}
+			}
+			lhs := localOf[nt]
+			cur := make([]int, len(rhs))
+			for i, s := range rhs {
+				if grammar.IsTerminal(s) {
+					cur[i] = encTerm(s)
+				} else {
+					cur[i] = localOf[s]
+				}
+			}
+			for len(cur) > 2 {
+				helper := newLocal(-1)
+				rules = append(rules, rule{lhs: lhs, rhs: []int{cur[0], helper}})
+				lhs = helper
+				cur = cur[1:]
+			}
+			rules = append(rules, rule{lhs: lhs, rhs: cur})
+		}
+	}
+	// Terminal locals so binary joins are NT-NT only.
+	termLocal := map[grammar.Sym]int{}
+	for ri := range rules {
+		if len(rules[ri].rhs) != 2 {
+			continue
+		}
+		for k, v := range rules[ri].rhs {
+			if v < 0 {
+				tm := decTerm(v)
+				id, ok := termLocal[tm]
+				if !ok {
+					id = newLocal(-1)
+					termLocal[tm] = id
+					rules = append(rules, rule{lhs: id, rhs: []int{encTerm(tm)}})
+				}
+				rules[ri].rhs[k] = id
+			}
+		}
+	}
+	nLocal := len(localSyms)
+
+	var unitNT = make([][]rule, nLocal)
+	var binFirst = make([][]rule, nLocal)
+	var binSecond = make([][]rule, nLocal)
+	var unitT = map[grammar.Sym][]int{}
+	var epsLHS []int
+	for _, r := range rules {
+		switch len(r.rhs) {
+		case 0:
+			epsLHS = append(epsLHS, r.lhs)
+		case 1:
+			if r.rhs[0] < 0 {
+				tm := decTerm(r.rhs[0])
+				unitT[tm] = append(unitT[tm], r.lhs)
+			} else {
+				unitNT[r.rhs[0]] = append(unitNT[r.rhs[0]], r)
+			}
+		case 2:
+			binFirst[r.rhs[0]] = append(binFirst[r.rhs[0]], r)
+			binSecond[r.rhs[1]] = append(binSecond[r.rhs[1]], r)
+		}
+	}
+
+	// ---- bottom-up worklist over items (x, p, q) -------------------------
+	// Item (x,p,q): some string derivable from x can be consumed starting at
+	// p (after input-epsilon moves) with the last consuming edge ending
+	// exactly at q; for nullable x, p == q. Left epsilon closures are folded
+	// into terminal items; the right-edge closure is applied once at the
+	// root.
+	type item struct {
+		x    int
+		p, q int32
+	}
+	itemNT := map[item]grammar.Sym{}
+	getNT := func(it item) grammar.Sym {
+		if s, ok := itemNT[it]; ok {
+			return s
+		}
+		name := ""
+		if orig := localSyms[it.x]; orig >= 0 {
+			name = g.RawName(orig)
+		}
+		s := g.NewNT(name)
+		itemNT[it] = s
+		if orig := localSyms[it.x]; orig >= 0 {
+			g.TaintIf(orig, s)
+		}
+		return s
+	}
+	byStart := make([]map[int32][]int32, nLocal)
+	byEnd := make([]map[int32][]int32, nLocal)
+	known := map[item]bool{}
+	prodSeen := map[item]map[string]bool{}
+	var work []item
+	discover := func(it item, rhs []grammar.Sym) {
+		key := make([]byte, 0, len(rhs)*4)
+		for _, s := range rhs {
+			key = append(key, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+		}
+		ps := prodSeen[it]
+		if ps == nil {
+			ps = map[string]bool{}
+			prodSeen[it] = ps
+		}
+		if !ps[string(key)] {
+			ps[string(key)] = true
+			g.Add(getNT(it), rhs...)
+		}
+		if known[it] {
+			return
+		}
+		known[it] = true
+		if byStart[it.x] == nil {
+			byStart[it.x] = map[int32][]int32{}
+			byEnd[it.x] = map[int32][]int32{}
+		}
+		byStart[it.x][it.p] = append(byStart[it.x][it.p], it.q)
+		byEnd[it.x][it.q] = append(byEnd[it.x][it.q], it.p)
+		work = append(work, it)
+	}
+
+	// Seed epsilon rules.
+	for _, lhs := range epsLHS {
+		for p := 0; p < nq; p++ {
+			discover(item{lhs, int32(p), int32(p)}, nil)
+		}
+	}
+	// Seed terminals: consuming edges indexed by input byte.
+	consuming := map[int][]Edge{}
+	edgeFrom := map[int][]int{} // flattened: for locating source state of edge
+	for s := 0; s < nq; s++ {
+		for _, e := range t.edges[s] {
+			if e.In != EpsIn {
+				consuming[e.In] = append(consuming[e.In], e)
+				edgeFrom[e.In] = append(edgeFrom[e.In], s)
+			}
+		}
+	}
+	for tm, lhss := range unitT {
+		if int(tm) > 255 {
+			continue // the marker terminal has no transduction
+		}
+		edges := consuming[int(tm)]
+		froms := edgeFrom[int(tm)]
+		for ei, e := range edges {
+			src := froms[ei]
+			for p := 0; p < nq; p++ {
+				if !epsReach[p][src] {
+					continue
+				}
+				rhs := make([]grammar.Sym, 0, len(e.Out)+1)
+				rhs = append(rhs, epsNT(p, src))
+				for _, b := range e.Out {
+					rhs = append(rhs, grammar.T(b))
+				}
+				for _, lhs := range lhss {
+					discover(item{lhs, int32(p), int32(e.To)}, rhs)
+				}
+			}
+		}
+	}
+
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		ynt := itemNT[it]
+		for _, r := range unitNT[it.x] {
+			discover(item{r.lhs, it.p, it.q}, []grammar.Sym{ynt})
+		}
+		for _, r := range binFirst[it.x] {
+			b := r.rhs[1]
+			if byStart[b] == nil {
+				continue
+			}
+			for _, k := range byStart[b][it.q] {
+				bnt := itemNT[item{b, it.q, k}]
+				discover(item{r.lhs, it.p, k}, []grammar.Sym{ynt, bnt})
+			}
+		}
+		for _, r := range binSecond[it.x] {
+			a := r.rhs[0]
+			if byEnd[a] == nil {
+				continue
+			}
+			for _, p0 := range byEnd[a][it.p] {
+				ant := itemNT[item{a, p0, it.p}]
+				discover(item{r.lhs, p0, it.q}, []grammar.Sym{ant, ynt})
+			}
+		}
+	}
+
+	// ---- root: right-edge epsilon closure to accepting states -----------
+	rootLocal := localOf[root]
+	newRoot := grammar.Sym(-1)
+	q0 := int32(t.start)
+	if byStart[rootLocal] != nil {
+		for _, q := range byStart[rootLocal][q0] {
+			for f := 0; f < nq; f++ {
+				if !t.accept[f] || !epsReach[int(q)][f] {
+					continue
+				}
+				if newRoot < 0 {
+					newRoot = g.NewNT(g.RawName(root))
+					g.TaintIf(root, newRoot)
+				}
+				rhs := []grammar.Sym{itemNT[item{rootLocal, q0, q}], epsNT(int(q), f)}
+				for _, b := range t.finalOut[f] {
+					rhs = append(rhs, grammar.T(b))
+				}
+				g.Add(newRoot, rhs...)
+			}
+		}
+	}
+	if newRoot < 0 {
+		return 0, false
+	}
+	return newRoot, true
+}

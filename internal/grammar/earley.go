@@ -1,0 +1,133 @@
+package grammar
+
+// Earley recognition over arbitrary symbol sequences. The input may contain
+// terminals and nonterminals (a sentential form); an input nonterminal
+// matches a predicted symbol when they are equal. This generality is what
+// the derivability checker (paper §3.2.2) builds on: it parses sentential
+// forms in which generated-grammar nonterminals have been mapped to
+// reference-grammar symbols.
+
+type earleyItem struct {
+	nt     Sym // left-hand side
+	prod   int // index into prods of nt
+	dot    int // position in RHS
+	origin int // set index where this item started
+}
+
+type earleyParser struct {
+	g        *Grammar
+	nullable []bool
+}
+
+func newEarley(g *Grammar) *earleyParser {
+	p := &earleyParser{g: g}
+	p.nullable = make([]bool, g.NumNTs())
+	changed := true
+	for changed {
+		changed = false
+		g.ForEachProd(func(lhs Sym, rhs []Sym) {
+			if p.nullable[g.ntIndex(lhs)] {
+				return
+			}
+			for _, s := range rhs {
+				if IsTerminal(s) || !p.nullable[g.ntIndex(s)] {
+					return
+				}
+			}
+			p.nullable[g.ntIndex(lhs)] = true
+			changed = true
+		})
+	}
+	return p
+}
+
+// Recognize reports whether start ⇒* input in g, where input is a sentential
+// form over g's symbols (an input nonterminal matches only itself).
+func (p *earleyParser) Recognize(start Sym, input []Sym) bool {
+	g := p.g
+	n := len(input)
+	sets := make([]map[earleyItem]bool, n+1)
+	order := make([][]earleyItem, n+1)
+	for i := range sets {
+		sets[i] = map[earleyItem]bool{}
+	}
+	add := func(k int, it earleyItem) {
+		if !sets[k][it] {
+			sets[k][it] = true
+			order[k] = append(order[k], it)
+		}
+	}
+	for pi := range g.Prods(start) {
+		add(0, earleyItem{start, pi, 0, 0})
+	}
+	for k := 0; k <= n; k++ {
+		for idx := 0; idx < len(order[k]); idx++ {
+			it := order[k][idx]
+			rhs := g.Prods(it.nt)[it.prod]
+			if it.dot < len(rhs) {
+				next := rhs[it.dot]
+				if IsTerminal(next) {
+					// scan
+					if k < n && input[k] == next {
+						add(k+1, earleyItem{it.nt, it.prod, it.dot + 1, it.origin})
+					}
+					continue
+				}
+				// An input nonterminal can also be scanned if it matches.
+				if k < n && input[k] == next {
+					add(k+1, earleyItem{it.nt, it.prod, it.dot + 1, it.origin})
+				}
+				// predict
+				for pi := range g.Prods(next) {
+					add(k, earleyItem{next, pi, 0, k})
+				}
+				// Aycock–Horspool: if next is nullable, advance directly.
+				if p.nullable[g.ntIndex(next)] {
+					add(k, earleyItem{it.nt, it.prod, it.dot + 1, it.origin})
+				}
+				continue
+			}
+			// complete
+			for _, back := range order[it.origin] {
+				brhs := g.Prods(back.nt)[back.prod]
+				if back.dot < len(brhs) && brhs[back.dot] == it.nt {
+					add(k, earleyItem{back.nt, back.prod, back.dot + 1, back.origin})
+				}
+			}
+		}
+	}
+	for _, it := range order[n] {
+		if it.nt == start && it.origin == 0 && it.dot == len(g.Prods(start)[it.prod]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Derives reports whether start ⇒* input in g. It is a fresh-parser
+// convenience; hold a Recognizer for repeated queries.
+func (g *Grammar) Derives(start Sym, input []Sym) bool {
+	return newEarley(g).Recognize(start, input)
+}
+
+// DerivesString reports whether start derives exactly the byte string s.
+func (g *Grammar) DerivesString(start Sym, s string) bool {
+	return g.Derives(start, TermString(s))
+}
+
+// Recognizer is a reusable Earley recognizer for one grammar. The grammar
+// must not change between Recognize calls.
+type Recognizer struct{ p *earleyParser }
+
+// NewRecognizer builds a Recognizer for g.
+func NewRecognizer(g *Grammar) *Recognizer { return &Recognizer{p: newEarley(g)} }
+
+// Recognize reports whether start ⇒* input.
+func (r *Recognizer) Recognize(start Sym, input []Sym) bool {
+	return r.p.Recognize(start, input)
+}
+
+// RecognizeString reports whether start derives the byte string s.
+func (r *Recognizer) RecognizeString(start Sym, s string) bool {
+	return r.p.Recognize(start, TermString(s))
+}

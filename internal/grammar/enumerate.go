@@ -1,0 +1,88 @@
+package grammar
+
+import "sort"
+
+// Enumerate returns every string of length ≤ maxLen derivable from nt, up
+// to maxCount strings, sorted. It powers property tests that compare
+// constructions (intersections, transducer images) against brute-force
+// language membership; maxLen and maxCount bound the work on recursive
+// grammars.
+func (g *Grammar) Enumerate(nt Sym, maxLen, maxCount int) []string {
+	// memo[ntIndex] = set of strings (≤ maxLen) derivable, built by a
+	// length-bounded fixpoint: iterate until no set grows.
+	n := len(g.prods)
+	sets := make([]map[string]bool, n)
+	for i := range sets {
+		sets[i] = map[string]bool{}
+	}
+	total := func() int {
+		s := 0
+		for _, m := range sets {
+			s += len(m)
+		}
+		return s
+	}
+	changed := true
+	for changed && total() < maxCount*n {
+		changed = false
+		for i, rules := range g.prods {
+			for _, rhs := range rules {
+				// Combine constituent sets positionally.
+				partial := []string{""}
+				ok := true
+				for _, s := range rhs {
+					var next []string
+					if IsTerminal(s) {
+						for _, p := range partial {
+							if len(p)+1 <= maxLen {
+								next = append(next, p+string(byte(s)))
+							}
+						}
+					} else {
+						sub := sets[g.ntIndex(s)]
+						if len(sub) == 0 {
+							ok = false
+							break
+						}
+						for _, p := range partial {
+							for w := range sub {
+								if len(p)+len(w) <= maxLen {
+									next = append(next, p+w)
+								}
+							}
+						}
+					}
+					partial = next
+					if len(partial) > maxCount*4 {
+						partial = partial[:maxCount*4]
+					}
+					if len(partial) == 0 {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				for _, w := range partial {
+					if !sets[i][w] {
+						if len(sets[i]) >= maxCount*2 {
+							break
+						}
+						sets[i][w] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(sets[g.ntIndex(nt)]))
+	for w := range sets[g.ntIndex(nt)] {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	if len(out) > maxCount {
+		out = out[:maxCount]
+	}
+	return out
+}

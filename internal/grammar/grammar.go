@@ -1,0 +1,249 @@
+// Package grammar implements the labeled context-free grammars at the heart
+// of the analysis (paper §2.2, §3.1): symbols, taint labels on nonterminals,
+// grammar construction, normalization, emptiness/witness computation,
+// sub-grammar extraction, SCC condensation, an Earley recognizer, and the
+// taint-propagating CFG ∩ FSA intersection of the paper's Figure 7.
+package grammar
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlciv/internal/automata"
+)
+
+// Sym is a grammar symbol. Values below NumTerminals are terminals (bytes
+// 0..255 plus the reserved context marker); values at or above NumTerminals
+// are nonterminal identifiers local to one Grammar.
+type Sym int32
+
+// NumTerminals is the size of the terminal alphabet, matching the automata
+// alphabet exactly so grammars and automata compose without translation.
+const NumTerminals = automata.AlphabetSize
+
+// MarkerSym is the reserved context-marker terminal t_X used by policy
+// check 2 (paper §3.2.1) to stand in for a labeled nonterminal.
+const MarkerSym Sym = automata.Marker
+
+// IsTerminal reports whether s is a terminal symbol.
+func IsTerminal(s Sym) bool { return s >= 0 && s < NumTerminals }
+
+// T returns the terminal symbol for byte b.
+func T(b byte) Sym { return Sym(b) }
+
+// TermString converts a byte string into its terminal symbol sequence.
+func TermString(s string) []Sym {
+	out := make([]Sym, len(s))
+	for i := 0; i < len(s); i++ {
+		out[i] = Sym(s[i])
+	}
+	return out
+}
+
+// TermsToString renders a terminal sequence as a string; the marker renders
+// as the bullet "•" so contexts remain readable in reports.
+func TermsToString(syms []Sym) string {
+	var b strings.Builder
+	for _, s := range syms {
+		if s == MarkerSym {
+			b.WriteString("•")
+		} else if IsTerminal(s) {
+			b.WriteByte(byte(s))
+		} else {
+			fmt.Fprintf(&b, "<N%d>", int(s)-NumTerminals)
+		}
+	}
+	return b.String()
+}
+
+// Label is a taint label bitset on a nonterminal (paper §2.2): Direct marks
+// data a user controls immediately (GET/POST/cookie parameters); Indirect
+// marks data from sources a user may influence transitively (database rows).
+type Label uint8
+
+// Taint label values.
+const (
+	Direct Label = 1 << iota
+	Indirect
+)
+
+// String renders a label set.
+func (l Label) String() string {
+	switch {
+	case l&Direct != 0 && l&Indirect != 0:
+		return "direct|indirect"
+	case l&Direct != 0:
+		return "direct"
+	case l&Indirect != 0:
+		return "indirect"
+	}
+	return "none"
+}
+
+// Grammar is a context-free grammar with labeled nonterminals. Nonterminal
+// identifiers are dense and local to one Grammar instance.
+type Grammar struct {
+	names    []string
+	labels   []Label
+	prods    [][][]Sym
+	start    Sym
+	numProds int
+}
+
+// New returns an empty grammar with no nonterminals and no start symbol.
+func New() *Grammar { return &Grammar{start: -1} }
+
+// NewNT adds a fresh nonterminal. An empty name is allowed; Name fabricates
+// a placeholder when asked.
+func (g *Grammar) NewNT(name string) Sym {
+	g.names = append(g.names, name)
+	g.labels = append(g.labels, 0)
+	g.prods = append(g.prods, nil)
+	return Sym(NumTerminals + len(g.names) - 1)
+}
+
+// NumNTs reports the number of nonterminals (the paper's |V|).
+func (g *Grammar) NumNTs() int { return len(g.names) }
+
+// NumProds reports the number of productions (the paper's |R|).
+func (g *Grammar) NumProds() int { return g.numProds }
+
+// ntIndex converts a nonterminal symbol to its dense index.
+func (g *Grammar) ntIndex(s Sym) int {
+	i := int(s) - NumTerminals
+	if i < 0 || i >= len(g.names) {
+		panic(fmt.Sprintf("grammar: %d is not a nonterminal of this grammar", s))
+	}
+	return i
+}
+
+// IsNT reports whether s is a nonterminal belonging to g.
+func (g *Grammar) IsNT(s Sym) bool {
+	i := int(s) - NumTerminals
+	return i >= 0 && i < len(g.names)
+}
+
+// Add appends the production lhs → rhs.
+func (g *Grammar) Add(lhs Sym, rhs ...Sym) {
+	i := g.ntIndex(lhs)
+	cp := make([]Sym, len(rhs))
+	copy(cp, rhs)
+	g.prods[i] = append(g.prods[i], cp)
+	g.numProds++
+}
+
+// AddString appends the production lhs → the terminal sequence of s.
+func (g *Grammar) AddString(lhs Sym, s string) {
+	g.Add(lhs, TermString(s)...)
+}
+
+// Prods returns the productions (right-hand sides) of nt. The caller must
+// not mutate the returned slices.
+func (g *Grammar) Prods(nt Sym) [][]Sym { return g.prods[g.ntIndex(nt)] }
+
+// SetStart sets the start nonterminal.
+func (g *Grammar) SetStart(s Sym) { g.ntIndex(s); g.start = s }
+
+// Start returns the start nonterminal, or -1 if unset.
+func (g *Grammar) Start() Sym { return g.start }
+
+// RawName returns the name a nonterminal was created with ("" when
+// anonymous). Constructions (intersection, FST image) carry names through
+// so reports can point at the original source of a value.
+func (g *Grammar) RawName(s Sym) string { return g.names[g.ntIndex(s)] }
+
+// Name returns a human-readable name for a symbol.
+func (g *Grammar) Name(s Sym) string {
+	if IsTerminal(s) {
+		if s == MarkerSym {
+			return "t_X"
+		}
+		return fmt.Sprintf("%q", byte(s))
+	}
+	i := g.ntIndex(s)
+	if g.names[i] == "" {
+		return fmt.Sprintf("N%d", i)
+	}
+	return g.names[i]
+}
+
+// SetLabel replaces the label set of nt.
+func (g *Grammar) SetLabel(nt Sym, l Label) { g.labels[g.ntIndex(nt)] = l }
+
+// AddLabel ors l into nt's label set (the paper's ADDLABEL).
+func (g *Grammar) AddLabel(nt Sym, l Label) { g.labels[g.ntIndex(nt)] |= l }
+
+// LabelOf returns nt's label set.
+func (g *Grammar) LabelOf(nt Sym) Label { return g.labels[g.ntIndex(nt)] }
+
+// HasLabel reports whether nt carries l (the paper's HASLABEL).
+func (g *Grammar) HasLabel(nt Sym, l Label) bool { return g.labels[g.ntIndex(nt)]&l != 0 }
+
+// TaintIf copies labels from src to dst, the paper's TAINTIF helper.
+func (g *Grammar) TaintIf(src, dst Sym) {
+	if g.HasLabel(src, Direct) {
+		g.AddLabel(dst, Direct)
+	}
+	if g.HasLabel(src, Indirect) {
+		g.AddLabel(dst, Indirect)
+	}
+}
+
+// LabeledNTs returns every nonterminal carrying at least one label.
+func (g *Grammar) LabeledNTs() []Sym {
+	var out []Sym
+	for i, l := range g.labels {
+		if l != 0 {
+			out = append(out, Sym(NumTerminals+i))
+		}
+	}
+	return out
+}
+
+// ForEachProd calls f for every production in the grammar.
+func (g *Grammar) ForEachProd(f func(lhs Sym, rhs []Sym)) {
+	for i, rules := range g.prods {
+		lhs := Sym(NumTerminals + i)
+		for _, rhs := range rules {
+			f(lhs, rhs)
+		}
+	}
+}
+
+// String renders the grammar in a Figure-4 style listing: one production per
+// line, labeled nonterminals annotated.
+func (g *Grammar) String() string {
+	var b strings.Builder
+	for i, rules := range g.prods {
+		lhs := Sym(NumTerminals + i)
+		for _, rhs := range rules {
+			b.WriteString(g.Name(lhs))
+			if l := g.labels[i]; l != 0 {
+				fmt.Fprintf(&b, "[%s]", l)
+			}
+			b.WriteString(" -> ")
+			if len(rhs) == 0 {
+				b.WriteString("ε")
+			}
+			run := []byte(nil)
+			flush := func() {
+				if len(run) > 0 {
+					fmt.Fprintf(&b, "%q ", run)
+					run = nil
+				}
+			}
+			for _, s := range rhs {
+				if IsTerminal(s) && s != MarkerSym {
+					run = append(run, byte(s))
+					continue
+				}
+				flush()
+				b.WriteString(g.Name(s))
+				b.WriteString(" ")
+			}
+			flush()
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

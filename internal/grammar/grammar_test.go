@@ -1,0 +1,395 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+
+	"sqlciv/internal/automata"
+)
+
+// buildAnBn returns a grammar for { a^n b^n | n >= 0 }.
+func buildAnBn() (*Grammar, Sym) {
+	g := New()
+	s := g.NewNT("S")
+	g.Add(s) // epsilon
+	g.Add(s, T('a'), s, T('b'))
+	g.SetStart(s)
+	return g, s
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g, s := buildAnBn()
+	if g.NumNTs() != 1 || g.NumProds() != 2 {
+		t.Fatalf("|V|=%d |R|=%d", g.NumNTs(), g.NumProds())
+	}
+	if g.Start() != s {
+		t.Fatal("start not set")
+	}
+	if !g.IsNT(s) || g.IsNT(T('a')) {
+		t.Fatal("IsNT wrong")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	g := New()
+	x := g.NewNT("X")
+	y := g.NewNT("Y")
+	g.AddLabel(x, Direct)
+	if !g.HasLabel(x, Direct) || g.HasLabel(x, Indirect) {
+		t.Fatal("label set wrong")
+	}
+	g.TaintIf(x, y)
+	if !g.HasLabel(y, Direct) {
+		t.Fatal("TaintIf did not copy direct")
+	}
+	g.AddLabel(x, Indirect)
+	g.TaintIf(x, y)
+	if !g.HasLabel(y, Indirect) {
+		t.Fatal("TaintIf did not copy indirect")
+	}
+	lab := g.LabeledNTs()
+	if len(lab) != 2 {
+		t.Fatalf("LabeledNTs = %v", lab)
+	}
+	if got := (Direct | Indirect).String(); got != "direct|indirect" {
+		t.Fatalf("label string = %q", got)
+	}
+}
+
+func TestMinLensAndWitness(t *testing.T) {
+	g, s := buildAnBn()
+	lens := g.MinLens()
+	if lens[0] != 0 {
+		t.Fatalf("minlen(S) = %d, want 0", lens[0])
+	}
+	w, ok := g.Witness(s)
+	if !ok || len(w) != 0 {
+		t.Fatalf("witness = %v, %v", w, ok)
+	}
+	// Remove epsilon: shortest becomes "ab".
+	g2 := New()
+	s2 := g2.NewNT("S")
+	g2.AddString(s2, "ab")
+	g2.Add(s2, T('a'), s2, T('b'))
+	ws, ok := g2.WitnessString(s2)
+	if !ok || ws != "ab" {
+		t.Fatalf("witness = %q, %v", ws, ok)
+	}
+}
+
+func TestEmptyLanguage(t *testing.T) {
+	g := New()
+	x := g.NewNT("X")
+	g.Add(x, T('a'), x) // no base case: empty language
+	if !g.Empty(x) {
+		t.Fatal("X should be empty")
+	}
+	if _, ok := g.Witness(x); ok {
+		t.Fatal("witness on empty language")
+	}
+}
+
+func TestExtract(t *testing.T) {
+	g := New()
+	a := g.NewNT("A")
+	b := g.NewNT("B")
+	c := g.NewNT("C") // unreachable from A
+	g.Add(a, T('x'), b)
+	g.Add(b, T('y'))
+	g.Add(c, T('z'))
+	g.AddLabel(b, Direct)
+	sub, remap := g.Extract(a)
+	if sub.NumNTs() != 2 {
+		t.Fatalf("extract kept %d NTs, want 2", sub.NumNTs())
+	}
+	if _, ok := remap[c]; ok {
+		t.Fatal("unreachable NT retained")
+	}
+	if !sub.HasLabel(remap[b], Direct) {
+		t.Fatal("label lost in extract")
+	}
+	if !sub.DerivesString(sub.Start(), "xy") {
+		t.Fatal("extracted grammar lost language")
+	}
+}
+
+func TestReplaceWithMarker(t *testing.T) {
+	g := New()
+	q := g.NewNT("query")
+	x := g.NewNT("X")
+	g.AddLabel(x, Direct)
+	g.Add(q, TermString("SELECT '")[0], TermString("SELECT '")[1]) // dummy; real rule below
+	g.prods[g.ntIndex(q)] = nil
+	g.numProds = 0
+	rhs := append(TermString("a='"), x)
+	rhs = append(rhs, T('\''))
+	g.Add(q, rhs...)
+	g.Add(x, TermString("1")...)
+	rt := g.ReplaceWithMarker(q, x)
+	w, ok := rt.WitnessString(rt.Start())
+	if !ok {
+		t.Fatal("marker grammar empty")
+	}
+	if w != "a='•'" {
+		t.Fatalf("witness = %q", w)
+	}
+}
+
+func TestSCCsAndInCycle(t *testing.T) {
+	g := New()
+	a := g.NewNT("A")
+	b := g.NewNT("B")
+	c := g.NewNT("C")
+	g.Add(a, b)
+	g.Add(b, a)      // A <-> B cycle
+	g.Add(c, T('c')) // acyclic
+	g.Add(a, c)
+	comps := g.SCCs()
+	var sizes []int
+	for _, comp := range comps {
+		sizes = append(sizes, len(comp))
+	}
+	// C must come before the {A,B} component (reverse topological order).
+	foundC := false
+	for _, comp := range comps {
+		if len(comp) == 1 && comp[0] == c {
+			foundC = true
+		}
+		if len(comp) == 2 && !foundC {
+			t.Fatal("SCC order wrong: {A,B} before C")
+		}
+	}
+	cyc := g.InCycle()
+	if !cyc[g.ntIndex(a)] || !cyc[g.ntIndex(b)] || cyc[g.ntIndex(c)] {
+		t.Fatalf("InCycle = %v", cyc)
+	}
+	// Self-loop counts as a cycle.
+	g2 := New()
+	d := g2.NewNT("D")
+	g2.Add(d, T('x'), d)
+	g2.Add(d)
+	if !g2.InCycle()[0] {
+		t.Fatal("self-loop not detected as cycle")
+	}
+}
+
+func TestEarleyMembership(t *testing.T) {
+	g, s := buildAnBn()
+	for _, tc := range []struct {
+		in   string
+		want bool
+	}{
+		{"", true}, {"ab", true}, {"aabb", true}, {"aaabbb", true},
+		{"a", false}, {"b", false}, {"ba", false}, {"aab", false}, {"abab", false},
+	} {
+		if got := g.DerivesString(s, tc.in); got != tc.want {
+			t.Errorf("derives(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEarleySententialForm(t *testing.T) {
+	g := New()
+	s := g.NewNT("S")
+	e := g.NewNT("E")
+	g.Add(s, T('('), e, T(')'))
+	g.Add(e, T('1'))
+	g.SetStart(s)
+	// S =>* ( E )
+	if !g.Derives(s, []Sym{T('('), e, T(')')}) {
+		t.Fatal("sentential form not recognized")
+	}
+	if g.Derives(s, []Sym{e}) {
+		t.Fatal("wrong sentential form accepted")
+	}
+}
+
+func TestEarleyNullableChain(t *testing.T) {
+	g := New()
+	s := g.NewNT("S")
+	a := g.NewNT("A")
+	b := g.NewNT("B")
+	g.Add(s, a, b, T('x'))
+	g.Add(a) // nullable
+	g.Add(b) // nullable
+	g.Add(b, T('b'))
+	if !g.DerivesString(s, "x") || !g.DerivesString(s, "bx") {
+		t.Fatal("nullable handling broken")
+	}
+	if g.DerivesString(s, "") {
+		t.Fatal("accepts empty wrongly")
+	}
+}
+
+func evenLenDFA() *automata.DFA {
+	n := automata.NewNFA()
+	s1 := n.AddState()
+	n.SetAccept(n.Start(), true)
+	for c := 0; c < 256; c++ {
+		n.AddEdge(n.Start(), c, s1)
+		n.AddEdge(s1, c, n.Start())
+	}
+	return n.Determinize().Minimize()
+}
+
+func TestIntersectAnBnEven(t *testing.T) {
+	g, s := buildAnBn()
+	root, ok := IntersectInto(g, s, evenLenDFA())
+	if !ok {
+		t.Fatal("intersection should be nonempty")
+	}
+	// a^n b^n always has even length, so language unchanged.
+	for _, tc := range []struct {
+		in   string
+		want bool
+	}{
+		{"", true}, {"ab", true}, {"aabb", true},
+		{"a", false}, {"abab", false},
+	} {
+		if got := g.DerivesString(root, tc.in); got != tc.want {
+			t.Errorf("after intersect, derives(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestIntersectPruning(t *testing.T) {
+	// L = {"ab","abc"} ∩ even-length = {"ab"}
+	g := New()
+	s := g.NewNT("S")
+	g.AddString(s, "ab")
+	g.AddString(s, "abc")
+	root, ok := IntersectInto(g, s, evenLenDFA())
+	if !ok {
+		t.Fatal("nonempty expected")
+	}
+	if !g.DerivesString(root, "ab") || g.DerivesString(root, "abc") {
+		t.Fatal("intersection language wrong")
+	}
+	w, _ := g.WitnessString(root)
+	if w != "ab" {
+		t.Fatalf("witness = %q", w)
+	}
+}
+
+func TestIntersectEmptyResult(t *testing.T) {
+	g := New()
+	s := g.NewNT("S")
+	g.AddString(s, "abc") // odd length only
+	if !IntersectEmpty(g, s, evenLenDFA()) {
+		t.Fatal("intersection should be empty")
+	}
+	if _, ok := IntersectWitness(g, s, evenLenDFA()); ok {
+		t.Fatal("witness from empty intersection")
+	}
+}
+
+// TestIntersectTaintTheorem31 exercises the taint-propagation claim of
+// Theorem 3.1: after intersection, strings contributed by a direct-labeled
+// nonterminal are still derivable from a direct-labeled nonterminal.
+func TestIntersectTaintTheorem31(t *testing.T) {
+	g := New()
+	q := g.NewNT("query")
+	u := g.NewNT("userid")
+	g.AddLabel(u, Direct)
+	pre := TermString("id=")
+	g.Add(q, append(append([]Sym{}, pre...), u)...)
+	g.AddString(u, "42")
+	g.AddString(u, "4")
+	root, ok := IntersectInto(g, q, evenLenDFA())
+	if !ok {
+		t.Fatal("nonempty expected")
+	}
+	// "id=4" has even length; "id=42" is odd. So only "4" survives for u.
+	if !g.DerivesString(root, "id=4") || g.DerivesString(root, "id=42") {
+		t.Fatal("intersection language wrong")
+	}
+	// Some direct-labeled NT in the new sub-grammar must derive "4".
+	found := false
+	seen := g.Reachable(root)
+	for i, ok := range seen {
+		if !ok {
+			continue
+		}
+		nt := Sym(NumTerminals + i)
+		if nt == root {
+			continue
+		}
+		if g.HasLabel(nt, Direct) && g.DerivesString(nt, "4") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("taint label lost through intersection (Theorem 3.1 violated)")
+	}
+}
+
+func TestIntersectWitness(t *testing.T) {
+	g := New()
+	s := g.NewNT("S")
+	g.AddString(s, "hello")
+	g.AddString(s, "hi")
+	w, ok := IntersectWitness(g, s, evenLenDFA())
+	if !ok || w != "hi" {
+		t.Fatalf("witness = %q, %v", w, ok)
+	}
+}
+
+func TestFromNFAInto(t *testing.T) {
+	g := New()
+	n := automata.Union(automata.FromString("ab"), automata.Star(automata.FromString("c")))
+	root := FromNFAInto(g, n, Direct)
+	for _, tc := range []struct {
+		in   string
+		want bool
+	}{
+		{"ab", true}, {"", true}, {"c", true}, {"ccc", true},
+		{"a", false}, {"abc", false},
+	} {
+		if got := g.DerivesString(root, tc.in); got != tc.want {
+			t.Errorf("fromNFA derives(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if !g.HasLabel(root, Direct) {
+		t.Fatal("label not applied")
+	}
+}
+
+func TestGrammarString(t *testing.T) {
+	g := New()
+	s := g.NewNT("query")
+	u := g.NewNT("userid")
+	g.AddLabel(u, Direct)
+	g.Add(s, append(TermString("WHERE id="), u)...)
+	g.Add(u)
+	out := g.String()
+	if !strings.Contains(out, "query") || !strings.Contains(out, "[direct]") {
+		t.Fatalf("dump missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "ε") {
+		t.Fatalf("epsilon production not rendered:\n%s", out)
+	}
+}
+
+func TestNormalizationInsideIntersectLongRHS(t *testing.T) {
+	// RHS longer than 2 exercises the NORMALIZE path.
+	g := New()
+	s := g.NewNT("S")
+	a := g.NewNT("A")
+	g.Add(s, a, T('-'), a, T('-'), a)
+	g.AddString(a, "xx")
+	root, ok := IntersectInto(g, s, evenLenDFA())
+	if !ok {
+		t.Fatal("nonempty expected")
+	}
+	if !g.DerivesString(root, "xx-xx-xx") {
+		t.Fatal("normalized intersection lost the string")
+	}
+}
+
+func TestTermsToString(t *testing.T) {
+	syms := append(TermString("a"), MarkerSym)
+	if got := TermsToString(syms); got != "a•" {
+		t.Fatalf("TermsToString = %q", got)
+	}
+}

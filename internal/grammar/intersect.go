@@ -1,0 +1,271 @@
+package grammar
+
+import "sqlciv/internal/automata"
+
+// IntersectInto computes the intersection of the context-free language
+// rooted at root with the regular language of d, materializing the result
+// grammar into g itself and returning its fresh root nonterminal. It
+// implements the paper's Figure 7: a worklist CFL-reachability construction
+// over normalized (|rhs| ≤ 2) rules, with TAINTIF propagating the direct and
+// indirect labels from each original nonterminal X onto every X_{ij}.
+//
+// The boolean result reports whether the intersection is nonempty; when it
+// is empty the returned symbol is invalid and must not be used.
+func IntersectInto(g *Grammar, root Sym, d *automata.DFA) (Sym, bool) {
+	d.Complete()
+	nq := d.NumStates()
+
+	// ---- snapshot + NORMALIZE ----------------------------------------
+	// Local rule representation over local ids: 0..nLocal-1 nonterminals.
+	// localOf maps g's nonterminals (and synthetic helpers) to local ids.
+	type rule struct {
+		lhs int
+		rhs []int // local symbol: >=0 local NT id, <0 encodes terminal ^(-1-sym)
+	}
+	encTerm := func(s Sym) int { return -1 - int(s) }
+	isLocalTerm := func(v int) bool { return v < 0 }
+	decTerm := func(v int) Sym { return Sym(-1 - v) }
+
+	localOf := map[Sym]int{}
+	var localSyms []Sym // local id -> original NT symbol, or -1 for helpers
+	newLocal := func(orig Sym) int {
+		id := len(localSyms)
+		localSyms = append(localSyms, orig)
+		if orig >= 0 {
+			localOf[orig] = id
+		}
+		return id
+	}
+
+	var rules []rule
+	seen := map[Sym]bool{}
+	stack := []Sym{root}
+	seen[root] = true
+	newLocal(root)
+	for len(stack) > 0 {
+		nt := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, rhs := range g.Prods(nt) {
+			for _, s := range rhs {
+				if !IsTerminal(s) && !seen[s] {
+					seen[s] = true
+					newLocal(s)
+					stack = append(stack, s)
+				}
+			}
+			// normalize to length <= 2 with helper locals
+			lhs := localOf[nt]
+			cur := make([]int, len(rhs))
+			for i, s := range rhs {
+				if IsTerminal(s) {
+					cur[i] = encTerm(s)
+				} else {
+					cur[i] = localOf[s]
+				}
+			}
+			for len(cur) > 2 {
+				helper := newLocal(-1)
+				rules = append(rules, rule{lhs: lhs, rhs: []int{cur[0], helper}})
+				lhs = helper
+				cur = cur[1:]
+			}
+			rules = append(rules, rule{lhs: lhs, rhs: cur})
+		}
+	}
+	nLocal := len(localSyms)
+
+	// Replace terminals inside binary rules by synthetic terminal locals so
+	// the join step only ever combines nonterminal items.
+	termLocal := map[Sym]int{}
+	for ri := range rules {
+		if len(rules[ri].rhs) != 2 {
+			continue
+		}
+		for k, v := range rules[ri].rhs {
+			if isLocalTerm(v) {
+				t := decTerm(v)
+				id, ok := termLocal[t]
+				if !ok {
+					id = newLocal(-1)
+					termLocal[t] = id
+					rules = append(rules, rule{lhs: id, rhs: []int{encTerm(t)}})
+				}
+				rules[ri].rhs[k] = id
+			}
+		}
+	}
+	nLocal = len(localSyms)
+
+	// Index rules.
+	var unitNT [][]rule         // by rhs[0] local NT: X -> Y
+	var unitT = map[Sym][]int{} // terminal t -> lhs list: X -> t
+	var epsLHS []int
+	var binFirst [][]rule  // by rhs[0]
+	var binSecond [][]rule // by rhs[1]
+	unitNT = make([][]rule, nLocal)
+	binFirst = make([][]rule, nLocal)
+	binSecond = make([][]rule, nLocal)
+	for _, r := range rules {
+		switch len(r.rhs) {
+		case 0:
+			epsLHS = append(epsLHS, r.lhs)
+		case 1:
+			if isLocalTerm(r.rhs[0]) {
+				t := decTerm(r.rhs[0])
+				unitT[t] = append(unitT[t], r.lhs)
+			} else {
+				unitNT[r.rhs[0]] = append(unitNT[r.rhs[0]], r)
+			}
+		case 2:
+			binFirst[r.rhs[0]] = append(binFirst[r.rhs[0]], r)
+			binSecond[r.rhs[1]] = append(binSecond[r.rhs[1]], r)
+		}
+	}
+
+	// ---- worklist ------------------------------------------------------
+	// item: local NT x with DFA state span (i, j).
+	type item struct {
+		x    int
+		i, j int32
+	}
+	// resulting grammar nonterminals per discovered item
+	itemNT := map[item]Sym{}
+	getNT := func(it item) Sym {
+		if s, ok := itemNT[it]; ok {
+			return s
+		}
+		name := ""
+		if orig := localSyms[it.x]; orig >= 0 {
+			name = g.RawName(orig)
+		}
+		s := g.NewNT(name)
+		itemNT[it] = s
+		if orig := localSyms[it.x]; orig >= 0 {
+			g.TaintIf(orig, s) // TAINTIF(X, X_ij)
+		}
+		return s
+	}
+	// discovered spans per (x, startState) and (x, endState) for joins
+	byStart := make([]map[int32][]int32, nLocal) // x -> i -> list of j
+	byEnd := make([]map[int32][]int32, nLocal)   // x -> j -> list of i
+	known := map[item]bool{}
+	prodSeen := map[item]map[[2]Sym]bool{}
+
+	var work []item
+	discover := func(it item, rhs []Sym) {
+		key := [2]Sym{-1, -1}
+		for k, s := range rhs {
+			key[k] = s
+		}
+		ps := prodSeen[it]
+		if ps == nil {
+			ps = map[[2]Sym]bool{}
+			prodSeen[it] = ps
+		}
+		if !ps[key] {
+			ps[key] = true
+			nt := getNT(it)
+			g.Add(nt, rhs...)
+		}
+		if known[it] {
+			return
+		}
+		known[it] = true
+		if byStart[it.x] == nil {
+			byStart[it.x] = map[int32][]int32{}
+			byEnd[it.x] = map[int32][]int32{}
+		}
+		byStart[it.x][it.i] = append(byStart[it.x][it.i], it.j)
+		byEnd[it.x][it.j] = append(byEnd[it.x][it.j], it.i)
+		work = append(work, it)
+	}
+
+	// Seed: X -> eps gives (X,i,i) for all i.
+	for _, lhs := range epsLHS {
+		for q := 0; q < nq; q++ {
+			discover(item{lhs, int32(q), int32(q)}, nil)
+		}
+	}
+	// Seed: X -> t gives (X, i, d(i,t)).
+	for t, lhss := range unitT {
+		for q := 0; q < nq; q++ {
+			to := int32(d.Step(q, int(t)))
+			for _, lhs := range lhss {
+				discover(item{lhs, int32(q), to}, []Sym{t})
+			}
+		}
+	}
+
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		ynt := itemNT[it]
+		// unit rules X -> Y
+		for _, r := range unitNT[it.x] {
+			discover(item{r.lhs, it.i, it.j}, []Sym{ynt})
+		}
+		// binary rules X -> Y B with Y = it
+		for _, r := range binFirst[it.x] {
+			b := r.rhs[1]
+			if byStart[b] == nil {
+				continue
+			}
+			for _, k := range byStart[b][it.j] {
+				bnt := itemNT[item{b, it.j, k}]
+				discover(item{r.lhs, it.i, k}, []Sym{ynt, bnt})
+			}
+		}
+		// binary rules X -> A Y with Y = it
+		for _, r := range binSecond[it.x] {
+			a := r.rhs[0]
+			if byEnd[a] == nil {
+				continue
+			}
+			for _, i0 := range byEnd[a][it.i] {
+				ant := itemNT[item{a, i0, it.i}]
+				discover(item{r.lhs, i0, it.j}, []Sym{ant, ynt})
+			}
+		}
+	}
+
+	// ---- root ----------------------------------------------------------
+	rootLocal := localOf[root]
+	newRoot := Sym(-1)
+	q0 := int32(d.Start())
+	for q := 0; q < nq; q++ {
+		if !d.IsAccept(q) {
+			continue
+		}
+		it := item{rootLocal, q0, int32(q)}
+		if s, ok := itemNT[it]; ok {
+			if newRoot < 0 {
+				newRoot = g.NewNT(g.RawName(root))
+				g.TaintIf(root, newRoot)
+			}
+			g.Add(newRoot, s)
+		}
+	}
+	if newRoot < 0 {
+		return 0, false
+	}
+	return newRoot, true
+}
+
+// IntersectEmpty reports whether L(root) ∩ L(d) is empty, without keeping
+// the constructed grammar (it still runs the Figure 7 worklist on a scratch
+// copy so g is left unchanged).
+func IntersectEmpty(g *Grammar, root Sym, d *automata.DFA) bool {
+	scratch, remap := g.Extract(root)
+	_, ok := IntersectInto(scratch, remap[root], d)
+	return !ok
+}
+
+// IntersectWitness returns a shortest string in L(root) ∩ L(d), if any.
+func IntersectWitness(g *Grammar, root Sym, d *automata.DFA) (string, bool) {
+	scratch, remap := g.Extract(root)
+	nr, ok := IntersectInto(scratch, remap[root], d)
+	if !ok {
+		return "", false
+	}
+	return scratch.WitnessString(nr)
+}

@@ -1,0 +1,345 @@
+package grammar
+
+import "math"
+
+// MinLens computes, for every nonterminal, the length of a shortest terminal
+// string it derives, or -1 when its language is empty. A worklist fixpoint
+// over the productions.
+func (g *Grammar) MinLens() []int64 {
+	n := len(g.prods)
+	lens := make([]int64, n)
+	for i := range lens {
+		lens[i] = -1
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i, rules := range g.prods {
+			for _, rhs := range rules {
+				total := int64(0)
+				ok := true
+				for _, s := range rhs {
+					if IsTerminal(s) {
+						total++
+						continue
+					}
+					l := lens[g.ntIndex(s)]
+					if l < 0 {
+						ok = false
+						break
+					}
+					total += l
+				}
+				if ok && (lens[i] < 0 || total < lens[i]) {
+					lens[i] = total
+					changed = true
+				}
+			}
+		}
+	}
+	return lens
+}
+
+// Empty reports whether L(nt) is empty.
+func (g *Grammar) Empty(nt Sym) bool {
+	return g.MinLens()[g.ntIndex(nt)] < 0
+}
+
+// Witness returns a shortest terminal string derivable from nt, or nil,
+// false when nt derives nothing. The reconstruction follows productions that
+// minimize (string length, derivation size) lexicographically, which
+// guarantees termination.
+func (g *Grammar) Witness(nt Sym) ([]Sym, bool) {
+	n := len(g.prods)
+	// cost = length*sizeWeight + treeSize; treeSize bounds recursion.
+	const sizeWeight = 1 << 20
+	cost := make([]int64, n)
+	for i := range cost {
+		cost[i] = math.MaxInt64
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i, rules := range g.prods {
+			for _, rhs := range rules {
+				total := int64(1) // production application
+				ok := true
+				for _, s := range rhs {
+					if IsTerminal(s) {
+						total += sizeWeight
+						continue
+					}
+					c := cost[g.ntIndex(s)]
+					if c == math.MaxInt64 {
+						ok = false
+						break
+					}
+					total += c
+				}
+				if ok && total < cost[i] {
+					cost[i] = total
+					changed = true
+				}
+			}
+		}
+	}
+	if cost[g.ntIndex(nt)] == math.MaxInt64 {
+		return nil, false
+	}
+	var out []Sym
+	var expand func(s Sym)
+	expand = func(s Sym) {
+		if IsTerminal(s) {
+			out = append(out, s)
+			return
+		}
+		i := g.ntIndex(s)
+		best := int64(math.MaxInt64)
+		var bestRHS []Sym
+		for _, rhs := range g.prods[i] {
+			total := int64(1)
+			ok := true
+			for _, x := range rhs {
+				if IsTerminal(x) {
+					total += sizeWeight
+					continue
+				}
+				c := cost[g.ntIndex(x)]
+				if c == math.MaxInt64 {
+					ok = false
+					break
+				}
+				total += c
+			}
+			if ok && total < best {
+				best = total
+				bestRHS = rhs
+			}
+		}
+		for _, x := range bestRHS {
+			expand(x)
+		}
+	}
+	expand(nt)
+	return out, true
+}
+
+// WitnessString is Witness rendered as a string (marker as "•").
+func (g *Grammar) WitnessString(nt Sym) (string, bool) {
+	w, ok := g.Witness(nt)
+	if !ok {
+		return "", false
+	}
+	return TermsToString(w), true
+}
+
+// Reachable returns the set of nonterminals reachable from root (including
+// root itself), as a bitset indexed by nonterminal index.
+func (g *Grammar) Reachable(root Sym) []bool {
+	seen := make([]bool, len(g.prods))
+	stack := []int{g.ntIndex(root)}
+	seen[stack[0]] = true
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, rhs := range g.prods[i] {
+			for _, s := range rhs {
+				if !IsTerminal(s) {
+					j := g.ntIndex(s)
+					if !seen[j] {
+						seen[j] = true
+						stack = append(stack, j)
+					}
+				}
+			}
+		}
+	}
+	return seen
+}
+
+// Extract copies the sub-grammar reachable from root into a fresh Grammar
+// whose start symbol is the image of root. Labels are preserved. The second
+// result maps old nonterminal symbols to new ones (only reachable entries
+// are present).
+func (g *Grammar) Extract(root Sym) (*Grammar, map[Sym]Sym) {
+	seen := g.Reachable(root)
+	out := New()
+	remap := make(map[Sym]Sym)
+	for i, ok := range seen {
+		if !ok {
+			continue
+		}
+		old := Sym(NumTerminals + i)
+		nn := out.NewNT(g.names[i])
+		out.labels[out.ntIndex(nn)] = g.labels[i]
+		remap[old] = nn
+	}
+	for i, ok := range seen {
+		if !ok {
+			continue
+		}
+		old := Sym(NumTerminals + i)
+		for _, rhs := range g.prods[i] {
+			nr := make([]Sym, len(rhs))
+			for k, s := range rhs {
+				if IsTerminal(s) {
+					nr[k] = s
+				} else {
+					nr[k] = remap[s]
+				}
+			}
+			out.Add(remap[old], nr...)
+		}
+	}
+	out.SetStart(remap[root])
+	return out, remap
+}
+
+// ReplaceWithMarker returns a copy of the sub-grammar reachable from root in
+// which every right-hand-side occurrence of x is replaced by the reserved
+// marker terminal t_X, and x's own productions are removed (paper §3.2.1,
+// the R_t construction). The returned grammar's start is the image of root.
+func (g *Grammar) ReplaceWithMarker(root, x Sym) *Grammar {
+	sub, remap := g.Extract(root)
+	nx, ok := remap[x]
+	if !ok {
+		return sub // x not reachable: nothing to replace
+	}
+	xi := sub.ntIndex(nx)
+	sub.numProds -= len(sub.prods[xi])
+	sub.prods[xi] = nil
+	for i, rules := range sub.prods {
+		for ri, rhs := range rules {
+			for k, s := range rhs {
+				if s == nx {
+					nr := make([]Sym, len(rhs))
+					copy(nr, rhs)
+					for k2 := k; k2 < len(nr); k2++ {
+						if nr[k2] == nx {
+							nr[k2] = MarkerSym
+						}
+					}
+					sub.prods[i][ri] = nr
+					break
+				}
+			}
+		}
+	}
+	return sub
+}
+
+// SCCs computes the strongly connected components of the nonterminal
+// dependency graph (X depends on Y when Y occurs in a RHS of X) using
+// Tarjan's algorithm, returned in reverse topological order (callees before
+// callers). Each component is a slice of nonterminal symbols.
+func (g *Grammar) SCCs() [][]Sym {
+	n := len(g.prods)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]Sym
+	next := 0
+
+	// Iterative Tarjan to avoid deep recursion on large grammars.
+	type frame struct {
+		v    int
+		prod int
+		sym  int
+	}
+	for v0 := 0; v0 < n; v0++ {
+		if index[v0] != -1 {
+			continue
+		}
+		var frames []frame
+		push := func(v int) {
+			index[v] = next
+			low[v] = next
+			next++
+			stack = append(stack, v)
+			onStack[v] = true
+			frames = append(frames, frame{v: v})
+		}
+		push(v0)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.prod < len(g.prods[f.v]) {
+				rhs := g.prods[f.v][f.prod]
+				for f.sym < len(rhs) {
+					s := rhs[f.sym]
+					f.sym++
+					if IsTerminal(s) {
+						continue
+					}
+					w := g.ntIndex(s)
+					if index[w] == -1 {
+						push(w)
+						advanced = true
+						break
+					} else if onStack[w] && index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				if advanced {
+					break
+				}
+				f.prod++
+				f.sym = 0
+			}
+			if advanced {
+				continue
+			}
+			// finished v
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []Sym
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, Sym(NumTerminals+w))
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// InCycle reports, per nonterminal index, whether the nonterminal can derive
+// a sentential form containing itself (i.e., it sits in a nontrivial SCC or
+// has a self-referential production).
+func (g *Grammar) InCycle() []bool {
+	out := make([]bool, len(g.prods))
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 {
+			for _, s := range comp {
+				out[g.ntIndex(s)] = true
+			}
+			continue
+		}
+		i := g.ntIndex(comp[0])
+		for _, rhs := range g.prods[i] {
+			for _, s := range rhs {
+				if s == comp[0] {
+					out[i] = true
+				}
+			}
+		}
+	}
+	return out
+}

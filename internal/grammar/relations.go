@@ -1,0 +1,170 @@
+package grammar
+
+import "sqlciv/internal/automata"
+
+// Relation-based grammar analyses over small DFAs. For a complete DFA D
+// with at most 32 states, Rels computes for every nonterminal the
+// reachability relation its language induces on D's states, and Contexts
+// computes the D-states possible immediately before every nonterminal
+// occurrence in a terminal derivation from a root. Together they answer,
+// in one fixpoint each, the families of questions the policy checkers
+// otherwise answer with one intersection grammar per nonterminal:
+// emptiness of L(X) ∩ L(D) (via RelNonempty) and the syntactic context of
+// X's occurrences (via Contexts).
+
+// MaxRelStates is the largest DFA the relation representation supports.
+const MaxRelStates = 32
+
+// Rels returns rels[nt][p] = bitmask of states q such that some string of
+// L(nt) drives d from p to q. Unproductive nonterminals have empty
+// relations. Returns nil when d has more than MaxRelStates states.
+func Rels(g *Grammar, d *automata.DFA) [][]uint32 {
+	d.Complete()
+	nq := d.NumStates()
+	if nq > MaxRelStates {
+		return nil
+	}
+	minLens := g.MinLens()
+	n := g.NumNTs()
+	rel := make([][]uint32, n)
+	for i := range rel {
+		rel[i] = make([]uint32, nq)
+	}
+	changed := true
+	for changed {
+		changed = false
+		g.ForEachProd(func(lhs Sym, rhs []Sym) {
+			li := int(lhs) - NumTerminals
+			if minLens[li] < 0 {
+				return
+			}
+			cur := make([]uint32, nq)
+			for p := 0; p < nq; p++ {
+				cur[p] = 1 << p
+			}
+			for _, s := range rhs {
+				if IsTerminal(s) {
+					next := make([]uint32, nq)
+					for p := 0; p < nq; p++ {
+						m := cur[p]
+						for q := 0; m != 0; q++ {
+							if m&(1<<q) != 0 {
+								m &^= 1 << q
+								next[p] |= 1 << uint(d.Step(q, int(s)))
+							}
+						}
+					}
+					cur = next
+					continue
+				}
+				si := int(s) - NumTerminals
+				sr := rel[si]
+				empty := true
+				for _, v := range sr {
+					if v != 0 {
+						empty = false
+						break
+					}
+				}
+				if empty {
+					return // constituent unproductive or not yet computed
+				}
+				next := make([]uint32, nq)
+				for p := 0; p < nq; p++ {
+					m := cur[p]
+					for q := 0; m != 0; q++ {
+						if m&(1<<q) != 0 {
+							m &^= 1 << q
+							next[p] |= sr[q]
+						}
+					}
+				}
+				cur = next
+			}
+			for p := 0; p < nq; p++ {
+				if rel[li][p]|cur[p] != rel[li][p] {
+					rel[li][p] |= cur[p]
+					changed = true
+				}
+			}
+		})
+	}
+	return rel
+}
+
+// RelNonempty reports whether L(nt) ∩ L(d) ≠ ∅ given d's relations.
+func RelNonempty(rels [][]uint32, d *automata.DFA, g *Grammar, nt Sym) bool {
+	if rels == nil {
+		return !IntersectEmpty(g, nt, d)
+	}
+	row := rels[int(nt)-NumTerminals]
+	m := row[d.Start()]
+	for q := 0; m != 0; q++ {
+		if m&(1<<q) != 0 {
+			m &^= 1 << q
+			if d.IsAccept(q) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Contexts returns, per nonterminal, the bitmask of d-states possible
+// immediately before some occurrence of that nonterminal in a terminal
+// derivation from root (0 = the nonterminal never occurs in a complete
+// derivation). rels must come from Rels(g, d).
+func Contexts(g *Grammar, root Sym, d *automata.DFA, rels [][]uint32) []uint32 {
+	n := g.NumNTs()
+	ctx := make([]uint32, n)
+	if rels == nil {
+		return ctx
+	}
+	minLens := g.MinLens()
+	ri := int(root) - NumTerminals
+	if minLens[ri] >= 0 {
+		ctx[ri] = 1 << uint(d.Start())
+	}
+	nq := d.NumStates()
+	changed := true
+	for changed {
+		changed = false
+		g.ForEachProd(func(lhs Sym, rhs []Sym) {
+			li := int(lhs) - NumTerminals
+			if ctx[li] == 0 {
+				return
+			}
+			for _, s := range rhs {
+				if !IsTerminal(s) && minLens[int(s)-NumTerminals] < 0 {
+					return // production cannot complete
+				}
+			}
+			states := ctx[li]
+			for _, s := range rhs {
+				if IsTerminal(s) {
+					var next uint32
+					for p := 0; p < nq; p++ {
+						if states&(1<<p) != 0 {
+							next |= 1 << uint(d.Step(p, int(s)))
+						}
+					}
+					states = next
+					continue
+				}
+				si := int(s) - NumTerminals
+				if ctx[si]|states != ctx[si] {
+					ctx[si] |= states
+					changed = true
+				}
+				var next uint32
+				for p := 0; p < nq; p++ {
+					if states&(1<<p) != 0 {
+						next |= rels[si][p]
+					}
+				}
+				states = next
+			}
+		})
+	}
+	return ctx
+}

@@ -1,0 +1,492 @@
+package interp
+
+import (
+	"crypto/md5"
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+	"regexp"
+	"strings"
+
+	"sqlciv/internal/php"
+)
+
+// call dispatches a function call: query sinks, user functions, builtins.
+func (it *interp) call(env map[string]Value, v *php.Call) Value {
+	name := strings.ToLower(v.Name)
+	args := make([]Value, len(v.Args))
+	for i, a := range v.Args {
+		args[i] = it.eval(env, a)
+	}
+	switch name {
+	case "mysql_query", "pg_query", "sqlite_query", "db_query":
+		if len(args) > 0 {
+			it.recordQuery(v.Line, args[0])
+		}
+		return Bool(true)
+	case "mysqli_query", "mysql_db_query":
+		if len(args) > 1 {
+			it.recordQuery(v.Line, args[1])
+		}
+		return Bool(true)
+	case "mysql_fetch_assoc", "mysql_fetch_array", "mysql_fetch_row", "mysql_fetch_object",
+		"mysqli_fetch_assoc", "mysqli_fetch_array", "mysql_result":
+		return it.dbRow()
+	case "mysql_num_rows", "mysqli_num_rows", "mysql_insert_id", "mysql_affected_rows":
+		return Int(1)
+	}
+	if fd, ok := it.funcs[name]; ok {
+		return it.callUser(fd, args)
+	}
+	if fn, ok := builtins[name]; ok {
+		return fn(it, args)
+	}
+	return Null()
+}
+
+func arg(args []Value, i int) Value {
+	if i < len(args) {
+		return args[i]
+	}
+	return Null()
+}
+
+func argStr(args []Value, i int) (string, []bool) {
+	s, t := arg(args, i).ToString()
+	return s, normTaint(t, len(s))
+}
+
+// strVal builds a string value with taint (dropped when uniformly false).
+func strVal(s string, t []bool) Value {
+	any := false
+	for _, b := range t {
+		if b {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return Str(s)
+	}
+	return Value{Kind: KString, S: s, Taint: t}
+}
+
+// mapBytes rewrites each byte; outputs inherit the byte's taint.
+func mapBytes(s string, t []bool, f func(b byte) string) Value {
+	var out strings.Builder
+	var ot []bool
+	for i := 0; i < len(s); i++ {
+		piece := f(s[i])
+		out.WriteString(piece)
+		for j := 0; j < len(piece); j++ {
+			ot = append(ot, t[i])
+		}
+	}
+	return strVal(out.String(), ot)
+}
+
+func applyAddslashes(v Value) Value {
+	s, t := v.ToString()
+	return mapBytes(s, normTaint(t, len(s)), func(b byte) string {
+		switch b {
+		case '\'', '"', '\\':
+			return "\\" + string(b)
+		case 0:
+			return "\\0"
+		}
+		return string(b)
+	})
+}
+
+// replaceAllTainted is str_replace with per-byte taint: replacement bytes
+// are tainted when any matched byte was.
+func replaceAllTainted(s string, t []bool, pat, repl string) Value {
+	if pat == "" {
+		return strVal(s, t)
+	}
+	var out strings.Builder
+	var ot []bool
+	i := 0
+	for i < len(s) {
+		if strings.HasPrefix(s[i:], pat) {
+			tainted := false
+			for j := 0; j < len(pat); j++ {
+				if t[i+j] {
+					tainted = true
+				}
+			}
+			out.WriteString(repl)
+			for j := 0; j < len(repl); j++ {
+				ot = append(ot, tainted)
+			}
+			i += len(pat)
+			continue
+		}
+		out.WriteByte(s[i])
+		ot = append(ot, t[i])
+		i++
+	}
+	return strVal(out.String(), ot)
+}
+
+// compilePHPRegex converts a PHP pattern to a Go regexp. kind: "preg"
+// (delimited), "ereg", "eregi".
+func compilePHPRegex(pattern, kind string) (*regexp.Regexp, bool) {
+	body := pattern
+	ci := false
+	if kind == "preg" {
+		if len(pattern) < 2 {
+			return nil, false
+		}
+		delim := pattern[0]
+		end := strings.LastIndexByte(pattern, delim)
+		if end <= 0 {
+			return nil, false
+		}
+		body = pattern[1:end]
+		flags := pattern[end+1:]
+		ci = strings.Contains(flags, "i")
+	}
+	if kind == "eregi" {
+		ci = true
+	}
+	if ci {
+		body = "(?i)" + body
+	}
+	re, err := regexp.Compile(body)
+	if err != nil {
+		return nil, false
+	}
+	return re, true
+}
+
+var builtins map[string]func(it *interp, args []Value) Value
+
+func init() {
+	builtins = map[string]func(it *interp, args []Value) Value{
+		"addslashes":               func(_ *interp, a []Value) Value { return applyAddslashes(arg(a, 0)) },
+		"mysql_escape_string":      func(_ *interp, a []Value) Value { return applyAddslashes(arg(a, 0)) },
+		"mysql_real_escape_string": func(_ *interp, a []Value) Value { return applyAddslashes(arg(a, 0)) },
+		"escape_quotes": func(_ *interp, a []Value) Value {
+			s, t := argStr(a, 0)
+			return mapBytes(s, t, func(b byte) string {
+				if b == '\'' {
+					return "\\'"
+				}
+				return string(b)
+			})
+		},
+		"stripslashes": func(_ *interp, a []Value) Value {
+			s, t := argStr(a, 0)
+			var out strings.Builder
+			var ot []bool
+			i := 0
+			for i < len(s) {
+				if s[i] == '\\' && i+1 < len(s) {
+					out.WriteByte(s[i+1])
+					ot = append(ot, t[i+1])
+					i += 2
+					continue
+				}
+				if s[i] == '\\' {
+					break
+				}
+				out.WriteByte(s[i])
+				ot = append(ot, t[i])
+				i++
+			}
+			return strVal(out.String(), ot)
+		},
+		"htmlspecialchars": func(_ *interp, a []Value) Value {
+			s, t := argStr(a, 0)
+			entQuotes := false
+			if len(a) > 1 {
+				fs, _ := a[1].ToString()
+				entQuotes = strings.Contains(fs, "ENT_QUOTES")
+			}
+			return mapBytes(s, t, func(b byte) string {
+				switch b {
+				case '&':
+					return "&amp;"
+				case '<':
+					return "&lt;"
+				case '>':
+					return "&gt;"
+				case '"':
+					return "&quot;"
+				case '\'':
+					if entQuotes {
+						return "&#039;"
+					}
+				}
+				return string(b)
+			})
+		},
+		"strtolower": func(_ *interp, a []Value) Value {
+			s, t := argStr(a, 0)
+			return mapBytes(s, t, func(b byte) string {
+				if b >= 'A' && b <= 'Z' {
+					return string(b - 'A' + 'a')
+				}
+				return string(b)
+			})
+		},
+		"strtoupper": func(_ *interp, a []Value) Value {
+			s, t := argStr(a, 0)
+			return mapBytes(s, t, func(b byte) string {
+				if b >= 'a' && b <= 'z' {
+					return string(b - 'a' + 'A')
+				}
+				return string(b)
+			})
+		},
+		"trim": func(_ *interp, a []Value) Value {
+			s, t := argStr(a, 0)
+			lo, hi := 0, len(s)
+			ws := " \t\n\r\x00\v"
+			for lo < hi && strings.IndexByte(ws, s[lo]) >= 0 {
+				lo++
+			}
+			for hi > lo && strings.IndexByte(ws, s[hi-1]) >= 0 {
+				hi--
+			}
+			return strVal(s[lo:hi], t[lo:hi])
+		},
+		"str_replace": func(_ *interp, a []Value) Value {
+			pat, _ := arg(a, 0).ToString()
+			repl, _ := arg(a, 1).ToString()
+			s, t := argStr(a, 2)
+			return replaceAllTainted(s, t, pat, repl)
+		},
+		"preg_replace": func(_ *interp, a []Value) Value {
+			pat, _ := arg(a, 0).ToString()
+			repl, _ := arg(a, 1).ToString()
+			s, t := argStr(a, 2)
+			re, ok := compilePHPRegex(pat, "preg")
+			if !ok {
+				return strVal(s, t)
+			}
+			anyTaint := false
+			for _, b := range t {
+				if b {
+					anyTaint = true
+				}
+			}
+			out := re.ReplaceAllString(s, repl)
+			ot := make([]bool, len(out))
+			for i := range ot {
+				ot[i] = anyTaint
+			}
+			return strVal(out, ot)
+		},
+		"preg_match": func(_ *interp, a []Value) Value {
+			pat, _ := arg(a, 0).ToString()
+			s, _ := arg(a, 1).ToString()
+			re, ok := compilePHPRegex(pat, "preg")
+			if !ok {
+				return Bool(false)
+			}
+			return Bool(re.MatchString(s))
+		},
+		"ereg": func(_ *interp, a []Value) Value {
+			pat, _ := arg(a, 0).ToString()
+			s, _ := arg(a, 1).ToString()
+			re, ok := compilePHPRegex(pat, "ereg")
+			if !ok {
+				return Bool(false)
+			}
+			return Bool(re.MatchString(s))
+		},
+		"eregi": func(_ *interp, a []Value) Value {
+			pat, _ := arg(a, 0).ToString()
+			s, _ := arg(a, 1).ToString()
+			re, ok := compilePHPRegex(pat, "eregi")
+			if !ok {
+				return Bool(false)
+			}
+			return Bool(re.MatchString(s))
+		},
+		"is_numeric": func(_ *interp, a []Value) Value {
+			v := arg(a, 0)
+			if v.Kind == KInt || v.Kind == KFloat {
+				return Bool(true)
+			}
+			s, _ := v.ToString()
+			return Bool(isNumericString(s))
+		},
+		"ctype_digit": func(_ *interp, a []Value) Value {
+			s, _ := arg(a, 0).ToString()
+			if s == "" {
+				return Bool(false)
+			}
+			for i := 0; i < len(s); i++ {
+				if s[i] < '0' || s[i] > '9' {
+					return Bool(false)
+				}
+			}
+			return Bool(true)
+		},
+		"intval": func(_ *interp, a []Value) Value { return Int(arg(a, 0).ToInt()) },
+		"strlen": func(_ *interp, a []Value) Value {
+			s, _ := arg(a, 0).ToString()
+			return Int(int64(len(s)))
+		},
+		"count": func(_ *interp, a []Value) Value {
+			v := arg(a, 0)
+			if v.Kind == KArray {
+				return Int(int64(len(v.Arr)))
+			}
+			return Int(1)
+		},
+		"substr": func(_ *interp, a []Value) Value {
+			s, t := argStr(a, 0)
+			start := int(arg(a, 1).ToInt())
+			if start < 0 {
+				start = len(s) + start
+			}
+			if start < 0 {
+				start = 0
+			}
+			if start > len(s) {
+				return Str("")
+			}
+			end := len(s)
+			if len(a) > 2 {
+				length := int(arg(a, 2).ToInt())
+				if length >= 0 && start+length < end {
+					end = start + length
+				}
+			}
+			return strVal(s[start:end], t[start:end])
+		},
+		"ord": func(_ *interp, a []Value) Value {
+			s, _ := arg(a, 0).ToString()
+			if s == "" {
+				return Int(0)
+			}
+			return Int(int64(s[0]))
+		},
+		"chr": func(_ *interp, a []Value) Value {
+			return Str(string(byte(arg(a, 0).ToInt())))
+		},
+		"explode": func(_ *interp, a []Value) Value {
+			delim, _ := arg(a, 0).ToString()
+			s, t := argStr(a, 1)
+			arr := NewArray()
+			if delim == "" {
+				arr.ArrayPush(strVal(s, t))
+				return arr
+			}
+			start := 0
+			for {
+				idx := strings.Index(s[start:], delim)
+				if idx < 0 {
+					arr.ArrayPush(strVal(s[start:], t[start:]))
+					break
+				}
+				arr.ArrayPush(strVal(s[start:start+idx], t[start:start+idx]))
+				start += idx + len(delim)
+			}
+			return arr
+		},
+		"implode": func(_ *interp, a []Value) Value {
+			glue, _ := arg(a, 0).ToString()
+			v := arg(a, 1)
+			if v.Kind != KArray {
+				return Str("")
+			}
+			out := Str("")
+			for i, k := range v.ArrKeys {
+				if i > 0 {
+					out = concatValues(out, Str(glue))
+				}
+				out = concatValues(out, v.Arr[k])
+			}
+			return out
+		},
+		"sprintf": func(it *interp, a []Value) Value {
+			format, _ := arg(a, 0).ToString()
+			out := Str("")
+			ai := 1
+			i := 0
+			for i < len(format) {
+				c := format[i]
+				if c != '%' || i+1 >= len(format) {
+					out = concatValues(out, Str(string(c)))
+					i++
+					continue
+				}
+				verb := format[i+1]
+				i += 2
+				switch verb {
+				case '%':
+					out = concatValues(out, Str("%"))
+				case 's':
+					out = concatValues(out, arg(a, ai))
+					ai++
+				case 'd', 'u':
+					out = concatValues(out, Int(arg(a, ai).ToInt()))
+					ai++
+				case 'f':
+					out = concatValues(out, Str(fmt.Sprintf("%f", arg(a, ai).ToFloat())))
+					ai++
+				}
+			}
+			return out
+		},
+		"md5": func(_ *interp, a []Value) Value {
+			s, _ := arg(a, 0).ToString()
+			sum := md5.Sum([]byte(s))
+			return Str(hex.EncodeToString(sum[:]))
+		},
+		"sha1": func(_ *interp, a []Value) Value {
+			s, _ := arg(a, 0).ToString()
+			sum := sha1.Sum([]byte(s))
+			return Str(hex.EncodeToString(sum[:]))
+		},
+		"time":    func(_ *interp, _ []Value) Value { return Int(1181520000) }, // PLDI'07 week
+		"rand":    func(_ *interp, _ []Value) Value { return Int(4) },
+		"mt_rand": func(_ *interp, _ []Value) Value { return Int(4) },
+		"strip_tags": func(_ *interp, a []Value) Value {
+			s, t := argStr(a, 0)
+			var out strings.Builder
+			var ot []bool
+			inTag := false
+			for i := 0; i < len(s); i++ {
+				switch {
+				case s[i] == '<':
+					inTag = true
+				case s[i] == '>' && inTag:
+					inTag = false
+				case !inTag:
+					out.WriteByte(s[i])
+					ot = append(ot, t[i])
+				}
+			}
+			return strVal(out.String(), ot)
+		},
+		"urlencode": func(_ *interp, a []Value) Value {
+			s, t := argStr(a, 0)
+			const hexDigits = "0123456789ABCDEF"
+			return mapBytes(s, t, func(b byte) string {
+				switch {
+				case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9',
+					b == '-', b == '_', b == '.':
+					return string(b)
+				case b == ' ':
+					return "+"
+				}
+				return "%" + string(hexDigits[b>>4]) + string(hexDigits[b&0xf])
+			})
+		},
+		"number_format": func(_ *interp, a []Value) Value {
+			// PHP rounds half away from zero (thousands separators are not
+			// modeled; the analysis side treats the result as [0-9.,]*).
+			f := arg(a, 0).ToFloat()
+			if f >= 0 {
+				return Str(fmt.Sprintf("%d", int64(f+0.5)))
+			}
+			return Str(fmt.Sprintf("%d", int64(f-0.5)))
+		},
+	}
+}

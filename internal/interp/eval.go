@@ -1,0 +1,466 @@
+package interp
+
+import (
+	"strings"
+
+	"sqlciv/internal/php"
+)
+
+// eval evaluates an expression to a Value.
+func (it *interp) eval(env map[string]Value, x php.Expr) Value {
+	it.tick()
+	switch v := x.(type) {
+	case *php.StrLit:
+		return Str(v.Value)
+	case *php.NumLit:
+		if strings.Contains(v.Value, ".") {
+			return Float(Value{Kind: KString, S: v.Value}.ToFloat())
+		}
+		return Int(leadingInt(v.Value))
+	case *php.BoolLit:
+		return Bool(v.Value)
+	case *php.NullLit:
+		return Null()
+	case *php.Var:
+		if tbl, ok := it.superglobal(v.Name); ok {
+			arr := NewArray()
+			for k, s := range tbl {
+				arr.ArraySet(k, TaintedStr(s))
+			}
+			return arr
+		}
+		if val, ok := env[v.Name]; ok {
+			return val
+		}
+		return Null()
+	case *php.Index:
+		return it.evalIndex(env, v)
+	case *php.Prop:
+		if base, ok := v.Object.(*php.Var); ok {
+			if obj, ok2 := env[base.Name]; ok2 && obj.Kind == KArray {
+				if val, ok3 := obj.Arr[v.Name]; ok3 {
+					return val
+				}
+			}
+		}
+		return Null()
+	case *php.Interp:
+		out := Str("")
+		for _, p := range v.Parts {
+			out = concatValues(out, it.eval(env, p))
+		}
+		return out
+	case *php.Binary:
+		return it.evalBinary(env, v)
+	case *php.Unary:
+		return it.evalUnary(env, v)
+	case *php.Assign:
+		return it.evalAssign(env, v)
+	case *php.Ternary:
+		cond := it.eval(env, v.Cond)
+		if cond.ToBool() {
+			if v.Then == nil {
+				return cond
+			}
+			return it.eval(env, v.Then)
+		}
+		return it.eval(env, v.Else)
+	case *php.Call:
+		return it.call(env, v)
+	case *php.MethodCall:
+		return it.methodCall(env, v)
+	case *php.IssetExpr:
+		for _, a := range v.Args {
+			if !it.issetOf(env, a) {
+				return Bool(false)
+			}
+		}
+		return Bool(true)
+	case *php.EmptyExpr:
+		return Bool(!it.eval(env, v.X).ToBool())
+	case *php.ArrayLit:
+		arr := NewArray()
+		for _, item := range v.Items {
+			val := it.eval(env, item.Value)
+			if item.Key != nil {
+				k, _ := it.eval(env, item.Key).ToString()
+				arr.ArraySet(k, val)
+			} else {
+				arr.ArrayPush(val)
+			}
+		}
+		return arr
+	case *php.Cast:
+		inner := it.eval(env, v.X)
+		switch v.Type {
+		case "int":
+			return Int(inner.ToInt())
+		case "float":
+			return Float(inner.ToFloat())
+		case "bool":
+			return Bool(inner.ToBool())
+		case "string":
+			s, t := inner.ToString()
+			return Value{Kind: KString, S: s, Taint: t}
+		}
+		return inner
+	case *php.IncludeExpr:
+		return it.include(env, v)
+	case *php.ExitExpr:
+		if v.Arg != nil {
+			it.echo(it.eval(env, v.Arg))
+		}
+		panic(exitSignal{})
+	case *php.PrintExpr:
+		it.echo(it.eval(env, v.X))
+		return Int(1)
+	case *php.ConstFetch:
+		return Str(v.Name)
+	case *php.ListAssign:
+		val := it.eval(env, v.Value)
+		for i, tgt := range v.Targets {
+			if tgt == nil {
+				continue
+			}
+			slot := Null()
+			if val.Kind == KArray {
+				if item, ok := val.Arr[intKey(i)]; ok {
+					slot = item
+				}
+			}
+			it.assignTo(env, tgt, slot)
+		}
+		return val
+	}
+	return Null()
+}
+
+func intKey(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	digits := ""
+	for i > 0 {
+		digits = string(byte('0'+i%10)) + digits
+		i /= 10
+	}
+	return digits
+}
+
+func (it *interp) issetOf(env map[string]Value, x php.Expr) bool {
+	switch v := x.(type) {
+	case *php.Var:
+		if tbl, ok := it.superglobal(v.Name); ok {
+			return tbl != nil
+		}
+		val, ok := env[v.Name]
+		return ok && val.Kind != KNull
+	case *php.Index:
+		if base, ok := v.Base.(*php.Var); ok {
+			key := ""
+			if v.Key != nil {
+				key, _ = it.eval(env, v.Key).ToString()
+			}
+			if tbl, isSuper := it.superglobal(base.Name); isSuper {
+				if tbl != nil {
+					if _, ok := tbl[key]; ok {
+						return true
+					}
+				}
+				return it.opts.DefaultInput != nil
+			}
+			if arr, ok := env[base.Name]; ok && arr.Kind == KArray {
+				_, ok2 := arr.Arr[key]
+				return ok2
+			}
+		}
+	}
+	return false
+}
+
+func (it *interp) evalIndex(env map[string]Value, v *php.Index) Value {
+	base, ok := v.Base.(*php.Var)
+	if !ok {
+		inner := it.eval(env, v.Base)
+		if inner.Kind == KArray && v.Key != nil {
+			k, _ := it.eval(env, v.Key).ToString()
+			if val, ok2 := inner.Arr[k]; ok2 {
+				return val
+			}
+		}
+		return Null()
+	}
+	key := ""
+	if v.Key != nil {
+		key, _ = it.eval(env, v.Key).ToString()
+	}
+	if tbl, isSuper := it.superglobal(base.Name); isSuper {
+		return it.input(tbl, key)
+	}
+	val, ok := env[base.Name]
+	if !ok {
+		return Null()
+	}
+	switch val.Kind {
+	case KArray:
+		if item, ok2 := val.Arr[key]; ok2 {
+			return item
+		}
+		return Null()
+	case KString:
+		idx := int(Value{Kind: KString, S: key}.ToInt())
+		if idx >= 0 && idx < len(val.S) {
+			out := Value{Kind: KString, S: string(val.S[idx])}
+			if val.Taint != nil && val.Taint[idx] {
+				out.Taint = []bool{true}
+			}
+			return out
+		}
+	}
+	return Null()
+}
+
+func (it *interp) evalBinary(env map[string]Value, v *php.Binary) Value {
+	switch v.Op {
+	case "&&":
+		if !it.eval(env, v.L).ToBool() {
+			return Bool(false)
+		}
+		return Bool(it.eval(env, v.R).ToBool())
+	case "||":
+		if it.eval(env, v.L).ToBool() {
+			return Bool(true)
+		}
+		return Bool(it.eval(env, v.R).ToBool())
+	}
+	l := it.eval(env, v.L)
+	r := it.eval(env, v.R)
+	switch v.Op {
+	case ".":
+		return concatValues(l, r)
+	case "+":
+		return arith(l, r, func(a, b float64) float64 { return a + b })
+	case "-":
+		return arith(l, r, func(a, b float64) float64 { return a - b })
+	case "*":
+		return arith(l, r, func(a, b float64) float64 { return a * b })
+	case "/":
+		return arith(l, r, func(a, b float64) float64 {
+			if b == 0 {
+				return 0
+			}
+			return a / b
+		})
+	case "%":
+		bi := r.ToInt()
+		if bi == 0 {
+			return Bool(false)
+		}
+		return Int(l.ToInt() % bi)
+	case "==":
+		return Bool(LooseEq(l, r))
+	case "!=", "<>":
+		return Bool(!LooseEq(l, r))
+	case "===":
+		return Bool(strictEq(l, r))
+	case "!==":
+		return Bool(!strictEq(l, r))
+	case "<":
+		return Bool(Compare(l, r) < 0)
+	case ">":
+		return Bool(Compare(l, r) > 0)
+	case "<=":
+		return Bool(Compare(l, r) <= 0)
+	case ">=":
+		return Bool(Compare(l, r) >= 0)
+	}
+	return Null()
+}
+
+func strictEq(a, b Value) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KString:
+		return a.S == b.S
+	case KInt:
+		return a.I == b.I
+	case KFloat:
+		return a.F == b.F
+	case KBool:
+		return a.B == b.B
+	case KNull:
+		return true
+	}
+	return false
+}
+
+func arith(l, r Value, f func(a, b float64) float64) Value {
+	res := f(l.ToFloat(), r.ToFloat())
+	if res == float64(int64(res)) &&
+		l.Kind != KFloat && r.Kind != KFloat {
+		return Int(int64(res))
+	}
+	return Float(res)
+}
+
+func (it *interp) evalUnary(env map[string]Value, v *php.Unary) Value {
+	switch v.Op {
+	case "!":
+		return Bool(!it.eval(env, v.X).ToBool())
+	case "-":
+		inner := it.eval(env, v.X)
+		if inner.Kind == KFloat {
+			return Float(-inner.ToFloat())
+		}
+		return Int(-inner.ToInt())
+	case "+":
+		return Int(it.eval(env, v.X).ToInt())
+	case "++", "--":
+		delta := int64(1)
+		if v.Op == "--" {
+			delta = -1
+		}
+		old := it.eval(env, v.X)
+		updated := Int(old.ToInt() + delta)
+		if t, ok := v.X.(*php.Var); ok {
+			env[t.Name] = updated
+		}
+		if v.Postfix {
+			return old
+		}
+		return updated
+	}
+	return it.eval(env, v.X)
+}
+
+func (it *interp) evalAssign(env map[string]Value, v *php.Assign) Value {
+	var val Value
+	switch v.Op {
+	case ".=":
+		val = concatValues(it.eval(env, v.Target), it.eval(env, v.Value))
+	case "+=":
+		val = arith(it.eval(env, v.Target), it.eval(env, v.Value), func(a, b float64) float64 { return a + b })
+	case "-=":
+		val = arith(it.eval(env, v.Target), it.eval(env, v.Value), func(a, b float64) float64 { return a - b })
+	case "*=":
+		val = arith(it.eval(env, v.Target), it.eval(env, v.Value), func(a, b float64) float64 { return a * b })
+	case "/=":
+		val = arith(it.eval(env, v.Target), it.eval(env, v.Value), func(a, b float64) float64 {
+			if b == 0 {
+				return 0
+			}
+			return a / b
+		})
+	default:
+		val = it.eval(env, v.Value)
+	}
+	it.assignTo(env, v.Target, val)
+	return val
+}
+
+func (it *interp) assignTo(env map[string]Value, target php.Expr, val Value) {
+	switch t := target.(type) {
+	case *php.Var:
+		env[t.Name] = val
+		if it.incDepth == 0 {
+			it.globals[t.Name] = val
+		}
+	case *php.Index:
+		base, ok := t.Base.(*php.Var)
+		if !ok {
+			return
+		}
+		arr := env[base.Name]
+		if arr.Kind != KArray {
+			arr = NewArray()
+		}
+		if t.Key == nil {
+			arr.ArrayPush(val)
+		} else {
+			k, _ := it.eval(env, t.Key).ToString()
+			arr.ArraySet(k, val)
+		}
+		env[base.Name] = arr
+	case *php.Prop:
+		if base, ok := t.Object.(*php.Var); ok {
+			obj := env[base.Name]
+			if obj.Kind != KArray {
+				obj = NewArray()
+			}
+			obj.ArraySet(t.Name, val)
+			env[base.Name] = obj
+		}
+	}
+}
+
+func (it *interp) callUser(fd *php.FuncDecl, args []Value) (out Value) {
+	fenv := map[string]Value{}
+	for i, p := range fd.Params {
+		if i < len(args) {
+			fenv[p.Name] = args[i]
+		} else if p.Default != nil {
+			fenv[p.Name] = it.eval(fenv, p.Default)
+		} else {
+			fenv[p.Name] = Null()
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if rs, ok := r.(returnSignal); ok {
+				out = rs.val
+				return
+			}
+			panic(r)
+		}
+	}()
+	it.execStmts(fenv, fd.Body)
+	return Null()
+}
+
+func (it *interp) methodCall(env map[string]Value, v *php.MethodCall) Value {
+	m := strings.ToLower(v.Method)
+	args := make([]Value, len(v.Args))
+	for i, a := range v.Args {
+		args[i] = it.eval(env, a)
+	}
+	switch m {
+	case "query", "sql_query", "execute", "exec":
+		if len(args) > 0 {
+			it.recordQuery(v.Line, args[0])
+		}
+		return Bool(true)
+	case "fetch", "fetch_array", "fetch_assoc", "fetch_row", "fetch_object", "result":
+		return it.dbRow()
+	case "escape", "escape_string", "quote":
+		if len(args) > 0 {
+			return applyAddslashes(args[0])
+		}
+		return Str("")
+	}
+	return Null()
+}
+
+func (it *interp) recordQuery(line int, v Value) {
+	s, t := v.ToString()
+	it.queries = append(it.queries, QueryEvent{File: it.curFile, Line: line, SQL: s, Taint: normTaint(t, len(s))})
+}
+
+// dbRow returns a synthetic fetched row; every field is the configured
+// DBValue, tainted (indirect data is user-influenceable).
+func (it *interp) dbRow() Value {
+	row := NewArray()
+	val := it.opts.DBValue
+	if val == "" {
+		val = "stored"
+	}
+	for _, field := range []string{"id", "name", "title", "author", "username", "userid", "comment", "text", "v", "value", "prev", "subject", "groupid", "sess"} {
+		if field == "id" || field == "userid" || field == "groupid" {
+			row.ArraySet(field, TaintedStr("7"))
+			continue
+		}
+		row.ArraySet(field, TaintedStr(val))
+	}
+	return row
+}

@@ -1,0 +1,35 @@
+package interp
+
+import (
+	"testing"
+
+	"sqlciv/internal/analysis"
+)
+
+// FuzzRun asserts the interpreter never panics on any parseable program:
+// the executable-validation harness must be robust against every corpus
+// shape.
+func FuzzRun(f *testing.F) {
+	seeds := []string{
+		`<?php $x = $_GET['a']; mysql_query("SELECT '$x'");`,
+		`<?php for ($i = 0; $i < 3; $i++) { $s .= 'x'; } echo $s;`,
+		`<?php function g($v) { return $v . $v; } echo g('a');`,
+		`<?php list($a, $b) = explode(',', $_POST['x']); do { $a++; } while ($a < 2);`,
+		`<?php switch ($_GET['m']) { case 'x': exit; default: echo 1; }`,
+		`<?php $r = mysql_fetch_assoc(mysql_query("SELECT 1")); echo $r['name'];`,
+	}
+	for _, s := range seeds {
+		f.Add(s, "probe'1")
+	}
+	f.Fuzz(func(t *testing.T, src, input string) {
+		resolver := analysis.NewMapResolver(map[string]string{"f.php": src})
+		if _, ok := resolver.Load("f.php"); !ok {
+			return // unparseable: nothing to run
+		}
+		in := input
+		_, err := Run(resolver, "f.php", Options{DefaultInput: &in, MaxLoopIter: 2})
+		if err != nil {
+			t.Fatalf("Run error on parseable program: %v", err)
+		}
+	})
+}

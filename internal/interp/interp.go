@@ -1,0 +1,343 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlciv/internal/php"
+)
+
+// QueryEvent records one executed database query.
+type QueryEvent struct {
+	File string
+	Line int
+	SQL  string
+	// Taint is the per-byte taint mask of the query string.
+	Taint []bool
+}
+
+// TaintSpans returns the maximal tainted spans of the query.
+func (q QueryEvent) TaintSpans() [][2]int {
+	return Value{Kind: KString, S: q.SQL, Taint: q.Taint}.TaintSpans()
+}
+
+// Resolver matches the analysis package's loader interface.
+type Resolver interface {
+	Load(path string) (*php.File, bool)
+	Files() []string
+}
+
+// Options configures an execution.
+type Options struct {
+	// Get/Post/Cookie provide concrete superglobal entries. A key not
+	// present reads as DefaultInput when that is non-nil, else as unset.
+	Get, Post, Cookie map[string]string
+	// DefaultInput, when non-nil, is returned (tainted) for ANY requested
+	// input key — the adversarial mode the corpus harness uses.
+	DefaultInput *string
+	// DBValue is the string stored in every database row an execution
+	// fetches (tainted as indirect input).
+	DBValue string
+	// MagicQuotes applies addslashes to every GET/POST/cookie read,
+	// mirroring magic_quotes_gpc=On.
+	MagicQuotes bool
+	// MaxLoopIter bounds loop iterations (default 3).
+	MaxLoopIter int
+	// MaxIncludeDepth bounds include nesting (default 16).
+	MaxIncludeDepth int
+}
+
+// Result is the observable behavior of one page execution.
+type Result struct {
+	Queries  []QueryEvent
+	Output   string
+	OutTaint []bool
+	Exited   bool
+}
+
+type exitSignal struct{}
+type returnSignal struct{ val Value }
+type breakSignal struct{}
+type continueSignal struct{}
+
+type interp struct {
+	opts     Options
+	resolver Resolver
+	queries  []QueryEvent
+	out      Value
+	funcs    map[string]*php.FuncDecl
+	globals  map[string]Value
+	incDepth int
+	curFile  string
+	steps    int
+}
+
+const maxSteps = 2_000_000
+
+// Run executes one page.
+func Run(resolver Resolver, entry string, opts Options) (*Result, error) {
+	if opts.MaxLoopIter == 0 {
+		opts.MaxLoopIter = 3
+	}
+	if opts.MaxIncludeDepth == 0 {
+		opts.MaxIncludeDepth = 16
+	}
+	f, ok := resolver.Load(entry)
+	if !ok {
+		return nil, fmt.Errorf("interp: cannot load %q", entry)
+	}
+	it := &interp{
+		opts:     opts,
+		resolver: resolver,
+		funcs:    map[string]*php.FuncDecl{},
+		globals:  map[string]Value{},
+		out:      Str(""),
+	}
+	res := &Result{}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(exitSignal); ok {
+					res.Exited = true
+					return
+				}
+				panic(r)
+			}
+		}()
+		it.execFile(it.globals, f)
+	}()
+	res.Queries = it.queries
+	res.Output = it.out.S
+	res.OutTaint = it.out.Taint
+	return res, nil
+}
+
+func (it *interp) tick() {
+	it.steps++
+	if it.steps > maxSteps {
+		panic(exitSignal{})
+	}
+}
+
+func (it *interp) execFile(env map[string]Value, f *php.File) {
+	prev := it.curFile
+	it.curFile = f.Name
+	defer func() { it.curFile = prev }()
+	for name, fd := range f.Funcs {
+		if _, ok := it.funcs[name]; !ok {
+			it.funcs[name] = fd
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(returnSignal); ok {
+				return // `return` at file scope ends the include
+			}
+			panic(r)
+		}
+	}()
+	it.execStmts(env, f.Stmts)
+}
+
+func (it *interp) execStmts(env map[string]Value, stmts []php.Stmt) {
+	for _, s := range stmts {
+		it.execStmt(env, s)
+	}
+}
+
+func (it *interp) echo(v Value) {
+	it.out = concatValues(it.out, v)
+}
+
+func (it *interp) execStmt(env map[string]Value, s php.Stmt) {
+	it.tick()
+	switch v := s.(type) {
+	case *php.ExprStmt:
+		it.eval(env, v.X)
+	case *php.EchoStmt:
+		for _, a := range v.Args {
+			it.echo(it.eval(env, a))
+		}
+	case *php.HTMLStmt:
+		it.echo(Str(v.Text))
+	case *php.IfStmt:
+		if it.eval(env, v.Cond).ToBool() {
+			it.execStmts(env, v.Then)
+		} else {
+			it.execStmts(env, v.Else)
+		}
+	case *php.WhileStmt:
+		if v.DoWhile {
+			for i := 0; i < it.opts.MaxLoopIter; i++ {
+				if it.loopBody(env, v.Body) {
+					break
+				}
+				if !it.eval(env, v.Cond).ToBool() {
+					break
+				}
+			}
+			return
+		}
+		for i := 0; i < it.opts.MaxLoopIter && it.eval(env, v.Cond).ToBool(); i++ {
+			if it.loopBody(env, v.Body) {
+				break
+			}
+		}
+	case *php.ForStmt:
+		for _, x := range v.Init {
+			it.eval(env, x)
+		}
+		for i := 0; ; i++ {
+			cond := true
+			for _, c := range v.Cond {
+				cond = it.eval(env, c).ToBool()
+			}
+			if !cond || i >= it.opts.MaxLoopIter*40 {
+				break
+			}
+			if it.loopBody(env, v.Body) {
+				break
+			}
+			for _, p := range v.Post {
+				it.eval(env, p)
+			}
+		}
+	case *php.ForeachStmt:
+		subj := it.eval(env, v.Subject)
+		if subj.Kind != KArray {
+			return
+		}
+		for _, k := range subj.ArrKeys {
+			if v.KeyVar != "" {
+				env[v.KeyVar] = Str(k)
+			}
+			env[v.ValVar] = subj.Arr[k]
+			if it.loopBody(env, v.Body) {
+				break
+			}
+		}
+	case *php.SwitchStmt:
+		subj := it.eval(env, v.Subject)
+		matched := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(breakSignal); ok {
+						return
+					}
+					panic(r)
+				}
+			}()
+			for _, cs := range v.Cases {
+				if !matched {
+					if cs.Match == nil {
+						matched = true
+					} else if LooseEq(subj, it.eval(env, cs.Match)) {
+						matched = true
+					}
+				}
+				if matched {
+					it.execStmts(env, cs.Body)
+				}
+			}
+		}()
+	case *php.BreakStmt:
+		panic(breakSignal{})
+	case *php.ContinueStmt:
+		panic(continueSignal{})
+	case *php.ReturnStmt:
+		val := Null()
+		if v.X != nil {
+			val = it.eval(env, v.X)
+		}
+		panic(returnSignal{val})
+	case *php.FuncDecl:
+		it.funcs[strings.ToLower(v.Name)] = v
+	case *php.GlobalStmt:
+		for _, n := range v.Names {
+			if g, ok := it.globals[n]; ok {
+				env[n] = g
+			}
+		}
+	}
+}
+
+// loopBody executes a loop body, returning true on break.
+func (it *interp) loopBody(env map[string]Value, body []php.Stmt) (brk bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case breakSignal:
+				brk = true
+			case continueSignal:
+			default:
+				panic(r)
+			}
+		}
+	}()
+	it.execStmts(env, body)
+	return false
+}
+
+func (it *interp) include(env map[string]Value, inc *php.IncludeExpr) Value {
+	if it.incDepth >= it.opts.MaxIncludeDepth {
+		return Bool(false)
+	}
+	name, _ := it.eval(env, inc.Arg).ToString()
+	f, ok := it.resolver.Load(name)
+	if !ok {
+		return Bool(false)
+	}
+	it.incDepth++
+	defer func() { it.incDepth-- }()
+	it.execFile(env, f)
+	return Bool(true)
+}
+
+// input reads a superglobal entry, tainted (pre-escaped under magic
+// quotes).
+func (it *interp) input(table map[string]string, key string) Value {
+	var v Value
+	switch {
+	case table != nil && hasKey(table, key):
+		v = TaintedStr(table[key])
+	case it.opts.DefaultInput != nil:
+		v = TaintedStr(*it.opts.DefaultInput)
+	default:
+		return Null()
+	}
+	if it.opts.MagicQuotes {
+		return applyAddslashes(v)
+	}
+	return v
+}
+
+func hasKey(m map[string]string, k string) bool {
+	_, ok := m[k]
+	return ok
+}
+
+func (it *interp) superglobal(name string) (map[string]string, bool) {
+	switch name {
+	case "_GET":
+		return it.opts.Get, true
+	case "_POST":
+		return it.opts.Post, true
+	case "_COOKIE":
+		return it.opts.Cookie, true
+	case "_REQUEST":
+		merged := map[string]string{}
+		for k, v := range it.opts.Get {
+			merged[k] = v
+		}
+		for k, v := range it.opts.Post {
+			merged[k] = v
+		}
+		return merged, true
+	case "_SERVER", "_SESSION", "_FILES":
+		// No configured entries; reads fall back to DefaultInput (tainted)
+		// in adversarial mode, matching the analysis's source treatment.
+		return nil, true
+	}
+	return nil, false
+}

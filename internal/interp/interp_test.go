@@ -1,0 +1,374 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"sqlciv/internal/analysis"
+)
+
+func runPage(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	res, err := Run(analysis.NewMapResolver(map[string]string{"p.php": src}), "p.php", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBasicQueryAndTaint(t *testing.T) {
+	res := runPage(t, `<?php
+$id = $_GET['id'];
+mysql_query("SELECT * FROM t WHERE id='" . $id . "'");
+`, Options{Get: map[string]string{"id": "42"}})
+	if len(res.Queries) != 1 {
+		t.Fatalf("queries: %v", res.Queries)
+	}
+	q := res.Queries[0]
+	if q.SQL != "SELECT * FROM t WHERE id='42'" {
+		t.Fatalf("sql = %q", q.SQL)
+	}
+	spans := q.TaintSpans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %v", spans)
+	}
+	if q.SQL[spans[0][0]:spans[0][1]] != "42" {
+		t.Fatalf("tainted span = %q", q.SQL[spans[0][0]:spans[0][1]])
+	}
+}
+
+func TestGuardExits(t *testing.T) {
+	src := `<?php
+$id = $_GET['id'];
+if (!preg_match('/^[0-9]+$/', $id)) { exit; }
+mysql_query("SELECT * FROM t WHERE id=$id");
+`
+	bad := runPage(t, src, Options{Get: map[string]string{"id": "1 OR 1=1"}})
+	if len(bad.Queries) != 0 || !bad.Exited {
+		t.Fatal("guard should exit on bad input")
+	}
+	good := runPage(t, src, Options{Get: map[string]string{"id": "7"}})
+	if len(good.Queries) != 1 || good.Queries[0].SQL != "SELECT * FROM t WHERE id=7" {
+		t.Fatalf("queries: %v", good.Queries)
+	}
+}
+
+func TestUnanchoredGuardAdmitsAttack(t *testing.T) {
+	src := `<?php
+$id = $_GET['id'];
+if (!eregi('[0-9]+', $id)) { exit; }
+mysql_query("SELECT * FROM t WHERE id='$id'");
+`
+	attack := "1'; DROP TABLE t; --"
+	res := runPage(t, src, Options{Get: map[string]string{"id": attack}})
+	if len(res.Queries) != 1 {
+		t.Fatal("attack should pass the unanchored guard")
+	}
+	if !strings.Contains(res.Queries[0].SQL, "DROP TABLE") {
+		t.Fatalf("sql = %q", res.Queries[0].SQL)
+	}
+}
+
+func TestAddslashesTaintThroughEscape(t *testing.T) {
+	res := runPage(t, `<?php
+$v = addslashes($_GET['v']);
+mysql_query("SELECT '" . $v . "'");
+`, Options{Get: map[string]string{"v": "a'b"}})
+	q := res.Queries[0]
+	if q.SQL != `SELECT 'a\'b'` {
+		t.Fatalf("sql = %q", q.SQL)
+	}
+	spans := q.TaintSpans()
+	if len(spans) != 1 || q.SQL[spans[0][0]:spans[0][1]] != `a\'b` {
+		t.Fatalf("span = %v", spans)
+	}
+}
+
+func TestFunctionsAndLoops(t *testing.T) {
+	res := runPage(t, `<?php
+function dup($s) { return $s . $s; }
+$acc = '';
+for ($i = 0; $i < 3; $i++) {
+    $acc = $acc . dup('x');
+}
+mysql_query("SELECT '" . $acc . "'");
+`, Options{})
+	if res.Queries[0].SQL != "SELECT 'xxxxxx'" {
+		t.Fatalf("sql = %q", res.Queries[0].SQL)
+	}
+}
+
+func TestIncludeAndEcho(t *testing.T) {
+	res, err := Run(analysis.NewMapResolver(map[string]string{
+		"p.php":   `<?php include('lib.php'); echo '<p>' . $msg . '</p>';`,
+		"lib.php": `<?php $msg = 'hi';`,
+	}), "p.php", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "<p>hi</p>" {
+		t.Fatalf("output = %q", res.Output)
+	}
+}
+
+func TestFigure9SemanticsAreSafe(t *testing.T) {
+	// The paper's false-positive page: concretely, every executed query
+	// has a digit-only newsid.
+	src := `<?php
+isset($_GET['newsid']) ?
+    $getnewsid = $_GET['newsid'] : $getnewsid = false;
+if (($getnewsid != false) && (!preg_match('/^[0-9]+$/', $getnewsid)))
+{
+    exit;
+}
+if ($getnewsid)
+{
+    mysql_query("SELECT * FROM n WHERE newsid='$getnewsid'");
+}
+`
+	for _, in := range []string{"", "5", "1'; DROP TABLE n; --", "0"} {
+		opts := Options{Get: map[string]string{"newsid": in}}
+		if in == "" {
+			opts.Get = map[string]string{}
+		}
+		res := runPage(t, src, opts)
+		for _, q := range res.Queries {
+			if strings.Contains(q.SQL, "DROP") {
+				t.Fatalf("input %q executed %q — Figure 9 should be safe", in, q.SQL)
+			}
+		}
+	}
+}
+
+func TestDefaultInputMode(t *testing.T) {
+	attack := "x' OR 1=1 --"
+	res := runPage(t, `<?php
+mysql_query("SELECT * FROM t WHERE a='" . $_GET['whatever'] . "'");
+`, Options{DefaultInput: &attack})
+	if !strings.Contains(res.Queries[0].SQL, "OR 1=1") {
+		t.Fatalf("sql = %q", res.Queries[0].SQL)
+	}
+}
+
+func TestDBRowTaint(t *testing.T) {
+	res := runPage(t, `<?php
+$row = mysql_fetch_assoc($r);
+mysql_query("UPDATE t SET v='" . $row['title'] . "'");
+`, Options{DBValue: "sto'red"})
+	q := res.Queries[0]
+	if !strings.Contains(q.SQL, "sto'red") {
+		t.Fatalf("sql = %q", q.SQL)
+	}
+	if len(q.TaintSpans()) == 0 {
+		t.Fatal("db row should be tainted")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	res := runPage(t, `<?php
+switch ($_GET['m']) {
+case 'a': $x = 'A';
+case 'b': $y = 'B'; break;
+default: $y = 'D';
+}
+mysql_query("SELECT '$x$y'");
+`, Options{Get: map[string]string{"m": "a"}})
+	if res.Queries[0].SQL != "SELECT 'AB'" {
+		t.Fatalf("sql = %q (fallthrough broken)", res.Queries[0].SQL)
+	}
+}
+
+func TestStringBuiltinsSemantics(t *testing.T) {
+	res := runPage(t, `<?php
+$a = strtoupper('ab') . strtolower('CD');
+$b = substr('hello', 1, 3);
+$c = str_replace('x', 'yy', 'axb');
+$d = implode(',', explode('-', 'p-q-r'));
+$e = sprintf('%s=%d', 'n', '42abc');
+$f = trim('  pad  ');
+mysql_query("SELECT '$a' '$b' '$c' '$d' '$e' '$f'");
+`, Options{})
+	want := "SELECT 'ABcd' 'ell' 'ayyb' 'p,q,r' 'n=42' 'pad'"
+	if res.Queries[0].SQL != want {
+		t.Fatalf("sql = %q, want %q", res.Queries[0].SQL, want)
+	}
+}
+
+func TestTernaryAndComparisons(t *testing.T) {
+	res := runPage(t, `<?php
+$x = ('5' == 5) ? 'eq' : 'ne';
+$y = ('abc' == 0) ? 'zero' : 'str';
+$z = (3 < '10') ? 'lt' : 'ge';
+mysql_query("SELECT '$x$y$z'");
+`, Options{})
+	// PHP 5 semantics: '5'==5 true; 'abc'==0 true (string→0); 3<'10' true.
+	if res.Queries[0].SQL != "SELECT 'eqzerolt'" {
+		t.Fatalf("sql = %q", res.Queries[0].SQL)
+	}
+}
+
+func TestLoopBound(t *testing.T) {
+	res := runPage(t, `<?php
+$n = 0;
+while (true) { $n++; }
+mysql_query("SELECT $n");
+`, Options{MaxLoopIter: 5})
+	if res.Queries[0].SQL != "SELECT 5" {
+		t.Fatalf("sql = %q", res.Queries[0].SQL)
+	}
+}
+
+func TestMoreBuiltins(t *testing.T) {
+	res := runPage(t, `<?php
+$a = strip_tags('<b>x</b>y');
+$b = urlencode("a'b c");
+$c = chr(65) . ord('B');
+$d = md5('abc');
+$e = number_format('1234.5');
+$f = stripslashes('a\\\'b');
+mysql_query("Q|$a|$b|$c|$d|$e|$f");
+`, Options{})
+	want := "Q|xy|a%27b+c|A66|900150983cd24fb0d6963f7d28e17f72|1235|a'b"
+	if res.Queries[0].SQL != want {
+		t.Fatalf("sql = %q,\nwant  %q", res.Queries[0].SQL, want)
+	}
+}
+
+func TestBreakContinueAndForeachKeys(t *testing.T) {
+	res := runPage(t, `<?php
+$arr = array('a' => 1, 'b' => 2, 'c' => 3);
+$out = '';
+foreach ($arr as $k => $v) {
+    if ($k == 'b') { continue; }
+    if ($k == 'c') { break; }
+    $out .= $k . $v;
+}
+mysql_query("SELECT '$out'");
+`, Options{})
+	if res.Queries[0].SQL != "SELECT 'a1'" {
+		t.Fatalf("sql = %q", res.Queries[0].SQL)
+	}
+}
+
+func TestPropAssignmentAndRead(t *testing.T) {
+	res := runPage(t, `<?php
+$obj->name = 'n';
+mysql_query("SELECT '" . $obj->name . "'");
+`, Options{})
+	if res.Queries[0].SQL != "SELECT 'n'" {
+		t.Fatalf("sql = %q", res.Queries[0].SQL)
+	}
+}
+
+func TestStrictEqAndEmptyIsset(t *testing.T) {
+	res := runPage(t, `<?php
+$a = ('5' === 5) ? 'y' : 'n';
+$b = empty('') ? 'e' : 'f';
+$c = isset($undefined) ? 'i' : 'u';
+mysql_query("SELECT '$a$b$c'");
+`, Options{})
+	if res.Queries[0].SQL != "SELECT 'neu'" {
+		t.Fatalf("sql = %q", res.Queries[0].SQL)
+	}
+}
+
+func TestMethodEscapeAndGlobals(t *testing.T) {
+	res, err := Run(analysis.NewMapResolver(map[string]string{
+		"p.php": `<?php
+include('conf.php');
+function q() {
+    global $prefix;
+    return $prefix;
+}
+$v = $DB->escape($_GET['v']);
+mysql_query(q() . " WHERE a='" . $v . "'");
+`,
+		"conf.php": `<?php $prefix = 'SELECT *';`,
+	}), "p.php", Options{Get: map[string]string{"v": "x'y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries[0].SQL != `SELECT * WHERE a='x\'y'` {
+		t.Fatalf("sql = %q", res.Queries[0].SQL)
+	}
+}
+
+func TestNumericStringArith(t *testing.T) {
+	res := runPage(t, `<?php
+$x = '3' + '4';
+$y = '2.5' * 2;
+$z = 7 % 3;
+$w = -'5';
+mysql_query("SELECT $x $y $z $w");
+`, Options{})
+	if res.Queries[0].SQL != "SELECT 7 5 1 -5" {
+		t.Fatalf("sql = %q", res.Queries[0].SQL)
+	}
+}
+
+func TestExitOutputsRecorded(t *testing.T) {
+	res := runPage(t, `<?php
+echo 'before ';
+exit('bye');
+`, Options{})
+	if !res.Exited || res.Output != "before bye" {
+		t.Fatalf("exited=%v output=%q", res.Exited, res.Output)
+	}
+}
+
+func TestMissingIncludeIgnored(t *testing.T) {
+	res := runPage(t, `<?php
+include('nope.php');
+mysql_query("SELECT 1");
+`, Options{})
+	if len(res.Queries) != 1 {
+		t.Fatal("execution should continue past a missing include")
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	arr := NewArray()
+	arr.ArraySet("k", Str("v"))
+	for _, v := range []Value{Null(), Bool(true), Int(3), Float(2.5), Str("s"), arr} {
+		if v.String() == "" {
+			t.Fatal("empty rendering")
+		}
+	}
+	if got := TaintedStr("ab").TaintSpans(); len(got) != 1 || got[0] != [2]int{0, 2} {
+		t.Fatalf("spans = %v", got)
+	}
+}
+
+func TestDoWhileRunsOnce(t *testing.T) {
+	res := runPage(t, `<?php
+$n = 0;
+do { $n++; } while (false);
+mysql_query("SELECT $n");
+`, Options{})
+	if res.Queries[0].SQL != "SELECT 1" {
+		t.Fatalf("sql = %q", res.Queries[0].SQL)
+	}
+}
+
+func TestListAssignPositional(t *testing.T) {
+	res := runPage(t, `<?php
+list($a, , $c) = explode('-', 'x-y-z');
+mysql_query("SELECT '$a$c'");
+`, Options{})
+	if res.Queries[0].SQL != "SELECT 'xz'" {
+		t.Fatalf("sql = %q", res.Queries[0].SQL)
+	}
+}
+
+func TestMagicQuotesExecution(t *testing.T) {
+	src := `<?php
+mysql_query("SELECT * FROM t WHERE a='" . $_GET['v'] . "'");
+`
+	res := runPage(t, src, Options{
+		Get:         map[string]string{"v": "x' OR '1'='1"},
+		MagicQuotes: true,
+	})
+	if res.Queries[0].SQL != `SELECT * FROM t WHERE a='x\' OR \'1\'=\'1'` {
+		t.Fatalf("sql = %q", res.Queries[0].SQL)
+	}
+}

@@ -1,0 +1,342 @@
+// Package interp is a concrete interpreter for the analyzed PHP subset,
+// with character-level taint tracking — the dynamic-analysis counterpart
+// the paper compares against (§6.3, SQLCheck/AMNESIA-style). Its role in
+// this repository is validation: executing the evaluation corpus on
+// concrete (including adversarial) inputs renders real queries whose
+// tainted spans can be checked against the Definition 2.2 confinement
+// oracle, giving an executable ground truth for the static analyzer's
+// verdicts — VERIFIED pages must never render an unconfined span, and
+// planted vulnerabilities must reproduce concretely.
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates PHP values.
+type Kind int
+
+// Value kinds.
+const (
+	KNull Kind = iota
+	KBool
+	KInt
+	KFloat
+	KString
+	KArray
+)
+
+// Value is a PHP value. String values carry a per-byte taint mask (nil
+// means untainted).
+type Value struct {
+	Kind  Kind
+	B     bool
+	I     int64
+	F     float64
+	S     string
+	Taint []bool
+	// Arrays preserve insertion order of keys.
+	Arr     map[string]Value
+	ArrKeys []string
+}
+
+// Null, Bool, Int, Str build values.
+func Null() Value           { return Value{Kind: KNull} }
+func Bool(b bool) Value     { return Value{Kind: KBool, B: b} }
+func Int(i int64) Value     { return Value{Kind: KInt, I: i} }
+func Float(f float64) Value { return Value{Kind: KFloat, F: f} }
+func Str(s string) Value    { return Value{Kind: KString, S: s} }
+
+// TaintedStr builds a fully tainted string.
+func TaintedStr(s string) Value {
+	t := make([]bool, len(s))
+	for i := range t {
+		t[i] = true
+	}
+	return Value{Kind: KString, S: s, Taint: t}
+}
+
+// NewArray builds an empty array value.
+func NewArray() Value { return Value{Kind: KArray, Arr: map[string]Value{}} }
+
+// ArraySet sets a key, preserving order.
+func (v *Value) ArraySet(key string, val Value) {
+	if v.Arr == nil {
+		v.Arr = map[string]Value{}
+	}
+	if _, ok := v.Arr[key]; !ok {
+		v.ArrKeys = append(v.ArrKeys, key)
+	}
+	v.Arr[key] = val
+}
+
+// ArrayPush appends with the next integer key.
+func (v *Value) ArrayPush(val Value) {
+	next := 0
+	for _, k := range v.ArrKeys {
+		if n, err := strconv.Atoi(k); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	v.ArraySet(strconv.Itoa(next), val)
+}
+
+// ToString converts per PHP semantics, carrying taint.
+func (v Value) ToString() (string, []bool) {
+	switch v.Kind {
+	case KNull:
+		return "", nil
+	case KBool:
+		if v.B {
+			return "1", nil
+		}
+		return "", nil
+	case KInt:
+		return strconv.FormatInt(v.I, 10), nil
+	case KFloat:
+		return strconv.FormatFloat(v.F, 'G', -1, 64), nil
+	case KString:
+		return v.S, v.Taint
+	case KArray:
+		return "Array", nil
+	}
+	return "", nil
+}
+
+// ToBool converts per PHP truthiness.
+func (v Value) ToBool() bool {
+	switch v.Kind {
+	case KNull:
+		return false
+	case KBool:
+		return v.B
+	case KInt:
+		return v.I != 0
+	case KFloat:
+		return v.F != 0
+	case KString:
+		return v.S != "" && v.S != "0"
+	case KArray:
+		return len(v.Arr) > 0
+	}
+	return false
+}
+
+// ToInt converts per PHP: leading numeric prefix.
+func (v Value) ToInt() int64 {
+	switch v.Kind {
+	case KInt:
+		return v.I
+	case KFloat:
+		return int64(v.F)
+	case KBool:
+		if v.B {
+			return 1
+		}
+		return 0
+	case KString:
+		return leadingInt(v.S)
+	}
+	return 0
+}
+
+func leadingInt(s string) int64 {
+	i := 0
+	neg := false
+	if i < len(s) && (s[i] == '-' || s[i] == '+') {
+		neg = s[i] == '-'
+		i++
+	}
+	j := i
+	for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+		j++
+	}
+	if j == i {
+		return 0
+	}
+	n, _ := strconv.ParseInt(s[i:j], 10, 64)
+	if neg {
+		return -n
+	}
+	return n
+}
+
+// ToFloat converts per PHP.
+func (v Value) ToFloat() float64 {
+	switch v.Kind {
+	case KFloat:
+		return v.F
+	case KInt:
+		return float64(v.I)
+	case KString:
+		f, _ := strconv.ParseFloat(strings.TrimSpace(numericPrefix(v.S)), 64)
+		return f
+	case KBool:
+		if v.B {
+			return 1
+		}
+	}
+	return 0
+}
+
+func numericPrefix(s string) string {
+	i := 0
+	if i < len(s) && (s[i] == '-' || s[i] == '+') {
+		i++
+	}
+	dot := false
+	j := i
+	for j < len(s) {
+		if s[j] >= '0' && s[j] <= '9' {
+			j++
+		} else if s[j] == '.' && !dot {
+			dot = true
+			j++
+		} else {
+			break
+		}
+	}
+	return s[:j]
+}
+
+// isNumericString reports PHP is_numeric-ish (full-string numeric).
+func isNumericString(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return false
+	}
+	p := numericPrefix(s)
+	return p == s && strings.TrimLeft(p, "+-") != "" && strings.TrimLeft(p, "+-") != "."
+}
+
+// LooseEq implements PHP 5 ==.
+func LooseEq(a, b Value) bool {
+	if a.Kind == KBool || b.Kind == KBool {
+		return a.ToBool() == b.ToBool()
+	}
+	if a.Kind == KNull || b.Kind == KNull {
+		if a.Kind == KNull && b.Kind == KNull {
+			return true
+		}
+		other := a
+		if a.Kind == KNull {
+			other = b
+		}
+		switch other.Kind {
+		case KString:
+			return other.S == ""
+		default:
+			return !other.ToBool()
+		}
+	}
+	aNum := a.Kind == KInt || a.Kind == KFloat
+	bNum := b.Kind == KInt || b.Kind == KFloat
+	switch {
+	case aNum && bNum:
+		return a.ToFloat() == b.ToFloat()
+	case aNum || bNum:
+		// number vs string: numeric comparison (PHP 5 semantics)
+		return a.ToFloat() == b.ToFloat()
+	case a.Kind == KString && b.Kind == KString:
+		if isNumericString(a.S) && isNumericString(b.S) {
+			return a.ToFloat() == b.ToFloat()
+		}
+		return a.S == b.S
+	}
+	return false
+}
+
+// Compare implements < / > (numeric when possible, else lexicographic).
+func Compare(a, b Value) int {
+	as, _ := a.ToString()
+	bs, _ := b.ToString()
+	if (a.Kind == KInt || a.Kind == KFloat || isNumericString(as)) &&
+		(b.Kind == KInt || b.Kind == KFloat || isNumericString(bs)) {
+		af, bf := a.ToFloat(), b.ToFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(as, bs)
+}
+
+// concatValues concatenates two values' string forms, merging taint.
+func concatValues(a, b Value) Value {
+	as, at := a.ToString()
+	bs, bt := b.ToString()
+	out := Value{Kind: KString, S: as + bs}
+	if at != nil || bt != nil {
+		t := make([]bool, len(as)+len(bs))
+		copy(t, normTaint(at, len(as)))
+		copy(t[len(as):], normTaint(bt, len(bs)))
+		out.Taint = t
+	}
+	return out
+}
+
+func normTaint(t []bool, n int) []bool {
+	if t == nil {
+		return make([]bool, n)
+	}
+	return t
+}
+
+// TaintSpans returns the maximal tainted [start,end) spans of a string
+// value.
+func (v Value) TaintSpans() [][2]int {
+	var out [][2]int
+	if v.Taint == nil {
+		return out
+	}
+	i := 0
+	for i < len(v.Taint) {
+		if !v.Taint[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(v.Taint) && v.Taint[j] {
+			j++
+		}
+		out = append(out, [2]int{i, j})
+		i = j
+	}
+	return out
+}
+
+// String renders a value for debugging.
+func (v Value) String() string {
+	switch v.Kind {
+	case KNull:
+		return "null"
+	case KBool:
+		return fmt.Sprintf("%v", v.B)
+	case KInt:
+		return strconv.FormatInt(v.I, 10)
+	case KFloat:
+		return strconv.FormatFloat(v.F, 'G', -1, 64)
+	case KString:
+		return strconv.Quote(v.S)
+	case KArray:
+		keys := append([]string(nil), v.ArrKeys...)
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteString("array(")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s => %s", k, v.Arr[k].String())
+		}
+		b.WriteString(")")
+		return b.String()
+	}
+	return "?"
+}

@@ -1,0 +1,106 @@
+package interp
+
+import "testing"
+
+func TestLooseEqMatrix(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Str("5"), Int(5), true},
+		{Str("5.0"), Int(5), true},
+		{Str("abc"), Int(0), true}, // PHP 5: non-numeric string == 0
+		{Str("abc"), Str("abc"), true},
+		{Str("abc"), Str("abd"), false},
+		{Str("10"), Str("1e1"), false}, // our numeric-prefix parser: not numeric-equal forms
+		{Bool(false), Str(""), true},
+		{Bool(false), Str("0"), true},
+		{Bool(true), Str("x"), true},
+		{Null(), Str(""), true},
+		{Null(), Str("x"), false},
+		{Null(), Null(), true},
+		{Int(3), Float(3.0), true},
+	}
+	for _, tc := range cases {
+		if got := LooseEq(tc.a, tc.b); got != tc.want {
+			t.Errorf("LooseEq(%s, %s) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCompareSemantics(t *testing.T) {
+	if Compare(Str("9"), Str("10")) >= 0 {
+		t.Fatal("numeric strings compare numerically")
+	}
+	if Compare(Str("apple"), Str("banana")) >= 0 {
+		t.Fatal("non-numeric strings compare lexicographically")
+	}
+	if Compare(Int(2), Int(2)) != 0 {
+		t.Fatal("equal ints")
+	}
+}
+
+func TestToIntConversions(t *testing.T) {
+	cases := map[string]int64{
+		"42":    42,
+		"-7":    -7,
+		"12abc": 12,
+		"abc":   0,
+		"":      0,
+		"+3":    3,
+	}
+	for in, want := range cases {
+		if got := Str(in).ToInt(); got != want {
+			t.Errorf("ToInt(%q) = %d, want %d", in, got, want)
+		}
+	}
+	if Bool(true).ToInt() != 1 || Null().ToInt() != 0 {
+		t.Fatal("bool/null conversions")
+	}
+}
+
+func TestIsNumericString(t *testing.T) {
+	for s, want := range map[string]bool{
+		"42": true, "-3.5": true, " 7 ": true, "": false,
+		"abc": false, "4x": false, ".": false, "-": false,
+	} {
+		if got := isNumericString(s); got != want {
+			t.Errorf("isNumericString(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestArrayPushNumbering(t *testing.T) {
+	arr := NewArray()
+	arr.ArrayPush(Str("a"))
+	arr.ArraySet("5", Str("b"))
+	arr.ArrayPush(Str("c")) // next int key after 5 is 6
+	if arr.Arr["0"].S != "a" || arr.Arr["6"].S != "c" {
+		t.Fatalf("array keys: %v", arr.ArrKeys)
+	}
+}
+
+func TestConcatTaintBoundaries(t *testing.T) {
+	v := concatValues(Str("a"), TaintedStr("b"))
+	v = concatValues(v, Str("c"))
+	spans := v.TaintSpans()
+	if len(spans) != 1 || spans[0] != [2]int{1, 2} {
+		t.Fatalf("spans = %v", spans)
+	}
+}
+
+func TestServerSuperglobalAdversarial(t *testing.T) {
+	attack := "x' --"
+	res := runPageT(t, `<?php
+mysql_query("SELECT '" . $_SERVER['HTTP_REFERER'] . "'");
+`, Options{DefaultInput: &attack})
+	if len(res.Queries) != 1 || res.Queries[0].SQL != "SELECT 'x' --'" {
+		t.Fatalf("queries: %v", res.Queries)
+	}
+}
+
+// runPageT mirrors interp_test.runPage for this file.
+func runPageT(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	return runPage(t, src, opts)
+}

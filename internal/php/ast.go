@@ -1,0 +1,359 @@
+package php
+
+// Node is any AST node; Pos returns its source line.
+type Node interface{ Pos() int }
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// ---- expressions -----------------------------------------------------------
+
+// StrLit is a string literal (already decoded).
+type StrLit struct {
+	Line  int
+	Value string
+}
+
+// NumLit is a numeric literal (spelling preserved).
+type NumLit struct {
+	Line  int
+	Value string
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Line  int
+	Value bool
+}
+
+// NullLit is null.
+type NullLit struct{ Line int }
+
+// Var is a variable reference $Name.
+type Var struct {
+	Line int
+	Name string
+}
+
+// Index is $base[key]; Key is nil for the push form $a[].
+type Index struct {
+	Line int
+	Base Expr
+	Key  Expr
+}
+
+// Prop is $obj->Name.
+type Prop struct {
+	Line   int
+	Object Expr
+	Name   string
+}
+
+// Interp is a double-quoted string: parts are StrLit / Var / Index.
+type Interp struct {
+	Line  int
+	Parts []Expr
+}
+
+// Binary is a binary operation; Op is the PHP spelling ("." for concat).
+type Binary struct {
+	Line int
+	Op   string
+	L, R Expr
+}
+
+// Unary is a prefix (or postfix ++/--) operation.
+type Unary struct {
+	Line    int
+	Op      string
+	X       Expr
+	Postfix bool
+}
+
+// Assign is Target Op Value with Op in {=, .=, +=, -=, *=, /=}.
+type Assign struct {
+	Line   int
+	Op     string
+	Target Expr
+	Value  Expr
+}
+
+// Ternary is Cond ? Then : Else; Then == nil encodes the ?: short form.
+type Ternary struct {
+	Line             int
+	Cond, Then, Else Expr
+}
+
+// Call is a plain function call.
+type Call struct {
+	Line int
+	Name string
+	Args []Expr
+}
+
+// MethodCall is $obj->Method(args).
+type MethodCall struct {
+	Line   int
+	Object Expr
+	Method string
+	Args   []Expr
+}
+
+// IssetExpr is isset(...).
+type IssetExpr struct {
+	Line int
+	Args []Expr
+}
+
+// EmptyExpr is empty(x).
+type EmptyExpr struct {
+	Line int
+	X    Expr
+}
+
+// ArrayItem is one element of an array literal.
+type ArrayItem struct {
+	Key   Expr // nil when positional
+	Value Expr
+}
+
+// ArrayLit is array(...) or [...].
+type ArrayLit struct {
+	Line  int
+	Items []ArrayItem
+}
+
+// Cast is (int)x, (string)x, …
+type Cast struct {
+	Line int
+	Type string
+	X    Expr
+}
+
+// IncludeExpr is include/require (once-variants included); Kind records the
+// spelling.
+type IncludeExpr struct {
+	Line int
+	Kind string
+	Arg  Expr
+}
+
+// ExitExpr is exit/die, with optional argument.
+type ExitExpr struct {
+	Line int
+	Arg  Expr
+}
+
+// PrintExpr is print x.
+type PrintExpr struct {
+	Line int
+	X    Expr
+}
+
+// ConstFetch is a bare identifier used as a constant.
+type ConstFetch struct {
+	Line int
+	Name string
+}
+
+func (e *StrLit) Pos() int      { return e.Line }
+func (e *NumLit) Pos() int      { return e.Line }
+func (e *BoolLit) Pos() int     { return e.Line }
+func (e *NullLit) Pos() int     { return e.Line }
+func (e *Var) Pos() int         { return e.Line }
+func (e *Index) Pos() int       { return e.Line }
+func (e *Prop) Pos() int        { return e.Line }
+func (e *Interp) Pos() int      { return e.Line }
+func (e *Binary) Pos() int      { return e.Line }
+func (e *Unary) Pos() int       { return e.Line }
+func (e *Assign) Pos() int      { return e.Line }
+func (e *Ternary) Pos() int     { return e.Line }
+func (e *Call) Pos() int        { return e.Line }
+func (e *MethodCall) Pos() int  { return e.Line }
+func (e *IssetExpr) Pos() int   { return e.Line }
+func (e *EmptyExpr) Pos() int   { return e.Line }
+func (e *ArrayLit) Pos() int    { return e.Line }
+func (e *Cast) Pos() int        { return e.Line }
+func (e *IncludeExpr) Pos() int { return e.Line }
+func (e *ExitExpr) Pos() int    { return e.Line }
+func (e *PrintExpr) Pos() int   { return e.Line }
+func (e *ConstFetch) Pos() int  { return e.Line }
+func (e *ListAssign) Pos() int  { return e.Line }
+func (*ListAssign) exprNode()   {}
+
+func (*StrLit) exprNode()      {}
+func (*NumLit) exprNode()      {}
+func (*BoolLit) exprNode()     {}
+func (*NullLit) exprNode()     {}
+func (*Var) exprNode()         {}
+func (*Index) exprNode()       {}
+func (*Prop) exprNode()        {}
+func (*Interp) exprNode()      {}
+func (*Binary) exprNode()      {}
+func (*Unary) exprNode()       {}
+func (*Assign) exprNode()      {}
+func (*Ternary) exprNode()     {}
+func (*Call) exprNode()        {}
+func (*MethodCall) exprNode()  {}
+func (*IssetExpr) exprNode()   {}
+func (*EmptyExpr) exprNode()   {}
+func (*ArrayLit) exprNode()    {}
+func (*Cast) exprNode()        {}
+func (*IncludeExpr) exprNode() {}
+func (*ExitExpr) exprNode()    {}
+func (*PrintExpr) exprNode()   {}
+func (*ConstFetch) exprNode()  {}
+
+// ---- statements -------------------------------------------------------------
+
+// ExprStmt is an expression used as a statement.
+type ExprStmt struct {
+	Line int
+	X    Expr
+}
+
+// EchoStmt is echo with one or more arguments.
+type EchoStmt struct {
+	Line int
+	Args []Expr
+}
+
+// HTMLStmt is inline HTML outside PHP tags.
+type HTMLStmt struct {
+	Line int
+	Text string
+}
+
+// IfStmt is if/else; elseif chains are desugared into nested IfStmt in
+// Else.
+type IfStmt struct {
+	Line int
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt is a while loop; DoWhile marks the post-tested variant (the
+// body always runs at least once).
+type WhileStmt struct {
+	Line    int
+	Cond    Expr
+	Body    []Stmt
+	DoWhile bool
+}
+
+// ListAssign is list($a, $b, ...) = expr; nil targets skip positions.
+type ListAssign struct {
+	Line    int
+	Targets []Expr // Var or Index, nil for skipped slots
+	Value   Expr
+}
+
+// ForStmt is a C-style for loop.
+type ForStmt struct {
+	Line int
+	Init []Expr
+	Cond []Expr
+	Post []Expr
+	Body []Stmt
+}
+
+// ForeachStmt iterates an array; KeyVar may be empty.
+type ForeachStmt struct {
+	Line    int
+	Subject Expr
+	KeyVar  string
+	ValVar  string
+	Body    []Stmt
+}
+
+// SwitchCase is one case (Match == nil for default).
+type SwitchCase struct {
+	Match Expr
+	Body  []Stmt
+}
+
+// SwitchStmt is a switch.
+type SwitchStmt struct {
+	Line    int
+	Subject Expr
+	Cases   []SwitchCase
+}
+
+// BreakStmt breaks a loop or switch.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues a loop.
+type ContinueStmt struct{ Line int }
+
+// ReturnStmt returns from a function (X may be nil).
+type ReturnStmt struct {
+	Line int
+	X    Expr
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name    string
+	Default Expr
+	ByRef   bool
+}
+
+// FuncDecl declares a user function.
+type FuncDecl struct {
+	Line   int
+	Name   string
+	Params []Param
+	Body   []Stmt
+}
+
+// GlobalStmt imports globals into a function scope.
+type GlobalStmt struct {
+	Line  int
+	Names []string
+}
+
+func (s *ExprStmt) Pos() int     { return s.Line }
+func (s *EchoStmt) Pos() int     { return s.Line }
+func (s *HTMLStmt) Pos() int     { return s.Line }
+func (s *IfStmt) Pos() int       { return s.Line }
+func (s *WhileStmt) Pos() int    { return s.Line }
+func (s *ForStmt) Pos() int      { return s.Line }
+func (s *ForeachStmt) Pos() int  { return s.Line }
+func (s *SwitchStmt) Pos() int   { return s.Line }
+func (s *BreakStmt) Pos() int    { return s.Line }
+func (s *ContinueStmt) Pos() int { return s.Line }
+func (s *ReturnStmt) Pos() int   { return s.Line }
+func (s *FuncDecl) Pos() int     { return s.Line }
+func (s *GlobalStmt) Pos() int   { return s.Line }
+
+func (*ExprStmt) stmtNode()     {}
+func (*EchoStmt) stmtNode()     {}
+func (*HTMLStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ForeachStmt) stmtNode()  {}
+func (*SwitchStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*FuncDecl) stmtNode()     {}
+func (*GlobalStmt) stmtNode()   {}
+
+// File is one parsed PHP source file.
+type File struct {
+	Name  string
+	Stmts []Stmt
+	// Funcs indexes every function declared anywhere in the file.
+	Funcs map[string]*FuncDecl
+}

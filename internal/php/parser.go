@@ -1,0 +1,1043 @@
+package php
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse lexes and parses one PHP source file.
+func Parse(name, src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{name: name, toks: toks}
+	f := &File{Name: name, Funcs: map[string]*FuncDecl{}}
+	for !p.atEOF() {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			f.Stmts = append(f.Stmts, s)
+		}
+	}
+	collectFuncs(f.Stmts, f.Funcs)
+	return f, nil
+}
+
+func collectFuncs(stmts []Stmt, out map[string]*FuncDecl) {
+	for _, s := range stmts {
+		switch v := s.(type) {
+		case *FuncDecl:
+			out[strings.ToLower(v.Name)] = v
+			collectFuncs(v.Body, out)
+		case *IfStmt:
+			collectFuncs(v.Then, out)
+			collectFuncs(v.Else, out)
+		case *WhileStmt:
+			collectFuncs(v.Body, out)
+		case *ForStmt:
+			collectFuncs(v.Body, out)
+		case *ForeachStmt:
+			collectFuncs(v.Body, out)
+		case *SwitchStmt:
+			for _, c := range v.Cases {
+				collectFuncs(c.Body, out)
+			}
+		}
+	}
+}
+
+type parser struct {
+	name string
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().Kind == EOF }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) isOp(s string) bool {
+	t := p.cur()
+	return t.Kind == Op && t.Value == s
+}
+
+func (p *parser) acceptOp(s string) bool {
+	if p.isOp(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(s string) error {
+	if !p.acceptOp(s) {
+		return p.errf("expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) isKw(s string) bool {
+	t := p.cur()
+	return t.Kind == Ident && strings.EqualFold(t.Value, s)
+}
+
+func (p *parser) acceptKw(s string) bool {
+	if p.isKw(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("php: %s:%d: %s", p.name, p.cur().Line, fmt.Sprintf(format, args...))
+}
+
+// ---- statements -------------------------------------------------------------
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == InlineHTML:
+		p.next()
+		return &HTMLStmt{Line: t.Line, Text: t.Value}, nil
+	case p.isOp(";"):
+		p.next()
+		return nil, nil
+	case p.isOp("{"):
+		// A bare block: splice its statements via a synthetic if(true)?
+		// Keep structure: parse and wrap in IfStmt with constant true.
+		p.next()
+		body, err := p.parseStmtsUntil("}")
+		if err != nil {
+			return nil, err
+		}
+		return &IfStmt{Line: t.Line, Cond: &BoolLit{Line: t.Line, Value: true}, Then: body}, nil
+	case p.isKw("if"):
+		return p.parseIf()
+	case p.isKw("while"):
+		return p.parseWhile()
+	case p.isKw("do"):
+		return p.parseDoWhile()
+	case p.isKw("for"):
+		return p.parseFor()
+	case p.isKw("foreach"):
+		return p.parseForeach()
+	case p.isKw("switch"):
+		return p.parseSwitch()
+	case p.isKw("function"):
+		return p.parseFuncDecl()
+	case p.isKw("return"):
+		p.next()
+		var x Expr
+		if !p.isOp(";") {
+			var err error
+			x, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.acceptOp(";")
+		return &ReturnStmt{Line: t.Line, X: x}, nil
+	case p.isKw("echo"):
+		p.next()
+		var args []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		p.acceptOp(";")
+		return &EchoStmt{Line: t.Line, Args: args}, nil
+	case p.isKw("global"):
+		p.next()
+		var names []string
+		for {
+			v := p.cur()
+			if v.Kind != Variable {
+				return nil, p.errf("expected variable in global, found %s", v)
+			}
+			p.next()
+			names = append(names, v.Value)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		p.acceptOp(";")
+		return &GlobalStmt{Line: t.Line, Names: names}, nil
+	case p.isKw("break"):
+		p.next()
+		// optional level, ignored
+		if p.cur().Kind == Number {
+			p.next()
+		}
+		p.acceptOp(";")
+		return &BreakStmt{Line: t.Line}, nil
+	case p.isKw("continue"):
+		p.next()
+		if p.cur().Kind == Number {
+			p.next()
+		}
+		p.acceptOp(";")
+		return &ContinueStmt{Line: t.Line}, nil
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.acceptOp(";")
+		return &ExprStmt{Line: t.Line, X: e}, nil
+	}
+}
+
+func (p *parser) parseStmtsUntil(close string) ([]Stmt, error) {
+	var out []Stmt
+	for !p.isOp(close) {
+		if p.atEOF() {
+			return nil, p.errf("expected %q before end of file", close)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	p.next() // consume close
+	return out, nil
+}
+
+// parseBody parses either a braced block or a single statement.
+func (p *parser) parseBody() ([]Stmt, error) {
+	if p.acceptOp("{") {
+		return p.parseStmtsUntil("}")
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, nil
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	line := p.cur().Line
+	p.next() // if
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	node := &IfStmt{Line: line, Cond: cond, Then: then}
+	switch {
+	case p.isKw("elseif"):
+		p.toks[p.pos].Value = "if" // rewrite and re-parse as nested if
+		els, err := p.parseIf()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = []Stmt{els}
+	case p.isKw("else"):
+		p.next()
+		if p.isKw("if") {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = []Stmt{els}
+		} else {
+			els, err := p.parseBody()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+	}
+	return node, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	line := p.cur().Line
+	p.next()
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Line: line, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) parseDoWhile() (Stmt, error) {
+	line := p.cur().Line
+	p.next() // do
+	body, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	if !p.acceptKw("while") {
+		return nil, p.errf("expected while after do body")
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	p.acceptOp(";")
+	return &WhileStmt{Line: line, Cond: cond, Body: body, DoWhile: true}, nil
+}
+
+func (p *parser) parseExprList(close string) ([]Expr, error) {
+	var out []Expr
+	if p.isOp(close) {
+		return out, nil
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	line := p.cur().Line
+	p.next()
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	init, err := p.parseExprList(";")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(";"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExprList(";")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(";"); err != nil {
+		return nil, err
+	}
+	post, err := p.parseExprList(")")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Line: line, Init: init, Cond: cond, Post: post, Body: body}, nil
+}
+
+func (p *parser) parseForeach() (Stmt, error) {
+	line := p.cur().Line
+	p.next()
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	subject, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.acceptKw("as") {
+		return nil, p.errf("expected 'as' in foreach")
+	}
+	v1 := p.cur()
+	if v1.Kind != Variable {
+		return nil, p.errf("expected variable in foreach")
+	}
+	p.next()
+	key, val := "", v1.Value
+	if p.acceptOp("=>") {
+		v2 := p.cur()
+		if v2.Kind != Variable {
+			return nil, p.errf("expected value variable in foreach")
+		}
+		p.next()
+		key, val = v1.Value, v2.Value
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	return &ForeachStmt{Line: line, Subject: subject, KeyVar: key, ValVar: val, Body: body}, nil
+}
+
+func (p *parser) parseSwitch() (Stmt, error) {
+	line := p.cur().Line
+	p.next()
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	subject, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("{"); err != nil {
+		return nil, err
+	}
+	node := &SwitchStmt{Line: line, Subject: subject}
+	for !p.isOp("}") {
+		if p.atEOF() {
+			return nil, p.errf("unterminated switch")
+		}
+		var match Expr
+		switch {
+		case p.acceptKw("case"):
+			match, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		case p.acceptKw("default"):
+		default:
+			return nil, p.errf("expected case/default, found %s", p.cur())
+		}
+		if !p.acceptOp(":") {
+			p.acceptOp(";")
+		}
+		var body []Stmt
+		for !p.isKw("case") && !p.isKw("default") && !p.isOp("}") {
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			if s != nil {
+				body = append(body, s)
+			}
+		}
+		node.Cases = append(node.Cases, SwitchCase{Match: match, Body: body})
+	}
+	p.next() // }
+	return node, nil
+}
+
+func (p *parser) parseFuncDecl() (Stmt, error) {
+	line := p.cur().Line
+	p.next() // function
+	nameTok := p.cur()
+	if nameTok.Kind != Ident {
+		return nil, p.errf("expected function name")
+	}
+	p.next()
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var params []Param
+	for !p.isOp(")") {
+		byRef := p.acceptOp("&")
+		v := p.cur()
+		if v.Kind != Variable {
+			return nil, p.errf("expected parameter, found %s", v)
+		}
+		p.next()
+		param := Param{Name: v.Value, ByRef: byRef}
+		if p.acceptOp("=") {
+			d, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			param.Default = d
+		}
+		params = append(params, param)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("{"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtsUntil("}")
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Line: line, Name: nameTok.Value, Params: params, Body: body}, nil
+}
+
+// ---- expressions -------------------------------------------------------------
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOrKw() }
+
+func (p *parser) parseOrKw() (Expr, error) {
+	l, err := p.parseAndKw()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKw("or") {
+		line := p.cur().Line
+		p.next()
+		r, err := p.parseAndKw()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Line: line, Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAndKw() (Expr, error) {
+	l, err := p.parseAssign()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKw("and") {
+		line := p.cur().Line
+		p.next()
+		r, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Line: line, Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+var assignOps = map[string]bool{"=": true, ".=": true, "+=": true, "-=": true, "*=": true, "/=": true}
+
+func (p *parser) parseAssign() (Expr, error) {
+	l, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == Op && assignOps[t.Value] {
+		if !isLValue(l) {
+			return nil, p.errf("invalid assignment target")
+		}
+		p.next()
+		r, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Line: t.Line, Op: t.Value, Target: l, Value: r}, nil
+	}
+	return l, nil
+}
+
+func isLValue(e Expr) bool {
+	switch e.(type) {
+	case *Var, *Index, *Prop:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseTernary() (Expr, error) {
+	cond, err := p.parseOrOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.isOp("?") {
+		line := p.cur().Line
+		p.next()
+		var then Expr
+		if !p.isOp(":") {
+			then, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectOp(":"); err != nil {
+			return nil, err
+		}
+		// The else branch parses at assignment level: PHP of the paper's
+		// era accepts `cond ? $a = 1 : $a = 2;`.
+		els, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &Ternary{Line: line, Cond: cond, Then: then, Else: els}, nil
+	}
+	return cond, nil
+}
+
+func (p *parser) parseOrOr() (Expr, error) {
+	l, err := p.parseAndAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("||") {
+		line := p.cur().Line
+		p.next()
+		r, err := p.parseAndAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Line: line, Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAndAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("&&") {
+		line := p.cur().Line
+		p.next()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Line: line, Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]bool{
+	"==": true, "!=": true, "===": true, "!==": true, "<>": true,
+	"<": true, ">": true, "<=": true, ">=": true,
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == Op && cmpOps[p.cur().Value] {
+		t := p.next()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Line: t.Line, Op: t.Value, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("+") || p.isOp("-") || p.isOp(".") {
+		t := p.next()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Line: t.Line, Op: t.Value, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("*") || p.isOp("/") || p.isOp("%") {
+		t := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Line: t.Line, Op: t.Value, L: l, R: r}
+	}
+	return l, nil
+}
+
+var castTypes = map[string]string{
+	"int": "int", "integer": "int", "float": "float", "double": "float",
+	"string": "string", "bool": "bool", "boolean": "bool", "array": "array",
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case p.isOp("!"):
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Line: t.Line, Op: "!", X: x}, nil
+	case p.isOp("-") || p.isOp("+"):
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Line: t.Line, Op: t.Value, X: x}, nil
+	case p.isOp("@"):
+		p.next()
+		return p.parseUnary() // error suppression: transparent
+	case p.isOp("++") || p.isOp("--"):
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Line: t.Line, Op: t.Value, X: x}, nil
+	case p.isOp("("):
+		// Cast lookahead: "(" type ")" not followed by an operator that
+		// suggests grouping.
+		if p.pos+2 < len(p.toks) {
+			t1, t2 := p.toks[p.pos+1], p.toks[p.pos+2]
+			if t1.Kind == Ident && t2.Kind == Op && t2.Value == ")" {
+				if ct, ok := castTypes[strings.ToLower(t1.Value)]; ok {
+					p.pos += 3
+					x, err := p.parseUnary()
+					if err != nil {
+						return nil, err
+					}
+					return &Cast{Line: t.Line, Type: ct, X: x}, nil
+				}
+			}
+		}
+		return p.parsePostfix()
+	default:
+		return p.parsePostfix()
+	}
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.isOp("["):
+			p.next()
+			var key Expr
+			if !p.isOp("]") {
+				key, err = p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			e = &Index{Line: t.Line, Base: e, Key: key}
+		case p.isOp("->"):
+			p.next()
+			nameTok := p.cur()
+			if nameTok.Kind != Ident {
+				return nil, p.errf("expected property or method name")
+			}
+			p.next()
+			if p.acceptOp("(") {
+				args, err := p.parseExprList(")")
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				e = &MethodCall{Line: t.Line, Object: e, Method: nameTok.Value, Args: args}
+			} else {
+				e = &Prop{Line: t.Line, Object: e, Name: nameTok.Value}
+			}
+		case p.isOp("++") || p.isOp("--"):
+			p.next()
+			e = &Unary{Line: t.Line, Op: t.Value, X: e, Postfix: true}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case Variable:
+		p.next()
+		return &Var{Line: t.Line, Name: t.Value}, nil
+	case Number:
+		p.next()
+		return &NumLit{Line: t.Line, Value: t.Value}, nil
+	case StringLit:
+		p.next()
+		return &StrLit{Line: t.Line, Value: t.Value}, nil
+	case TemplStart:
+		return p.parseInterp()
+	case Ident:
+		return p.parseIdentExpr()
+	case Op:
+		if t.Value == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.Value == "[" {
+			return p.parseArrayLit("[", "]")
+		}
+	}
+	return nil, p.errf("unexpected token %s", t)
+}
+
+func (p *parser) parseInterp() (Expr, error) {
+	start := p.next() // TemplStart
+	node := &Interp{Line: start.Line}
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case TemplText:
+			p.next()
+			node.Parts = append(node.Parts, &StrLit{Line: t.Line, Value: t.Value})
+		case TemplVar:
+			p.next()
+			part, err := parseInterpVar(t)
+			if err != nil {
+				return nil, err
+			}
+			node.Parts = append(node.Parts, part)
+		case TemplEnd:
+			p.next()
+			return node, nil
+		default:
+			return nil, p.errf("bad interpolation token %s", t)
+		}
+	}
+}
+
+// parseInterpVar decodes a TemplVar payload: "name", "$name",
+// "$name['key']" or "$name[key]".
+func parseInterpVar(t Token) (Expr, error) {
+	s := t.Value
+	s = strings.TrimPrefix(s, "$")
+	if i := strings.IndexByte(s, '['); i >= 0 {
+		name := s[:i]
+		key := strings.TrimSuffix(s[i+1:], "]")
+		key = strings.Trim(key, "'\"")
+		return &Index{
+			Line: t.Line,
+			Base: &Var{Line: t.Line, Name: name},
+			Key:  &StrLit{Line: t.Line, Value: key},
+		}, nil
+	}
+	return &Var{Line: t.Line, Name: s}, nil
+}
+
+func (p *parser) parseIdentExpr() (Expr, error) {
+	t := p.cur()
+	lower := strings.ToLower(t.Value)
+	switch lower {
+	case "true", "false":
+		p.next()
+		return &BoolLit{Line: t.Line, Value: lower == "true"}, nil
+	case "null":
+		p.next()
+		return &NullLit{Line: t.Line}, nil
+	case "isset":
+		p.next()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		args, err := p.parseExprList(")")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &IssetExpr{Line: t.Line, Args: args}, nil
+	case "empty":
+		p.next()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &EmptyExpr{Line: t.Line, X: x}, nil
+	case "exit", "die":
+		p.next()
+		var arg Expr
+		if p.acceptOp("(") {
+			if !p.isOp(")") {
+				var err error
+				arg, err = p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		}
+		return &ExitExpr{Line: t.Line, Arg: arg}, nil
+	case "print":
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &PrintExpr{Line: t.Line, X: x}, nil
+	case "include", "include_once", "require", "require_once":
+		p.next()
+		paren := p.acceptOp("(")
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if paren {
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		}
+		return &IncludeExpr{Line: t.Line, Kind: lower, Arg: x}, nil
+	case "list":
+		return p.parseListAssign()
+	case "array":
+		if p.toks[p.pos+1].Kind == Op && p.toks[p.pos+1].Value == "(" {
+			p.next()
+			return p.parseArrayLit("(", ")")
+		}
+	}
+	// Function call or bare constant.
+	p.next()
+	if p.acceptOp("(") {
+		args, err := p.parseExprList(")")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &Call{Line: t.Line, Name: t.Value, Args: args}, nil
+	}
+	return &ConstFetch{Line: t.Line, Name: t.Value}, nil
+}
+
+// parseListAssign handles list($a, , $b) = expr.
+func (p *parser) parseListAssign() (Expr, error) {
+	line := p.cur().Line
+	p.next() // list
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var targets []Expr
+	for !p.isOp(")") {
+		if p.isOp(",") {
+			targets = append(targets, nil) // skipped slot
+			p.next()
+			continue
+		}
+		tgt, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		if !isLValue(tgt) {
+			return nil, p.errf("list() target must be assignable")
+		}
+		targets = append(targets, tgt)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("="); err != nil {
+		return nil, err
+	}
+	val, err := p.parseAssign()
+	if err != nil {
+		return nil, err
+	}
+	return &ListAssign{Line: line, Targets: targets, Value: val}, nil
+}
+
+func (p *parser) parseArrayLit(open, close string) (Expr, error) {
+	t := p.cur()
+	if err := p.expectOp(open); err != nil {
+		return nil, err
+	}
+	node := &ArrayLit{Line: t.Line}
+	for !p.isOp(close) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := ArrayItem{Value: e}
+		if p.acceptOp("=>") {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item.Key = e
+			item.Value = v
+		}
+		node.Items = append(node.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(close); err != nil {
+		return nil, err
+	}
+	return node, nil
+}

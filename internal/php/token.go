@@ -1,0 +1,82 @@
+// Package php implements the front end for the PHP subset the analysis
+// consumes: a lexer (including double-quoted string interpolation and
+// inline HTML), an AST, and a recursive-descent parser. The subset covers
+// what database-backed PHP web applications of the paper's era use on their
+// query-construction paths: assignments, concatenation, the control
+// constructs, user functions, arrays, superglobals, method calls (for the
+// $DB->query idiom), regex guards, and dynamic includes.
+package php
+
+import "fmt"
+
+// Kind is a lexical token kind.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	InlineHTML
+	Variable   // $name
+	Ident      // bare identifier / function name / keyword
+	Number     // integer or float literal
+	StringLit  // single-quoted (no interpolation); Value holds decoded text
+	TemplStart // opening of a double-quoted interpolated string
+	TemplText  // literal chunk inside interpolation
+	TemplVar   // $name inside interpolation
+	TemplEnd   // closing quote
+	Op         // operator / punctuation; Value holds the exact spelling
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case InlineHTML:
+		return "inline-html"
+	case Variable:
+		return "variable"
+	case Ident:
+		return "identifier"
+	case Number:
+		return "number"
+	case StringLit:
+		return "string"
+	case TemplStart:
+		return "interp-start"
+	case TemplText:
+		return "interp-text"
+	case TemplVar:
+		return "interp-var"
+	case TemplEnd:
+		return "interp-end"
+	case Op:
+		return "operator"
+	}
+	return "unknown"
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind  Kind
+	Value string
+	Line  int
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s(%q)@%d", t.Kind, t.Value, t.Line)
+}
+
+// Keywords recognized by the parser (lexed as Ident; the parser decides).
+var keywords = map[string]bool{
+	"if": true, "else": true, "elseif": true, "while": true, "for": true,
+	"foreach": true, "as": true, "function": true, "return": true,
+	"echo": true, "print": true, "include": true, "include_once": true,
+	"require": true, "require_once": true, "global": true, "isset": true,
+	"empty": true, "exit": true, "die": true, "true": true, "false": true,
+	"null": true, "array": true, "switch": true, "case": true,
+	"default": true, "break": true, "continue": true, "and": true,
+	"or": true, "not": true, "list": true, "do": true,
+}
+
+// IsKeyword reports whether s is a reserved word of the subset.
+func IsKeyword(s string) bool { return keywords[s] }

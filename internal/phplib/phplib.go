@@ -1,0 +1,377 @@
+// Package phplib is the registry of PHP library function models — the
+// analysis-facing counterpart of the 243 function specifications the paper
+// adds to the string analyzer (§4). Each spec tells the string-taint
+// analysis how a builtin transforms the languages (and taint) of its
+// arguments: as an exact or over-approximating transducer, a regex guard, a
+// tainted source, a numeric or fixed-regular result, or a template
+// combinator (sprintf/implode). Functions absent from the registry fall
+// back to the sound default: Σ* carrying the union of the argument labels.
+package phplib
+
+import (
+	"strings"
+	"sync"
+
+	"sqlciv/internal/automata"
+	"sqlciv/internal/fst"
+	"sqlciv/internal/grammar"
+	"sqlciv/internal/rx"
+)
+
+// Kind classifies how a function's result is modeled.
+type Kind int
+
+// Spec kinds.
+const (
+	// KindFST: the result is the image of the Subject argument under a
+	// transducer (possibly built from constant arguments).
+	KindFST Kind = iota
+	// KindGuard: the function is a boolean condition usable for branch
+	// refinement (preg_match, ereg, is_numeric, …).
+	KindGuard
+	// KindSource: the result is user-influenced data with a taint label.
+	KindSource
+	// KindPassThrough: the result is the Subject argument unchanged.
+	KindPassThrough
+	// KindNumeric: the result is a decimal number regardless of inputs.
+	KindNumeric
+	// KindRegular: the result lies in a fixed regular language, untainted.
+	KindRegular
+	// KindSprintf: sprintf-style template combination of the arguments.
+	KindSprintf
+	// KindImplode: implode(glue, array) — glue-separated array elements.
+	KindImplode
+)
+
+// Dialect selects the regex flavor of a guard or replace function.
+type Dialect int
+
+// Regex dialects.
+const (
+	PCRE  Dialect = iota // delimited, /.../flags
+	Ereg                 // POSIX, undelimited, case-sensitive
+	Eregi                // POSIX, undelimited, case-insensitive
+)
+
+// Arg describes one call argument as far as the analysis statically knows.
+type Arg struct {
+	// Const holds the argument's exact string value when it is a
+	// compile-time constant, else nil.
+	Const *string
+}
+
+// GuardSpec describes a condition function.
+type GuardSpec struct {
+	// PatternArg is the index of the pattern argument, or -1 when the
+	// guard's language is fixed (is_numeric etc.).
+	PatternArg int
+	// SubjectArg is the index of the tested string.
+	SubjectArg int
+	Dialect    Dialect
+	// FixedLang, for PatternArg < 0, returns the full (anchored) language
+	// of values for which the guard is true.
+	FixedLang func() *automata.NFA
+}
+
+// Spec models one library function.
+type Spec struct {
+	Name    string
+	Kind    Kind
+	Subject int // principal string argument index (KindFST/KindPassThrough)
+	// BuildFST constructs the transducer given the static arguments; ok is
+	// false when the needed arguments are not constant (the analysis then
+	// falls back to the sound default).
+	BuildFST func(args []Arg) (t *fst.FST, ok bool)
+	Guard    *GuardSpec
+	Label    grammar.Label        // KindSource
+	Lang     func() *automata.NFA // KindRegular
+	GlueArg  int                  // KindImplode: glue argument index
+	ArrayArg int                  // KindImplode: array argument index
+}
+
+var (
+	once     sync.Once
+	registry map[string]*Spec
+)
+
+// Lookup returns the spec for a function name (case-insensitive).
+func Lookup(name string) (*Spec, bool) {
+	once.Do(buildRegistry)
+	s, ok := registry[strings.ToLower(name)]
+	return s, ok
+}
+
+// Count reports how many functions are modeled.
+func Count() int {
+	once.Do(buildRegistry)
+	return len(registry)
+}
+
+// Names returns all modeled function names (unsorted).
+func Names() []string {
+	once.Do(buildRegistry)
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	return out
+}
+
+func add(s *Spec) { registry[strings.ToLower(s.Name)] = s }
+
+func fixedFST(build func() *fst.FST) func([]Arg) (*fst.FST, bool) {
+	return func([]Arg) (*fst.FST, bool) { return build(), true }
+}
+
+func buildRegistry() {
+	registry = map[string]*Spec{}
+
+	// ---- escaping / sanitizing ------------------------------------------
+	for _, n := range []string{"addslashes", "mysql_escape_string", "mysql_real_escape_string", "mysqli_real_escape_string"} {
+		add(&Spec{Name: n, Kind: KindFST, Subject: lastSubject(n), BuildFST: fixedFST(fst.AddSlashes)})
+	}
+	add(&Spec{Name: "escape_quotes", Kind: KindFST, Subject: 0, BuildFST: fixedFST(fst.EscapeQuotes)})
+	add(&Spec{Name: "stripslashes", Kind: KindFST, Subject: 0, BuildFST: fixedFST(fst.StripSlashes)})
+	add(&Spec{Name: "quotemeta", Kind: KindFST, Subject: 0, BuildFST: fixedFST(quotemetaFST)})
+
+	// ---- replacement family ----------------------------------------------
+	add(&Spec{Name: "str_replace", Kind: KindFST, Subject: 2, BuildFST: strReplaceFST})
+	// str_ireplace: case-folded matching is not modeled; always falls back
+	// to the sound Σ* default.
+	add(&Spec{Name: "str_ireplace", Kind: KindFST, Subject: 2, BuildFST: func([]Arg) (*fst.FST, bool) { return nil, false }})
+	add(&Spec{Name: "preg_replace", Kind: KindFST, Subject: 2, BuildFST: regReplaceFST(PCRE)})
+	add(&Spec{Name: "ereg_replace", Kind: KindFST, Subject: 2, BuildFST: regReplaceFST(Ereg)})
+	add(&Spec{Name: "eregi_replace", Kind: KindFST, Subject: 2, BuildFST: regReplaceFST(Eregi)})
+
+	// ---- per-character maps ------------------------------------------------
+	add(&Spec{Name: "strtolower", Kind: KindFST, Subject: 0, BuildFST: fixedFST(func() *fst.FST {
+		return fst.CharMap(func(b byte) []byte {
+			if b >= 'A' && b <= 'Z' {
+				return []byte{b - 'A' + 'a'}
+			}
+			return []byte{b}
+		})
+	})})
+	add(&Spec{Name: "strtoupper", Kind: KindFST, Subject: 0, BuildFST: fixedFST(func() *fst.FST {
+		return fst.CharMap(func(b byte) []byte {
+			if b >= 'a' && b <= 'z' {
+				return []byte{b - 'a' + 'A'}
+			}
+			return []byte{b}
+		})
+	})})
+	add(&Spec{Name: "ucfirst", Kind: KindFST, Subject: 0, BuildFST: fixedFST(fst.UcFirst)})
+	add(&Spec{Name: "lcfirst", Kind: KindFST, Subject: 0, BuildFST: fixedFST(func() *fst.FST {
+		return fst.CharMapFirst(func(b byte) []byte {
+			if b >= 'A' && b <= 'Z' {
+				return []byte{b - 'A' + 'a'}
+			}
+			return []byte{b}
+		})
+	})})
+	add(&Spec{Name: "bin2hex", Kind: KindFST, Subject: 0, BuildFST: fixedFST(func() *fst.FST {
+		const hexDigits = "0123456789abcdef"
+		return fst.CharMap(func(b byte) []byte {
+			return []byte{hexDigits[b>>4], hexDigits[b&0xf]}
+		})
+	})})
+	add(&Spec{Name: "strrev", Kind: KindFST, Subject: 0, BuildFST: fixedFST(fst.ReverseApprox)})
+	add(&Spec{Name: "str_pad", Kind: KindFST, Subject: 0, BuildFST: strPadFST})
+	add(&Spec{Name: "dechex", Kind: KindRegular, Lang: func() *automata.NFA { return mustLang(`^[0-9a-f]+$`) }})
+	add(&Spec{Name: "decbin", Kind: KindRegular, Lang: func() *automata.NFA { return mustLang(`^[01]+$`) }})
+	add(&Spec{Name: "hexdec", Kind: KindNumeric})
+	add(&Spec{Name: "bindec", Kind: KindNumeric})
+	add(&Spec{Name: "nl2br", Kind: KindFST, Subject: 0, BuildFST: fixedFST(fst.NL2BR)})
+	add(&Spec{Name: "htmlspecialchars", Kind: KindFST, Subject: 0, BuildFST: htmlSpecialCharsFST})
+	add(&Spec{Name: "htmlentities", Kind: KindFST, Subject: 0, BuildFST: htmlSpecialCharsFST})
+	add(&Spec{Name: "urlencode", Kind: KindFST, Subject: 0, BuildFST: fixedFST(fst.URLEncode)})
+	add(&Spec{Name: "rawurlencode", Kind: KindFST, Subject: 0, BuildFST: fixedFST(fst.URLEncode)})
+	add(&Spec{Name: "urldecode", Kind: KindFST, Subject: 0, BuildFST: fixedFST(fst.URLDecode)})
+	add(&Spec{Name: "rawurldecode", Kind: KindFST, Subject: 0, BuildFST: fixedFST(fst.URLDecode)})
+	add(&Spec{Name: "strip_tags", Kind: KindFST, Subject: 0, BuildFST: fixedFST(fst.StripTags)})
+
+	// ---- trimming / slicing -------------------------------------------------
+	for _, n := range []string{"trim", "ltrim", "rtrim", "chop"} {
+		add(&Spec{Name: n, Kind: KindFST, Subject: 0, BuildFST: fixedFST(fst.TrimApprox)})
+	}
+	for _, n := range []string{"substr", "strstr", "stristr", "strrchr", "strchr"} {
+		add(&Spec{Name: n, Kind: KindFST, Subject: 0, BuildFST: fixedFST(fst.Substr)})
+	}
+	// explode returns an array whose element language is the (sound)
+	// substring language of the subject.
+	add(&Spec{Name: "explode", Kind: KindFST, Subject: 1, BuildFST: fixedFST(fst.Substr)})
+	add(&Spec{Name: "implode", Kind: KindImplode, GlueArg: 0, ArrayArg: 1})
+	add(&Spec{Name: "join", Kind: KindImplode, GlueArg: 0, ArrayArg: 1})
+
+	// ---- format/template -----------------------------------------------------
+	add(&Spec{Name: "sprintf", Kind: KindSprintf})
+
+	// ---- guards ---------------------------------------------------------------
+	add(&Spec{Name: "preg_match", Kind: KindGuard, Guard: &GuardSpec{PatternArg: 0, SubjectArg: 1, Dialect: PCRE}})
+	add(&Spec{Name: "ereg", Kind: KindGuard, Guard: &GuardSpec{PatternArg: 0, SubjectArg: 1, Dialect: Ereg}})
+	add(&Spec{Name: "eregi", Kind: KindGuard, Guard: &GuardSpec{PatternArg: 0, SubjectArg: 1, Dialect: Eregi}})
+	add(&Spec{Name: "is_numeric", Kind: KindGuard, Guard: &GuardSpec{PatternArg: -1, SubjectArg: 0, FixedLang: func() *automata.NFA {
+		return mustLang(`^-?[0-9]+(\.[0-9]+)?$`)
+	}}})
+	add(&Spec{Name: "ctype_digit", Kind: KindGuard, Guard: &GuardSpec{PatternArg: -1, SubjectArg: 0, FixedLang: func() *automata.NFA {
+		return mustLang(`^[0-9]+$`)
+	}}})
+	add(&Spec{Name: "ctype_alnum", Kind: KindGuard, Guard: &GuardSpec{PatternArg: -1, SubjectArg: 0, FixedLang: func() *automata.NFA {
+		return mustLang(`^[0-9a-zA-Z]+$`)
+	}}})
+	add(&Spec{Name: "ctype_alpha", Kind: KindGuard, Guard: &GuardSpec{PatternArg: -1, SubjectArg: 0, FixedLang: func() *automata.NFA {
+		return mustLang(`^[a-zA-Z]+$`)
+	}}})
+
+	// ---- sources -----------------------------------------------------------------
+	for _, n := range []string{"mysql_fetch_array", "mysql_fetch_assoc", "mysql_fetch_row", "mysql_fetch_object", "mysql_result", "mysqli_fetch_array", "mysqli_fetch_assoc", "mysqli_fetch_row"} {
+		add(&Spec{Name: n, Kind: KindSource, Label: grammar.Indirect})
+	}
+	for _, n := range []string{"gpc_get", "get_magic_quotes_gpc_value"} { // helper idioms
+		add(&Spec{Name: n, Kind: KindSource, Label: grammar.Direct})
+	}
+	add(&Spec{Name: "file_get_contents", Kind: KindSource, Label: grammar.Indirect})
+	add(&Spec{Name: "fgets", Kind: KindSource, Label: grammar.Indirect})
+	add(&Spec{Name: "fread", Kind: KindSource, Label: grammar.Indirect})
+	add(&Spec{Name: "getenv", Kind: KindSource, Label: grammar.Direct})
+
+	// ---- numeric results ------------------------------------------------------------
+	for _, n := range []string{"count", "sizeof", "strlen", "time", "mktime", "rand", "mt_rand", "abs", "floor", "ceil", "round", "intval", "crc32", "ip2long", "ord", "strpos", "strrpos", "mysql_num_rows", "mysql_insert_id", "mysql_affected_rows", "mysqli_num_rows", "max", "min", "array_sum"} {
+		add(&Spec{Name: n, Kind: KindNumeric})
+	}
+
+	// ---- fixed regular results --------------------------------------------------------
+	hexLang := func() *automata.NFA { return mustLang(`^[0-9a-f]*$`) }
+	add(&Spec{Name: "md5", Kind: KindRegular, Lang: hexLang})
+	add(&Spec{Name: "sha1", Kind: KindRegular, Lang: hexLang})
+	add(&Spec{Name: "hash", Kind: KindRegular, Lang: hexLang})
+	add(&Spec{Name: "uniqid", Kind: KindRegular, Lang: func() *automata.NFA { return mustLang(`^[0-9a-z.]*$`) }})
+	add(&Spec{Name: "base64_encode", Kind: KindRegular, Lang: func() *automata.NFA { return mustLang(`^[A-Za-z0-9+/=]*$`) }})
+	add(&Spec{Name: "number_format", Kind: KindRegular, Lang: func() *automata.NFA { return mustLang(`^[0-9.,]*$`) }})
+	add(&Spec{Name: "date", Kind: KindRegular, Lang: func() *automata.NFA { return mustLang(`^[0-9A-Za-z :,./+-]*$`) }})
+	add(&Spec{Name: "gmdate", Kind: KindRegular, Lang: func() *automata.NFA { return mustLang(`^[0-9A-Za-z :,./+-]*$`) }})
+	add(&Spec{Name: "session_id", Kind: KindRegular, Lang: func() *automata.NFA { return mustLang(`^[0-9A-Za-z,-]*$`) }})
+	add(&Spec{Name: "phpversion", Kind: KindRegular, Lang: func() *automata.NFA { return mustLang(`^[0-9.]*$`) }})
+
+	// Boolean-ish results stringify to "" or "1".
+	boolLang := func() *automata.NFA { return mustLang(`^1?$`) }
+	for _, n := range []string{"isset_check", "is_array", "is_string", "is_int", "in_array", "array_key_exists", "file_exists", "function_exists", "defined", "headers_sent", "mysql_select_db", "mysql_close", "session_start", "header", "setcookie", "error_log", "mail", "usleep", "sleep", "unset"} {
+		add(&Spec{Name: n, Kind: KindRegular, Lang: boolLang})
+	}
+
+	// ---- pass-through -------------------------------------------------------------------
+	for _, n := range []string{"strval", "html_entity_decode_noop"} {
+		add(&Spec{Name: n, Kind: KindPassThrough, Subject: 0})
+	}
+}
+
+// lastSubject returns the subject index: mysqli_real_escape_string takes
+// (link, string) so the subject is argument 1; the others take the string
+// first.
+func lastSubject(name string) int {
+	if name == "mysqli_real_escape_string" {
+		return 1
+	}
+	return 0
+}
+
+func mustLang(pattern string) *automata.NFA {
+	re, err := rx.Parse(pattern, false)
+	if err != nil {
+		panic("phplib: bad builtin pattern " + pattern + ": " + err.Error())
+	}
+	return re.MatchLang()
+}
+
+// strPadFST over-approximates str_pad with a constant pad string: the
+// subject surrounded by any number of pad-string characters on either side
+// (PHP pads one side or both depending on a flag; the union is sound).
+func strPadFST(args []Arg) (*fst.FST, bool) {
+	pad := " "
+	if len(args) >= 3 && args[2].Const != nil {
+		pad = *args[2].Const
+	}
+	if pad == "" {
+		pad = " "
+	}
+	return fst.SurroundApprox([]byte(pad)), true
+}
+
+// htmlSpecialCharsFST selects ENT_QUOTES when the flags argument names it.
+func htmlSpecialCharsFST(args []Arg) (*fst.FST, bool) {
+	entQuotes := false
+	if len(args) >= 2 && args[1].Const != nil && strings.Contains(*args[1].Const, "ENT_QUOTES") {
+		entQuotes = true
+	}
+	return fst.HTMLSpecialChars(entQuotes), true
+}
+
+// quotemetaFST escapes PHP quotemeta's metacharacters with backslashes.
+func quotemetaFST() *fst.FST {
+	meta := map[byte]bool{'.': true, '\\': true, '+': true, '*': true, '?': true, '[': true, '^': true, ']': true, '$': true, '(': true, ')': true}
+	return fst.CharMap(func(b byte) []byte {
+		if meta[b] {
+			return []byte{'\\', b}
+		}
+		return []byte{b}
+	})
+}
+
+// strReplaceFST builds the exact replace-all transducer for
+// str_replace(pattern, replacement, subject) with constant scalar pattern
+// and replacement.
+func strReplaceFST(args []Arg) (*fst.FST, bool) {
+	if len(args) < 3 || args[0].Const == nil || args[1].Const == nil {
+		return nil, false
+	}
+	pat, repl := *args[0].Const, *args[1].Const
+	if pat == "" {
+		return fst.Identity(), true
+	}
+	return fst.ReplaceAllString(pat, []byte(repl)), true
+}
+
+// regReplaceFST builds the transducer for the regex replace family. A plain
+// character class (or its one-or-more repetition being deleted) gets the
+// exact per-character transducer; everything else gets the sound
+// over-approximation.
+func regReplaceFST(d Dialect) func([]Arg) (*fst.FST, bool) {
+	return func(args []Arg) (*fst.FST, bool) {
+		if len(args) < 3 || args[0].Const == nil || args[1].Const == nil {
+			return nil, false
+		}
+		re, err := parseDialect(*args[0].Const, d)
+		if err != nil {
+			return nil, false
+		}
+		repl := *args[1].Const
+		hasBackref := strings.ContainsAny(repl, "\\$")
+		if !hasBackref {
+			if lit, ok := re.AST.(*rx.Lit); ok && !re.AnchorStart && !re.AnchorEnd {
+				return fst.ReplaceAllClass(&lit.Set, []byte(repl)), true
+			}
+			if rep, ok := re.AST.(*rx.Rep); ok && rep.Min >= 1 && repl == "" && !re.AnchorStart && !re.AnchorEnd {
+				if lit, ok := rep.Sub.(*rx.Lit); ok {
+					return fst.ReplaceAllClass(&lit.Set, nil), true
+				}
+			}
+		}
+		return fst.PregReplaceGeneral(re, repl), true
+	}
+}
+
+func parseDialect(pattern string, d Dialect) (*rx.Regex, error) {
+	switch d {
+	case PCRE:
+		return rx.ParsePHP(pattern)
+	case Eregi:
+		return rx.Parse(pattern, true)
+	default:
+		return rx.Parse(pattern, false)
+	}
+}
+
+// ParseGuardPattern parses the pattern argument of a guard per its dialect.
+func ParseGuardPattern(pattern string, d Dialect) (*rx.Regex, error) {
+	return parseDialect(pattern, d)
+}

@@ -1,0 +1,195 @@
+package phplib
+
+import (
+	"testing"
+
+	"sqlciv/internal/grammar"
+)
+
+func cs(s string) Arg { return Arg{Const: &s} }
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	if _, ok := Lookup("AddSlashes"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := Lookup("no_such_function"); ok {
+		t.Fatal("phantom function")
+	}
+}
+
+func TestRegistryBreadth(t *testing.T) {
+	if Count() < 80 {
+		t.Fatalf("registry has only %d specs", Count())
+	}
+	if len(Names()) != Count() {
+		t.Fatal("Names/Count disagree")
+	}
+}
+
+func TestAddSlashesSpec(t *testing.T) {
+	s, _ := Lookup("addslashes")
+	if s.Kind != KindFST || s.Subject != 0 {
+		t.Fatal("addslashes spec wrong")
+	}
+	f, ok := s.BuildFST(nil)
+	if !ok {
+		t.Fatal("BuildFST failed")
+	}
+	out, _ := f.Apply("a'b")
+	if out != `a\'b` {
+		t.Fatalf("addslashes = %q", out)
+	}
+}
+
+func TestMysqliEscapeSubject(t *testing.T) {
+	s, _ := Lookup("mysqli_real_escape_string")
+	if s.Subject != 1 {
+		t.Fatal("mysqli escape subject should be arg 1 (after the link)")
+	}
+}
+
+func TestStrReplaceSpec(t *testing.T) {
+	s, _ := Lookup("str_replace")
+	f, ok := s.BuildFST([]Arg{cs("''"), cs("'"), {}})
+	if !ok {
+		t.Fatal("constant str_replace should build")
+	}
+	out, _ := f.Apply("a''b")
+	if out != "a'b" {
+		t.Fatalf("str_replace = %q", out)
+	}
+	// Non-constant pattern: fallback.
+	if _, ok := s.BuildFST([]Arg{{}, cs("x"), {}}); ok {
+		t.Fatal("non-constant pattern must not build")
+	}
+}
+
+func TestPregReplaceExactClass(t *testing.T) {
+	s, _ := Lookup("preg_replace")
+	// Delete all non-digits: exact per-character transducer.
+	f, ok := s.BuildFST([]Arg{cs(`/[^0-9]/`), cs(""), {}})
+	if !ok {
+		t.Fatal("class replace should build")
+	}
+	out, _ := f.Apply("a1'b2")
+	if out != "12" {
+		t.Fatalf("digit filter = %q", out)
+	}
+	// One-or-more deletion also exact.
+	f2, ok := s.BuildFST([]Arg{cs(`/[^0-9]+/`), cs(""), {}})
+	if !ok {
+		t.Fatal("plus-class deletion should build")
+	}
+	out2, _ := f2.Apply("a1''b2")
+	if out2 != "12" {
+		t.Fatalf("plus digit filter = %q", out2)
+	}
+}
+
+func TestEregiReplaceDialect(t *testing.T) {
+	s, _ := Lookup("eregi_replace")
+	f, ok := s.BuildFST([]Arg{cs("[A-Z]"), cs("_"), {}})
+	if !ok {
+		t.Fatal("eregi_replace should build")
+	}
+	// Case-insensitive: lowercase letters also replaced.
+	out, _ := f.Apply("aB")
+	if out != "__" {
+		t.Fatalf("eregi_replace = %q", out)
+	}
+}
+
+func TestGuardSpecs(t *testing.T) {
+	pm, _ := Lookup("preg_match")
+	if pm.Kind != KindGuard || pm.Guard.PatternArg != 0 || pm.Guard.SubjectArg != 1 {
+		t.Fatal("preg_match guard wrong")
+	}
+	in, _ := Lookup("is_numeric")
+	if in.Guard.PatternArg != -1 {
+		t.Fatal("is_numeric should have fixed language")
+	}
+	lang := in.Guard.FixedLang().Determinize()
+	if !lang.AcceptsString("-3.5") || lang.AcceptsString("3a") || lang.AcceptsString("") {
+		t.Fatal("is_numeric language wrong")
+	}
+	cd, _ := Lookup("ctype_digit")
+	l2 := cd.Guard.FixedLang().Determinize()
+	if !l2.AcceptsString("42") || l2.AcceptsString("-42") {
+		t.Fatal("ctype_digit language wrong")
+	}
+}
+
+func TestSourceSpecs(t *testing.T) {
+	s, _ := Lookup("mysql_fetch_assoc")
+	if s.Kind != KindSource || s.Label != grammar.Indirect {
+		t.Fatal("mysql_fetch_assoc should be an indirect source")
+	}
+	g, _ := Lookup("getenv")
+	if g.Label != grammar.Direct {
+		t.Fatal("getenv should be a direct source")
+	}
+}
+
+func TestNumericAndRegular(t *testing.T) {
+	n, _ := Lookup("count")
+	if n.Kind != KindNumeric {
+		t.Fatal("count should be numeric")
+	}
+	m, _ := Lookup("md5")
+	if m.Kind != KindRegular {
+		t.Fatal("md5 should be regular")
+	}
+	lang := m.Lang().Determinize()
+	if !lang.AcceptsString("d41d8cd98f00b204e9800998ecf8427e") {
+		t.Fatal("md5 language rejects a real hash")
+	}
+	if lang.AcceptsString("it's") {
+		t.Fatal("md5 language must exclude quotes")
+	}
+}
+
+func TestHTMLSpecialCharsFlags(t *testing.T) {
+	s, _ := Lookup("htmlspecialchars")
+	// Default: single quote survives (ENT_COMPAT).
+	f, ok := s.BuildFST([]Arg{{}})
+	if !ok {
+		t.Fatal("default build failed")
+	}
+	out, _ := f.Apply(`'<`)
+	if out != `'&lt;` {
+		t.Fatalf("default htmlspecialchars = %q", out)
+	}
+	// ENT_QUOTES: single quote encoded.
+	f2, ok := s.BuildFST([]Arg{{}, cs("ENT_QUOTES")})
+	if !ok {
+		t.Fatal("ENT_QUOTES build failed")
+	}
+	out2, _ := f2.Apply(`'`)
+	if out2 != "&#039;" {
+		t.Fatalf("ENT_QUOTES htmlspecialchars = %q", out2)
+	}
+}
+
+func TestImplodeSpec(t *testing.T) {
+	s, _ := Lookup("implode")
+	if s.Kind != KindImplode || s.GlueArg != 0 || s.ArrayArg != 1 {
+		t.Fatal("implode spec wrong")
+	}
+}
+
+func TestExplodeIsSubstr(t *testing.T) {
+	s, _ := Lookup("explode")
+	if s.Subject != 1 {
+		t.Fatal("explode subject should be arg 1")
+	}
+	f, _ := s.BuildFST(nil)
+	outs := f.ApplyAll("a,b", 20)
+	found := map[string]bool{}
+	for _, o := range outs {
+		found[o] = true
+	}
+	// Every explode piece is in the output language.
+	if !found["a"] || !found["b"] {
+		t.Fatalf("explode pieces missing: %v", outs)
+	}
+}

@@ -1,0 +1,165 @@
+package phplib
+
+import (
+	"testing"
+
+	"sqlciv/internal/grammar"
+)
+
+// TestRegistrySweep sanity-checks every spec in the registry by kind: FST
+// builders run (or decline cleanly) on absent constants, fixed languages
+// determinize, guards parse a representative pattern, sources carry a
+// label. A spec that panics or violates its kind's contract fails here
+// without needing a bespoke test per function.
+func TestRegistrySweep(t *testing.T) {
+	samplePat := map[Dialect]string{
+		PCRE:  `/^[a-z]+$/`,
+		Ereg:  `^[a-z]+$`,
+		Eregi: `^[a-z]+$`,
+	}
+	for _, name := range Names() {
+		spec, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s: lookup failed", name)
+		}
+		switch spec.Kind {
+		case KindFST:
+			if spec.BuildFST == nil {
+				t.Errorf("%s: KindFST without builder", name)
+				continue
+			}
+			// No constants: must either build (fixed transducer) or
+			// decline; never panic.
+			if f, ok := spec.BuildFST(make([]Arg, 4)); ok {
+				if f.NumStates() == 0 {
+					t.Errorf("%s: empty transducer", name)
+				}
+			}
+		case KindGuard:
+			g := spec.Guard
+			if g == nil {
+				t.Errorf("%s: KindGuard without guard", name)
+				continue
+			}
+			if g.PatternArg >= 0 {
+				if _, err := ParseGuardPattern(samplePat[g.Dialect], g.Dialect); err != nil {
+					t.Errorf("%s: sample pattern rejected: %v", name, err)
+				}
+			} else if g.FixedLang == nil {
+				t.Errorf("%s: fixed guard without language", name)
+			} else if g.FixedLang().Determinize().IsEmpty() {
+				t.Errorf("%s: fixed guard language empty", name)
+			}
+		case KindSource:
+			if spec.Label != grammar.Direct && spec.Label != grammar.Indirect {
+				t.Errorf("%s: source without label", name)
+			}
+		case KindRegular:
+			if spec.Lang == nil {
+				t.Errorf("%s: KindRegular without language", name)
+			} else if spec.Lang().Determinize().IsEmpty() {
+				t.Errorf("%s: regular language empty", name)
+			}
+		case KindImplode:
+			if spec.ArrayArg == spec.GlueArg {
+				t.Errorf("%s: implode arg confusion", name)
+			}
+		}
+	}
+}
+
+// TestEscapersNeverEmitUnescapedQuotes: every escaping transducer's range
+// excludes strings with an unescaped single quote — the property the SQL
+// policy relies on.
+func TestEscapersNeverEmitUnescapedQuotes(t *testing.T) {
+	// (quotemeta is not in this list: PHP's quotemeta escapes regex
+	// metacharacters, not quotes — treating it as a SQL sanitizer would be
+	// exactly the baseline's mistake.)
+	for _, name := range []string{"addslashes", "mysql_real_escape_string", "escape_quotes"} {
+		spec, _ := Lookup(name)
+		f, ok := spec.BuildFST(make([]Arg, 4))
+		if !ok {
+			t.Fatalf("%s: did not build", name)
+		}
+		out, _ := f.Apply("a'b'c")
+		for i := 0; i < len(out); i++ {
+			if out[i] == '\'' && (i == 0 || out[i-1] != '\\') {
+				t.Errorf("%s: unescaped quote in %q", name, out)
+			}
+		}
+	}
+}
+
+func TestEregReplaceDialect(t *testing.T) {
+	s, _ := Lookup("ereg_replace")
+	f, ok := s.BuildFST([]Arg{cs("[0-9]"), cs("#"), {}})
+	if !ok {
+		t.Fatal("ereg_replace should build")
+	}
+	out, _ := f.Apply("a1b2")
+	if out != "a#b#" {
+		t.Fatalf("ereg_replace = %q", out)
+	}
+	// Case-sensitive: uppercase class does not hit lowercase.
+	f2, _ := s.BuildFST([]Arg{cs("[A-Z]"), cs("_"), {}})
+	out2, _ := f2.Apply("aB")
+	if out2 != "a_" {
+		t.Fatalf("ereg_replace ci wrong: %q", out2)
+	}
+}
+
+func TestSubstrFamilyAndTrims(t *testing.T) {
+	for _, name := range []string{"substr", "strstr", "stristr", "trim", "ltrim", "rtrim", "chop"} {
+		spec, _ := Lookup(name)
+		f, ok := spec.BuildFST(nil)
+		if !ok {
+			t.Fatalf("%s: did not build", name)
+		}
+		outs := f.ApplyAll("ab", 20)
+		if len(outs) == 0 {
+			t.Fatalf("%s: no outputs", name)
+		}
+	}
+}
+
+func TestURLCodecSpecs(t *testing.T) {
+	enc, _ := Lookup("urlencode")
+	f, _ := enc.BuildFST(nil)
+	out, _ := f.Apply("a'b")
+	if out != "a%27b" {
+		t.Fatalf("urlencode = %q", out)
+	}
+	dec, _ := Lookup("urldecode")
+	f2, _ := dec.BuildFST(nil)
+	out2, _ := f2.Apply("a%27b")
+	if out2 != "a'b" {
+		t.Fatalf("urldecode = %q", out2)
+	}
+}
+
+func TestBin2HexSpec(t *testing.T) {
+	s, _ := Lookup("bin2hex")
+	f, _ := s.BuildFST(nil)
+	out, _ := f.Apply("A'")
+	if out != "4127" {
+		t.Fatalf("bin2hex = %q", out)
+	}
+}
+
+func TestStrPadSpec(t *testing.T) {
+	s, _ := Lookup("str_pad")
+	f, ok := s.BuildFST([]Arg{{}, {}, cs("*")})
+	if !ok {
+		t.Fatal("str_pad should build")
+	}
+	outs := f.ApplyAll("x", 10)
+	found := false
+	for _, o := range outs {
+		if o == "*x" || o == "x*" || o == "x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("str_pad outputs: %v", outs)
+	}
+}

@@ -1,0 +1,425 @@
+// Package policy implements phase 2 of the paper (§3.2): checking an
+// annotated query grammar for SQL command injection vulnerabilities. For
+// each labeled nonterminal X it runs the paper's cascade:
+//
+//  1. odd-unescaped-quote test — a string with an odd number of unescaped
+//     quotes can never be syntactically confined (report);
+//  2. string-literal-position test — replace X by the marker terminal,
+//     check every occurrence sits inside a string literal, then test X's
+//     own language for unescaped quotes (verify or report);
+//  3. numeric-literal test — L(X) within numeric literals is safe;
+//  4. attack-string test — X deriving a known-unconfinable fragment is
+//     reported with that witness;
+//  5. derivability (§3.2.2) — the remaining nonterminals are safe only if
+//     the whole query grammar is derivable from the reference SQL grammar;
+//     otherwise they are reported conservatively.
+//
+// No reports ⇒ no SQLCIVs at this hotspot (Theorem 3.4), relative to the
+// modeled PHP subset and library specs.
+package policy
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sqlciv/internal/automata"
+	"sqlciv/internal/deriv"
+	"sqlciv/internal/grammar"
+	"sqlciv/internal/rx"
+	"sqlciv/internal/sqlgram"
+)
+
+// Check identifies which stage of the cascade produced a report.
+type Check int
+
+// Report kinds.
+const (
+	CheckUnconfinableQuotes Check = iota + 1
+	CheckLiteralEscape
+	CheckAttackString
+	CheckNotDerivable
+)
+
+func (c Check) String() string {
+	switch c {
+	case CheckUnconfinableQuotes:
+		return "odd-unescaped-quotes"
+	case CheckLiteralEscape:
+		return "string-literal-escape"
+	case CheckAttackString:
+		return "attack-string"
+	case CheckNotDerivable:
+		return "not-derivable"
+	}
+	return "unknown"
+}
+
+// Report is one potential SQLCIV.
+type Report struct {
+	NT      grammar.Sym
+	Label   grammar.Label
+	Check   Check
+	Witness string
+	// Source names the untrusted origin when the analysis tracked one
+	// (e.g. "_GET[userid]", "mysql_fetch_assoc").
+	Source string
+}
+
+func (r Report) String() string {
+	src := r.Source
+	if src == "" {
+		src = "untrusted data"
+	}
+	return fmt.Sprintf("[%s] %s fails %s, e.g. %q", r.Label, src, r.Check, r.Witness)
+}
+
+// Result summarizes one hotspot check.
+type Result struct {
+	Reports  []Report
+	Verified bool // no labeled nonterminal survived unverified
+	// Stats
+	LabeledNTs int
+	CheckTime  time.Duration
+}
+
+// Checker holds the policy automata and reference grammar. Safe for
+// sequential reuse across hotspots.
+type Checker struct {
+	sql   *sqlgram.SQL
+	deriv *deriv.Checker
+
+	// UseMarkerConstruction selects the paper's original check-2 mechanism
+	// (replace the nonterminal with a marker terminal, intersect with a
+	// context automaton) instead of the equivalent one-pass quote-parity
+	// dataflow. The two are differentially tested; the dataflow is the
+	// default because it handles all labeled nonterminals in one pass.
+	UseMarkerConstruction bool
+
+	oddQuotes  *automata.DFA
+	unescQuote *automata.DFA
+	evenCtx    *automata.DFA
+	nonNumeric *automata.DFA
+	attackDFAs []attackDFA
+}
+
+type attackDFA struct {
+	name string
+	dfa  *automata.DFA
+}
+
+var (
+	buildOnce sync.Once
+	prebuilt  struct {
+		oddQuotes  *automata.DFA
+		unescQuote *automata.DFA
+		evenCtx    *automata.DFA
+		nonNumeric *automata.DFA
+		attacks    []attackDFA
+	}
+)
+
+// New returns a Checker against the shared reference SQL grammar.
+func New() *Checker {
+	buildOnce.Do(func() {
+		prebuilt.oddQuotes = buildQuoteParityDFA(true)
+		prebuilt.unescQuote = buildUnescapedQuoteDFA()
+		prebuilt.evenCtx = buildEvenContextDFA()
+		re, err := rx.Parse(`^-?[0-9]+(\.[0-9]+)?$`, false)
+		if err != nil {
+			panic("policy: numeric pattern: " + err.Error())
+		}
+		prebuilt.nonNumeric = re.MatchDFA().Complement().Minimize()
+		for _, frag := range []string{"--", "DROP", "UNION", ";", "/*", " OR ", " or 1=1"} {
+			n := automata.Concat(automata.Concat(automata.SigmaStar(), automata.FromString(frag)), automata.SigmaStar())
+			prebuilt.attacks = append(prebuilt.attacks, attackDFA{name: frag, dfa: n.Determinize().Minimize()})
+		}
+	})
+	sql := sqlgram.Get()
+	return &Checker{
+		sql:        sql,
+		deriv:      deriv.New(sql.G),
+		oddQuotes:  prebuilt.oddQuotes,
+		unescQuote: prebuilt.unescQuote,
+		evenCtx:    prebuilt.evenCtx,
+		nonNumeric: prebuilt.nonNumeric,
+		attackDFAs: prebuilt.attacks,
+	}
+}
+
+// buildQuoteParityDFA returns a DFA accepting byte strings whose number of
+// unescaped single quotes is odd (odd=true) or even. The marker symbol is
+// treated as an ordinary non-quote character.
+func buildQuoteParityDFA(odd bool) *automata.DFA {
+	d := automata.NewDFA()
+	// state = parity*2 + esc
+	states := make([]int, 4)
+	for i := range states {
+		states[i] = d.AddState()
+	}
+	for parity := 0; parity < 2; parity++ {
+		for esc := 0; esc < 2; esc++ {
+			s := states[parity*2+esc]
+			for sym := 0; sym < automata.AlphabetSize; sym++ {
+				var next int
+				switch {
+				case esc == 1:
+					next = states[parity*2] // escaped char: consume, clear esc
+				case sym == '\\':
+					next = states[parity*2+1]
+				case sym == '\'':
+					next = states[(1-parity)*2]
+				default:
+					next = s
+				}
+				d.SetEdge(s, sym, next)
+			}
+		}
+	}
+	d.SetStart(states[0])
+	for parity := 0; parity < 2; parity++ {
+		acc := parity == 1
+		if !odd {
+			acc = !acc
+		}
+		d.SetAccept(states[parity*2], acc)
+		d.SetAccept(states[parity*2+1], acc)
+	}
+	return d
+}
+
+// buildUnescapedQuoteDFA accepts strings containing at least one unescaped
+// single quote.
+func buildUnescapedQuoteDFA() *automata.DFA {
+	d := automata.NewDFA()
+	norm := d.AddState()
+	esc := d.AddState()
+	seen := d.AddState()
+	for sym := 0; sym < automata.AlphabetSize; sym++ {
+		switch {
+		case sym == '\\':
+			d.SetEdge(norm, sym, esc)
+		case sym == '\'':
+			d.SetEdge(norm, sym, seen)
+		default:
+			d.SetEdge(norm, sym, norm)
+		}
+		d.SetEdge(esc, sym, norm)
+		d.SetEdge(seen, sym, seen)
+	}
+	d.SetStart(norm)
+	d.SetAccept(seen, true)
+	return d
+}
+
+// buildEvenContextDFA accepts strings (over bytes + marker) in which some
+// marker occurrence has an even number of unescaped quotes before it —
+// i.e., the marker is NOT in string-literal position there. The complement
+// of check 2's "only inside literals" condition.
+func buildEvenContextDFA() *automata.DFA {
+	d := automata.NewDFA()
+	states := make([]int, 4) // parity*2+esc
+	for i := range states {
+		states[i] = d.AddState()
+	}
+	bad := d.AddState()
+	for parity := 0; parity < 2; parity++ {
+		for esc := 0; esc < 2; esc++ {
+			s := states[parity*2+esc]
+			for sym := 0; sym < automata.AlphabetSize; sym++ {
+				var next int
+				switch {
+				case sym == automata.Marker:
+					if parity == 0 {
+						next = bad
+					} else {
+						next = states[parity*2] // marker: placeholder, no effect
+					}
+				case esc == 1:
+					next = states[parity*2]
+				case sym == '\\':
+					next = states[parity*2+1]
+				case sym == '\'':
+					next = states[(1-parity)*2]
+				default:
+					next = s
+				}
+				d.SetEdge(s, sym, next)
+			}
+		}
+	}
+	for sym := 0; sym < automata.AlphabetSize; sym++ {
+		d.SetEdge(bad, sym, bad)
+	}
+	d.SetStart(states[0])
+	d.SetAccept(bad, true)
+	return d
+}
+
+// CheckHotspot checks the query grammar rooted at root in g and returns the
+// reports for its labeled nonterminals.
+func (c *Checker) CheckHotspot(g *grammar.Grammar, root grammar.Sym) *Result {
+	start := time.Now()
+	scratch, remap := g.Extract(root)
+	sroot := remap[root]
+
+	// Collect labeled nonterminals with nonempty languages.
+	minLens := scratch.MinLens()
+	var vl []grammar.Sym
+	for i := 0; i < scratch.NumNTs(); i++ {
+		nt := grammar.Sym(grammar.NumTerminals + i)
+		if scratch.LabelOf(nt) != 0 && minLens[i] >= 0 {
+			vl = append(vl, nt)
+		}
+	}
+	res := &Result{LabeledNTs: len(vl)}
+	var undecided []grammar.Sym
+	if c.UseMarkerConstruction {
+		undecided = c.cascadeReference(scratch, sroot, vl, res)
+	} else {
+		undecided = c.cascadeFast(scratch, sroot, vl, res)
+	}
+
+	// Check 5: derivability of the whole query grammar covers the rest.
+	if len(undecided) > 0 {
+		if _, ok := c.deriv.Derivable(scratch, sroot, []grammar.Sym{c.sql.Start}); !ok {
+			for _, x := range undecided {
+				w, _ := scratch.WitnessString(x)
+				res.Reports = append(res.Reports, Report{NT: x, Label: scratch.LabelOf(x), Check: CheckNotDerivable, Witness: w, Source: scratch.RawName(x)})
+			}
+		}
+	}
+
+	res.Verified = len(res.Reports) == 0
+	res.CheckTime = time.Since(start)
+	return res
+}
+
+// cascadeReference runs checks 1–4 with the paper's original constructions:
+// per-nonterminal regular intersections and the marker-terminal context
+// grammar. Kept for differential testing against the fast path.
+func (c *Checker) cascadeReference(scratch *grammar.Grammar, sroot grammar.Sym, vl []grammar.Sym, res *Result) []grammar.Sym {
+	var undecided []grammar.Sym
+	for _, x := range vl {
+		label := scratch.LabelOf(x)
+
+		// Check 1: odd number of unescaped quotes.
+		if w, ok := grammar.IntersectWitness(scratch, x, c.oddQuotes); ok {
+			res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckUnconfinableQuotes, Witness: w, Source: scratch.RawName(x)})
+			continue
+		}
+
+		// Check 2: string-literal position via the marker construction.
+		rt := scratch.ReplaceWithMarker(sroot, x)
+		if !markerAppears(rt) {
+			continue // X never reaches the query text
+		}
+		if grammar.IntersectEmpty(rt, rt.Start(), c.evenCtx) {
+			if w, ok := grammar.IntersectWitness(scratch, x, c.unescQuote); ok {
+				res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckLiteralEscape, Witness: w, Source: scratch.RawName(x)})
+			}
+			continue
+		}
+
+		// Check 3: numeric literals only.
+		if grammar.IntersectEmpty(scratch, x, c.nonNumeric) {
+			continue
+		}
+
+		// Check 4: known-unconfinable fragments.
+		attacked := false
+		for _, atk := range c.attackDFAs {
+			if w, ok := grammar.IntersectWitness(scratch, x, atk.dfa); ok {
+				res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckAttackString, Witness: w, Source: scratch.RawName(x)})
+				attacked = true
+				break
+			}
+		}
+		if attacked {
+			continue
+		}
+		undecided = append(undecided, x)
+	}
+	return undecided
+}
+
+// cascadeFast runs checks 1–4 using one relation fixpoint per check DFA
+// (rels.go) and the one-pass quote-parity context analysis (context.go),
+// extracting witnesses only for reported nonterminals.
+func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []grammar.Sym, res *Result) []grammar.Sym {
+	oddRel := grammar.Rels(scratch, c.oddQuotes)
+	ctxInfo := c.computeContexts(scratch, sroot, oddRel)
+	unescRel := grammar.Rels(scratch, c.unescQuote)
+	numRel := grammar.Rels(scratch, c.nonNumeric)
+	attackRels := make([][][]uint32, len(c.attackDFAs))
+	for i, atk := range c.attackDFAs {
+		attackRels[i] = grammar.Rels(scratch, atk.dfa)
+	}
+	// RelNonempty falls back to an intersection when a DFA is too large for
+	// the relation representation (does not happen with the built-ins).
+	nonempty := func(rel [][]uint32, d *automata.DFA, x grammar.Sym) bool {
+		return grammar.RelNonempty(rel, d, scratch, x)
+	}
+	var undecided []grammar.Sym
+	for _, x := range vl {
+		label := scratch.LabelOf(x)
+
+		// Check 1: odd number of unescaped quotes.
+		if nonempty(oddRel, c.oddQuotes, x) {
+			w, _ := grammar.IntersectWitness(scratch, x, c.oddQuotes)
+			res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckUnconfinableQuotes, Witness: w, Source: scratch.RawName(x)})
+			continue
+		}
+
+		// Check 2: string-literal position.
+		occurs, literalOnly := ctxInfo.literalOnly(x)
+		if !occurs {
+			continue
+		}
+		if literalOnly {
+			if nonempty(unescRel, c.unescQuote, x) {
+				w, _ := grammar.IntersectWitness(scratch, x, c.unescQuote)
+				res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckLiteralEscape, Witness: w, Source: scratch.RawName(x)})
+			}
+			continue
+		}
+
+		// Check 3: numeric literals only.
+		if !nonempty(numRel, c.nonNumeric, x) {
+			continue
+		}
+
+		// Check 4: known-unconfinable fragments.
+		attacked := false
+		for i, atk := range c.attackDFAs {
+			if nonempty(attackRels[i], atk.dfa, x) {
+				w, _ := grammar.IntersectWitness(scratch, x, atk.dfa)
+				res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckAttackString, Witness: w, Source: scratch.RawName(x)})
+				attacked = true
+				break
+			}
+		}
+		if attacked {
+			continue
+		}
+		undecided = append(undecided, x)
+	}
+	return undecided
+}
+
+// markerAppears reports whether the marker terminal occurs in some string
+// of the grammar's language (i.e., X is live in the query).
+func markerAppears(g *grammar.Grammar) bool {
+	// A marker is live iff some derivable string contains it: intersect
+	// with (anything)* marker (anything)*, where "anything" includes the
+	// marker itself (X may occur several times in one query).
+	n := automata.NewNFA()
+	acc := n.AddState()
+	n.SetAccept(acc, true)
+	for sym := 0; sym < automata.AlphabetSize; sym++ {
+		n.AddEdge(n.Start(), sym, n.Start())
+		n.AddEdge(acc, sym, acc)
+	}
+	n.AddEdge(n.Start(), automata.Marker, acc)
+	return !grammar.IntersectEmpty(g, g.Start(), n.Determinize())
+}

@@ -1,0 +1,26 @@
+package rx
+
+import "testing"
+
+// FuzzParseCompile asserts the regex front end never panics and that every
+// accepted pattern compiles to automata without panicking.
+func FuzzParseCompile(f *testing.F) {
+	for _, s := range []string{
+		`[0-9]+`, `^[\d]+$`, `(a|b)*abb`, `[[:alpha:]]{1,3}`, `a.?c\x41`,
+		`[^'\\]*`, `x{2,}y?`, `(?:ab)+`, `\w\s\W\S\d\D`,
+	} {
+		f.Add(s, false)
+	}
+	f.Fuzz(func(t *testing.T, pattern string, ci bool) {
+		re, err := Parse(pattern, ci)
+		if err != nil {
+			return
+		}
+		// Compilation must not panic; match a couple of strings.
+		d := re.MatchDFA()
+		d.AcceptsString("probe'1")
+		d.AcceptsString("")
+		n := re.NFA()
+		n.AcceptsString("probe")
+	})
+}

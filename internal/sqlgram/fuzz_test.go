@@ -1,0 +1,28 @@
+package sqlgram
+
+import "testing"
+
+// FuzzConfined asserts the Definition 2.2 oracle never panics and respects
+// its basic invariants on arbitrary queries and spans.
+func FuzzConfined(f *testing.F) {
+	f.Add("SELECT * FROM t WHERE a='v'", 26, 27)
+	f.Add("SELECT * FROM t", 0, 5)
+	f.Add("", 0, 0)
+	f.Add("DROP TABLE t; --", 3, 9)
+	f.Fuzz(func(t *testing.T, q string, i, j int) {
+		if len(q) > 120 {
+			q = q[:120] // keep Earley costs bounded
+		}
+		s := Get()
+		conf := s.Confined(q, i, j)
+		if conf {
+			// Confinement implies valid bounds and a parseable query.
+			if i < 0 || j < i || j > len(q) {
+				t.Fatalf("confined with invalid bounds %d:%d in %q", i, j, q)
+			}
+			if !s.ParsesQuery(q) {
+				t.Fatalf("confined span in unparseable query %q", q)
+			}
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package sqlgram
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsesWellFormedQueries(t *testing.T) {
+	s := Get()
+	good := []string{
+		"SELECT * FROM users",
+		"SELECT * FROM `unp_user` WHERE userid='42'",
+		"SELECT id, name FROM users WHERE name='bob' AND id=7",
+		"SELECT * FROM t WHERE a LIKE 'x%'",
+		"SELECT * FROM t WHERE a IS NOT NULL ORDER BY a DESC LIMIT 10",
+		"SELECT * FROM t WHERE id IN (1, 2, 3)",
+		"INSERT INTO t (a, b) VALUES ('x', 2)",
+		"INSERT INTO `unp_news` (`date`, `subject`) VALUES ('now', 'hi')",
+		"UPDATE t SET a='x', b=2 WHERE id=1",
+		"DELETE FROM t WHERE id=3",
+		"DROP TABLE t",
+		"SELECT * FROM t WHERE a='it''s'",
+		"SELECT * FROM t WHERE a='it\\'s'",
+		"SELECT * FROM t; DROP TABLE t; --'",
+		"SELECT * FROM t WHERE x=1 -- trailing comment",
+		"SELECT * FROM t WHERE (a=1 OR b=2) AND NOT c=3",
+		"SELECT * FROM t WHERE t.col = 'v'",
+		"SELECT * FROM t WHERE a=-3.5",
+	}
+	for _, q := range good {
+		if !s.ParsesQuery(q) {
+			t.Errorf("should parse: %q", q)
+		}
+	}
+}
+
+func TestRejectsMalformedQueries(t *testing.T) {
+	s := Get()
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a='unterminated",
+		"FROM t SELECT *",
+		"SELECT * FROM t WHERE a=='x'",
+		"DROP users",
+	}
+	for _, q := range bad {
+		if s.ParsesQuery(q) {
+			t.Errorf("should reject: %q", q)
+		}
+	}
+}
+
+// TestConfinedOracle exercises Definition 2.2 on the paper's own example.
+func TestConfinedOracle(t *testing.T) {
+	s := Get()
+
+	// Benign: userid value 42 confined inside the string literal.
+	q := "SELECT * FROM `unp_user` WHERE userid='42'"
+	i := strings.Index(q, "42")
+	if !s.Confined(q, i, i+2) {
+		t.Fatal("benign value should be confined")
+	}
+
+	// The Figure 2 attack: input spans a literal, a piggybacked statement,
+	// and a comment opener — not confined.
+	inj := "1'; DROP TABLE unp_user; --"
+	qa := "SELECT * FROM `unp_user` WHERE userid='" + inj + "'"
+	if !s.ParsesQuery(qa) {
+		t.Fatal("attack query should still parse as SQL")
+	}
+	start := strings.Index(qa, inj)
+	if s.Confined(qa, start, start+len(inj)) {
+		t.Fatal("attack substring must not be confined")
+	}
+}
+
+func TestConfinedWholeLiteral(t *testing.T) {
+	s := Get()
+	q := "SELECT * FROM t WHERE a='hello world'"
+	i := strings.Index(q, "hello world")
+	if !s.Confined(q, i, i+len("hello world")) {
+		t.Fatal("string body should be confined")
+	}
+	// A span covering the closing quote is not confined.
+	if s.Confined(q, i, i+len("hello world'")) {
+		t.Fatal("span crossing the literal boundary must not be confined")
+	}
+}
+
+func TestConfinedNumericPosition(t *testing.T) {
+	s := Get()
+	q := "SELECT * FROM t WHERE id=42 ORDER BY id"
+	i := strings.Index(q, "42")
+	if !s.Confined(q, i, i+2) {
+		t.Fatal("numeric literal should be confined")
+	}
+	// "42 ORDER" spanning into the clause is not confined.
+	if s.Confined(q, i, i+len("42 ORDER")) {
+		t.Fatal("span crossing clause boundary must not be confined")
+	}
+}
+
+func TestConfinedBadBounds(t *testing.T) {
+	s := Get()
+	if s.Confined("SELECT * FROM t", -1, 2) || s.Confined("SELECT * FROM t", 5, 3) {
+		t.Fatal("bad bounds should be unconfined")
+	}
+}
+
+func TestGrammarShape(t *testing.T) {
+	s := Get()
+	if s.G.NumNTs() < 30 || s.G.NumProds() < 500 {
+		t.Fatalf("grammar unexpectedly small: |V|=%d |R|=%d", s.G.NumNTs(), s.G.NumProds())
+	}
+	// Handles derive what they should.
+	if !s.G.DerivesString(s.NumLit, "3.5") || s.G.DerivesString(s.NumLit, "x") {
+		t.Fatal("NumLit wrong")
+	}
+	if !s.G.DerivesString(s.Ident, "user_id") || s.G.DerivesString(s.Ident, "9x") {
+		t.Fatal("Ident wrong")
+	}
+	if !s.G.DerivesString(s.StringBody, `it\'s`) || s.G.DerivesString(s.StringBody, "it's") {
+		t.Fatal("StringBody wrong")
+	}
+	if !s.G.DerivesString(s.Value, "'v'") || !s.G.DerivesString(s.Value, "7") {
+		t.Fatal("Value wrong")
+	}
+	if !s.G.DerivesString(s.Expr, "a=1 AND b='x'") {
+		t.Fatal("Expr wrong")
+	}
+}
+
+func TestGetIsShared(t *testing.T) {
+	if Get() != Get() {
+		t.Fatal("Get should return the shared instance")
+	}
+}
+
+func TestExtendedSyntax(t *testing.T) {
+	s := Get()
+	good := []string{
+		"SELECT * FROM a JOIN b ON a.id=b.id",
+		"SELECT * FROM a LEFT JOIN b ON a.id=b.id WHERE a.x='v'",
+		"SELECT name, COUNT(*) FROM t GROUP BY name",
+		"SELECT * FROM t GROUP BY a HAVING COUNT(*)>3",
+		"SELECT * FROM t WHERE id IN (SELECT uid FROM perms)",
+		"SELECT * FROM t WHERE n=(SELECT MAX(n) FROM t2)",
+		"SELECT COUNT(*) FROM t",
+	}
+	for _, q := range good {
+		if !s.ParsesQuery(q) {
+			t.Errorf("should parse: %q", q)
+		}
+	}
+	bad := []string{
+		"SELECT * FROM a JOIN ON x=1",
+		"SELECT * FROM t GROUP BY",
+		"SELECT COUNT( FROM t",
+	}
+	for _, q := range bad {
+		if s.ParsesQuery(q) {
+			t.Errorf("should reject: %q", q)
+		}
+	}
+}
+
+func TestConfinedInSubquery(t *testing.T) {
+	s := Get()
+	q := "SELECT * FROM t WHERE id IN (SELECT uid FROM perms WHERE g='admin')"
+	i := strings.Index(q, "admin")
+	if !s.Confined(q, i, i+5) {
+		t.Fatal("value inside subquery literal should be confined")
+	}
+}

@@ -1,0 +1,103 @@
+package taintcheck
+
+import (
+	"testing"
+
+	"sqlciv/internal/analysis"
+)
+
+func TestSwitchAndTernary(t *testing.T) {
+	res := check(t, map[string]string{
+		"a.php": `<?php
+switch ($_GET['m']) {
+case 'a': $x = $_GET['v']; break;
+default: $x = 'safe';
+}
+$y = $cond ? $_POST['p'] : 'k';
+mysql_query("SELECT '" . $x . $y . "'");`,
+	}, "a.php")
+	if len(res.Findings) != 1 {
+		t.Fatalf("findings: %v", res.Findings)
+	}
+}
+
+func TestForeachTaint(t *testing.T) {
+	res := check(t, map[string]string{
+		"a.php": `<?php
+foreach ($_POST as $k => $v) {
+    $acc .= $v;
+}
+mysql_query("SELECT '" . $acc . "'");`,
+	}, "a.php")
+	if len(res.Findings) != 1 {
+		t.Fatalf("findings: %v", res.Findings)
+	}
+}
+
+func TestMethodSinkAndFetch(t *testing.T) {
+	res := check(t, map[string]string{
+		"a.php": `<?php
+$r = $DB->query("SELECT '" . $_GET['x'] . "'");
+$row = $DB->fetch_assoc($r);
+$DB->query("UPDATE t SET v='" . $row['v'] . "'");
+$safe = $DB->escape($_GET['y']);
+$DB->query("SELECT '" . $safe . "'");`,
+	}, "a.php")
+	if len(res.Findings) != 2 {
+		t.Fatalf("findings: %v", res.Findings)
+	}
+	if !res.Findings[0].Direct || res.Findings[1].Direct {
+		t.Fatalf("classification: %v", res.Findings)
+	}
+}
+
+func TestSessionIndirect(t *testing.T) {
+	res := check(t, map[string]string{
+		"a.php": `<?php mysql_query("SELECT '" . $_SESSION['u'] . "'");`,
+	}, "a.php")
+	if len(res.Findings) != 1 || res.Findings[0].Direct {
+		t.Fatalf("findings: %v", res.Findings)
+	}
+}
+
+func TestArrayAndPropTaint(t *testing.T) {
+	res := check(t, map[string]string{
+		"a.php": `<?php
+$arr['k'] = $_GET['x'];
+$obj->f = $_COOKIE['c'];
+mysql_query("SELECT '" . $arr['k'] . $obj->f . "'");`,
+	}, "a.php")
+	if len(res.Findings) != 1 || !res.Findings[0].Direct {
+		t.Fatalf("findings: %v", res.Findings)
+	}
+}
+
+func TestDynamicIncludeConservative(t *testing.T) {
+	// The baseline cannot resolve dynamic includes: it includes everything,
+	// so the taint in either candidate flows.
+	res := check(t, map[string]string{
+		"a.php": `<?php include($_GET['page'] . '.php'); mysql_query("SELECT '" . $v . "'");`,
+		"b.php": `<?php $v = $_GET['x'];`,
+		"c.php": `<?php $v = 'safe';`,
+	}, "a.php")
+	if len(res.Findings) != 1 {
+		t.Fatalf("findings: %v", res.Findings)
+	}
+}
+
+func TestStringCastKeepsTaint(t *testing.T) {
+	res := check(t, map[string]string{
+		"a.php": `<?php
+$v = (string)$_GET['x'];
+mysql_query("SELECT '" . $v . "'");`,
+	}, "a.php")
+	if len(res.Findings) != 1 {
+		t.Fatalf("findings: %v", res.Findings)
+	}
+}
+
+func TestMissingEntryError(t *testing.T) {
+	if _, err := Check(analysis.NewMapResolver(nil), []string{"nope.php"}); err == nil {
+		t.Fatal("missing entry should error")
+	}
+}

@@ -1,0 +1,498 @@
+// Package taintcheck is the comparison baseline: a classic binary
+// taint-tracking checker in the style of the prior work the paper contrasts
+// against (§1.1, §6.2 — Pixy, Huang et al., Livshits & Lam). Data is either
+// tainted or untainted; a fixed list of functions sanitizes uncondition-
+// ally; a hotspot fed any tainted value is reported. The baseline exhibits
+// exactly the two failure modes the paper describes:
+//
+//   - false positives on values constrained by regex guards or numeric
+//     checks (the binary domain cannot model the constraint), and
+//   - false negatives when an escaping "sanitizer" is used for a value
+//     placed outside quotes (escaping does not confine an unquoted value).
+package taintcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlciv/internal/grammar"
+	"sqlciv/internal/php"
+)
+
+// Finding is one baseline report.
+type Finding struct {
+	File string
+	Line int
+	Call string
+	// Direct is true when directly user-controlled data reaches the sink.
+	Direct bool
+}
+
+func (f Finding) String() string {
+	kind := "indirect"
+	if f.Direct {
+		kind = "direct"
+	}
+	return fmt.Sprintf("%s:%d (%s): tainted (%s) value reaches query", f.File, f.Line, f.Call, kind)
+}
+
+// Result is the baseline's output for one application.
+type Result struct {
+	Findings []Finding
+}
+
+// sanitizers are functions whose return value the baseline always trusts —
+// the context-agnostic policy the paper criticizes.
+var sanitizers = map[string]bool{
+	"addslashes": true, "mysql_escape_string": true,
+	"mysql_real_escape_string": true, "mysqli_real_escape_string": true,
+	"escape_quotes": true, "intval": true, "htmlspecialchars": true,
+	"htmlentities": true, "urlencode": true, "md5": true, "sha1": true,
+	"count": true, "strlen": true, "sizeof": true, "number_format": true,
+}
+
+// untaintedFuncs return values never considered tainted.
+var untaintedFuncs = map[string]bool{
+	"time": true, "date": true, "rand": true, "mt_rand": true, "uniqid": true,
+}
+
+var directSources = map[string]bool{
+	"_GET": true, "_POST": true, "_REQUEST": true, "_COOKIE": true,
+	"_SERVER": true, "_FILES": true,
+	"HTTP_GET_VARS": true, "HTTP_POST_VARS": true, "HTTP_COOKIE_VARS": true,
+}
+
+var indirectSources = map[string]bool{"_SESSION": true}
+
+var indirectFuncs = map[string]bool{
+	"mysql_fetch_array": true, "mysql_fetch_assoc": true,
+	"mysql_fetch_row": true, "mysql_fetch_object": true, "mysql_result": true,
+	"mysqli_fetch_array": true, "mysqli_fetch_assoc": true,
+	"file_get_contents": true, "fgets": true, "fread": true,
+}
+
+var sinkFuncs = map[string]int{
+	"mysql_query": 0, "mysqli_query": 1, "mysql_db_query": 1,
+	"pg_query": 0, "sqlite_query": 0, "db_query": 0,
+}
+
+var sinkMethods = map[string]bool{
+	"query": true, "sql_query": true, "execute": true, "exec": true,
+}
+
+var fetchMethods = map[string]bool{
+	"fetch": true, "fetch_array": true, "fetch_assoc": true,
+	"fetch_row": true, "fetch_object": true, "result": true,
+}
+
+// taint is the abstract value: a label bitset (0 = untainted).
+type taint = grammar.Label
+
+type checker struct {
+	resolver Resolver
+	findings []Finding
+	funcs    map[string]*php.FuncDecl
+	infos    map[string]*fnInfo
+	globals  map[string]taint
+	curFile  string
+	incStack []string
+	seen     map[string]bool
+}
+
+// Resolver matches the analysis package's source interface.
+type Resolver interface {
+	Load(path string) (*php.File, bool)
+	Files() []string
+}
+
+type fnInfo struct {
+	paramTaint []taint
+	retTaint   taint
+	analyzed   bool
+	analyzing  bool
+	decl       *php.FuncDecl
+}
+
+type tenv map[string]taint
+
+func (e tenv) clone() tenv {
+	out := make(tenv, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// Check runs the baseline over an application's entry pages.
+func Check(resolver Resolver, entries []string) (*Result, error) {
+	c := &checker{
+		resolver: resolver,
+		funcs:    map[string]*php.FuncDecl{},
+		infos:    map[string]*fnInfo{},
+		globals:  map[string]taint{},
+		seen:     map[string]bool{},
+	}
+	for _, entry := range entries {
+		f, ok := resolver.Load(entry)
+		if !ok {
+			return nil, fmt.Errorf("taintcheck: cannot load %q", entry)
+		}
+		c.checkFile(tenv{}, f)
+	}
+	// Deduplicate findings by site.
+	dedup := map[string]bool{}
+	var out []Finding
+	for _, f := range c.findings {
+		key := fmt.Sprintf("%s:%d:%v", f.File, f.Line, f.Direct)
+		if !dedup[key] {
+			dedup[key] = true
+			out = append(out, f)
+		}
+	}
+	return &Result{Findings: out}, nil
+}
+
+func (c *checker) checkFile(e tenv, f *php.File) {
+	prev := c.curFile
+	c.curFile = f.Name
+	for name, fd := range f.Funcs {
+		if _, ok := c.funcs[name]; !ok {
+			c.funcs[name] = fd
+		}
+	}
+	c.stmts(e, f.Stmts)
+	c.curFile = prev
+}
+
+func (c *checker) stmts(e tenv, list []php.Stmt) {
+	for _, s := range list {
+		c.stmt(e, s)
+	}
+}
+
+func (c *checker) stmt(e tenv, s php.Stmt) {
+	switch v := s.(type) {
+	case *php.ExprStmt:
+		if inc, ok := v.X.(*php.IncludeExpr); ok {
+			c.include(e, inc)
+			return
+		}
+		c.expr(e, v.X)
+	case *php.EchoStmt:
+		for _, x := range v.Args {
+			c.expr(e, x)
+		}
+	case *php.IfStmt:
+		c.expr(e, v.Cond)
+		t := e.clone()
+		el := e.clone()
+		c.stmts(t, v.Then)
+		c.stmts(el, v.Else)
+		mergeTaint(e, t, el)
+	case *php.WhileStmt:
+		c.expr(e, v.Cond)
+		c.loop(e, v.Body)
+	case *php.ForStmt:
+		for _, x := range v.Init {
+			c.expr(e, x)
+		}
+		c.loop(e, v.Body)
+		for _, x := range v.Post {
+			c.expr(e, x)
+		}
+	case *php.ForeachStmt:
+		sub := c.expr(e, v.Subject)
+		e[v.ValVar] = sub
+		if v.KeyVar != "" {
+			e[v.KeyVar] = sub
+		}
+		c.loop(e, v.Body)
+	case *php.SwitchStmt:
+		c.expr(e, v.Subject)
+		envs := make([]tenv, 0, len(v.Cases))
+		for _, cs := range v.Cases {
+			be := e.clone()
+			c.stmts(be, cs.Body)
+			envs = append(envs, be)
+		}
+		for _, be := range envs {
+			mergeTaint(e, e, be)
+		}
+	case *php.ReturnStmt:
+		if v.X != nil {
+			t := c.expr(e, v.X)
+			e["__ret__"] |= t
+		}
+	case *php.GlobalStmt:
+		for _, n := range v.Names {
+			e[n] = c.globals[n]
+		}
+	case *php.FuncDecl:
+		c.funcs[strings.ToLower(v.Name)] = v
+	}
+}
+
+func (c *checker) loop(e tenv, body []php.Stmt) {
+	// Two passes reach the taint fixpoint for a finite label lattice.
+	for i := 0; i < 2; i++ {
+		be := e.clone()
+		c.stmts(be, body)
+		mergeTaint(e, e, be)
+	}
+}
+
+func mergeTaint(dst, a, b tenv) {
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	for k := range keys {
+		dst[k] = a[k] | b[k]
+	}
+}
+
+func (c *checker) include(e tenv, inc *php.IncludeExpr) {
+	if len(c.incStack) > 16 {
+		return
+	}
+	var candidates []string
+	if lit, ok := inc.Arg.(*php.StrLit); ok {
+		candidates = []string{lit.Value}
+	} else {
+		// The baseline cannot resolve dynamic includes precisely (the
+		// paper notes prior tools require user assistance here); include
+		// every file conservatively.
+		c.expr(e, inc.Arg)
+		candidates = c.resolver.Files()
+	}
+	single := len(candidates) == 1
+	for _, path := range candidates {
+		if pathInStack(c.incStack, path) {
+			continue
+		}
+		f, ok := c.resolver.Load(path)
+		if !ok {
+			continue
+		}
+		c.incStack = append(c.incStack, path)
+		if single {
+			c.checkFile(e, f)
+		} else {
+			// Any one candidate may be the included file: weak update so a
+			// later candidate cannot erase an earlier one's taint.
+			ce := e.clone()
+			c.checkFile(ce, f)
+			mergeTaint(e, e, ce)
+		}
+		c.incStack = c.incStack[:len(c.incStack)-1]
+	}
+}
+
+func pathInStack(stack []string, p string) bool {
+	for _, s := range stack {
+		if s == p {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) expr(e tenv, x php.Expr) taint {
+	switch v := x.(type) {
+	case *php.StrLit, *php.NumLit, *php.BoolLit, *php.NullLit, *php.ConstFetch:
+		return 0
+	case *php.Var:
+		if directSources[v.Name] {
+			return grammar.Direct
+		}
+		if indirectSources[v.Name] {
+			return grammar.Indirect
+		}
+		return e[v.Name]
+	case *php.Index:
+		if base, ok := v.Base.(*php.Var); ok {
+			if directSources[base.Name] {
+				return grammar.Direct
+			}
+			if indirectSources[base.Name] {
+				return grammar.Indirect
+			}
+			return e[base.Name]
+		}
+		return c.expr(e, v.Base)
+	case *php.Prop:
+		if base, ok := v.Object.(*php.Var); ok {
+			return e[base.Name]
+		}
+		return 0
+	case *php.Interp:
+		t := taint(0)
+		for _, p := range v.Parts {
+			t |= c.expr(e, p)
+		}
+		return t
+	case *php.Binary:
+		return c.expr(e, v.L) | c.expr(e, v.R)
+	case *php.Unary:
+		return c.expr(e, v.X)
+	case *php.Assign:
+		t := c.expr(e, v.Value)
+		if v.Op == ".=" || v.Op == "+=" {
+			t |= c.expr(e, v.Target)
+		}
+		c.assign(e, v.Target, t)
+		return t
+	case *php.Ternary:
+		t := c.expr(e, v.Cond)
+		out := c.expr(e, v.Else)
+		if v.Then != nil {
+			out |= c.expr(e, v.Then)
+		} else {
+			out |= t
+		}
+		return out
+	case *php.Call:
+		return c.call(e, v)
+	case *php.MethodCall:
+		return c.method(e, v)
+	case *php.IssetExpr, *php.EmptyExpr:
+		return 0
+	case *php.ArrayLit:
+		t := taint(0)
+		for _, item := range v.Items {
+			t |= c.expr(e, item.Value)
+		}
+		return t
+	case *php.Cast:
+		t := c.expr(e, v.X)
+		if v.Type == "int" || v.Type == "float" || v.Type == "bool" {
+			return 0 // numeric cast sanitizes in the binary model
+		}
+		return t
+	case *php.IncludeExpr:
+		c.include(e, v)
+		return 0
+	case *php.ExitExpr:
+		if v.Arg != nil {
+			c.expr(e, v.Arg)
+		}
+		return 0
+	case *php.PrintExpr:
+		return c.expr(e, v.X)
+	case *php.ListAssign:
+		t := c.expr(e, v.Value)
+		for _, tgt := range v.Targets {
+			if tgt != nil {
+				c.assign(e, tgt, t)
+			}
+		}
+		return t
+	}
+	return 0
+}
+
+func (c *checker) assign(e tenv, target php.Expr, t taint) {
+	switch v := target.(type) {
+	case *php.Var:
+		e[v.Name] = t
+		c.globals[v.Name] |= t
+	case *php.Index:
+		if base, ok := v.Base.(*php.Var); ok {
+			e[base.Name] |= t
+			c.globals[base.Name] |= t
+		}
+	case *php.Prop:
+		if base, ok := v.Object.(*php.Var); ok {
+			e[base.Name] |= t
+		}
+	}
+}
+
+func (c *checker) call(e tenv, v *php.Call) taint {
+	name := strings.ToLower(v.Name)
+	args := make([]taint, len(v.Args))
+	union := taint(0)
+	for i, a := range v.Args {
+		args[i] = c.expr(e, a)
+		union |= args[i]
+	}
+	if qi, ok := sinkFuncs[name]; ok {
+		if qi < len(args) && args[qi] != 0 {
+			c.findings = append(c.findings, Finding{
+				File: c.curFile, Line: v.Line, Call: v.Name,
+				Direct: args[qi]&grammar.Direct != 0,
+			})
+		}
+		return 0
+	}
+	if sanitizers[name] || untaintedFuncs[name] {
+		return 0
+	}
+	if indirectFuncs[name] {
+		return grammar.Indirect
+	}
+	if fd, ok := c.funcs[name]; ok {
+		return c.userCall(name, fd, args)
+	}
+	return union
+}
+
+func (c *checker) userCall(name string, fd *php.FuncDecl, args []taint) taint {
+	fi := c.infos[name]
+	if fi == nil {
+		fi = &fnInfo{decl: fd, paramTaint: make([]taint, len(fd.Params))}
+		c.infos[name] = fi
+	}
+	changed := false
+	for i := range fd.Params {
+		var t taint
+		if i < len(args) {
+			t = args[i]
+		}
+		if fi.paramTaint[i]|t != fi.paramTaint[i] {
+			fi.paramTaint[i] |= t
+			changed = true
+		}
+	}
+	if (!fi.analyzed || changed) && !fi.analyzing {
+		fi.analyzing = true
+		fe := tenv{}
+		for i, p := range fd.Params {
+			fe[p.Name] = fi.paramTaint[i]
+		}
+		c.stmts(fe, fd.Body)
+		fi.retTaint |= fe["__ret__"]
+		fi.analyzing = false
+		fi.analyzed = true
+	}
+	return fi.retTaint
+}
+
+func (c *checker) method(e tenv, v *php.MethodCall) taint {
+	m := strings.ToLower(v.Method)
+	args := make([]taint, len(v.Args))
+	union := taint(0)
+	for i, a := range v.Args {
+		args[i] = c.expr(e, a)
+		union |= args[i]
+	}
+	if sinkMethods[m] {
+		if len(args) > 0 && args[0] != 0 {
+			c.findings = append(c.findings, Finding{
+				File: c.curFile, Line: v.Line, Call: "->" + v.Method,
+				Direct: args[0]&grammar.Direct != 0,
+			})
+		}
+		return 0
+	}
+	if fetchMethods[m] {
+		return grammar.Indirect
+	}
+	if m == "escape" || m == "escape_string" || m == "quote" {
+		return 0
+	}
+	return union
+}

@@ -1,0 +1,138 @@
+package taintcheck
+
+import (
+	"testing"
+
+	"sqlciv/internal/analysis"
+)
+
+func check(t *testing.T, sources map[string]string, entries ...string) *Result {
+	t.Helper()
+	res, err := Check(analysis.NewMapResolver(sources), entries)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return res
+}
+
+func TestRawFlowReported(t *testing.T) {
+	res := check(t, map[string]string{
+		"a.php": `<?php mysql_query("SELECT * FROM t WHERE a='" . $_GET['x'] . "'");`,
+	}, "a.php")
+	if len(res.Findings) != 1 || !res.Findings[0].Direct {
+		t.Fatalf("findings: %v", res.Findings)
+	}
+}
+
+func TestSanitizerTrusted(t *testing.T) {
+	res := check(t, map[string]string{
+		"a.php": `<?php
+$x = addslashes($_GET['x']);
+mysql_query("SELECT * FROM t WHERE a='$x'");`,
+	}, "a.php")
+	if len(res.Findings) != 0 {
+		t.Fatalf("sanitized flow reported: %v", res.Findings)
+	}
+}
+
+// TestFalseNegativeEscapedNumericContext documents the baseline's known
+// unsoundness (the paper's §1.1 example): escape_quotes in an unquoted
+// numeric position is treated as safe although it is exploitable.
+func TestFalseNegativeEscapedNumericContext(t *testing.T) {
+	res := check(t, map[string]string{
+		"a.php": `<?php
+$id = addslashes($_GET['id']);
+mysql_query("SELECT * FROM t WHERE id=" . $id);`,
+	}, "a.php")
+	if len(res.Findings) != 0 {
+		t.Fatal("the baseline by construction misses this (that is the point)")
+	}
+}
+
+// TestFalsePositiveRegexGuard documents the baseline's imprecision: an
+// anchored regex guard does not clear binary taint.
+func TestFalsePositiveRegexGuard(t *testing.T) {
+	res := check(t, map[string]string{
+		"a.php": `<?php
+$id = $_GET['id'];
+if (!preg_match('/^[0-9]+$/', $id)) { exit; }
+mysql_query("SELECT * FROM t WHERE id=$id");`,
+	}, "a.php")
+	if len(res.Findings) != 1 {
+		t.Fatalf("baseline should report the guarded flow: %v", res.Findings)
+	}
+}
+
+func TestIndirectClassification(t *testing.T) {
+	res := check(t, map[string]string{
+		"a.php": `<?php
+$row = mysql_fetch_assoc($r);
+mysql_query("INSERT INTO t VALUES ('" . $row['v'] . "')");`,
+	}, "a.php")
+	if len(res.Findings) != 1 || res.Findings[0].Direct {
+		t.Fatalf("findings: %v", res.Findings)
+	}
+}
+
+func TestUserFunctionPropagation(t *testing.T) {
+	res := check(t, map[string]string{
+		"a.php": `<?php
+function wrap($s) { return "'" . $s . "'"; }
+mysql_query("SELECT * FROM t WHERE a=" . wrap($_GET['x']));`,
+	}, "a.php")
+	if len(res.Findings) != 1 {
+		t.Fatalf("taint through user function lost: %v", res.Findings)
+	}
+}
+
+func TestIncludeAndGlobals(t *testing.T) {
+	res := check(t, map[string]string{
+		"a.php":   `<?php include('lib.php'); mysql_query("SELECT " . $x);`,
+		"lib.php": `<?php $x = $_COOKIE['c'];`,
+	}, "a.php")
+	if len(res.Findings) != 1 || !res.Findings[0].Direct {
+		t.Fatalf("findings: %v", res.Findings)
+	}
+}
+
+func TestIntCastSanitizes(t *testing.T) {
+	res := check(t, map[string]string{
+		"a.php": `<?php
+$id = (int)$_GET['id'];
+mysql_query("SELECT * FROM t WHERE id=$id");`,
+	}, "a.php")
+	if len(res.Findings) != 0 {
+		t.Fatalf("int cast should clear taint: %v", res.Findings)
+	}
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	res := check(t, map[string]string{
+		"a.php": `<?php
+$acc = "";
+while ($i) {
+    $acc = $acc . $_GET['x'];
+}
+mysql_query("SELECT " . $acc);`,
+	}, "a.php")
+	if len(res.Findings) != 1 {
+		t.Fatalf("loop taint lost: %v", res.Findings)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	res := check(t, map[string]string{
+		"a.php": `<?php mysql_query("SELECT '" . $_GET['x'] . "'");`,
+		"b.php": `<?php include('a.php');`,
+	}, "a.php", "b.php")
+	if len(res.Findings) != 1 {
+		t.Fatalf("dedup failed: %v", res.Findings)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "x.php", Line: 2, Call: "mysql_query", Direct: true}
+	if f.String() == "" {
+		t.Fatal("empty finding string")
+	}
+}

@@ -1,0 +1,178 @@
+package xss
+
+import (
+	"strings"
+	"testing"
+
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/grammar"
+)
+
+func audit(t *testing.T, src string) []Finding {
+	t.Helper()
+	res, err := Audit(analysis.NewMapResolver(map[string]string{"p.php": src}), []string{"p.php"}, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestReflectedXSSReported(t *testing.T) {
+	f := audit(t, `<?php
+echo '<p>Hello, ' . $_GET['name'] . '</p>';
+`)
+	if len(f) != 1 || f[0].Check != CheckTagInjection || !f[0].Direct() {
+		t.Fatalf("findings: %v", f)
+	}
+}
+
+func TestHTMLSpecialCharsTextContextSafe(t *testing.T) {
+	f := audit(t, `<?php
+echo '<p>Hello, ' . htmlspecialchars($_GET['name']) . '</p>';
+`)
+	if len(f) != 0 {
+		t.Fatalf("escaped text should verify: %v", f)
+	}
+}
+
+func TestAttrDoubleQuoteBreakout(t *testing.T) {
+	// htmlspecialchars encodes '"' too (ENT_COMPAT): DQ attribute is safe.
+	f := audit(t, `<?php
+echo '<a href="' . htmlspecialchars($_GET['url']) . '">link</a>';
+`)
+	if len(f) != 0 {
+		t.Fatalf("DQ attribute with htmlspecialchars should verify: %v", f)
+	}
+	// Raw input in a DQ attribute is not.
+	f2 := audit(t, `<?php
+echo '<a href="' . $_GET['url'] . '">link</a>';
+`)
+	if len(f2) == 0 {
+		t.Fatal("raw DQ attribute should be reported")
+	}
+}
+
+func TestAttrSingleQuoteSubtlety(t *testing.T) {
+	// The classic bug the transducer model catches: default
+	// htmlspecialchars (ENT_COMPAT) does NOT encode single quotes, so a
+	// single-quoted attribute is still vulnerable…
+	f := audit(t, `<?php
+echo "<a href='" . htmlspecialchars($_GET['url']) . "'>link</a>";
+`)
+	if len(f) != 1 || f[0].Check != CheckAttrSQEscape {
+		t.Fatalf("SQ attribute with default htmlspecialchars must be reported: %v", f)
+	}
+	// …while ENT_QUOTES fixes it.
+	f2 := audit(t, `<?php
+echo "<a href='" . htmlspecialchars($_GET['url'], ENT_QUOTES) . "'>link</a>";
+`)
+	if len(f2) != 0 {
+		t.Fatalf("ENT_QUOTES should verify: %v", f2)
+	}
+}
+
+func TestRawTagContext(t *testing.T) {
+	// Unquoted attribute value: even "harmless" input can add attributes.
+	f := audit(t, `<?php
+echo '<input value=' . $_GET['v'] . '>';
+`)
+	if len(f) != 1 || f[0].Check != CheckRawTagContext {
+		t.Fatalf("raw tag context must be reported: %v", f)
+	}
+	// Digits-only input is fine even unquoted.
+	f2 := audit(t, `<?php
+$v = $_GET['v'];
+if (!preg_match('/^[0-9]+$/', $v)) { exit; }
+echo '<input value=' . $v . '>';
+`)
+	if len(f2) != 0 {
+		t.Fatalf("digit-guarded unquoted attribute should verify: %v", f2)
+	}
+}
+
+func TestIndirectXSS(t *testing.T) {
+	f := audit(t, `<?php
+$row = mysql_fetch_assoc($r);
+echo '<p>' . $row['comment'] . '</p>';
+`)
+	if len(f) != 1 || f[0].Direct() {
+		t.Fatalf("stored-XSS flow should be indirect: %v", f)
+	}
+}
+
+func TestOutputAcrossEchoStatements(t *testing.T) {
+	// Context spans echo statements: the attribute opens in one echo and
+	// the tainted data lands in the next.
+	f := audit(t, `<?php
+echo '<a href="';
+echo $_GET['url'];
+echo '">x</a>';
+`)
+	if len(f) != 1 || f[0].Check != CheckAttrDQEscape {
+		t.Fatalf("cross-echo context lost: %v", f)
+	}
+}
+
+func TestExitPathOutputChecked(t *testing.T) {
+	f := audit(t, `<?php
+if ($_GET['bad'] != '') {
+    echo '<p>' . $_GET['msg'] . '</p>';
+    exit;
+}
+echo '<p>ok</p>';
+`)
+	if len(f) != 1 {
+		t.Fatalf("output on the exit path must be checked: %v", f)
+	}
+}
+
+func TestFunctionEchoChecked(t *testing.T) {
+	f := audit(t, `<?php
+function show($m) {
+    echo '<div>' . $m . '</div>';
+}
+show($_GET['m']);
+`)
+	if len(f) != 1 || f[0].Check != CheckTagInjection {
+		t.Fatalf("function-body echo lost: %v", f)
+	}
+}
+
+func TestLoopEchoChecked(t *testing.T) {
+	f := audit(t, `<?php
+foreach ($_POST as $v) {
+    echo '<li>' . $v . '</li>';
+}
+`)
+	if len(f) != 1 {
+		t.Fatalf("loop echo lost: %v", f)
+	}
+}
+
+func TestStripTagsTextContextSafe(t *testing.T) {
+	f := audit(t, `<?php
+echo '<p>' . strip_tags($_GET['c']) . '</p>';
+`)
+	if len(f) != 0 {
+		t.Fatalf("strip_tags output has no '<': %v", f)
+	}
+}
+
+func TestNoOutputNoFindings(t *testing.T) {
+	f := audit(t, `<?php $x = $_GET['q']; mysql_query("SELECT '$x'");`)
+	if len(f) != 0 {
+		t.Fatalf("no HTML output: %v", f)
+	}
+}
+
+func TestCheckAndFindingStrings(t *testing.T) {
+	for _, c := range []Check{CheckTagInjection, CheckAttrDQEscape, CheckAttrSQEscape, CheckRawTagContext, Check(42)} {
+		if c.String() == "" {
+			t.Fatal("empty check name")
+		}
+	}
+	f := Finding{Entry: "p.php", Check: CheckTagInjection, Label: grammar.Direct, Witness: "<s"}
+	if !strings.Contains(f.String(), "tag-injection") || !strings.Contains(f.String(), "direct") {
+		t.Fatalf("finding string: %s", f)
+	}
+}
