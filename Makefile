@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: vet, build, and the full test suite under the race
+# detector (the analyzer runs pages and hotspot checks concurrently).
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkTable1' -benchtime 2x .

@@ -8,6 +8,7 @@ package sqlciv
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"sqlciv/internal/analysis"
@@ -25,9 +26,14 @@ import (
 
 func benchApp(b *testing.B, app *corpus.App) {
 	b.Helper()
+	benchAppOpts(b, app, core.Options{})
+}
+
+func benchAppOpts(b *testing.B, app *corpus.App, opts core.Options) {
+	b.Helper()
 	var last *core.AppResult
 	for i := 0; i < b.N; i++ {
-		res, err := core.AnalyzeApp(analysis.NewMapResolver(app.Sources), app.Entries, core.Options{})
+		res, err := core.AnalyzeApp(analysis.NewMapResolver(app.Sources), app.Entries, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -55,8 +61,13 @@ func benchApp(b *testing.B, app *corpus.App) {
 	b.ReportMetric(float64(falsePos), "direct-false")
 	b.ReportMetric(float64(indirect), "indirect")
 	b.ReportMetric(float64(last.Lines), "loc")
-	b.ReportMetric(last.StringAnalysisTime.Seconds()*1000/float64(1), "stringan-ms")
+	b.ReportMetric(last.StringAnalysisTime.Seconds()*1000, "stringan-ms")
 	b.ReportMetric(last.CheckTime.Seconds()*1000, "check-ms")
+}
+
+// parallelOpts runs pages and hotspot checks over one worker per CPU.
+func parallelOpts() core.Options {
+	return core.Options{Parallel: runtime.NumCPU(), ParallelHotspots: runtime.NumCPU()}
 }
 
 func BenchmarkTable1_E107(b *testing.B)   { benchApp(b, corpus.E107()) }
@@ -64,6 +75,12 @@ func BenchmarkTable1_EVE(b *testing.B)    { benchApp(b, corpus.EVE()) }
 func BenchmarkTable1_Tiger(b *testing.B)  { benchApp(b, corpus.Tiger()) }
 func BenchmarkTable1_Utopia(b *testing.B) { benchApp(b, corpus.Utopia()) }
 func BenchmarkTable1_Warp(b *testing.B)   { benchApp(b, corpus.Warp()) }
+
+func BenchmarkTable1_E107_Parallel(b *testing.B)   { benchAppOpts(b, corpus.E107(), parallelOpts()) }
+func BenchmarkTable1_EVE_Parallel(b *testing.B)    { benchAppOpts(b, corpus.EVE(), parallelOpts()) }
+func BenchmarkTable1_Tiger_Parallel(b *testing.B)  { benchAppOpts(b, corpus.Tiger(), parallelOpts()) }
+func BenchmarkTable1_Utopia_Parallel(b *testing.B) { benchAppOpts(b, corpus.Utopia(), parallelOpts()) }
+func BenchmarkTable1_Warp_Parallel(b *testing.B)   { benchAppOpts(b, corpus.Warp(), parallelOpts()) }
 
 // ---- Figure 2 / Figure 4: the running example -------------------------------
 

@@ -13,6 +13,10 @@
 // Without -entry flags, every .php file in the directory that is not
 // obviously an include (name beginning with "common", "class", "lib" or in
 // an includes/ or languages/ directory) is treated as a top-level page.
+//
+// Profiling and performance flags: -parallel N analyzes pages and hotspots
+// over N workers, -stats prints phase wall times and cache counters,
+// -cpuprofile/-memprofile write pprof profiles of the run.
 package main
 
 import (
@@ -21,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -32,30 +38,71 @@ import (
 )
 
 func main() {
+	// Exit via a helper so the deferred profile writers run before the
+	// process-level exit code is set.
+	os.Exit(run())
+}
+
+func run() int {
 	var entries multiFlag
 	table1 := flag.Bool("table1", false, "run the synthetic evaluation suite (paper Table 1)")
 	noRefine := flag.Bool("no-refine", false, "disable regex-guard refinement")
 	doXSS := flag.Bool("xss", false, "also check page HTML output for cross-site scripting")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	parallel := flag.Int("parallel", 0, "worker count for pages and hotspot checks (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print phase wall times and cache hit/miss counters")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Var(&entries, "entry", "top-level page (repeatable)")
 	flag.Parse()
 
-	opts := core.Options{}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sqlcheck:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sqlcheck:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sqlcheck:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sqlcheck:", err)
+			}
+		}()
+	}
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opts := core.Options{Parallel: workers, ParallelHotspots: workers}
 	opts.Analysis.DisableGuardRefinement = *noRefine
 
 	if *table1 {
-		runTable1(opts)
-		return
+		runTable1(opts, *stats)
+		return 0
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sqlcheck [-table1] [-no-refine] [-entry page.php]... <dir>")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: sqlcheck [-table1] [-no-refine] [-parallel n] [-stats] [-entry page.php]... <dir>")
+		return 2
 	}
 	dir := flag.Arg(0)
 	sources, err := loadDir(dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlcheck:", err)
-		os.Exit(1)
+		return 1
 	}
 	pages := []string(entries)
 	if len(pages) == 0 {
@@ -64,7 +111,7 @@ func main() {
 	res, err := core.AnalyzeApp(analysis.NewMapResolver(sources), pages, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlcheck:", err)
-		os.Exit(1)
+		return 1
 	}
 	bad := !res.Verified()
 	var xssFindings []xss.Finding
@@ -72,7 +119,7 @@ func main() {
 		xssFindings, err = xss.Audit(analysis.NewMapResolver(sources), pages, opts.Analysis)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sqlcheck:", err)
-			os.Exit(1)
+			return 1
 		}
 		if len(xssFindings) > 0 {
 			bad = true
@@ -93,9 +140,14 @@ func main() {
 			}
 		}
 	}
-	if bad {
-		os.Exit(1)
+	if *stats {
+		// To stderr so -json consumers still read clean JSON from stdout.
+		fmt.Fprint(os.Stderr, res.Stats())
 	}
+	if bad {
+		return 1
+	}
+	return 0
 }
 
 // jsonReport is the machine-readable output shape of sqlcheck -json.
@@ -210,7 +262,7 @@ func guessEntries(sources map[string]string) []string {
 	return out
 }
 
-func runTable1(opts core.Options) {
+func runTable1(opts core.Options, stats bool) {
 	fmt.Printf("%-28s %8s %9s %9s %11s %12s %10s %-16s %s\n",
 		"Name (version)", "Files", "Lines", "|V|", "|R|", "StringAn", "Check", "direct", "indirect")
 	for _, app := range corpus.Apps() {
@@ -229,6 +281,11 @@ func runTable1(opts core.Options) {
 		fmt.Printf("%-28s %8d %9d %9d %11d %12s %10s %-16s %d   (paper, scale 1/%d)\n",
 			"  ↳ paper", app.Paper.Files, app.Paper.Lines, app.Paper.V, app.Paper.R,
 			"-", "-", app.Paper.Direct, app.Paper.Indirect, app.Scale)
+		if stats {
+			for _, line := range strings.Split(strings.TrimRight(res.Stats(), "\n"), "\n") {
+				fmt.Println("    " + line)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,55 @@
+package sqlciv
+
+import (
+	"reflect"
+	"regexp"
+	"testing"
+
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/core"
+	"sqlciv/internal/corpus"
+)
+
+// summaryTimes masks the two wall-clock figures in Summary output; every
+// other byte of the summary must be identical across configurations.
+var summaryTimes = regexp.MustCompile(`string-analysis=\S+ check=\S+`)
+
+// TestParallelDeterminism checks that concurrent page analysis plus
+// concurrent, memoized hotspot checking is observationally identical to the
+// sequential configuration on every corpus app: same findings in the same
+// order (all fields, witnesses included), same grammar sizes, same summary.
+// This is the guarantee that lets sqlcheck default to -parallel: scheduling
+// and cache-fill order cannot leak into the analysis result.
+func TestParallelDeterminism(t *testing.T) {
+	for _, app := range corpus.Apps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			seq, err := core.AnalyzeApp(analysis.NewMapResolver(app.Sources), app.Entries, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := core.AnalyzeApp(analysis.NewMapResolver(app.Sources), app.Entries,
+				core.Options{Parallel: 8, ParallelHotspots: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par.Findings) == 0 && len(seq.Findings) != 0 {
+				t.Fatalf("parallel run lost all findings")
+			}
+			if !reflect.DeepEqual(seq.Findings, par.Findings) {
+				t.Errorf("findings differ:\nsequential: %v\nparallel:   %v", seq.Findings, par.Findings)
+			}
+			if seq.Files != par.Files || seq.Lines != par.Lines ||
+				seq.NumNTs != par.NumNTs || seq.NumProds != par.NumProds {
+				t.Errorf("aggregate sizes differ: files %d/%d lines %d/%d |V| %d/%d |R| %d/%d",
+					seq.Files, par.Files, seq.Lines, par.Lines,
+					seq.NumNTs, par.NumNTs, seq.NumProds, par.NumProds)
+			}
+			ss := summaryTimes.ReplaceAllString(seq.Summary(), "t")
+			ps := summaryTimes.ReplaceAllString(par.Summary(), "t")
+			if ss != ps {
+				t.Errorf("summaries differ:\nsequential:\n%s\nparallel:\n%s", ss, ps)
+			}
+		})
+	}
+}

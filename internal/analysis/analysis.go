@@ -85,11 +85,15 @@ type Resolver interface {
 }
 
 // MapResolver is a Resolver over an in-memory map of sources. It is safe
-// for concurrent use (pages can be analyzed in parallel).
+// for concurrent use (pages can be analyzed in parallel), and it parses
+// each file at most once per application: a file included from many pages
+// is served from the parse cache after its first load.
 type MapResolver struct {
 	Sources map[string]string
 	mu      sync.Mutex
 	parsed  map[string]*php.File
+	hits    int64
+	misses  int64
 }
 
 // NewMapResolver returns a resolver over the given path→source map.
@@ -102,6 +106,7 @@ func (m *MapResolver) Load(path string) (*php.File, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if f, ok := m.parsed[path]; ok {
+		m.hits++
 		return f, true
 	}
 	src, ok := m.Sources[path]
@@ -112,8 +117,18 @@ func (m *MapResolver) Load(path string) (*php.File, bool) {
 	if err != nil {
 		return nil, false
 	}
+	m.misses++
 	m.parsed[path] = f
 	return f, true
+}
+
+// ParseCacheStats returns how many Load calls were served from the parse
+// cache (hits) and how many had to parse (misses). Failed loads count as
+// neither.
+func (m *MapResolver) ParseCacheStats() (hits, misses int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
 }
 
 // Files implements Resolver.

@@ -15,10 +15,15 @@
 package deriv
 
 import (
+	"sync"
+
 	"sqlciv/internal/grammar"
 )
 
-// Checker holds a reference grammar and search budgets.
+// Checker holds a reference grammar and search budgets. The reference
+// tables (nullable sets, Earley item-slot ids) are derived once per
+// reference grammar and shared; after New returns, a Checker is read-only
+// and safe for concurrent Derivable calls.
 type Checker struct {
 	ref *grammar.Grammar
 	// MaxFlattenProds caps the flattened production count.
@@ -28,13 +33,70 @@ type Checker struct {
 	// MaxParses caps the number of Earley runs in refinement + search.
 	MaxParses int
 
-	parses   int
+	tab *refTables
+}
+
+// refTables are the precomputed, immutable per-reference-grammar tables:
+// the nullable set and a compact id space for Earley items. The item
+// (nt, prod, dot) gets slot prodBase[nt][prod] + dot, a dense id that the
+// parser uses to index slice-backed item sets instead of hashing structs.
+type refTables struct {
 	nullable []bool
+	prodBase [][]int32
+	numSlots int
+}
+
+// tableCache memoizes refTables per reference grammar instance; reference
+// grammars (sqlgram.Get) are immutable singletons, so pointer identity is a
+// sound key.
+var tableCache sync.Map // *grammar.Grammar -> *refTables
+
+func tablesFor(ref *grammar.Grammar) *refTables {
+	if t, ok := tableCache.Load(ref); ok {
+		return t.(*refTables)
+	}
+	t := &refTables{nullable: computeNullable(ref)}
+	n := ref.NumNTs()
+	t.prodBase = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		nt := grammar.Sym(grammar.NumTerminals + i)
+		prods := ref.Prods(nt)
+		base := make([]int32, len(prods))
+		for pi, rhs := range prods {
+			base[pi] = int32(t.numSlots)
+			t.numSlots += len(rhs) + 1 // one slot per dot position
+		}
+		t.prodBase[i] = base
+	}
+	actual, _ := tableCache.LoadOrStore(ref, t)
+	return actual.(*refTables)
+}
+
+func computeNullable(g *grammar.Grammar) []bool {
+	nullable := make([]bool, g.NumNTs())
+	changed := true
+	for changed {
+		changed = false
+		g.ForEachProd(func(lhs grammar.Sym, rhs []grammar.Sym) {
+			li := int(lhs) - grammar.NumTerminals
+			if nullable[li] {
+				return
+			}
+			for _, s := range rhs {
+				if grammar.IsTerminal(s) || !nullable[int(s)-grammar.NumTerminals] {
+					return
+				}
+			}
+			nullable[li] = true
+			changed = true
+		})
+	}
+	return nullable
 }
 
 // New returns a Checker against ref with default budgets.
 func New(ref *grammar.Grammar) *Checker {
-	return &Checker{ref: ref, MaxFlattenProds: 4000, MaxFormLen: 600, MaxParses: 50000}
+	return &Checker{ref: ref, MaxFlattenProds: 4000, MaxFormLen: 600, MaxParses: 50000, tab: tablesFor(ref)}
 }
 
 // form is a sentential form over the reference alphabet plus variables:
@@ -49,12 +111,21 @@ func varID(v int32) (int, bool) {
 	return 0, false
 }
 
+// session carries the mutable state of one Derivable call — the parse
+// budget counter and the reusable Earley scratch — so a single Checker can
+// serve many goroutines at once.
+type session struct {
+	c      *Checker
+	parses int
+	earley earleyScratch
+}
+
 // Derivable reports whether the sub-grammar of g rooted at root is
 // derivable from the checker's reference grammar with F(root) drawn from
 // targets (reference nonterminals). It returns the witnessing target when
 // derivable.
 func (c *Checker) Derivable(g *grammar.Grammar, root grammar.Sym, targets []grammar.Sym) (grammar.Sym, bool) {
-	c.parses = 0
+	s := &session{c: c}
 	sub, remap := g.Extract(root)
 	nroot := remap[root]
 
@@ -104,7 +175,7 @@ func (c *Checker) Derivable(g *grammar.Grammar, root grammar.Sym, targets []gram
 				if !candOf[vi][ci] {
 					continue
 				}
-				if !c.feasible(grammar.Sym(ci), rules[vi], candOf) {
+				if !s.feasible(grammar.Sym(ci), rules[vi], candOf) {
 					candOf[vi][ci] = false
 					changed = true
 				}
@@ -113,7 +184,7 @@ func (c *Checker) Derivable(g *grammar.Grammar, root grammar.Sym, targets []gram
 				return 0, false
 			}
 		}
-		if c.parses > c.MaxParses {
+		if s.parses > c.MaxParses {
 			return 0, false
 		}
 	}
@@ -123,7 +194,7 @@ func (c *Checker) Derivable(g *grammar.Grammar, root grammar.Sym, targets []gram
 	for i := range assign {
 		assign[i] = -1
 	}
-	if c.search(0, nvars, assign, candOf, rules) {
+	if s.search(0, nvars, assign, candOf, rules) {
 		return grammar.Sym(assign[rootVar]), true
 	}
 	return 0, false
@@ -141,7 +212,7 @@ func countTrue(b []bool) int {
 
 // feasible reports whether cand ⇒* every production form of one variable,
 // with variable occurrences ranging over their current candidate sets.
-func (c *Checker) feasible(cand grammar.Sym, prods []form, candOf [][]bool) bool {
+func (s *session) feasible(cand grammar.Sym, prods []form, candOf [][]bool) bool {
 	if grammar.IsTerminal(cand) {
 		// A terminal maps only productions that are exactly one symbol
 		// which can be that terminal.
@@ -149,21 +220,21 @@ func (c *Checker) feasible(cand grammar.Sym, prods []form, candOf [][]bool) bool
 			if len(f) != 1 {
 				return false
 			}
-			if !c.symCanBe(f[0], cand, candOf) {
+			if !symCanBe(f[0], cand, candOf) {
 				return false
 			}
 		}
 		return true
 	}
 	for _, f := range prods {
-		if !c.parse(cand, f, candOf) {
+		if !s.parse(cand, f, candOf) {
 			return false
 		}
 	}
 	return true
 }
 
-func (c *Checker) symCanBe(v int32, want grammar.Sym, candOf [][]bool) bool {
+func symCanBe(v int32, want grammar.Sym, candOf [][]bool) bool {
 	if id, isVar := varID(v); isVar {
 		return candOf[id][int(want)]
 	}
@@ -172,8 +243,8 @@ func (c *Checker) symCanBe(v int32, want grammar.Sym, candOf [][]bool) bool {
 
 // search assigns variables depth-first, verifying all productions whose
 // variables are fully assigned as soon as possible.
-func (c *Checker) search(vi, nvars int, assign []int32, candOf [][]bool, rules [][]form) bool {
-	if c.parses > c.MaxParses {
+func (s *session) search(vi, nvars int, assign []int32, candOf [][]bool, rules [][]form) bool {
+	if s.parses > s.c.MaxParses {
 		return false
 	}
 	if vi == nvars {
@@ -187,9 +258,9 @@ func (c *Checker) search(vi, nvars int, assign []int32, candOf [][]bool, rules [
 		ok := true
 		// Verify this variable's own productions under the partial
 		// assignment (unassigned vars keep their sets).
-		single := c.singletonSets(assign, candOf)
+		single := singletonSets(assign, candOf)
 		for _, f := range rules[vi] {
-			if !c.verifyProd(grammar.Sym(ci), f, single) {
+			if !s.verifyProd(grammar.Sym(ci), f, single) {
 				ok = false
 				break
 			}
@@ -201,18 +272,18 @@ func (c *Checker) search(vi, nvars int, assign []int32, candOf [][]bool, rules [
 					continue
 				}
 				for _, f := range rules[pv] {
-					if !c.verifyProd(grammar.Sym(assign[pv]), f, single) {
+					if !s.verifyProd(grammar.Sym(assign[pv]), f, single) {
 						ok = false
 						break
 					}
 				}
 			}
 		}
-		if ok && c.search(vi+1, nvars, assign, candOf, rules) {
+		if ok && s.search(vi+1, nvars, assign, candOf, rules) {
 			return true
 		}
 		assign[vi] = -1
-		if c.parses > c.MaxParses {
+		if s.parses > s.c.MaxParses {
 			return false
 		}
 	}
@@ -231,7 +302,7 @@ func mentions(prods []form, varIdx int) bool {
 }
 
 // singletonSets narrows candidate sets to assigned singletons.
-func (c *Checker) singletonSets(assign []int32, candOf [][]bool) [][]bool {
+func singletonSets(assign []int32, candOf [][]bool) [][]bool {
 	out := make([][]bool, len(candOf))
 	for i := range candOf {
 		if assign[i] >= 0 {
@@ -245,12 +316,12 @@ func (c *Checker) singletonSets(assign []int32, candOf [][]bool) [][]bool {
 	return out
 }
 
-func (c *Checker) verifyProd(cand grammar.Sym, f form, sets [][]bool) bool {
+func (s *session) verifyProd(cand grammar.Sym, f form, sets [][]bool) bool {
 	if grammar.IsTerminal(cand) {
 		if len(f) != 1 {
 			return false
 		}
-		return c.symCanBe(f[0], cand, sets)
+		return symCanBe(f[0], cand, sets)
 	}
-	return c.parse(cand, f, sets)
+	return s.parse(cand, f, sets)
 }

@@ -9,27 +9,28 @@ import "sqlciv/internal/grammar"
 // nonterminal) when that symbol is in the variable's candidate set; a
 // reference-symbol position scans only against itself. Parsing succeeds
 // when start ⇒* some instantiation of the input form.
-func (c *Checker) parse(start grammar.Sym, input form, sets [][]bool) bool {
-	c.parses++
+//
+// Item sets are deduplicated through the reference grammar's compact item
+// id space (refTables.prodBase): an item is the pair of its (nt, prod, dot)
+// slot and its origin, packed into one uint64 and kept in a reusable
+// open-addressing set per input position — no struct hashing, and the
+// scratch tables amortize across the tens of thousands of parses one
+// derivability check can run.
+func (s *session) parse(start grammar.Sym, input form, sets [][]bool) bool {
+	s.parses++
+	c := s.c
 	g := c.ref
-	c.ensureNullable()
+	tab := c.tab
 
-	type item struct {
-		nt     grammar.Sym
-		prod   int
-		dot    int
-		origin int
-	}
+	type item = earleyItem
 	n := len(input)
-	sets2 := make([]map[item]bool, n+1)
-	order := make([][]item, n+1)
-	for i := range sets2 {
-		sets2[i] = map[item]bool{}
-	}
+	sc := &s.earley
+	sc.reset(n + 1)
 	add := func(k int, it item) {
-		if !sets2[k][it] {
-			sets2[k][it] = true
-			order[k] = append(order[k], it)
+		slot := tab.prodBase[int(it.nt)-grammar.NumTerminals][it.prod] + it.dot
+		key := uint64(uint32(slot))<<32 | uint64(uint32(it.origin))
+		if sc.sets[k].add(key) {
+			sc.order[k] = append(sc.order[k], it)
 		}
 	}
 	matches := func(k int, expected grammar.Sym) bool {
@@ -40,7 +41,7 @@ func (c *Checker) parse(start grammar.Sym, input form, sets [][]bool) bool {
 		return grammar.Sym(v) == expected
 	}
 	for pi := range g.Prods(start) {
-		add(0, item{start, pi, 0, 0})
+		add(0, item{start, int32(pi), 0, 0})
 	}
 	// Top-level: the whole input may be the single symbol `start` itself
 	// (F(X) ⇒* F(X) in zero steps).
@@ -48,10 +49,10 @@ func (c *Checker) parse(start grammar.Sym, input form, sets [][]bool) bool {
 		return true
 	}
 	for k := 0; k <= n; k++ {
-		for idx := 0; idx < len(order[k]); idx++ {
-			it := order[k][idx]
+		for idx := 0; idx < len(sc.order[k]); idx++ {
+			it := sc.order[k][idx]
 			rhs := g.Prods(it.nt)[it.prod]
-			if it.dot < len(rhs) {
+			if int(it.dot) < len(rhs) {
 				next := rhs[it.dot]
 				// scan: both terminals and nonterminals can be scanned —
 				// a nonterminal in the derived sentential form stays
@@ -61,52 +62,112 @@ func (c *Checker) parse(start grammar.Sym, input form, sets [][]bool) bool {
 				}
 				if !grammar.IsTerminal(next) {
 					for pi := range g.Prods(next) {
-						add(k, item{next, pi, 0, k})
+						add(k, item{next, int32(pi), 0, int32(k)})
 					}
-					if c.nullable[int(next)-grammar.NumTerminals] {
+					if tab.nullable[int(next)-grammar.NumTerminals] {
 						add(k, item{it.nt, it.prod, it.dot + 1, it.origin})
 					}
 				}
 				continue
 			}
-			for _, back := range order[it.origin] {
+			for _, back := range sc.order[it.origin] {
 				brhs := g.Prods(back.nt)[back.prod]
-				if back.dot < len(brhs) && brhs[back.dot] == it.nt {
+				if int(back.dot) < len(brhs) && brhs[back.dot] == it.nt {
 					add(k, item{back.nt, back.prod, back.dot + 1, back.origin})
 				}
 			}
 		}
 	}
-	for _, it := range order[n] {
-		if it.nt == start && it.origin == 0 && it.dot == len(g.Prods(start)[it.prod]) {
+	for _, it := range sc.order[n] {
+		if it.nt == start && it.origin == 0 && int(it.dot) == len(g.Prods(start)[it.prod]) {
 			return true
 		}
 	}
 	return false
 }
 
-// nullable computation for the reference grammar, cached on the Checker.
-func (c *Checker) ensureNullable() {
-	if c.nullable != nil {
-		return
+// earleyItem is one Earley item: a dotted reference production plus the
+// input position its recognition started at.
+type earleyItem struct {
+	nt     grammar.Sym
+	prod   int32
+	dot    int32
+	origin int32
+}
+
+// earleyScratch is the reusable parse workspace: one packed-key set and one
+// discovery-ordered item list per input position.
+type earleyScratch struct {
+	sets  []u64set
+	order [][]earleyItem
+}
+
+func (sc *earleyScratch) reset(m int) {
+	for len(sc.sets) < m {
+		sc.sets = append(sc.sets, u64set{})
+		sc.order = append(sc.order, nil)
 	}
-	g := c.ref
-	c.nullable = make([]bool, g.NumNTs())
-	changed := true
-	for changed {
-		changed = false
-		g.ForEachProd(func(lhs grammar.Sym, rhs []grammar.Sym) {
-			li := int(lhs) - grammar.NumTerminals
-			if c.nullable[li] {
-				return
+	for i := 0; i < m; i++ {
+		sc.sets[i].reset()
+		sc.order[i] = sc.order[i][:0]
+	}
+}
+
+// u64set is a small open-addressing hash set of nonzero uint64 keys with
+// linear probing; reset keeps the table allocated.
+type u64set struct {
+	tab []uint64
+	n   int
+}
+
+func (s *u64set) reset() {
+	if s.n > 0 {
+		for i := range s.tab {
+			s.tab[i] = 0
+		}
+		s.n = 0
+	}
+}
+
+func mix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// add inserts k and reports whether it was absent.
+func (s *u64set) add(k uint64) bool {
+	if len(s.tab) == 0 {
+		s.tab = make([]uint64, 32)
+	} else if s.n*2 >= len(s.tab) {
+		old := s.tab
+		s.tab = make([]uint64, len(old)*2)
+		s.n = 0
+		for _, v := range old {
+			if v != 0 {
+				s.insert(v)
 			}
-			for _, s := range rhs {
-				if grammar.IsTerminal(s) || !c.nullable[int(s)-grammar.NumTerminals] {
-					return
-				}
-			}
-			c.nullable[li] = true
-			changed = true
-		})
+		}
+	}
+	return s.insert(k + 1) // +1: reserve 0 as the empty slot
+}
+
+func (s *u64set) insert(k uint64) bool {
+	mask := uint64(len(s.tab) - 1)
+	h := mix64(k) & mask
+	for {
+		v := s.tab[h]
+		if v == 0 {
+			s.tab[h] = k
+			s.n++
+			return true
+		}
+		if v == k {
+			return false
+		}
+		h = (h + 1) & mask
 	}
 }

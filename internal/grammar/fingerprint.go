@@ -1,0 +1,82 @@
+package grammar
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Fingerprint is a canonical content hash of an annotated sub-grammar. Two
+// grammars that differ only in nonterminal identity (numbering / creation
+// order) — α-renamed copies — get equal fingerprints; any difference in
+// structure, production order, taint labels, or source names changes the
+// hash. The policy layer uses it to memoize hotspot verdicts: hotspots
+// whose reachable query grammars are canonically equal must get the same
+// verdict, so one check serves all of them.
+type Fingerprint [sha256.Size]byte
+
+// CanonicalOrder returns the nonterminals reachable from root in canonical
+// order: breadth-first first-visit order following each nonterminal's
+// productions in sequence. The order is invariant under α-renaming — it
+// depends only on the sub-grammar's shape, never on symbol numbering.
+func (g *Grammar) CanonicalOrder(root Sym) []Sym {
+	seen := make([]bool, len(g.prods))
+	order := make([]Sym, 0, 16)
+	order = append(order, root)
+	seen[g.ntIndex(root)] = true
+	for qi := 0; qi < len(order); qi++ {
+		for _, rhs := range g.prods[g.ntIndex(order[qi])] {
+			for _, s := range rhs {
+				if !IsTerminal(s) && !seen[g.ntIndex(s)] {
+					seen[g.ntIndex(s)] = true
+					order = append(order, s)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// Fingerprint hashes the sub-grammar reachable from root into its
+// canonical fingerprint. Nonterminals are renumbered along CanonicalOrder;
+// the serialization covers, per nonterminal: its taint label, its raw name
+// (names surface in reports, so they are part of the verdict), and every
+// production as a tagged symbol sequence.
+func (g *Grammar) Fingerprint(root Sym) Fingerprint {
+	order := g.CanonicalOrder(root)
+	canon := make([]int32, len(g.prods))
+	for i := range canon {
+		canon[i] = -1
+	}
+	for ci, nt := range order {
+		canon[g.ntIndex(nt)] = int32(ci)
+	}
+
+	h := sha256.New()
+	var buf [8]byte
+	writeU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		h.Write(buf[:4])
+	}
+	for _, nt := range order {
+		i := g.ntIndex(nt)
+		writeU32(uint32(g.labels[i]))
+		writeU32(uint32(len(g.names[i])))
+		h.Write([]byte(g.names[i]))
+		writeU32(uint32(len(g.prods[i])))
+		for _, rhs := range g.prods[i] {
+			writeU32(uint32(len(rhs)))
+			for _, s := range rhs {
+				if IsTerminal(s) {
+					writeU32(uint32(s))
+				} else {
+					// Tag nonterminals into a disjoint code space above
+					// the terminal alphabet.
+					writeU32(uint32(NumTerminals) + uint32(canon[g.ntIndex(s)]))
+				}
+			}
+		}
+	}
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}

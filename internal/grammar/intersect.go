@@ -9,6 +9,11 @@ import "sqlciv/internal/automata"
 // over normalized (|rhs| ≤ 2) rules, with TAINTIF propagating the direct and
 // indirect labels from each original nonterminal X onto every X_{ij}.
 //
+// All bookkeeping is slice-indexed: local nonterminal ids are dense, and the
+// discovered items (X, i, j) live in one flat record array reached through
+// per-(X, i) and per-(X, j) index lists, so the hot worklist loop performs
+// no map operations at all.
+//
 // The boolean result reports whether the intersection is nonempty; when it
 // is empty the returned symbol is invalid and must not be used.
 func IntersectInto(g *Grammar, root Sym, d *automata.DFA) (Sym, bool) {
@@ -17,7 +22,7 @@ func IntersectInto(g *Grammar, root Sym, d *automata.DFA) (Sym, bool) {
 
 	// ---- snapshot + NORMALIZE ----------------------------------------
 	// Local rule representation over local ids: 0..nLocal-1 nonterminals.
-	// localOf maps g's nonterminals (and synthetic helpers) to local ids.
+	// localOf maps g's nonterminal indices (at entry) to local ids.
 	type rule struct {
 		lhs int
 		rhs []int // local symbol: >=0 local NT id, <0 encodes terminal ^(-1-sym)
@@ -26,41 +31,41 @@ func IntersectInto(g *Grammar, root Sym, d *automata.DFA) (Sym, bool) {
 	isLocalTerm := func(v int) bool { return v < 0 }
 	decTerm := func(v int) Sym { return Sym(-1 - v) }
 
-	localOf := map[Sym]int{}
+	localOf := make([]int32, g.NumNTs()) // -1 = not yet discovered
+	for i := range localOf {
+		localOf[i] = -1
+	}
 	var localSyms []Sym // local id -> original NT symbol, or -1 for helpers
 	newLocal := func(orig Sym) int {
 		id := len(localSyms)
 		localSyms = append(localSyms, orig)
 		if orig >= 0 {
-			localOf[orig] = id
+			localOf[int(orig)-NumTerminals] = int32(id)
 		}
 		return id
 	}
 
 	var rules []rule
-	seen := map[Sym]bool{}
 	stack := []Sym{root}
-	seen[root] = true
 	newLocal(root)
 	for len(stack) > 0 {
 		nt := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, rhs := range g.Prods(nt) {
 			for _, s := range rhs {
-				if !IsTerminal(s) && !seen[s] {
-					seen[s] = true
+				if !IsTerminal(s) && localOf[int(s)-NumTerminals] < 0 {
 					newLocal(s)
 					stack = append(stack, s)
 				}
 			}
 			// normalize to length <= 2 with helper locals
-			lhs := localOf[nt]
+			lhs := int(localOf[int(nt)-NumTerminals])
 			cur := make([]int, len(rhs))
 			for i, s := range rhs {
 				if IsTerminal(s) {
 					cur[i] = encTerm(s)
 				} else {
-					cur[i] = localOf[s]
+					cur[i] = int(localOf[int(s)-NumTerminals])
 				}
 			}
 			for len(cur) > 2 {
@@ -72,11 +77,13 @@ func IntersectInto(g *Grammar, root Sym, d *automata.DFA) (Sym, bool) {
 			rules = append(rules, rule{lhs: lhs, rhs: cur})
 		}
 	}
-	nLocal := len(localSyms)
 
 	// Replace terminals inside binary rules by synthetic terminal locals so
 	// the join step only ever combines nonterminal items.
-	termLocal := map[Sym]int{}
+	termLocal := make([]int32, NumTerminals)
+	for i := range termLocal {
+		termLocal[i] = -1
+	}
 	for ri := range rules {
 		if len(rules[ri].rhs) != 2 {
 			continue
@@ -84,34 +91,31 @@ func IntersectInto(g *Grammar, root Sym, d *automata.DFA) (Sym, bool) {
 		for k, v := range rules[ri].rhs {
 			if isLocalTerm(v) {
 				t := decTerm(v)
-				id, ok := termLocal[t]
-				if !ok {
-					id = newLocal(-1)
-					termLocal[t] = id
-					rules = append(rules, rule{lhs: id, rhs: []int{encTerm(t)}})
+				id := termLocal[int(t)]
+				if id < 0 {
+					id = int32(newLocal(-1))
+					termLocal[int(t)] = id
+					rules = append(rules, rule{lhs: int(id), rhs: []int{encTerm(t)}})
 				}
-				rules[ri].rhs[k] = id
+				rules[ri].rhs[k] = int(id)
 			}
 		}
 	}
-	nLocal = len(localSyms)
+	nLocal := len(localSyms)
 
 	// Index rules.
-	var unitNT [][]rule         // by rhs[0] local NT: X -> Y
-	var unitT = map[Sym][]int{} // terminal t -> lhs list: X -> t
+	unitNT := make([][]rule, nLocal)     // by rhs[0] local NT: X -> Y
+	unitT := make([][]int, NumTerminals) // terminal t -> lhs list: X -> t
 	var epsLHS []int
-	var binFirst [][]rule  // by rhs[0]
-	var binSecond [][]rule // by rhs[1]
-	unitNT = make([][]rule, nLocal)
-	binFirst = make([][]rule, nLocal)
-	binSecond = make([][]rule, nLocal)
+	binFirst := make([][]rule, nLocal)  // by rhs[0]
+	binSecond := make([][]rule, nLocal) // by rhs[1]
 	for _, r := range rules {
 		switch len(r.rhs) {
 		case 0:
 			epsLHS = append(epsLHS, r.lhs)
 		case 1:
 			if isLocalTerm(r.rhs[0]) {
-				t := decTerm(r.rhs[0])
+				t := int(decTerm(r.rhs[0]))
 				unitT[t] = append(unitT[t], r.lhs)
 			} else {
 				unitNT[r.rhs[0]] = append(unitNT[r.rhs[0]], r)
@@ -123,126 +127,136 @@ func IntersectInto(g *Grammar, root Sym, d *automata.DFA) (Sym, bool) {
 	}
 
 	// ---- worklist ------------------------------------------------------
-	// item: local NT x with DFA state span (i, j).
-	type item struct {
-		x    int
+	// item: local NT x with DFA state span (i, j). Each discovered item is
+	// one record; spanIdx[x][i] and endIdx[x][j] list record indices, so
+	// membership tests are short scans bounded by the DFA state count.
+	type itemRec struct {
+		x    int32
 		i, j int32
+		nt   Sym
 	}
-	// resulting grammar nonterminals per discovered item
-	itemNT := map[item]Sym{}
-	getNT := func(it item) Sym {
-		if s, ok := itemNT[it]; ok {
-			return s
-		}
-		name := ""
-		if orig := localSyms[it.x]; orig >= 0 {
-			name = g.RawName(orig)
-		}
-		s := g.NewNT(name)
-		itemNT[it] = s
-		if orig := localSyms[it.x]; orig >= 0 {
-			g.TaintIf(orig, s) // TAINTIF(X, X_ij)
-		}
-		return s
-	}
-	// discovered spans per (x, startState) and (x, endState) for joins
-	byStart := make([]map[int32][]int32, nLocal) // x -> i -> list of j
-	byEnd := make([]map[int32][]int32, nLocal)   // x -> j -> list of i
-	known := map[item]bool{}
-	prodSeen := map[item]map[[2]Sym]bool{}
+	var items []itemRec
+	itemProds := [][][2]Sym{}            // per item: productions already added
+	spanIdx := make([][][]int32, nLocal) // x -> i -> item indices
+	endIdx := make([][][]int32, nLocal)  // x -> j -> item indices
 
-	var work []item
-	discover := func(it item, rhs []Sym) {
+	findItem := func(x, i, j int32) int32 {
+		rows := spanIdx[x]
+		if rows == nil {
+			return -1
+		}
+		for _, idx := range rows[i] {
+			if items[idx].j == j {
+				return idx
+			}
+		}
+		return -1
+	}
+
+	var work []int32
+	discover := func(x, i, j int32, rhs ...Sym) {
+		idx := findItem(x, i, j)
+		if idx < 0 {
+			name := ""
+			orig := localSyms[x]
+			if orig >= 0 {
+				name = g.RawName(orig)
+			}
+			nt := g.NewNT(name)
+			if orig >= 0 {
+				g.TaintIf(orig, nt) // TAINTIF(X, X_ij)
+			}
+			idx = int32(len(items))
+			items = append(items, itemRec{x: x, i: i, j: j, nt: nt})
+			itemProds = append(itemProds, nil)
+			if spanIdx[x] == nil {
+				spanIdx[x] = make([][]int32, nq)
+				endIdx[x] = make([][]int32, nq)
+			}
+			spanIdx[x][i] = append(spanIdx[x][i], idx)
+			endIdx[x][j] = append(endIdx[x][j], idx)
+			work = append(work, idx)
+		}
 		key := [2]Sym{-1, -1}
 		for k, s := range rhs {
 			key[k] = s
 		}
-		ps := prodSeen[it]
-		if ps == nil {
-			ps = map[[2]Sym]bool{}
-			prodSeen[it] = ps
+		for _, pk := range itemProds[idx] {
+			if pk == key {
+				return
+			}
 		}
-		if !ps[key] {
-			ps[key] = true
-			nt := getNT(it)
-			g.Add(nt, rhs...)
-		}
-		if known[it] {
-			return
-		}
-		known[it] = true
-		if byStart[it.x] == nil {
-			byStart[it.x] = map[int32][]int32{}
-			byEnd[it.x] = map[int32][]int32{}
-		}
-		byStart[it.x][it.i] = append(byStart[it.x][it.i], it.j)
-		byEnd[it.x][it.j] = append(byEnd[it.x][it.j], it.i)
-		work = append(work, it)
+		itemProds[idx] = append(itemProds[idx], key)
+		g.Add(items[idx].nt, rhs...)
 	}
 
 	// Seed: X -> eps gives (X,i,i) for all i.
 	for _, lhs := range epsLHS {
 		for q := 0; q < nq; q++ {
-			discover(item{lhs, int32(q), int32(q)}, nil)
+			discover(int32(lhs), int32(q), int32(q))
 		}
 	}
 	// Seed: X -> t gives (X, i, d(i,t)).
-	for t, lhss := range unitT {
+	for t := 0; t < NumTerminals; t++ {
+		lhss := unitT[t]
+		if len(lhss) == 0 {
+			continue
+		}
 		for q := 0; q < nq; q++ {
-			to := int32(d.Step(q, int(t)))
+			to := int32(d.Step(q, t))
 			for _, lhs := range lhss {
-				discover(item{lhs, int32(q), to}, []Sym{t})
+				discover(int32(lhs), int32(q), to, Sym(t))
 			}
 		}
 	}
 
 	for len(work) > 0 {
-		it := work[len(work)-1]
+		idx := work[len(work)-1]
 		work = work[:len(work)-1]
-		ynt := itemNT[it]
+		it := items[idx]
+		ynt := it.nt
 		// unit rules X -> Y
 		for _, r := range unitNT[it.x] {
-			discover(item{r.lhs, it.i, it.j}, []Sym{ynt})
+			discover(int32(r.lhs), it.i, it.j, ynt)
 		}
 		// binary rules X -> Y B with Y = it
 		for _, r := range binFirst[it.x] {
 			b := r.rhs[1]
-			if byStart[b] == nil {
+			if spanIdx[b] == nil {
 				continue
 			}
-			for _, k := range byStart[b][it.j] {
-				bnt := itemNT[item{b, it.j, k}]
-				discover(item{r.lhs, it.i, k}, []Sym{ynt, bnt})
+			for _, bidx := range spanIdx[b][it.j] {
+				bit := items[bidx]
+				discover(int32(r.lhs), it.i, bit.j, ynt, bit.nt)
 			}
 		}
 		// binary rules X -> A Y with Y = it
 		for _, r := range binSecond[it.x] {
 			a := r.rhs[0]
-			if byEnd[a] == nil {
+			if endIdx[a] == nil {
 				continue
 			}
-			for _, i0 := range byEnd[a][it.i] {
-				ant := itemNT[item{a, i0, it.i}]
-				discover(item{r.lhs, i0, it.j}, []Sym{ant, ynt})
+			for _, aidx := range endIdx[a][it.i] {
+				ait := items[aidx]
+				discover(int32(r.lhs), ait.i, it.j, ait.nt, ynt)
 			}
 		}
 	}
 
 	// ---- root ----------------------------------------------------------
-	rootLocal := localOf[root]
+	rootLocal := localOf[int(root)-NumTerminals]
 	newRoot := Sym(-1)
 	q0 := int32(d.Start())
 	for q := 0; q < nq; q++ {
 		if !d.IsAccept(q) {
 			continue
 		}
-		it := item{rootLocal, q0, int32(q)}
-		if s, ok := itemNT[it]; ok {
+		if idx := findItem(rootLocal, q0, int32(q)); idx >= 0 {
 			if newRoot < 0 {
 				newRoot = g.NewNT(g.RawName(root))
 				g.TaintIf(root, newRoot)
 			}
-			g.Add(newRoot, s)
+			g.Add(newRoot, items[idx].nt)
 		}
 	}
 	if newRoot < 0 {

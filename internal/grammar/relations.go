@@ -1,6 +1,10 @@
 package grammar
 
-import "sqlciv/internal/automata"
+import (
+	"math/bits"
+
+	"sqlciv/internal/automata"
+)
 
 // Relation-based grammar analyses over small DFAs. For a complete DFA D
 // with at most 32 states, Rels computes for every nonterminal the
@@ -19,46 +23,86 @@ const MaxRelStates = 32
 // L(nt) drives d from p to q. Unproductive nonterminals have empty
 // relations. Returns nil when d has more than MaxRelStates states.
 func Rels(g *Grammar, d *automata.DFA) [][]uint32 {
+	return RelsMin(g, d, g.MinLens())
+}
+
+// RelsMin is Rels with the emptiness fixpoint (MinLens) supplied by the
+// caller, so one computation can be shared across the several relation
+// fixpoints the policy cascade runs over the same grammar. The fixpoint is
+// a production worklist: a production is re-evaluated only when the
+// relation of one of its right-hand-side nonterminals grew.
+func RelsMin(g *Grammar, d *automata.DFA, minLens []int64) [][]uint32 {
 	d.Complete()
 	nq := d.NumStates()
 	if nq > MaxRelStates {
 		return nil
 	}
-	minLens := g.MinLens()
 	n := g.NumNTs()
 	rel := make([][]uint32, n)
+	flat := make([]uint32, n*nq)
 	for i := range rel {
-		rel[i] = make([]uint32, nq)
+		rel[i] = flat[i*nq : (i+1)*nq : (i+1)*nq]
 	}
-	changed := true
-	for changed {
-		changed = false
-		g.ForEachProd(func(lhs Sym, rhs []Sym) {
-			li := int(lhs) - NumTerminals
-			if minLens[li] < 0 {
-				return
+
+	// Snapshot the productive productions and index them by the
+	// nonterminals their right-hand sides mention.
+	type prod struct {
+		lhs int
+		rhs []Sym
+	}
+	var prods []prod
+	for i, rules := range g.prods {
+		if minLens[i] < 0 {
+			continue
+		}
+		for _, rhs := range rules {
+			prods = append(prods, prod{lhs: i, rhs: rhs})
+		}
+	}
+	dependents := make([][]int32, n)
+	for pi, p := range prods {
+		for _, s := range p.rhs {
+			if IsTerminal(s) {
+				continue
 			}
-			cur := make([]uint32, nq)
-			for p := 0; p < nq; p++ {
-				cur[p] = 1 << p
+			si := int(s) - NumTerminals
+			deps := dependents[si]
+			if len(deps) == 0 || deps[len(deps)-1] != int32(pi) {
+				dependents[si] = append(deps, int32(pi))
 			}
-			for _, s := range rhs {
-				if IsTerminal(s) {
-					next := make([]uint32, nq)
-					for p := 0; p < nq; p++ {
-						m := cur[p]
-						for q := 0; m != 0; q++ {
-							if m&(1<<q) != 0 {
-								m &^= 1 << q
-								next[p] |= 1 << uint(d.Step(q, int(s)))
-							}
-						}
+		}
+	}
+
+	cur := make([]uint32, nq)
+	next := make([]uint32, nq)
+	inQueue := make([]bool, len(prods))
+	queue := make([]int32, len(prods))
+	for i := range queue {
+		queue[i] = int32(i)
+		inQueue[i] = true
+	}
+	for head := 0; head < len(queue); head++ {
+		pi := queue[head]
+		inQueue[pi] = false
+		p := prods[pi]
+		for q := 0; q < nq; q++ {
+			cur[q] = 1 << q
+		}
+		ok := true
+		for _, s := range p.rhs {
+			if IsTerminal(s) {
+				for q := 0; q < nq; q++ {
+					m := cur[q]
+					var nb uint32
+					for m != 0 {
+						b := bits.TrailingZeros32(m)
+						m &= m - 1
+						nb |= 1 << uint(d.Step(b, int(s)))
 					}
-					cur = next
-					continue
+					next[q] = nb
 				}
-				si := int(s) - NumTerminals
-				sr := rel[si]
+			} else {
+				sr := rel[int(s)-NumTerminals]
 				empty := true
 				for _, v := range sr {
 					if v != 0 {
@@ -67,27 +111,41 @@ func Rels(g *Grammar, d *automata.DFA) [][]uint32 {
 					}
 				}
 				if empty {
-					return // constituent unproductive or not yet computed
+					ok = false // constituent unproductive or not yet computed
+					break
 				}
-				next := make([]uint32, nq)
-				for p := 0; p < nq; p++ {
-					m := cur[p]
-					for q := 0; m != 0; q++ {
-						if m&(1<<q) != 0 {
-							m &^= 1 << q
-							next[p] |= sr[q]
-						}
+				for q := 0; q < nq; q++ {
+					m := cur[q]
+					var nb uint32
+					for m != 0 {
+						b := bits.TrailingZeros32(m)
+						m &= m - 1
+						nb |= sr[b]
 					}
-				}
-				cur = next
-			}
-			for p := 0; p < nq; p++ {
-				if rel[li][p]|cur[p] != rel[li][p] {
-					rel[li][p] |= cur[p]
-					changed = true
+					next[q] = nb
 				}
 			}
-		})
+			cur, next = next, cur
+		}
+		if !ok {
+			continue
+		}
+		grew := false
+		lr := rel[p.lhs]
+		for q := 0; q < nq; q++ {
+			if lr[q]|cur[q] != lr[q] {
+				lr[q] |= cur[q]
+				grew = true
+			}
+		}
+		if grew {
+			for _, di := range dependents[p.lhs] {
+				if !inQueue[di] {
+					inQueue[di] = true
+					queue = append(queue, di)
+				}
+			}
+		}
 	}
 	return rel
 }
@@ -99,12 +157,11 @@ func RelNonempty(rels [][]uint32, d *automata.DFA, g *Grammar, nt Sym) bool {
 	}
 	row := rels[int(nt)-NumTerminals]
 	m := row[d.Start()]
-	for q := 0; m != 0; q++ {
-		if m&(1<<q) != 0 {
-			m &^= 1 << q
-			if d.IsAccept(q) {
-				return true
-			}
+	for m != 0 {
+		q := bits.TrailingZeros32(m)
+		m &= m - 1
+		if d.IsAccept(q) {
+			return true
 		}
 	}
 	return false
@@ -115,17 +172,20 @@ func RelNonempty(rels [][]uint32, d *automata.DFA, g *Grammar, nt Sym) bool {
 // derivation from root (0 = the nonterminal never occurs in a complete
 // derivation). rels must come from Rels(g, d).
 func Contexts(g *Grammar, root Sym, d *automata.DFA, rels [][]uint32) []uint32 {
+	return ContextsMin(g, root, d, rels, g.MinLens())
+}
+
+// ContextsMin is Contexts with the MinLens fixpoint supplied by the caller.
+func ContextsMin(g *Grammar, root Sym, d *automata.DFA, rels [][]uint32, minLens []int64) []uint32 {
 	n := g.NumNTs()
 	ctx := make([]uint32, n)
 	if rels == nil {
 		return ctx
 	}
-	minLens := g.MinLens()
 	ri := int(root) - NumTerminals
 	if minLens[ri] >= 0 {
 		ctx[ri] = 1 << uint(d.Start())
 	}
-	nq := d.NumStates()
 	changed := true
 	for changed {
 		changed = false
@@ -143,10 +203,11 @@ func Contexts(g *Grammar, root Sym, d *automata.DFA, rels [][]uint32) []uint32 {
 			for _, s := range rhs {
 				if IsTerminal(s) {
 					var next uint32
-					for p := 0; p < nq; p++ {
-						if states&(1<<p) != 0 {
-							next |= 1 << uint(d.Step(p, int(s)))
-						}
+					m := states
+					for m != 0 {
+						p := bits.TrailingZeros32(m)
+						m &= m - 1
+						next |= 1 << uint(d.Step(p, int(s)))
 					}
 					states = next
 					continue
@@ -157,10 +218,11 @@ func Contexts(g *Grammar, root Sym, d *automata.DFA, rels [][]uint32) []uint32 {
 					changed = true
 				}
 				var next uint32
-				for p := 0; p < nq; p++ {
-					if states&(1<<p) != 0 {
-						next |= rels[si][p]
-					}
+				m := states
+				for m != 0 {
+					p := bits.TrailingZeros32(m)
+					m &= m - 1
+					next |= rels[si][p]
 				}
 				states = next
 			}

@@ -25,6 +25,6 @@ func (ci *contextInfo) literalOnly(nt grammar.Sym) (occurs, literal bool) {
 
 // computeContexts runs the shared relation/context machinery over the
 // quote-parity DFA.
-func (c *Checker) computeContexts(g *grammar.Grammar, root grammar.Sym, parityRels [][]uint32) *contextInfo {
-	return &contextInfo{ctx: grammar.Contexts(g, root, c.oddQuotes, parityRels)}
+func (c *Checker) computeContexts(g *grammar.Grammar, root grammar.Sym, parityRels [][]uint32, minLens []int64) *contextInfo {
+	return &contextInfo{ctx: grammar.ContextsMin(g, root, c.oddQuotes, parityRels, minLens)}
 }

@@ -21,6 +21,7 @@ package policy
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sqlciv/internal/automata"
@@ -83,8 +84,10 @@ type Result struct {
 	CheckTime  time.Duration
 }
 
-// Checker holds the policy automata and reference grammar. Safe for
-// sequential reuse across hotspots.
+// Checker holds the policy automata and reference grammar. The automata and
+// reference tables are read-only after New, so one Checker may serve
+// concurrent CheckHotspot calls (the verdict cache is synchronized
+// internally).
 type Checker struct {
 	sql   *sqlgram.SQL
 	deriv *deriv.Checker
@@ -96,11 +99,28 @@ type Checker struct {
 	// default because it handles all labeled nonterminals in one pass.
 	UseMarkerConstruction bool
 
+	// Memoize enables the fingerprint-keyed verdict cache: hotspots whose
+	// reachable annotated sub-grammars are canonically equal (same shape,
+	// labels, and source names up to nonterminal renaming) share one
+	// verdict. Off by default so benchmarks that loop over one hotspot
+	// measure the cascade, not the cache; core.AnalyzeApp turns it on.
+	Memoize bool
+
+	verdicts    sync.Map // grammar.Fingerprint -> *Result
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
 	oddQuotes  *automata.DFA
 	unescQuote *automata.DFA
 	evenCtx    *automata.DFA
 	nonNumeric *automata.DFA
 	attackDFAs []attackDFA
+}
+
+// VerdictCacheStats returns the cumulative verdict-cache hit and miss
+// counts for this checker.
+func (c *Checker) VerdictCacheStats() (hits, misses int64) {
+	return c.cacheHits.Load(), c.cacheMisses.Load()
 }
 
 type attackDFA struct {
@@ -133,6 +153,18 @@ func New() *Checker {
 		for _, frag := range []string{"--", "DROP", "UNION", ";", "/*", " OR ", " or 1=1"} {
 			n := automata.Concat(automata.Concat(automata.SigmaStar(), automata.FromString(frag)), automata.SigmaStar())
 			prebuilt.attacks = append(prebuilt.attacks, attackDFA{name: frag, dfa: n.Determinize().Minimize()})
+		}
+		// Complete the shared DFAs now: Complete mutates on first call
+		// (adds a dead state for missing edges) and is a no-op afterwards,
+		// so completing here makes the prebuilt automata read-only — a
+		// requirement for concurrent CheckHotspot calls, which would
+		// otherwise race inside the lazy completion.
+		prebuilt.oddQuotes.Complete()
+		prebuilt.unescQuote.Complete()
+		prebuilt.evenCtx.Complete()
+		prebuilt.nonNumeric.Complete()
+		for _, atk := range prebuilt.attacks {
+			atk.dfa.Complete()
 		}
 	})
 	sql := sqlgram.Get()
@@ -258,17 +290,35 @@ func buildEvenContextDFA() *automata.DFA {
 
 // CheckHotspot checks the query grammar rooted at root in g and returns the
 // reports for its labeled nonterminals.
+//
+// With Memoize set, results are cached under the sub-grammar's canonical
+// fingerprint; a hit returns a Result sharing the cached Reports slice
+// (callers must treat it as read-only) with only CheckTime fresh.
 func (c *Checker) CheckHotspot(g *grammar.Grammar, root grammar.Sym) *Result {
 	start := time.Now()
+	var fp grammar.Fingerprint
+	if c.Memoize {
+		fp = g.Fingerprint(root)
+		if v, ok := c.verdicts.Load(fp); ok {
+			c.cacheHits.Add(1)
+			out := *v.(*Result)
+			out.CheckTime = time.Since(start)
+			return &out
+		}
+		c.cacheMisses.Add(1)
+	}
 	scratch, remap := g.Extract(root)
 	sroot := remap[root]
 
-	// Collect labeled nonterminals with nonempty languages.
+	// Collect labeled nonterminals with nonempty languages, in canonical
+	// (BFS-from-root) order: α-equivalent grammars then produce Results
+	// with identically ordered Reports, so a cached verdict is
+	// indistinguishable from a recomputed one no matter which hotspot
+	// filled the cache.
 	minLens := scratch.MinLens()
 	var vl []grammar.Sym
-	for i := 0; i < scratch.NumNTs(); i++ {
-		nt := grammar.Sym(grammar.NumTerminals + i)
-		if scratch.LabelOf(nt) != 0 && minLens[i] >= 0 {
+	for _, nt := range scratch.CanonicalOrder(sroot) {
+		if scratch.LabelOf(nt) != 0 && minLens[int(nt)-grammar.NumTerminals] >= 0 {
 			vl = append(vl, nt)
 		}
 	}
@@ -277,7 +327,7 @@ func (c *Checker) CheckHotspot(g *grammar.Grammar, root grammar.Sym) *Result {
 	if c.UseMarkerConstruction {
 		undecided = c.cascadeReference(scratch, sroot, vl, res)
 	} else {
-		undecided = c.cascadeFast(scratch, sroot, vl, res)
+		undecided = c.cascadeFast(scratch, sroot, vl, minLens, res)
 	}
 
 	// Check 5: derivability of the whole query grammar covers the rest.
@@ -292,6 +342,11 @@ func (c *Checker) CheckHotspot(g *grammar.Grammar, root grammar.Sym) *Result {
 
 	res.Verified = len(res.Reports) == 0
 	res.CheckTime = time.Since(start)
+	if c.Memoize {
+		// First writer wins; a concurrent loser computed an identical
+		// Result (canonical report order), so dropping it is harmless.
+		c.verdicts.LoadOrStore(fp, res)
+	}
 	return res
 }
 
@@ -346,14 +401,14 @@ func (c *Checker) cascadeReference(scratch *grammar.Grammar, sroot grammar.Sym, 
 // cascadeFast runs checks 1–4 using one relation fixpoint per check DFA
 // (rels.go) and the one-pass quote-parity context analysis (context.go),
 // extracting witnesses only for reported nonterminals.
-func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []grammar.Sym, res *Result) []grammar.Sym {
-	oddRel := grammar.Rels(scratch, c.oddQuotes)
-	ctxInfo := c.computeContexts(scratch, sroot, oddRel)
-	unescRel := grammar.Rels(scratch, c.unescQuote)
-	numRel := grammar.Rels(scratch, c.nonNumeric)
+func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []grammar.Sym, minLens []int64, res *Result) []grammar.Sym {
+	oddRel := grammar.RelsMin(scratch, c.oddQuotes, minLens)
+	ctxInfo := c.computeContexts(scratch, sroot, oddRel, minLens)
+	unescRel := grammar.RelsMin(scratch, c.unescQuote, minLens)
+	numRel := grammar.RelsMin(scratch, c.nonNumeric, minLens)
 	attackRels := make([][][]uint32, len(c.attackDFAs))
 	for i, atk := range c.attackDFAs {
-		attackRels[i] = grammar.Rels(scratch, atk.dfa)
+		attackRels[i] = grammar.RelsMin(scratch, atk.dfa, minLens)
 	}
 	// RelNonempty falls back to an intersection when a DFA is too large for
 	// the relation representation (does not happen with the built-ins).

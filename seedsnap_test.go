@@ -1,0 +1,37 @@
+package sqlciv
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/core"
+	"sqlciv/internal/corpus"
+)
+
+// TestDumpFindingsSnapshot writes every corpus finding to the file named by
+// SQLCIV_SNAPSHOT, for before/after bit-identity comparison. Skipped unless
+// the variable is set.
+func TestDumpFindingsSnapshot(t *testing.T) {
+	path := os.Getenv("SQLCIV_SNAPSHOT")
+	if path == "" {
+		t.Skip("SQLCIV_SNAPSHOT not set")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, app := range corpus.Apps() {
+		res, err := core.AnalyzeApp(analysis.NewMapResolver(app.Sources), app.Entries, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(f, "== %s |V|=%d |R|=%d\n", app.Name, res.NumNTs, res.NumProds)
+		for _, fd := range res.Findings {
+			fmt.Fprintf(f, "%s\n", fd.String())
+		}
+		fmt.Fprint(f, res.Summary())
+	}
+}
