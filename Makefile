@@ -1,6 +1,16 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench fuzz-smoke
+
+# Each fuzz target gets a short randomized burn beyond its seed corpus.
+FUZZ_TIME ?= 30s
+FUZZ_TARGETS = \
+	FuzzParse:./internal/php \
+	FuzzConfined:./internal/sqlgram \
+	FuzzRun:./internal/interp \
+	FuzzParseCompile:./internal/rx \
+	FuzzAnalyze:./internal/analysis \
+	FuzzIntersect:./internal/grammar
 
 build:
 	$(GO) build ./...
@@ -17,3 +27,12 @@ check:
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTable1' -benchtime 2x .
+
+# fuzz-smoke runs every fuzz target for FUZZ_TIME each — long enough to
+# shake out shallow regressions, short enough for CI.
+fuzz-smoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		name=$${t%%:*}; pkg=$${t#*:}; \
+		echo "== $$name ($$pkg)"; \
+		$(GO) test -run '^$$' -fuzz "^$$name\$$" -fuzztime $(FUZZ_TIME) $$pkg; \
+	done

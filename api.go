@@ -26,7 +26,10 @@
 package sqlciv
 
 import (
+	"context"
+
 	"sqlciv/internal/analysis"
+	"sqlciv/internal/budget"
 	"sqlciv/internal/core"
 )
 
@@ -38,6 +41,14 @@ type AppResult = core.AppResult
 
 // Finding is one deduplicated SQLCIV report.
 type Finding = core.Finding
+
+// Limits bounds an analysis run's resources (wall clock, per-unit steps and
+// memory). The zero value is unlimited. Over-budget units degrade to
+// explicit analysis-incomplete findings — never a silent pass.
+type Limits = budget.Limits
+
+// Degradation records one analysis unit that was cut short.
+type Degradation = core.Degradation
 
 // Resolver supplies PHP sources to the analyzer.
 type Resolver = analysis.Resolver
@@ -51,4 +62,12 @@ func NewMapResolver(sources map[string]string) *analysis.MapResolver {
 // the verified/bug-report outcome with Table 1-style statistics.
 func AnalyzeApp(resolver Resolver, entries []string, opts Options) (*AppResult, error) {
 	return core.AnalyzeApp(resolver, entries, opts)
+}
+
+// AnalyzeAppCtx is AnalyzeApp under ctx: cancellation, ctx's deadline, and
+// the limits in opts.Budget degrade the affected pages or hotspots to
+// analysis-incomplete findings while the rest of the run completes
+// normally.
+func AnalyzeAppCtx(ctx context.Context, resolver Resolver, entries []string, opts Options) (*AppResult, error) {
+	return core.AnalyzeAppCtx(ctx, resolver, entries, opts)
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"sqlciv/internal/analysis"
 	"sqlciv/internal/core"
@@ -75,6 +76,23 @@ func BenchmarkTable1_EVE(b *testing.B)    { benchApp(b, corpus.EVE()) }
 func BenchmarkTable1_Tiger(b *testing.B)  { benchApp(b, corpus.Tiger()) }
 func BenchmarkTable1_Utopia(b *testing.B) { benchApp(b, corpus.Utopia()) }
 func BenchmarkTable1_Warp(b *testing.B)   { benchApp(b, corpus.Warp()) }
+
+// budgetedOpts enables every budget knob at values no corpus app
+// approaches, measuring the metering overhead on the untripped path.
+func budgetedOpts() core.Options {
+	opts := core.Options{}
+	opts.Budget.Timeout = 10 * time.Minute
+	opts.Budget.HotspotTimeout = time.Minute
+	opts.Budget.MaxSteps = 1 << 40
+	opts.Budget.MaxMemBytes = 1 << 40
+	return opts
+}
+
+func BenchmarkTable1_E107_Budgeted(b *testing.B)   { benchAppOpts(b, corpus.E107(), budgetedOpts()) }
+func BenchmarkTable1_EVE_Budgeted(b *testing.B)    { benchAppOpts(b, corpus.EVE(), budgetedOpts()) }
+func BenchmarkTable1_Tiger_Budgeted(b *testing.B)  { benchAppOpts(b, corpus.Tiger(), budgetedOpts()) }
+func BenchmarkTable1_Utopia_Budgeted(b *testing.B) { benchAppOpts(b, corpus.Utopia(), budgetedOpts()) }
+func BenchmarkTable1_Warp_Budgeted(b *testing.B)   { benchAppOpts(b, corpus.Warp(), budgetedOpts()) }
 
 func BenchmarkTable1_E107_Parallel(b *testing.B)   { benchAppOpts(b, corpus.E107(), parallelOpts()) }
 func BenchmarkTable1_EVE_Parallel(b *testing.B)    { benchAppOpts(b, corpus.EVE(), parallelOpts()) }

@@ -17,9 +17,15 @@
 // Profiling and performance flags: -parallel N analyzes pages and hotspots
 // over N workers, -stats prints phase wall times and cache counters,
 // -cpuprofile/-memprofile write pprof profiles of the run.
+//
+// Resource budgets: -timeout bounds the whole run, -hotspot-timeout,
+// -max-steps and -max-mem bound each analysis unit (one page analysis or
+// one hotspot check). An over-budget unit is reported as
+// "analysis incomplete" — a conservative finding, never a silent pass.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,6 +40,7 @@ import (
 	"sqlciv/internal/analysis"
 	"sqlciv/internal/core"
 	"sqlciv/internal/corpus"
+	"sqlciv/internal/policy"
 	"sqlciv/internal/xss"
 )
 
@@ -50,9 +57,13 @@ func run() int {
 	doXSS := flag.Bool("xss", false, "also check page HTML output for cross-site scripting")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	parallel := flag.Int("parallel", 0, "worker count for pages and hotspot checks (0 = GOMAXPROCS)")
-	stats := flag.Bool("stats", false, "print phase wall times and cache hit/miss counters")
+	stats := flag.Bool("stats", false, "print phase wall times, cache hit/miss counters, and budget consumption")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited)")
+	hotspotTimeout := flag.Duration("hotspot-timeout", 0, "wall-clock budget per hotspot check (0 = unlimited)")
+	maxSteps := flag.Int64("max-steps", 0, "abstract step budget per analysis unit (0 = unlimited)")
+	maxMem := flag.Int64("max-mem", 0, "estimated memory budget in bytes per analysis unit (0 = unlimited)")
 	flag.Var(&entries, "entry", "top-level page (repeatable)")
 	flag.Parse()
 
@@ -89,6 +100,10 @@ func run() int {
 	}
 	opts := core.Options{Parallel: workers, ParallelHotspots: workers}
 	opts.Analysis.DisableGuardRefinement = *noRefine
+	opts.Budget.Timeout = *timeout
+	opts.Budget.HotspotTimeout = *hotspotTimeout
+	opts.Budget.MaxSteps = *maxSteps
+	opts.Budget.MaxMemBytes = *maxMem
 
 	if *table1 {
 		runTable1(opts, *stats)
@@ -108,7 +123,7 @@ func run() int {
 	if len(pages) == 0 {
 		pages = guessEntries(sources)
 	}
-	res, err := core.AnalyzeApp(analysis.NewMapResolver(sources), pages, opts)
+	res, err := core.AnalyzeAppCtx(context.Background(), analysis.NewMapResolver(sources), pages, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlcheck:", err)
 		return 1
@@ -158,17 +173,31 @@ type jsonReport struct {
 	GrammarV int           `json:"grammar_nonterminals"`
 	GrammarR int           `json:"grammar_productions"`
 	Findings []jsonFinding `json:"findings"`
-	XSS      []jsonXSS     `json:"xss,omitempty"`
+	// DegradedHotspots/DegradedPages count analysis units cut short by the
+	// resource budget; when nonzero, "verified": false and each degraded
+	// unit also appears as an analysis-incomplete finding.
+	DegradedHotspots int            `json:"degraded_hotspots,omitempty"`
+	DegradedPages    int            `json:"degraded_pages,omitempty"`
+	Degradations     []jsonDegraded `json:"degradations,omitempty"`
+	XSS              []jsonXSS      `json:"xss,omitempty"`
 }
 
 type jsonFinding struct {
 	File    string `json:"file"`
 	Line    int    `json:"line"`
 	Call    string `json:"call"`
-	Kind    string `json:"kind"` // direct | indirect
+	Kind    string `json:"kind"` // direct | indirect | unknown (analysis incomplete)
 	Check   string `json:"check"`
 	Source  string `json:"source,omitempty"`
 	Witness string `json:"witness"`
+}
+
+type jsonDegraded struct {
+	Entry  string `json:"entry"`
+	File   string `json:"file,omitempty"`
+	Line   int    `json:"line,omitempty"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
 }
 
 type jsonXSS struct {
@@ -192,9 +221,20 @@ func emitJSON(res *core.AppResult, xssFindings []xss.Finding) {
 		if f.Direct() {
 			kind = "direct"
 		}
+		if f.Check == policy.CheckAnalysisIncomplete {
+			kind = "unknown"
+		}
 		rep.Findings = append(rep.Findings, jsonFinding{
 			File: f.File, Line: f.Line, Call: f.Call, Kind: kind,
 			Check: f.Check.String(), Source: f.Source, Witness: f.Witness,
+		})
+	}
+	rep.DegradedHotspots = res.DegradedHotspots
+	rep.DegradedPages = res.DegradedPages
+	for _, d := range res.Degradations {
+		rep.Degradations = append(rep.Degradations, jsonDegraded{
+			Entry: d.Entry, File: d.File, Line: d.Line,
+			Reason: d.Reason.String(), Detail: d.Detail,
 		})
 	}
 	for _, f := range xssFindings {

@@ -12,13 +12,16 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"sqlciv/internal/automata"
+	"sqlciv/internal/budget"
 	"sqlciv/internal/fst"
 	"sqlciv/internal/grammar"
 	"sqlciv/internal/php"
@@ -189,6 +192,7 @@ type funcInfo struct {
 
 type analyzer struct {
 	g        *grammar.Grammar
+	b        *budget.Budget
 	opts     Options
 	resolver Resolver
 	funcs    map[string]*php.FuncDecl
@@ -238,12 +242,37 @@ func (a *analyzer) appendOutput(e env, val grammar.Sym) {
 
 // Analyze runs the string-taint analysis with entry as the top-level page.
 func Analyze(resolver Resolver, entry string, opts Options) (*Result, error) {
+	return AnalyzeB(resolver, entry, opts, nil)
+}
+
+// AnalyzeCtx is Analyze under ctx: cancellation or a context deadline makes
+// the walk stop cooperatively and return an error (*budget.Exceeded), so a
+// page stuck in phase 1 cannot outlive the run's deadline.
+func AnalyzeCtx(ctx context.Context, resolver Resolver, entry string, opts Options) (*Result, error) {
+	return AnalyzeB(resolver, entry, opts, budget.New(ctx, budget.Limits{}))
+}
+
+// AnalyzeB is Analyze metered by b: the statement walk and the lowering
+// fixpoint consume steps and probe cancellation. A budget trip — or any
+// panic inside the analysis, which this boundary isolates per page —
+// surfaces as a *budget.Exceeded error, never a partial Result.
+func AnalyzeB(resolver Resolver, entry string, opts Options, b *budget.Budget) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			exc := budget.AsExceeded(r)
+			if exc.Reason == budget.ReasonPanic {
+				exc.Detail += "\n" + string(debug.Stack())
+			}
+			res, err = nil, exc
+		}
+	}()
 	if opts.MaxIncludeDepth == 0 {
 		opts.MaxIncludeDepth = 32
 	}
 	start := time.Now()
 	a := &analyzer{
 		g:        grammar.New(),
+		b:        b,
 		opts:     opts,
 		resolver: resolver,
 		funcs:    map[string]*php.FuncDecl{},
@@ -281,7 +310,7 @@ func Analyze(resolver Resolver, entry string, opts Options) (*Result, error) {
 	}
 	a.lower()
 
-	res := &Result{
+	res = &Result{
 		PageOutput:    pageOut,
 		G:             a.g,
 		Hotspots:      a.hotspots,
@@ -359,6 +388,7 @@ func (a *analyzer) analyzeStmts(e env, stmts []php.Stmt) termKind {
 }
 
 func (a *analyzer) analyzeStmt(e env, s php.Stmt) termKind {
+	a.b.Step(1)
 	switch v := s.(type) {
 	case *php.ExprStmt:
 		if inc, ok := v.X.(*php.IncludeExpr); ok {

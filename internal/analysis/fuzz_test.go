@@ -1,6 +1,11 @@
 package analysis
 
-import "testing"
+import (
+	"sort"
+	"testing"
+
+	"sqlciv/internal/corpus"
+)
 
 // FuzzAnalyze asserts the static analysis never panics on any parseable
 // program — the soundness theorem is only as good as the analyzer's
@@ -16,6 +21,25 @@ func FuzzAnalyze(f *testing.F) {
 	}
 	for _, s := range seeds {
 		f.Add(s)
+	}
+	// Corpus files small enough for the per-case size cap below: the entry
+	// pages are padded to the paper's line counts, so the shared
+	// include/sanitizer files are what fits.
+	for _, app := range corpus.Apps() {
+		names := make([]string, 0, len(app.Sources))
+		for name := range app.Sources {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		added := 0
+		for _, name := range names {
+			if src := app.Sources[name]; len(src) <= 2000 {
+				f.Add(src)
+				if added++; added >= 6 {
+					break
+				}
+			}
+		}
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 2000 {

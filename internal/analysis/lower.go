@@ -17,6 +17,7 @@ func (a *analyzer) lower() {
 		a.sliceOps()
 	}
 	for len(a.ops) > 0 {
+		a.b.Check()
 		progress := false
 		ready := make([]grammar.Sym, 0)
 		for sym, op := range a.ops {
@@ -27,6 +28,7 @@ func (a *analyzer) lower() {
 		for _, sym := range ready {
 			op := a.ops[sym]
 			delete(a.ops, sym)
+			a.b.Step(1)
 			a.materialize(sym, op)
 			progress = true
 		}

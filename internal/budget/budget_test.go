@@ -1,0 +1,123 @@
+package budget
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// exceeds runs f and returns the *Exceeded it panicked with, or nil.
+func exceeds(f func()) (ex *Exceeded) {
+	defer func() {
+		if r := recover(); r != nil {
+			var ok bool
+			if ex, ok = r.(*Exceeded); !ok {
+				panic(r)
+			}
+		}
+	}()
+	f()
+	return nil
+}
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	if ex := exceeds(func() {
+		b.Step(1 << 40)
+		b.Grow(1 << 50)
+		b.Check()
+	}); ex != nil {
+		t.Fatalf("nil budget tripped: %v", ex)
+	}
+	if b.Steps() != 0 || b.MemHigh() != 0 {
+		t.Fatal("nil budget reported usage")
+	}
+}
+
+func TestNewReturnsNilWhenNothingCanTrip(t *testing.T) {
+	if b := New(context.Background(), Limits{}); b != nil {
+		t.Fatalf("expected nil budget for background ctx + zero limits, got %+v", b)
+	}
+	if b := New(context.Background(), Limits{MaxSteps: 1}); b == nil {
+		t.Fatal("step limit must produce a metering budget")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	b := New(context.Background(), Limits{MaxSteps: 100})
+	ex := exceeds(func() {
+		for i := 0; i < 200; i++ {
+			b.Step(1)
+		}
+	})
+	if ex == nil || ex.Reason != ReasonSteps {
+		t.Fatalf("want step-limit panic, got %v", ex)
+	}
+	if b.Steps() <= 100 {
+		t.Fatalf("steps accounting lost: %d", b.Steps())
+	}
+}
+
+func TestMemoryLimit(t *testing.T) {
+	b := New(context.Background(), Limits{MaxMemBytes: 1 << 10})
+	ex := exceeds(func() {
+		for i := 0; i < 64; i++ {
+			b.Grow(64)
+		}
+	})
+	if ex == nil || ex.Reason != ReasonMemory {
+		t.Fatalf("want memory-limit panic, got %v", ex)
+	}
+}
+
+func TestUnitDeadline(t *testing.T) {
+	b := New(context.Background(), Limits{HotspotTimeout: time.Millisecond})
+	time.Sleep(5 * time.Millisecond)
+	ex := exceeds(func() {
+		// Step batches probes; push past checkEvery to force one.
+		for i := 0; i < 2*checkEvery; i++ {
+			b.Step(1)
+		}
+	})
+	if ex == nil || ex.Reason != ReasonDeadline {
+		t.Fatalf("want deadline panic, got %v", ex)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(ctx, Limits{})
+	if b == nil {
+		t.Fatal("cancellable ctx must produce a metering budget")
+	}
+	if ex := exceeds(b.Check); ex != nil {
+		t.Fatalf("premature trip: %v", ex)
+	}
+	cancel()
+	ex := exceeds(b.Check)
+	if ex == nil || ex.Reason != ReasonCancelled {
+		t.Fatalf("want cancellation panic, got %v", ex)
+	}
+}
+
+func TestContextDeadlineMapsToDeadlineReason(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	b := New(ctx, Limits{})
+	ex := exceeds(b.Check)
+	if ex == nil || ex.Reason != ReasonDeadline {
+		t.Fatalf("want deadline reason for expired ctx, got %v", ex)
+	}
+}
+
+func TestExceededError(t *testing.T) {
+	e := &Exceeded{Reason: ReasonSteps, Detail: "5 steps used, limit 4"}
+	want := "budget exceeded: step-limit: 5 steps used, limit 4"
+	if e.Error() != want {
+		t.Fatalf("Error() = %q, want %q", e.Error(), want)
+	}
+	if (&Exceeded{Reason: ReasonDeadline}).Error() != "budget exceeded: deadline-exceeded" {
+		t.Fatal("detail-less Error malformed")
+	}
+}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"sqlciv/internal/analysis"
+	"sqlciv/internal/budget"
 	"sqlciv/internal/grammar"
 	"sqlciv/internal/policy"
 )
@@ -34,6 +36,18 @@ type Options struct {
 	// checker produces canonically ordered reports, so scheduling order
 	// cannot leak into the output.
 	ParallelHotspots int
+	// Budget bounds the run's resources. The zero value is unlimited;
+	// Timeout covers the whole run, the remaining limits apply per unit
+	// (one page analysis or one hotspot check). An over-budget unit
+	// degrades to an explicit analysis-incomplete finding — never a silent
+	// pass — so generous budgets change nothing and tight budgets only add
+	// conservative reports.
+	Budget budget.Limits
+	// BeforeHotspotCheck, when set, runs before each hotspot's policy check
+	// inside that hotspot's recovery scope. It exists for fault-injection
+	// tests: a hook that panics or sleeps past the budget must degrade only
+	// its own hotspot.
+	BeforeHotspotCheck func(analysis.Hotspot)
 }
 
 // Finding is one deduplicated SQLCIV report.
@@ -54,6 +68,12 @@ type Finding struct {
 func (f Finding) Direct() bool { return f.Label&grammar.Direct != 0 }
 
 func (f Finding) String() string {
+	if f.Check == policy.CheckAnalysisIncomplete {
+		if f.Line == 0 {
+			return fmt.Sprintf("%s: page analysis incomplete (%s) — not verified", f.File, f.Witness)
+		}
+		return fmt.Sprintf("%s:%d (%s): analysis incomplete (%s) — not verified", f.File, f.Line, f.Call, f.Witness)
+	}
 	kind := "indirect"
 	if f.Direct() {
 		kind = "direct"
@@ -77,12 +97,42 @@ type PageResult struct {
 	Entry    string
 	Analysis *analysis.Result
 	Hotspots []HotspotResult
+	// Degraded is set when phase 1 for this page was cut short; Analysis is
+	// then an empty placeholder and the page contributes an
+	// analysis-incomplete finding.
+	Degraded *budget.Exceeded
+}
+
+// Degradation records one unit (page or hotspot) whose analysis was cut
+// short, with enough detail to diagnose it: the budget reason, the sentinel
+// detail, and — for recovered panics — the goroutine stack.
+type Degradation struct {
+	Entry  string
+	File   string // hotspot file; empty for a page-level degradation
+	Line   int
+	Reason budget.Reason
+	Detail string
+	Stack  string
 }
 
 // AppResult aggregates a whole-application run.
 type AppResult struct {
 	Pages    []PageResult
 	Findings []Finding
+
+	// DegradedHotspots / DegradedPages count units whose analysis was cut
+	// short (budget, cancellation, or a recovered panic); Degradations
+	// carries the details. A nonzero count means the run is NOT a
+	// verification of those units — each also appears as an
+	// analysis-incomplete finding.
+	DegradedHotspots int
+	DegradedPages    int
+	Degradations     []Degradation
+	// BudgetSteps sums the abstract steps consumed across hotspot checks;
+	// BudgetMemHigh is the largest single-unit memory high-water estimate.
+	// Both are 0 on fully unbudgeted runs.
+	BudgetSteps   int64
+	BudgetMemHigh int64
 
 	Files    int
 	Lines    int
@@ -116,6 +166,8 @@ func (r *AppResult) Stats() string {
 		r.CheckTime.Round(time.Millisecond), r.CheckWall.Round(time.Millisecond))
 	fmt.Fprintf(&b, "verdict cache:   %d hits, %d misses\n", r.VerdictCacheHits, r.VerdictCacheMisses)
 	fmt.Fprintf(&b, "parse cache:     %d hits, %d misses\n", r.ParseCacheHits, r.ParseCacheMisses)
+	fmt.Fprintf(&b, "budget:          %d steps, %d B peak unit mem, %d degraded hotspots, %d degraded pages\n",
+		r.BudgetSteps, r.BudgetMemHigh, r.DegradedHotspots, r.DegradedPages)
 	return b.String()
 }
 
@@ -130,8 +182,22 @@ func (r *AppResult) DirectFindings() int {
 	return n
 }
 
-// IndirectFindings counts findings on indirectly user-influenced data.
-func (r *AppResult) IndirectFindings() int { return len(r.Findings) - r.DirectFindings() }
+// IndirectFindings counts findings on indirectly user-influenced data;
+// analysis-incomplete findings are counted by IncompleteFindings instead.
+func (r *AppResult) IndirectFindings() int {
+	return len(r.Findings) - r.DirectFindings() - r.IncompleteFindings()
+}
+
+// IncompleteFindings counts degraded units reported as analysis-incomplete.
+func (r *AppResult) IncompleteFindings() int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Check == policy.CheckAnalysisIncomplete {
+			n++
+		}
+	}
+	return n
+}
 
 // Verified reports whether the application produced no findings — by
 // Theorem 3.4 it is then free of SQLCIVs relative to the modeled subset.
@@ -148,6 +214,25 @@ func (r *AppResult) Verified() bool { return len(r.Findings) == 0 }
 // with canonically equal query grammars, common when pages share includes,
 // are checked once and served from the verdict cache after that.
 func AnalyzeApp(resolver analysis.Resolver, entries []string, opts Options) (*AppResult, error) {
+	return AnalyzeAppCtx(context.Background(), resolver, entries, opts)
+}
+
+// AnalyzeAppCtx is AnalyzeApp under ctx. Cancellation, ctx's deadline, and
+// every limit in opts.Budget degrade the affected units (pages or hotspots)
+// to explicit analysis-incomplete findings; the call itself still returns a
+// complete AppResult. An error is returned only for genuine input failures
+// (an entry that cannot be loaded).
+func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []string, opts Options) (*AppResult, error) {
+	if opts.Budget.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Budget.Timeout)
+		defer cancel()
+	}
+	unitLimits := budget.Limits{
+		HotspotTimeout: opts.Budget.HotspotTimeout,
+		MaxSteps:       opts.Budget.MaxSteps,
+		MaxMemBytes:    opts.Budget.MaxMemBytes,
+	}
 	type parseCacheStats interface{ ParseCacheStats() (int64, int64) }
 	var parseHits0, parseMisses0 int64
 	if pc, ok := resolver.(parseCacheStats); ok {
@@ -170,8 +255,19 @@ func AnalyzeApp(resolver analysis.Resolver, entries []string, opts Options) (*Ap
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			ar, err := analysis.Analyze(resolver, entry, opts.Analysis)
+			// Pages are bounded by the run deadline and the per-unit step /
+			// memory limits, but not by HotspotTimeout (a phase 2 knob).
+			pb := budget.New(ctx, budget.Limits{
+				MaxSteps: opts.Budget.MaxSteps, MaxMemBytes: opts.Budget.MaxMemBytes})
+			ar, err := analysis.AnalyzeB(resolver, entry, opts.Analysis, pb)
 			if err != nil {
+				if exc, ok := err.(*budget.Exceeded); ok {
+					// Degraded, not failed: the page gets an empty analysis
+					// and an analysis-incomplete finding downstream.
+					pages[i] = PageResult{Entry: entry,
+						Analysis: &analysis.Result{G: grammar.New()}, Degraded: exc}
+					return
+				}
 				errs[i] = fmt.Errorf("core: %s: %w", entry, err)
 				return
 			}
@@ -201,7 +297,21 @@ func AnalyzeApp(resolver analysis.Resolver, entries []string, opts Options) (*Ap
 	check := func(jb job) {
 		page := &pages[jb.page]
 		h := page.Analysis.Hotspots[jb.slot]
-		pr := checker.CheckHotspot(page.Analysis.G, h.Root)
+		hb := budget.New(ctx, unitLimits)
+		pr := func() (pr *policy.Result) {
+			// CheckHotspotB recovers its own interior; this outer recovery
+			// isolates the hook (and any future pre-check code) so one
+			// poisoned hotspot degrades alone instead of killing a worker.
+			defer func() {
+				if r := recover(); r != nil {
+					pr = policy.DegradedResult(r, hb)
+				}
+			}()
+			if opts.BeforeHotspotCheck != nil {
+				opts.BeforeHotspotCheck(h)
+			}
+			return checker.CheckHotspotB(page.Analysis.G, h.Root, hb)
+		}()
 		page.Hotspots[jb.slot] = HotspotResult{Hotspot: h, Policy: pr}
 	}
 	if hw := opts.ParallelHotspots; hw > 1 {
@@ -232,14 +342,49 @@ func AnalyzeApp(resolver analysis.Resolver, entries []string, opts Options) (*Ap
 		res.StringAnalysisTime += page.Analysis.AnalysisTime
 		res.NumNTs += page.Analysis.NumNTs
 		res.NumProds += page.Analysis.NumProds
+		if exc := page.Degraded; exc != nil {
+			res.DegradedPages++
+			res.Degradations = append(res.Degradations, Degradation{
+				Entry: page.Entry, Reason: exc.Reason, Detail: exc.Detail})
+			key := page.Entry + ":incomplete"
+			if !seenFinding[key] {
+				seenFinding[key] = true
+				res.Findings = append(res.Findings, Finding{
+					Entry:   page.Entry,
+					File:    page.Entry,
+					Check:   policy.CheckAnalysisIncomplete,
+					Witness: firstLine(exc.Error()),
+				})
+			}
+		}
 		for _, hr := range page.Hotspots {
 			res.CheckTime += hr.Policy.CheckTime
+			res.BudgetSteps += hr.Policy.BudgetSteps
+			if hr.Policy.BudgetMemHigh > res.BudgetMemHigh {
+				res.BudgetMemHigh = hr.Policy.BudgetMemHigh
+			}
+			if hr.Policy.Verdict == policy.VerdictUnknown {
+				res.DegradedHotspots++
+				res.Degradations = append(res.Degradations, Degradation{
+					Entry: page.Entry, File: hr.File, Line: hr.Line,
+					Reason: hr.Policy.Degraded.Reason,
+					Detail: hr.Policy.Degraded.Detail,
+					Stack:  hr.Policy.Stack})
+			}
 			for _, rep := range hr.Policy.Reports {
 				// One finding per hotspot and taint class: several labeled
 				// nonterminals failing at the same query site are one
-				// error report, as a human would count them.
-				direct := rep.Label&grammar.Direct != 0
-				key := fmt.Sprintf("%s:%d:%v", hr.File, hr.Line, direct)
+				// error report, as a human would count them. An
+				// analysis-incomplete report dedups on its own key so a
+				// degraded hotspot never hides behind — or hides — a real
+				// finding at the same location.
+				var key string
+				if rep.Check == policy.CheckAnalysisIncomplete {
+					key = fmt.Sprintf("%s:%d:incomplete", hr.File, hr.Line)
+				} else {
+					direct := rep.Label&grammar.Direct != 0
+					key = fmt.Sprintf("%s:%d:%v", hr.File, hr.Line, direct)
+				}
 				if seenFinding[key] {
 					continue
 				}
@@ -269,6 +414,15 @@ func AnalyzeApp(resolver analysis.Resolver, entries []string, opts Options) (*Ap
 	return res, nil
 }
 
+// firstLine trims s to its first line, keeping multi-line budget details
+// (panic values with stacks) out of one-line findings.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
 // totalLines counts source lines across the project when the resolver
 // exposes raw sources (the in-memory resolver does); otherwise 0.
 func totalLines(r analysis.Resolver) int {
@@ -288,11 +442,20 @@ func (r *AppResult) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "files=%d lines=%d |V|=%d |R|=%d string-analysis=%v check=%v\n",
 		r.Files, r.Lines, r.NumNTs, r.NumProds, r.StringAnalysisTime.Round(time.Millisecond), r.CheckTime.Round(time.Millisecond))
+	if r.DegradedHotspots > 0 || r.DegradedPages > 0 {
+		fmt.Fprintf(&b, "WARNING: analysis incomplete for %d hotspot(s), %d page(s) — those units are NOT verified\n",
+			r.DegradedHotspots, r.DegradedPages)
+	}
 	if r.Verified() {
 		b.WriteString("VERIFIED: no SQLCIVs found\n")
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%d findings (%d direct, %d indirect):\n", len(r.Findings), r.DirectFindings(), r.IndirectFindings())
+	if inc := r.IncompleteFindings(); inc > 0 {
+		fmt.Fprintf(&b, "%d findings (%d direct, %d indirect, %d incomplete):\n",
+			len(r.Findings), r.DirectFindings(), r.IndirectFindings(), inc)
+	} else {
+		fmt.Fprintf(&b, "%d findings (%d direct, %d indirect):\n", len(r.Findings), r.DirectFindings(), r.IndirectFindings())
+	}
 	for _, f := range r.Findings {
 		b.WriteString("  " + f.String() + "\n")
 	}

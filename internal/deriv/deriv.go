@@ -17,6 +17,7 @@ package deriv
 import (
 	"sync"
 
+	"sqlciv/internal/budget"
 	"sqlciv/internal/grammar"
 )
 
@@ -112,10 +113,11 @@ func varID(v int32) (int, bool) {
 }
 
 // session carries the mutable state of one Derivable call — the parse
-// budget counter and the reusable Earley scratch — so a single Checker can
-// serve many goroutines at once.
+// budget counter, the caller's resource budget, and the reusable Earley
+// scratch — so a single Checker can serve many goroutines at once.
 type session struct {
 	c      *Checker
+	b      *budget.Budget
 	parses int
 	earley earleyScratch
 }
@@ -125,7 +127,17 @@ type session struct {
 // targets (reference nonterminals). It returns the witnessing target when
 // derivable.
 func (c *Checker) Derivable(g *grammar.Grammar, root grammar.Sym, targets []grammar.Sym) (grammar.Sym, bool) {
-	s := &session{c: c}
+	return c.DerivableB(g, root, targets, nil)
+}
+
+// DerivableB is Derivable metered by b: every Earley run and every item it
+// admits count one step each, so adversarial forms trip the step or
+// deadline budget instead of stalling a worker. The Checker's own
+// MaxParses/MaxFlatten budgets answer "not derivable" (conservative); b
+// panics with *budget.Exceeded for the hotspot boundary to turn into an
+// explicit unknown verdict. A nil b is unlimited.
+func (c *Checker) DerivableB(g *grammar.Grammar, root grammar.Sym, targets []grammar.Sym, b *budget.Budget) (grammar.Sym, bool) {
+	s := &session{c: c, b: b}
 	sub, remap := g.Extract(root)
 	nroot := remap[root]
 

@@ -18,6 +18,7 @@ import "sqlciv/internal/grammar"
 // derivability check can run.
 func (s *session) parse(start grammar.Sym, input form, sets [][]bool) bool {
 	s.parses++
+	s.b.Step(1)
 	c := s.c
 	g := c.ref
 	tab := c.tab
@@ -30,6 +31,7 @@ func (s *session) parse(start grammar.Sym, input form, sets [][]bool) bool {
 		slot := tab.prodBase[int(it.nt)-grammar.NumTerminals][it.prod] + it.dot
 		key := uint64(uint32(slot))<<32 | uint64(uint32(it.origin))
 		if sc.sets[k].add(key) {
+			s.b.Step(1)
 			sc.order[k] = append(sc.order[k], it)
 		}
 	}

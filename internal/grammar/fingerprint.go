@@ -3,29 +3,203 @@ package grammar
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"sort"
 )
 
 // Fingerprint is a canonical content hash of an annotated sub-grammar. Two
 // grammars that differ only in nonterminal identity (numbering / creation
-// order) — α-renamed copies — get equal fingerprints; any difference in
-// structure, production order, taint labels, or source names changes the
-// hash. The policy layer uses it to memoize hotspot verdicts: hotspots
-// whose reachable query grammars are canonically equal must get the same
-// verdict, so one check serves all of them.
+// order) or in the order productions were added — α-renamed and
+// production-permuted copies — get equal fingerprints; any difference in
+// structure, taint labels, or source names changes the hash. The policy
+// layer uses it to memoize hotspot verdicts: hotspots whose reachable query
+// grammars are canonically equal must get the same verdict, so one check
+// serves all of them.
 type Fingerprint [sha256.Size]byte
 
+// fnv-1a style mixing for the refinement colors.
+const (
+	colorOffset = 0xcbf29ce484222325
+	colorPrime  = 0x100000001b3
+)
+
+func mixColor(h, v uint64) uint64 {
+	h ^= v
+	h *= colorPrime
+	return h
+}
+
+// maxColorRounds caps the refinement: grammars whose sibling productions
+// agree beyond this structural depth fall back to production order for
+// their relative traversal, conservatively costing fingerprint-cache hits
+// (two isomorphic copies may hash differently), never soundness (equal
+// hashes still mean isomorphic grammars — the serialization is complete).
+const maxColorRounds = 24
+
+// colorize assigns every reachable nonterminal a structural color by
+// Weisfeiler-Leman refinement: the initial color hashes the local
+// invariants (taint label, raw name, production count), and each round
+// folds in the sorted multiset of production hashes, where a production
+// hashes its length and its symbols — terminals concretely, nonterminals by
+// their current color. The canonical traversal only needs each
+// nonterminal's *sibling* productions told apart, so rounds repeat exactly
+// until every equal-hash sibling pair is byte-identical (interchangeable) —
+// typically 2-3 rounds — or the cap is hit. The returned per-production
+// hashes of the final round order production traversal canonically,
+// independent of symbol numbering and production insertion order.
+func (g *Grammar) colorize(order []Sym) (color []uint64, prodHash [][]uint64) {
+	color = make([]uint64, len(g.prods))
+	prodHash = make([][]uint64, len(g.prods))
+	for _, nt := range order {
+		i := g.ntIndex(nt)
+		h := uint64(colorOffset)
+		h = mixColor(h, uint64(g.labels[i]))
+		for _, c := range []byte(g.names[i]) {
+			h = mixColor(h, uint64(c))
+		}
+		h = mixColor(h, uint64(len(g.prods[i])))
+		color[i] = h
+		prodHash[i] = make([]uint64, len(g.prods[i]))
+	}
+	next := make([]uint64, len(g.prods))
+	type hp struct {
+		h  uint64
+		pi int32
+	}
+	scratch := make([]hp, 0, 8)
+	distinct := func(of []uint64) int {
+		seen := make(map[uint64]struct{}, len(order))
+		for _, nt := range order {
+			seen[of[g.ntIndex(nt)]] = struct{}{}
+		}
+		return len(seen)
+	}
+	classes := 0
+	for round := 0; round < maxColorRounds; round++ {
+		ambiguous := false
+		for _, nt := range order {
+			i := g.ntIndex(nt)
+			scratch = scratch[:0]
+			for pi, rhs := range g.prods[i] {
+				h := uint64(colorOffset)
+				h = mixColor(h, uint64(len(rhs)))
+				for _, s := range rhs {
+					if IsTerminal(s) {
+						h = mixColor(h, uint64(s))
+					} else {
+						// Tag nonterminals into a code space disjoint from
+						// terminals before folding in the color.
+						h = mixColor(h, 1)
+						h = mixColor(h, color[g.ntIndex(s)])
+					}
+				}
+				prodHash[i][pi] = h
+				scratch = append(scratch, hp{h: h, pi: int32(pi)})
+			}
+			sort.Slice(scratch, func(a, b int) bool { return scratch[a].h < scratch[b].h })
+			h := color[i]
+			for k, v := range scratch {
+				h = mixColor(h, v.h)
+				if k > 0 && v.h == scratch[k-1].h &&
+					!sameRHS(g.prods[i][v.pi], g.prods[i][scratch[k-1].pi]) {
+					ambiguous = true
+				}
+			}
+			next[i] = h
+		}
+		if !ambiguous {
+			break
+		}
+		// New colors are functions of old colors, so the partition only
+		// refines; when the class count stops growing the refinement is at
+		// its fixpoint and the residual ambiguous siblings are structurally
+		// indistinguishable — further rounds cannot help.
+		if d := distinct(next); d == classes {
+			break
+		} else {
+			classes = d
+		}
+		for _, nt := range order {
+			i := g.ntIndex(nt)
+			color[i] = next[i]
+		}
+	}
+	return color, prodHash
+}
+
+// sameRHS reports whether two right-hand sides are identical symbol
+// sequences (and hence interchangeable in any traversal).
+func sameRHS(a, b []Sym) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // CanonicalOrder returns the nonterminals reachable from root in canonical
-// order: breadth-first first-visit order following each nonterminal's
-// productions in sequence. The order is invariant under α-renaming — it
-// depends only on the sub-grammar's shape, never on symbol numbering.
+// order: breadth-first first-visit order from root, traversing each
+// nonterminal's productions sorted by their structural hash. The order is
+// invariant under α-renaming and under permutation of production order — it
+// depends only on the sub-grammar's shape, never on symbol numbering or the
+// sequence in which productions were added.
 func (g *Grammar) CanonicalOrder(root Sym) []Sym {
+	order, _, _ := g.canonicalize(root)
+	return order
+}
+
+// canonicalize computes the canonical order plus, per nonterminal index,
+// the production traversal order (indices into g.prods[i] sorted by
+// structural hash) shared by CanonicalOrder and Fingerprint.
+func (g *Grammar) canonicalize(root Sym) (order []Sym, canon []int32, prodOrder [][]int32) {
+	// Discovery pass: any reachability order works for colorize, which
+	// iterates to a numbering-independent fixpoint.
+	reach := make([]Sym, 0, 16)
 	seen := make([]bool, len(g.prods))
-	order := make([]Sym, 0, 16)
+	reach = append(reach, root)
+	seen[g.ntIndex(root)] = true
+	for qi := 0; qi < len(reach); qi++ {
+		for _, rhs := range g.prods[g.ntIndex(reach[qi])] {
+			for _, s := range rhs {
+				if !IsTerminal(s) && !seen[g.ntIndex(s)] {
+					seen[g.ntIndex(s)] = true
+					reach = append(reach, s)
+				}
+			}
+		}
+	}
+	_, prodHash := g.colorize(reach)
+
+	prodOrder = make([][]int32, len(g.prods))
+	for _, nt := range reach {
+		i := g.ntIndex(nt)
+		po := make([]int32, len(g.prods[i]))
+		for k := range po {
+			po[k] = int32(k)
+		}
+		sort.SliceStable(po, func(a, b int) bool {
+			return prodHash[i][po[a]] < prodHash[i][po[b]]
+		})
+		prodOrder[i] = po
+	}
+
+	// Canonical numbering: BFS from root following the hash-sorted
+	// production order. (Productions with equal hashes are structurally
+	// indistinguishable at the refinement fixpoint, so their relative order
+	// cannot change the discovered shape.)
+	for i := range seen {
+		seen[i] = false
+	}
+	order = make([]Sym, 0, len(reach))
 	order = append(order, root)
 	seen[g.ntIndex(root)] = true
 	for qi := 0; qi < len(order); qi++ {
-		for _, rhs := range g.prods[g.ntIndex(order[qi])] {
-			for _, s := range rhs {
+		i := g.ntIndex(order[qi])
+		for _, pi := range prodOrder[i] {
+			for _, s := range g.prods[i][pi] {
 				if !IsTerminal(s) && !seen[g.ntIndex(s)] {
 					seen[g.ntIndex(s)] = true
 					order = append(order, s)
@@ -33,23 +207,26 @@ func (g *Grammar) CanonicalOrder(root Sym) []Sym {
 			}
 		}
 	}
-	return order
-}
-
-// Fingerprint hashes the sub-grammar reachable from root into its
-// canonical fingerprint. Nonterminals are renumbered along CanonicalOrder;
-// the serialization covers, per nonterminal: its taint label, its raw name
-// (names surface in reports, so they are part of the verdict), and every
-// production as a tagged symbol sequence.
-func (g *Grammar) Fingerprint(root Sym) Fingerprint {
-	order := g.CanonicalOrder(root)
-	canon := make([]int32, len(g.prods))
+	canon = make([]int32, len(g.prods))
 	for i := range canon {
 		canon[i] = -1
 	}
 	for ci, nt := range order {
 		canon[g.ntIndex(nt)] = int32(ci)
 	}
+	return order, canon, prodOrder
+}
+
+// Fingerprint hashes the sub-grammar reachable from root into its
+// canonical fingerprint. Nonterminals are renumbered along CanonicalOrder
+// and productions serialized in canonical (structural-hash, then
+// canonical-symbol) order; the serialization covers, per nonterminal: its
+// taint label, its raw name (names surface in reports, so they are part of
+// the verdict), and every production as a tagged symbol sequence. The
+// serialization is a complete description of the annotated sub-grammar, so
+// equal fingerprints mean isomorphic grammars (up to hash collision).
+func (g *Grammar) Fingerprint(root Sym) Fingerprint {
+	order, canon, prodOrder := g.canonicalize(root)
 
 	h := sha256.New()
 	var buf [8]byte
@@ -57,22 +234,37 @@ func (g *Grammar) Fingerprint(root Sym) Fingerprint {
 		binary.LittleEndian.PutUint32(buf[:4], v)
 		h.Write(buf[:4])
 	}
+	// Serialize productions sorted by their canonical symbol sequence:
+	// the structural-hash order from canonicalize is numbering-free but
+	// hash-valued, so re-sort by the now-assigned canonical ids to make the
+	// serialization observable and collision-independent.
+	symCode := func(s Sym) uint32 {
+		if IsTerminal(s) {
+			return uint32(s)
+		}
+		return uint32(NumTerminals) + uint32(canon[g.ntIndex(s)])
+	}
 	for _, nt := range order {
 		i := g.ntIndex(nt)
 		writeU32(uint32(g.labels[i]))
 		writeU32(uint32(len(g.names[i])))
 		h.Write([]byte(g.names[i]))
 		writeU32(uint32(len(g.prods[i])))
-		for _, rhs := range g.prods[i] {
+		po := append([]int32(nil), prodOrder[i]...)
+		sort.SliceStable(po, func(a, b int) bool {
+			ra, rb := g.prods[i][po[a]], g.prods[i][po[b]]
+			for k := 0; k < len(ra) && k < len(rb); k++ {
+				if ca, cb := symCode(ra[k]), symCode(rb[k]); ca != cb {
+					return ca < cb
+				}
+			}
+			return len(ra) < len(rb)
+		})
+		for _, pi := range po {
+			rhs := g.prods[i][pi]
 			writeU32(uint32(len(rhs)))
 			for _, s := range rhs {
-				if IsTerminal(s) {
-					writeU32(uint32(s))
-				} else {
-					// Tag nonterminals into a disjoint code space above
-					// the terminal alphabet.
-					writeU32(uint32(NumTerminals) + uint32(canon[g.ntIndex(s)]))
-				}
+				writeU32(symCode(s))
 			}
 		}
 	}

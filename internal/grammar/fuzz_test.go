@@ -1,0 +1,111 @@
+package grammar
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"sqlciv/internal/automata"
+	"sqlciv/internal/budget"
+)
+
+// fuzzGrammar decodes data into a small CFG over at most four nonterminals.
+// Each record is [lhs, rhsLen, sym...]: bytes < 128 become terminals, the
+// rest pick a nonterminal, so every input is a valid (possibly empty or
+// non-productive) grammar.
+func fuzzGrammar(data []byte) (*Grammar, Sym, []byte) {
+	g := New()
+	nts := make([]Sym, 4)
+	for i := range nts {
+		nts[i] = g.NewNT(fmt.Sprintf("N%d", i))
+	}
+	i, prods := 0, 0
+	for i+1 < len(data) && prods < 24 {
+		lhs := nts[int(data[i])%len(nts)]
+		rhsLen := int(data[i+1]) % 4
+		i += 2
+		rhs := make([]Sym, 0, rhsLen)
+		for k := 0; k < rhsLen && i < len(data); k++ {
+			v := data[i]
+			i++
+			if v < 128 {
+				rhs = append(rhs, Sym(v))
+			} else {
+				rhs = append(rhs, nts[int(v)%len(nts)])
+			}
+		}
+		g.Add(lhs, rhs...)
+		prods++
+	}
+	g.SetStart(nts[0])
+	return g, nts[0], data[i:]
+}
+
+// fuzzDFA decodes the remaining bytes into a complete DFA via a small NFA:
+// records of [from, sym, to] over at most four states, accept set from the
+// first byte's bits.
+func fuzzDFA(data []byte) *automata.DFA {
+	n := automata.NewNFA()
+	states := make([]int, 4)
+	for i := range states {
+		states[i] = n.AddState()
+	}
+	accepts := byte(0x01)
+	if len(data) > 0 {
+		accepts = data[0]
+		data = data[1:]
+	}
+	for i := range states {
+		n.SetAccept(states[i], accepts&(1<<i) != 0)
+	}
+	for i := 0; i+2 < len(data) && i < 30; i += 3 {
+		from := states[int(data[i])%len(states)]
+		sym := int(data[i+1]) // always a byte, never the marker
+		to := states[int(data[i+2])%len(states)]
+		n.AddEdge(from, sym, to)
+	}
+	return n.Determinize()
+}
+
+// FuzzIntersect runs the Figure 7 CFG×FSA intersection on arbitrary small
+// grammars and automata under a step budget. It must never panic with
+// anything but *budget.Exceeded, and a nonempty result must yield a witness
+// accepted by both the automaton and the original grammar.
+func FuzzIntersect(f *testing.F) {
+	f.Add([]byte{0, 2, 'a', 'b', 1, 1, 'c', 0x0f, 0, 'a', 1, 1, 'b', 0})
+	f.Add([]byte{0, 1, 128, 0, 2, 'x', 131, 0, 0, 0xff, 2, 'x', 2})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0, 3, 'a', 129, 'a', 1, 1, 'q', 0x02, 1, 'q', 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 96 {
+			data = data[:96]
+		}
+		g, root, rest := fuzzGrammar(data)
+		d := fuzzDFA(rest)
+		b := budget.New(context.Background(), budget.Limits{
+			MaxSteps:    50_000,
+			MaxMemBytes: 1 << 20,
+		})
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(*budget.Exceeded); !ok {
+					panic(r) // real bug; budget trips are the only licit abort
+				}
+			}
+		}()
+		nr, nonempty := IntersectIntoB(g, root, d, b)
+		if !nonempty {
+			return
+		}
+		w, ok := g.WitnessString(nr)
+		if !ok {
+			t.Fatal("nonempty intersection has no witness")
+		}
+		if !d.AcceptsString(w) {
+			t.Fatalf("witness %q rejected by the automaton", w)
+		}
+		if len(w) <= 64 && !g.DerivesString(root, w) {
+			t.Fatalf("witness %q not derivable from the original root", w)
+		}
+	})
+}

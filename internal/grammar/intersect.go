@@ -1,6 +1,9 @@
 package grammar
 
-import "sqlciv/internal/automata"
+import (
+	"sqlciv/internal/automata"
+	"sqlciv/internal/budget"
+)
 
 // IntersectInto computes the intersection of the context-free language
 // rooted at root with the regular language of d, materializing the result
@@ -17,6 +20,21 @@ import "sqlciv/internal/automata"
 // The boolean result reports whether the intersection is nonempty; when it
 // is empty the returned symbol is invalid and must not be used.
 func IntersectInto(g *Grammar, root Sym, d *automata.DFA) (Sym, bool) {
+	return IntersectIntoB(g, root, d, nil)
+}
+
+// intersectItemBytes estimates the footprint of one discovered (X, i, j)
+// item: the record, its index-list entries, the fresh nonterminal, and its
+// production bookkeeping.
+const intersectItemBytes = 96
+
+// IntersectIntoB is IntersectInto metered by b: the worklist construction
+// is worst-case O(|R|·|Q|³) and b bounds it cooperatively — one step per
+// discovered item and per worklist pop, plus a memory estimate per item.
+// On exhaustion b panics with *budget.Exceeded (recovered at the hotspot
+// boundary); g may then hold a partial construction and must be discarded.
+// A nil b is unlimited.
+func IntersectIntoB(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget) (Sym, bool) {
 	d.Complete()
 	nq := d.NumStates()
 
@@ -157,6 +175,8 @@ func IntersectInto(g *Grammar, root Sym, d *automata.DFA) (Sym, bool) {
 	discover := func(x, i, j int32, rhs ...Sym) {
 		idx := findItem(x, i, j)
 		if idx < 0 {
+			b.Step(1)
+			b.Grow(intersectItemBytes)
 			name := ""
 			orig := localSyms[x]
 			if orig >= 0 {
@@ -211,6 +231,7 @@ func IntersectInto(g *Grammar, root Sym, d *automata.DFA) (Sym, bool) {
 	}
 
 	for len(work) > 0 {
+		b.Step(1)
 		idx := work[len(work)-1]
 		work = work[:len(work)-1]
 		it := items[idx]
@@ -269,15 +290,25 @@ func IntersectInto(g *Grammar, root Sym, d *automata.DFA) (Sym, bool) {
 // the constructed grammar (it still runs the Figure 7 worklist on a scratch
 // copy so g is left unchanged).
 func IntersectEmpty(g *Grammar, root Sym, d *automata.DFA) bool {
+	return IntersectEmptyB(g, root, d, nil)
+}
+
+// IntersectEmptyB is IntersectEmpty metered by b.
+func IntersectEmptyB(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget) bool {
 	scratch, remap := g.Extract(root)
-	_, ok := IntersectInto(scratch, remap[root], d)
+	_, ok := IntersectIntoB(scratch, remap[root], d, b)
 	return !ok
 }
 
 // IntersectWitness returns a shortest string in L(root) ∩ L(d), if any.
 func IntersectWitness(g *Grammar, root Sym, d *automata.DFA) (string, bool) {
+	return IntersectWitnessB(g, root, d, nil)
+}
+
+// IntersectWitnessB is IntersectWitness metered by b.
+func IntersectWitnessB(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget) (string, bool) {
 	scratch, remap := g.Extract(root)
-	nr, ok := IntersectInto(scratch, remap[root], d)
+	nr, ok := IntersectIntoB(scratch, remap[root], d, b)
 	if !ok {
 		return "", false
 	}

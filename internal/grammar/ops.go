@@ -48,7 +48,10 @@ func (g *Grammar) Empty(nt Sym) bool {
 // Witness returns a shortest terminal string derivable from nt, or nil,
 // false when nt derives nothing. The reconstruction follows productions that
 // minimize (string length, derivation size) lexicographically, which
-// guarantees termination.
+// guarantees termination; among equal-cost productions it picks the one
+// whose expansion is lexicographically smallest, so the witness is a
+// function of the grammar's language structure alone — α-renaming
+// nonterminals or permuting production order cannot change it.
 func (g *Grammar) Witness(nt Sym) ([]Sym, bool) {
 	n := len(g.prods)
 	// cost = length*sizeWeight + treeSize; treeSize bounds recursion.
@@ -86,16 +89,30 @@ func (g *Grammar) Witness(nt Sym) ([]Sym, bool) {
 	if cost[g.ntIndex(nt)] == math.MaxInt64 {
 		return nil, false
 	}
-	var out []Sym
-	var expand func(s Sym)
-	expand = func(s Sym) {
-		if IsTerminal(s) {
-			out = append(out, s)
-			return
+	// Reconstruct bottom-up with memoization: canonical(i) is the
+	// lexicographically smallest expansion among i's minimal-cost
+	// productions. Recursion terminates because every nonterminal of a
+	// minimal-cost production has strictly smaller cost than its LHS (the
+	// production itself contributes +1).
+	memo := make([][]Sym, n)
+	var canonical func(i int) []Sym
+	expandRHS := func(rhs []Sym) []Sym {
+		var out []Sym
+		for _, x := range rhs {
+			if IsTerminal(x) {
+				out = append(out, x)
+			} else {
+				out = append(out, canonical(g.ntIndex(x))...)
+			}
 		}
-		i := g.ntIndex(s)
-		best := int64(math.MaxInt64)
-		var bestRHS []Sym
+		return out
+	}
+	canonical = func(i int) []Sym {
+		if memo[i] != nil {
+			return memo[i]
+		}
+		var bestExp []Sym
+		haveBest := false
 		for _, rhs := range g.prods[i] {
 			total := int64(1)
 			ok := true
@@ -111,17 +128,34 @@ func (g *Grammar) Witness(nt Sym) ([]Sym, bool) {
 				}
 				total += c
 			}
-			if ok && total < best {
-				best = total
-				bestRHS = rhs
+			// Expand only exactly-minimal productions: their constituents
+			// all have cost < cost[i], so the recursion strictly descends.
+			if !ok || total != cost[i] {
+				continue
+			}
+			exp := expandRHS(rhs)
+			if !haveBest || symsLess(exp, bestExp) {
+				bestExp = exp
+				haveBest = true
 			}
 		}
-		for _, x := range bestRHS {
-			expand(x)
+		if bestExp == nil {
+			bestExp = []Sym{} // ε production: non-nil marks the memo entry
+		}
+		memo[i] = bestExp
+		return bestExp
+	}
+	return canonical(g.ntIndex(nt)), true
+}
+
+// symsLess compares two symbol sequences lexicographically.
+func symsLess(a, b []Sym) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
 		}
 	}
-	expand(nt)
-	return out, true
+	return len(a) < len(b)
 }
 
 // WitnessString is Witness rendered as a string (marker as "•").

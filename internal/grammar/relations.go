@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"sqlciv/internal/automata"
+	"sqlciv/internal/budget"
 )
 
 // Relation-based grammar analyses over small DFAs. For a complete DFA D
@@ -32,6 +33,12 @@ func Rels(g *Grammar, d *automata.DFA) [][]uint32 {
 // a production worklist: a production is re-evaluated only when the
 // relation of one of its right-hand-side nonterminals grew.
 func RelsMin(g *Grammar, d *automata.DFA, minLens []int64) [][]uint32 {
+	return RelsMinB(g, d, minLens, nil)
+}
+
+// RelsMinB is RelsMin metered by b (one step per worklist pop). A nil b is
+// unlimited.
+func RelsMinB(g *Grammar, d *automata.DFA, minLens []int64, b *budget.Budget) [][]uint32 {
 	d.Complete()
 	nq := d.NumStates()
 	if nq > MaxRelStates {
@@ -82,6 +89,7 @@ func RelsMin(g *Grammar, d *automata.DFA, minLens []int64) [][]uint32 {
 		inQueue[i] = true
 	}
 	for head := 0; head < len(queue); head++ {
+		b.Step(1)
 		pi := queue[head]
 		inQueue[pi] = false
 		p := prods[pi]
@@ -152,8 +160,14 @@ func RelsMin(g *Grammar, d *automata.DFA, minLens []int64) [][]uint32 {
 
 // RelNonempty reports whether L(nt) ∩ L(d) ≠ ∅ given d's relations.
 func RelNonempty(rels [][]uint32, d *automata.DFA, g *Grammar, nt Sym) bool {
+	return RelNonemptyB(rels, d, g, nt, nil)
+}
+
+// RelNonemptyB is RelNonempty with the oversized-DFA intersection fallback
+// metered by b.
+func RelNonemptyB(rels [][]uint32, d *automata.DFA, g *Grammar, nt Sym, b *budget.Budget) bool {
 	if rels == nil {
-		return !IntersectEmpty(g, nt, d)
+		return !IntersectEmptyB(g, nt, d, b)
 	}
 	row := rels[int(nt)-NumTerminals]
 	m := row[d.Start()]
@@ -177,6 +191,12 @@ func Contexts(g *Grammar, root Sym, d *automata.DFA, rels [][]uint32) []uint32 {
 
 // ContextsMin is Contexts with the MinLens fixpoint supplied by the caller.
 func ContextsMin(g *Grammar, root Sym, d *automata.DFA, rels [][]uint32, minLens []int64) []uint32 {
+	return ContextsMinB(g, root, d, rels, minLens, nil)
+}
+
+// ContextsMinB is ContextsMin metered by b (one step per production
+// evaluation). A nil b is unlimited.
+func ContextsMinB(g *Grammar, root Sym, d *automata.DFA, rels [][]uint32, minLens []int64, b *budget.Budget) []uint32 {
 	n := g.NumNTs()
 	ctx := make([]uint32, n)
 	if rels == nil {
@@ -190,6 +210,7 @@ func ContextsMin(g *Grammar, root Sym, d *automata.DFA, rels [][]uint32, minLens
 	for changed {
 		changed = false
 		g.ForEachProd(func(lhs Sym, rhs []Sym) {
+			b.Step(1)
 			li := int(lhs) - NumTerminals
 			if ctx[li] == 0 {
 				return

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"sqlciv/internal/analysis"
+	"sqlciv/internal/corpus"
 )
 
 // FuzzRun asserts the interpreter never panics on any parseable program:
@@ -20,6 +21,16 @@ func FuzzRun(f *testing.F) {
 	}
 	for _, s := range seeds {
 		f.Add(s, "probe'1")
+	}
+	// Corpus entry pages run as single files: missing includes are ignored
+	// by design, so each page must still execute without error.
+	for _, app := range corpus.Apps() {
+		for i, entry := range app.Entries {
+			if i >= 4 {
+				break
+			}
+			f.Add(app.Sources[entry], "probe'1")
+		}
 	}
 	f.Fuzz(func(t *testing.T, src, input string) {
 		resolver := analysis.NewMapResolver(map[string]string{"f.php": src})

@@ -3,6 +3,8 @@ package php
 import (
 	"strings"
 	"testing"
+
+	"sqlciv/internal/corpus"
 )
 
 // FuzzParse asserts the front end never panics and that accepted programs
@@ -22,6 +24,16 @@ func FuzzParse(f *testing.F) {
 	}
 	for _, s := range seeds {
 		f.Add(s)
+	}
+	// Real corpus pages (Table 1 apps) seed the mutator with the code
+	// shapes the analyzer actually faces.
+	for _, app := range corpus.Apps() {
+		for i, entry := range app.Entries {
+			if i >= 8 {
+				break
+			}
+			f.Add(app.Sources[entry])
+		}
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		file, err := Parse("fuzz.php", src)

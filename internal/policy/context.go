@@ -1,6 +1,9 @@
 package policy
 
-import "sqlciv/internal/grammar"
+import (
+	"sqlciv/internal/budget"
+	"sqlciv/internal/grammar"
+)
 
 // Check 2 support: quote-parity contexts. The parity DFA's four states are
 // parity*2 + esc (see buildQuoteParityDFA); odd-parity states are 2 and 3,
@@ -25,6 +28,6 @@ func (ci *contextInfo) literalOnly(nt grammar.Sym) (occurs, literal bool) {
 
 // computeContexts runs the shared relation/context machinery over the
 // quote-parity DFA.
-func (c *Checker) computeContexts(g *grammar.Grammar, root grammar.Sym, parityRels [][]uint32, minLens []int64) *contextInfo {
-	return &contextInfo{ctx: grammar.ContextsMin(g, root, c.oddQuotes, parityRels, minLens)}
+func (c *Checker) computeContexts(g *grammar.Grammar, root grammar.Sym, parityRels [][]uint32, minLens []int64, b *budget.Budget) *contextInfo {
+	return &contextInfo{ctx: grammar.ContextsMinB(g, root, c.oddQuotes, parityRels, minLens, b)}
 }

@@ -20,11 +20,13 @@ package policy
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sqlciv/internal/automata"
+	"sqlciv/internal/budget"
 	"sqlciv/internal/deriv"
 	"sqlciv/internal/grammar"
 	"sqlciv/internal/rx"
@@ -40,6 +42,11 @@ const (
 	CheckLiteralEscape
 	CheckAttackString
 	CheckNotDerivable
+	// CheckAnalysisIncomplete is not a cascade stage: it marks a hotspot
+	// whose check was cut short (budget exhausted, cancelled, or panicked)
+	// and therefore could not be verified. Reported conservatively so
+	// degradation is never a silent pass.
+	CheckAnalysisIncomplete
 )
 
 func (c Check) String() string {
@@ -52,8 +59,39 @@ func (c Check) String() string {
 		return "attack-string"
 	case CheckNotDerivable:
 		return "not-derivable"
+	case CheckAnalysisIncomplete:
+		return "analysis-incomplete"
 	}
 	return "unknown"
+}
+
+// Verdict is the three-valued outcome of one hotspot check. The zero value
+// is Vulnerable so a forgotten assignment errs on the reporting side.
+type Verdict int
+
+const (
+	// VerdictVulnerable: the cascade completed and at least one labeled
+	// nonterminal was reported.
+	VerdictVulnerable Verdict = iota
+	// VerdictVerified: the cascade completed with no reports — no SQLCIV at
+	// this hotspot (Theorem 3.4).
+	VerdictVerified
+	// VerdictUnknown: the check was cut short by its resource budget,
+	// cancellation, or a recovered panic. The hotspot is reported as
+	// analysis-incomplete; it may or may not be vulnerable.
+	VerdictUnknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictVulnerable:
+		return "vulnerable"
+	case VerdictVerified:
+		return "verified"
+	case VerdictUnknown:
+		return "unknown"
+	}
+	return "invalid"
 }
 
 // Report is one potential SQLCIV.
@@ -68,6 +106,9 @@ type Report struct {
 }
 
 func (r Report) String() string {
+	if r.Check == CheckAnalysisIncomplete {
+		return fmt.Sprintf("analysis incomplete (%s) — hotspot not verified", r.Witness)
+	}
 	src := r.Source
 	if src == "" {
 		src = "untrusted data"
@@ -79,9 +120,20 @@ func (r Report) String() string {
 type Result struct {
 	Reports  []Report
 	Verified bool // no labeled nonterminal survived unverified
+	// Verdict is the three-valued outcome; Verified == (Verdict ==
+	// VerdictVerified).
+	Verdict Verdict
+	// Degraded is set exactly when Verdict is VerdictUnknown: why the check
+	// was cut short.
+	Degraded *budget.Exceeded
+	// Stack holds the recovered goroutine stack when Degraded.Reason is
+	// ReasonPanic.
+	Stack string
 	// Stats
-	LabeledNTs int
-	CheckTime  time.Duration
+	LabeledNTs    int
+	CheckTime     time.Duration
+	BudgetSteps   int64 // abstract steps consumed (0 when unbudgeted)
+	BudgetMemHigh int64 // memory high-water estimate in bytes
 }
 
 // Checker holds the policy automata and reference grammar. The automata and
@@ -295,7 +347,44 @@ func buildEvenContextDFA() *automata.DFA {
 // fingerprint; a hit returns a Result sharing the cached Reports slice
 // (callers must treat it as read-only) with only CheckTime fresh.
 func (c *Checker) CheckHotspot(g *grammar.Grammar, root grammar.Sym) *Result {
+	return c.CheckHotspotB(g, root, nil)
+}
+
+// DegradedResult builds the VerdictUnknown Result for a recovered panic
+// value r (a budget sentinel or a genuine panic) observed under budget b.
+// It must be called from inside the deferred recovery so a panic's stack is
+// still live. The Result carries one analysis-incomplete Report, so
+// report-driven consumers see the degradation without checking Verdict.
+func DegradedResult(r any, b *budget.Budget) *Result {
+	exc := budget.AsExceeded(r)
+	res := &Result{
+		Verdict:       VerdictUnknown,
+		Degraded:      exc,
+		BudgetSteps:   b.Steps(),
+		BudgetMemHigh: b.MemHigh(),
+	}
+	if exc.Reason == budget.ReasonPanic {
+		res.Stack = string(debug.Stack())
+	}
+	res.Reports = append(res.Reports, Report{Check: CheckAnalysisIncomplete, Witness: exc.Error()})
+	return res
+}
+
+// CheckHotspotB is CheckHotspot metered by b. Budget trips and panics
+// anywhere in the cascade are recovered here and degrade the hotspot to a
+// VerdictUnknown Result — reported, never silently passed — so one
+// pathological or poisoned hotspot cannot take down the run. Degraded
+// results are not cached: they depend on timing and remaining budget, and a
+// retry with a larger budget could succeed.
+func (c *Checker) CheckHotspotB(g *grammar.Grammar, root grammar.Sym, b *budget.Budget) (res *Result) {
 	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			res = DegradedResult(r, b)
+			res.CheckTime = time.Since(start)
+		}
+	}()
+	b.Check()
 	var fp grammar.Fingerprint
 	if c.Memoize {
 		fp = g.Fingerprint(root)
@@ -322,17 +411,17 @@ func (c *Checker) CheckHotspot(g *grammar.Grammar, root grammar.Sym) *Result {
 			vl = append(vl, nt)
 		}
 	}
-	res := &Result{LabeledNTs: len(vl)}
+	res = &Result{LabeledNTs: len(vl)}
 	var undecided []grammar.Sym
 	if c.UseMarkerConstruction {
-		undecided = c.cascadeReference(scratch, sroot, vl, res)
+		undecided = c.cascadeReference(scratch, sroot, vl, res, b)
 	} else {
-		undecided = c.cascadeFast(scratch, sroot, vl, minLens, res)
+		undecided = c.cascadeFast(scratch, sroot, vl, minLens, res, b)
 	}
 
 	// Check 5: derivability of the whole query grammar covers the rest.
 	if len(undecided) > 0 {
-		if _, ok := c.deriv.Derivable(scratch, sroot, []grammar.Sym{c.sql.Start}); !ok {
+		if _, ok := c.deriv.DerivableB(scratch, sroot, []grammar.Sym{c.sql.Start}, b); !ok {
 			for _, x := range undecided {
 				w, _ := scratch.WitnessString(x)
 				res.Reports = append(res.Reports, Report{NT: x, Label: scratch.LabelOf(x), Check: CheckNotDerivable, Witness: w, Source: scratch.RawName(x)})
@@ -340,8 +429,15 @@ func (c *Checker) CheckHotspot(g *grammar.Grammar, root grammar.Sym) *Result {
 		}
 	}
 
-	res.Verified = len(res.Reports) == 0
+	if len(res.Reports) == 0 {
+		res.Verified = true
+		res.Verdict = VerdictVerified
+	} else {
+		res.Verdict = VerdictVulnerable
+	}
 	res.CheckTime = time.Since(start)
+	res.BudgetSteps = b.Steps()
+	res.BudgetMemHigh = b.MemHigh()
 	if c.Memoize {
 		// First writer wins; a concurrent loser computed an identical
 		// Result (canonical report order), so dropping it is harmless.
@@ -353,38 +449,38 @@ func (c *Checker) CheckHotspot(g *grammar.Grammar, root grammar.Sym) *Result {
 // cascadeReference runs checks 1–4 with the paper's original constructions:
 // per-nonterminal regular intersections and the marker-terminal context
 // grammar. Kept for differential testing against the fast path.
-func (c *Checker) cascadeReference(scratch *grammar.Grammar, sroot grammar.Sym, vl []grammar.Sym, res *Result) []grammar.Sym {
+func (c *Checker) cascadeReference(scratch *grammar.Grammar, sroot grammar.Sym, vl []grammar.Sym, res *Result, b *budget.Budget) []grammar.Sym {
 	var undecided []grammar.Sym
 	for _, x := range vl {
 		label := scratch.LabelOf(x)
 
 		// Check 1: odd number of unescaped quotes.
-		if w, ok := grammar.IntersectWitness(scratch, x, c.oddQuotes); ok {
+		if w, ok := grammar.IntersectWitnessB(scratch, x, c.oddQuotes, b); ok {
 			res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckUnconfinableQuotes, Witness: w, Source: scratch.RawName(x)})
 			continue
 		}
 
 		// Check 2: string-literal position via the marker construction.
 		rt := scratch.ReplaceWithMarker(sroot, x)
-		if !markerAppears(rt) {
+		if !markerAppears(rt, b) {
 			continue // X never reaches the query text
 		}
-		if grammar.IntersectEmpty(rt, rt.Start(), c.evenCtx) {
-			if w, ok := grammar.IntersectWitness(scratch, x, c.unescQuote); ok {
+		if grammar.IntersectEmptyB(rt, rt.Start(), c.evenCtx, b) {
+			if w, ok := grammar.IntersectWitnessB(scratch, x, c.unescQuote, b); ok {
 				res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckLiteralEscape, Witness: w, Source: scratch.RawName(x)})
 			}
 			continue
 		}
 
 		// Check 3: numeric literals only.
-		if grammar.IntersectEmpty(scratch, x, c.nonNumeric) {
+		if grammar.IntersectEmptyB(scratch, x, c.nonNumeric, b) {
 			continue
 		}
 
 		// Check 4: known-unconfinable fragments.
 		attacked := false
 		for _, atk := range c.attackDFAs {
-			if w, ok := grammar.IntersectWitness(scratch, x, atk.dfa); ok {
+			if w, ok := grammar.IntersectWitnessB(scratch, x, atk.dfa, b); ok {
 				res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckAttackString, Witness: w, Source: scratch.RawName(x)})
 				attacked = true
 				break
@@ -401,19 +497,19 @@ func (c *Checker) cascadeReference(scratch *grammar.Grammar, sroot grammar.Sym, 
 // cascadeFast runs checks 1–4 using one relation fixpoint per check DFA
 // (rels.go) and the one-pass quote-parity context analysis (context.go),
 // extracting witnesses only for reported nonterminals.
-func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []grammar.Sym, minLens []int64, res *Result) []grammar.Sym {
-	oddRel := grammar.RelsMin(scratch, c.oddQuotes, minLens)
-	ctxInfo := c.computeContexts(scratch, sroot, oddRel, minLens)
-	unescRel := grammar.RelsMin(scratch, c.unescQuote, minLens)
-	numRel := grammar.RelsMin(scratch, c.nonNumeric, minLens)
+func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []grammar.Sym, minLens []int64, res *Result, b *budget.Budget) []grammar.Sym {
+	oddRel := grammar.RelsMinB(scratch, c.oddQuotes, minLens, b)
+	ctxInfo := c.computeContexts(scratch, sroot, oddRel, minLens, b)
+	unescRel := grammar.RelsMinB(scratch, c.unescQuote, minLens, b)
+	numRel := grammar.RelsMinB(scratch, c.nonNumeric, minLens, b)
 	attackRels := make([][][]uint32, len(c.attackDFAs))
 	for i, atk := range c.attackDFAs {
-		attackRels[i] = grammar.RelsMin(scratch, atk.dfa, minLens)
+		attackRels[i] = grammar.RelsMinB(scratch, atk.dfa, minLens, b)
 	}
 	// RelNonempty falls back to an intersection when a DFA is too large for
 	// the relation representation (does not happen with the built-ins).
 	nonempty := func(rel [][]uint32, d *automata.DFA, x grammar.Sym) bool {
-		return grammar.RelNonempty(rel, d, scratch, x)
+		return grammar.RelNonemptyB(rel, d, scratch, x, b)
 	}
 	var undecided []grammar.Sym
 	for _, x := range vl {
@@ -421,7 +517,7 @@ func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []
 
 		// Check 1: odd number of unescaped quotes.
 		if nonempty(oddRel, c.oddQuotes, x) {
-			w, _ := grammar.IntersectWitness(scratch, x, c.oddQuotes)
+			w, _ := grammar.IntersectWitnessB(scratch, x, c.oddQuotes, b)
 			res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckUnconfinableQuotes, Witness: w, Source: scratch.RawName(x)})
 			continue
 		}
@@ -433,7 +529,7 @@ func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []
 		}
 		if literalOnly {
 			if nonempty(unescRel, c.unescQuote, x) {
-				w, _ := grammar.IntersectWitness(scratch, x, c.unescQuote)
+				w, _ := grammar.IntersectWitnessB(scratch, x, c.unescQuote, b)
 				res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckLiteralEscape, Witness: w, Source: scratch.RawName(x)})
 			}
 			continue
@@ -448,7 +544,7 @@ func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []
 		attacked := false
 		for i, atk := range c.attackDFAs {
 			if nonempty(attackRels[i], atk.dfa, x) {
-				w, _ := grammar.IntersectWitness(scratch, x, atk.dfa)
+				w, _ := grammar.IntersectWitnessB(scratch, x, atk.dfa, b)
 				res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckAttackString, Witness: w, Source: scratch.RawName(x)})
 				attacked = true
 				break
@@ -464,7 +560,7 @@ func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []
 
 // markerAppears reports whether the marker terminal occurs in some string
 // of the grammar's language (i.e., X is live in the query).
-func markerAppears(g *grammar.Grammar) bool {
+func markerAppears(g *grammar.Grammar, b *budget.Budget) bool {
 	// A marker is live iff some derivable string contains it: intersect
 	// with (anything)* marker (anything)*, where "anything" includes the
 	// marker itself (X may occur several times in one query).
@@ -476,5 +572,5 @@ func markerAppears(g *grammar.Grammar) bool {
 		n.AddEdge(acc, sym, acc)
 	}
 	n.AddEdge(n.Start(), automata.Marker, acc)
-	return !grammar.IntersectEmpty(g, g.Start(), n.Determinize())
+	return !grammar.IntersectEmptyB(g, g.Start(), n.Determinize(), b)
 }

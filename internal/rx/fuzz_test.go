@@ -1,6 +1,17 @@
 package rx
 
-import "testing"
+import (
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"sqlciv/internal/corpus"
+)
+
+// corpusPregRE finds preg_match patterns in the corpus sources; the /.../
+// delimiters are stripped before seeding since Parse takes bare patterns.
+var corpusPregRE = regexp.MustCompile(`preg_match\(\s*'([^']+)'`)
 
 // FuzzParseCompile asserts the regex front end never panics and that every
 // accepted pattern compiles to automata without panicking.
@@ -10,6 +21,25 @@ func FuzzParseCompile(f *testing.F) {
 		`[^'\\]*`, `x{2,}y?`, `(?:ab)+`, `\w\s\W\S\d\D`,
 	} {
 		f.Add(s, false)
+	}
+	for _, app := range corpus.Apps() {
+		names := make([]string, 0, len(app.Sources))
+		for name := range app.Sources {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			for _, m := range corpusPregRE.FindAllStringSubmatch(app.Sources[name], -1) {
+				p := m[1]
+				if len(p) >= 2 && p[0] == '/' {
+					if k := strings.LastIndexByte(p[1:], '/'); k >= 0 {
+						p = p[1 : 1+k]
+					}
+				}
+				f.Add(p, false)
+				f.Add(p, true)
+			}
+		}
 	}
 	f.Fuzz(func(t *testing.T, pattern string, ci bool) {
 		re, err := Parse(pattern, ci)

@@ -1,6 +1,17 @@
 package sqlgram
 
-import "testing"
+import (
+	"regexp"
+	"sort"
+	"testing"
+
+	"sqlciv/internal/corpus"
+)
+
+// corpusQueryRE pulls SQL-shaped fragments out of the synthetic corpus
+// sources so the mutator starts from the query templates the Table 1 apps
+// really build.
+var corpusQueryRE = regexp.MustCompile(`(?i)(SELECT|INSERT|UPDATE|DELETE)[^"\\$]{0,100}`)
 
 // FuzzConfined asserts the Definition 2.2 oracle never panics and respects
 // its basic invariants on arbitrary queries and spans.
@@ -9,6 +20,26 @@ func FuzzConfined(f *testing.F) {
 	f.Add("SELECT * FROM t", 0, 5)
 	f.Add("", 0, 0)
 	f.Add("DROP TABLE t; --", 3, 9)
+	for _, app := range corpus.Apps() {
+		names := make([]string, 0, len(app.Sources))
+		for name := range app.Sources {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		added := 0
+		for _, name := range names {
+			for _, q := range corpusQueryRE.FindAllString(app.Sources[name], -1) {
+				f.Add(q, 0, len(q))
+				f.Add(q, len(q)/3, 2*len(q)/3)
+				if added++; added >= 10 {
+					break
+				}
+			}
+			if added >= 10 {
+				break
+			}
+		}
+	}
 	f.Fuzz(func(t *testing.T, q string, i, j int) {
 		if len(q) > 120 {
 			q = q[:120] // keep Earley costs bounded
