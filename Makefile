@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fuzz-smoke
+.PHONY: build test check bench trace-smoke fuzz-smoke
 
 # Each fuzz target gets a short randomized burn beyond its seed corpus.
 FUZZ_TIME ?= 30s
@@ -18,15 +18,30 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI gate: vet, build, and the full test suite under the race
-# detector (the analyzer runs pages and hotspot checks concurrently).
+# check is the CI gate: vet, build, the full test suite under the race
+# detector (the analyzer runs pages and hotspot checks concurrently; this
+# includes the golden report tests and the obs tracer suite), then an
+# end-to-end traced -table1 run in both export formats.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) trace-smoke
 
+# bench runs the Table 1 suite with -benchmem and records every metric
+# (ns/op, allocs, grammar census, verdict-cache hit rate) to
+# BENCH_table1.json via cmd/benchjson. The raw go-test output still streams
+# to the terminal.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkTable1' -benchtime 2x .
+	$(GO) test -run '^$$' -bench 'BenchmarkTable1' -benchtime 2x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_table1.json
+
+# trace-smoke exercises the observability surface end to end: a -table1 run
+# with a Chrome trace (Perfetto-loadable; CI uploads it as an artifact) and
+# a JSONL trace.
+trace-smoke:
+	$(GO) run ./cmd/sqlcheck -table1 -trace table1-trace.json -trace-format chrome > /dev/null
+	$(GO) run ./cmd/sqlcheck -table1 -trace table1-trace.jsonl -trace-format jsonl > /dev/null
 
 # fuzz-smoke runs every fuzz target for FUZZ_TIME each — long enough to
 # shake out shallow regressions, short enough for CI.

@@ -31,6 +31,7 @@ import (
 	"sqlciv/internal/analysis"
 	"sqlciv/internal/budget"
 	"sqlciv/internal/core"
+	"sqlciv/internal/obs"
 )
 
 // Options configures an analysis run.
@@ -49,6 +50,30 @@ type Limits = budget.Limits
 
 // Degradation records one analysis unit that was cut short.
 type Degradation = core.Degradation
+
+// Tracer observes a run: hierarchical spans around every analysis unit,
+// per-unit counters, and live progress totals, fanned out to pluggable
+// sinks. Set one on Options.Tracer; a nil tracer disables all tracing at
+// zero cost.
+type Tracer = obs.Tracer
+
+// TraceSink receives completed span events from a Tracer.
+type TraceSink = obs.Sink
+
+// NewTracer returns a Tracer fanning out to the given sinks.
+func NewTracer(sinks ...obs.Sink) *Tracer { return obs.New(sinks...) }
+
+// NewJSONLSink returns a sink writing one JSON event per line; decode with
+// obs.DecodeJSONL.
+var NewJSONLSink = obs.NewJSONLSink
+
+// NewChromeSink returns a sink writing the Chrome trace-event format
+// (loadable in Perfetto or chrome://tracing).
+var NewChromeSink = obs.NewChromeSink
+
+// AutoParallel maps the CLI parallelism convention (0 = one worker per
+// core) onto the Options convention (0 or 1 = sequential).
+func AutoParallel(n int) int { return core.AutoParallel(n) }
 
 // Resolver supplies PHP sources to the analyzer.
 type Resolver = analysis.Resolver

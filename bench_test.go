@@ -64,6 +64,9 @@ func benchAppOpts(b *testing.B, app *corpus.App, opts core.Options) {
 	b.ReportMetric(float64(last.Lines), "loc")
 	b.ReportMetric(last.StringAnalysisTime.Seconds()*1000, "stringan-ms")
 	b.ReportMetric(last.CheckTime.Seconds()*1000, "check-ms")
+	if total := last.VerdictCacheHits + last.VerdictCacheMisses; total > 0 {
+		b.ReportMetric(100*float64(last.VerdictCacheHits)/float64(total), "verdict-cache-hit-pct")
+	}
 }
 
 // parallelOpts runs pages and hotspot checks over one worker per CPU.

@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` output into a JSON document.
+// It reads benchmark lines on stdin, echoes every input line to stdout (so
+// it can sit at the end of a pipeline without hiding the run), and writes
+// the parsed results to the file named by -o.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkTable1' -benchmem . | benchjson -o BENCH_table1.json
+//
+// Each benchmark line becomes one record with its iteration count and
+// every reported metric (ns/op, B/op, allocs/op, and custom b.ReportMetric
+// values such as grammar-V or verdict-cache-hit-pct) keyed by unit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Command    string   `json:"command"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output JSON file (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -o FILE is required")
+		os.Exit(2)
+	}
+	doc := document{Command: "go test -bench"}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			doc.CPU = v
+		}
+		if rec, ok := parseBenchLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines seen on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parseBenchLine parses one "BenchmarkName-P  N  value unit  value unit ..."
+// line. The -P GOMAXPROCS suffix is stripped from the name.
+func parseBenchLine(line string) (record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return record{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	rec := record{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	return rec, len(rec.Metrics) > 0
+}

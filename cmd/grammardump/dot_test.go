@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sqlciv/internal/analysis"
+)
+
+func TestEmitDot(t *testing.T) {
+	sources := map[string]string{"index.php": `<?php
+$id = $_GET['id'];
+mysql_query("SELECT * FROM t WHERE name='$id'");
+`}
+	res, err := analysis.Analyze(analysis.NewMapResolver(sources), "index.php", analysis.Options{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(res.Hotspots) != 1 {
+		t.Fatalf("want 1 hotspot, got %d", len(res.Hotspots))
+	}
+	h := res.Hotspots[0]
+	sub, remap := res.G.Extract(h.Root)
+	var sb strings.Builder
+	emitDot(&sb, 1, h, sub, remap[h.Root])
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph hotspot1 {") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not a digraph:\n%s", out)
+	}
+	// GET data flows straight into the query, so some node must be colored
+	// with the direct-taint fill, and the root must be emphasized.
+	if !strings.Contains(out, `fillcolor="#f4a7a7"`) {
+		t.Errorf("no direct-taint node in dot output:\n%s", out)
+	}
+	if !strings.Contains(out, "penwidth=3") {
+		t.Errorf("root node not emphasized:\n%s", out)
+	}
+	// Per-NT size metrics present on every node label.
+	if !strings.Contains(out, `R=`) || !strings.Contains(out, `min=`) {
+		t.Errorf("size metrics missing from node labels:\n%s", out)
+	}
+	// Balanced braces / sane quoting: every line ends with ; { or }.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		switch {
+		case strings.HasSuffix(line, "{"), line == "}", strings.HasSuffix(line, ";"):
+		default:
+			t.Errorf("unterminated dot line: %q", line)
+		}
+	}
+}

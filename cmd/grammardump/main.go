@@ -5,16 +5,25 @@
 //
 // Usage:
 //
-//	grammardump <page.php> [include-dir]
+//	grammardump [-dot] <page.php> [include-dir]
+//
+// With -dot the tool instead emits one Graphviz digraph per hotspot on
+// stdout: nonterminals are nodes (direct ones red, indirect ones orange,
+// the hotspot root bold), edges follow production references, and each
+// node is annotated with its production count and shortest-string length.
+// Render with e.g. `grammardump -dot page.php | dot -Tsvg > grammar.svg`.
 //
 // Include resolution uses the page's directory (or include-dir when given)
 // as the project layout.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"sqlciv/internal/analysis"
@@ -22,14 +31,20 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 || len(os.Args) > 3 {
-		fmt.Fprintln(os.Stderr, "usage: grammardump <page.php> [include-dir]")
+	dot := flag.Bool("dot", false, "emit Graphviz digraphs instead of text")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: grammardump [-dot] <page.php> [include-dir]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	page := os.Args[1]
+	page := flag.Arg(0)
 	dir := filepath.Dir(page)
-	if len(os.Args) == 3 {
-		dir = os.Args[2]
+	if flag.NArg() == 2 {
+		dir = flag.Arg(1)
 	}
 	sources := map[string]string{}
 	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
@@ -54,6 +69,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "grammardump:", err)
 		os.Exit(1)
+	}
+	if *dot {
+		for i, h := range res.Hotspots {
+			sub, remap := res.G.Extract(h.Root)
+			emitDot(os.Stdout, i+1, h, sub, remap[h.Root])
+		}
+		return
 	}
 	fmt.Printf("%s: %d hotspot(s), |V|=%d |R|=%d, string analysis %v\n\n",
 		entry, len(res.Hotspots), res.NumNTs, res.NumProds, res.AnalysisTime)
@@ -82,4 +104,72 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// emitDot writes one Graphviz digraph for a hotspot's extracted sub-grammar.
+// Nodes carry the per-nonterminal size metrics (production count and
+// shortest-derivable-string length); taint labels choose the fill.
+func emitDot(w io.Writer, n int, h analysis.Hotspot, sub *grammar.Grammar, root grammar.Sym) {
+	minLens := sub.MinLens()
+	fmt.Fprintf(w, "digraph hotspot%d {\n", n)
+	fmt.Fprintf(w, "  label=%s;\n", dotQuote(fmt.Sprintf("hotspot %d: %s:%d %s  |V|=%d |R|=%d",
+		n, h.File, h.Line, h.Call, sub.NumNTs(), sub.NumProds())))
+	fmt.Fprintln(w, "  labelloc=t;")
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintln(w, `  node [shape=box, style=filled, fillcolor=white, fontname="Helvetica"];`)
+	for j := 0; j < sub.NumNTs(); j++ {
+		nt := grammar.Sym(grammar.NumTerminals + j)
+		min := "empty" // empty language
+		if ml := minLens[j]; ml >= 0 {
+			min = fmt.Sprintf("%d", ml)
+		}
+		label := fmt.Sprintf("%s\nR=%d min=%s", sub.Name(nt), len(sub.Prods(nt)), min)
+		attrs := []string{"label=" + dotQuote(label)}
+		switch {
+		case sub.HasLabel(nt, grammar.Direct):
+			attrs = append(attrs, `fillcolor="#f4a7a7"`) // direct taint: red
+		case sub.HasLabel(nt, grammar.Indirect):
+			attrs = append(attrs, `fillcolor="#fbd68f"`) // indirect taint: orange
+		}
+		if nt == root {
+			attrs = append(attrs, "penwidth=3")
+		}
+		fmt.Fprintf(w, "  %s [%s];\n", dotQuote(sub.Name(nt)), strings.Join(attrs, ", "))
+	}
+	// One edge per (lhs, referenced NT) pair; multiplicities become labels.
+	type edge struct{ from, to string }
+	refs := map[edge]int{}
+	sub.ForEachProd(func(lhs grammar.Sym, rhs []grammar.Sym) {
+		for _, s := range rhs {
+			if sub.IsNT(s) {
+				refs[edge{sub.Name(lhs), sub.Name(s)}]++
+			}
+		}
+	})
+	edges := make([]edge, 0, len(refs))
+	for e := range refs {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		if c := refs[e]; c > 1 {
+			fmt.Fprintf(w, "  %s -> %s [label=\"x%d\"];\n", dotQuote(e.from), dotQuote(e.to), c)
+		} else {
+			fmt.Fprintf(w, "  %s -> %s;\n", dotQuote(e.from), dotQuote(e.to))
+		}
+	}
+	fmt.Fprintln(w, "}")
+}
+
+// dotQuote renders s as a quoted Graphviz string literal.
+func dotQuote(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return `"` + s + `"`
 }

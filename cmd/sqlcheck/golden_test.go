@@ -1,0 +1,113 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenSources is a small fixture app with one real vulnerability, one
+// verified page, and one hotspot whose check is forced to degrade (the
+// fault-injection hook panics on it), so the goldens lock all three report
+// shapes: finding, verified, and analysis-incomplete.
+var goldenSources = map[string]string{
+	"vuln.php": `<?php
+$id = $_GET['id'];
+mysql_query("SELECT * FROM t WHERE name='$id'");
+`,
+	"safe.php": `<?php
+$id = addslashes($_GET['id']);
+mysql_query("SELECT * FROM t WHERE name='$id'");
+`,
+	"poison.php": `<?php
+$q = "SELECT * FROM t WHERE id=" . intval($_GET['id']);
+mysql_query($q);
+`,
+}
+
+func goldenResult(t *testing.T) *core.AppResult {
+	t.Helper()
+	opts := core.Options{
+		// Deterministic degradation: the hook panics on poison.php's
+		// hotspot, degrading exactly that unit to analysis-incomplete.
+		BeforeHotspotCheck: func(h analysis.Hotspot) {
+			if h.File == "poison.php" {
+				panic("injected fault")
+			}
+		},
+	}
+	res, err := core.AnalyzeApp(analysis.NewMapResolver(goldenSources),
+		[]string{"poison.php", "safe.php", "vuln.php"}, opts)
+	if err != nil {
+		t.Fatalf("AnalyzeApp: %v", err)
+	}
+	return res
+}
+
+// normalizeTimes replaces every duration literal so wall-clock noise cannot
+// fail a golden comparison.
+var durRE = regexp.MustCompile(`\d+(\.\d+)?(ns|µs|ms|s|m|h)`)
+
+func normalizeTimes(s string) string {
+	return durRE.ReplaceAllString(s, "<DUR>")
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run `go test ./cmd/sqlcheck -update`): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted.\n--- want ---\n%s\n--- got ---\n%s", name, want, got)
+	}
+}
+
+func TestGoldenSummary(t *testing.T) {
+	res := goldenResult(t)
+	checkGolden(t, "golden_summary.txt", normalizeTimes(res.Summary()))
+}
+
+func TestGoldenStats(t *testing.T) {
+	res := goldenResult(t)
+	checkGolden(t, "golden_stats.txt", normalizeTimes(res.Stats()))
+}
+
+func TestGoldenJSON(t *testing.T) {
+	res := goldenResult(t)
+	out, err := renderJSON(res, nil)
+	if err != nil {
+		t.Fatalf("renderJSON: %v", err)
+	}
+	checkGolden(t, "golden_report.json", string(out)+"\n")
+}
+
+// TestGoldenDegradedPresent guards the fixture itself: if the fault hook
+// ever stops degrading the poison.php hotspot, the goldens would lock the
+// wrong behavior.
+func TestGoldenDegradedPresent(t *testing.T) {
+	res := goldenResult(t)
+	if res.DegradedHotspots != 1 {
+		t.Fatalf("want exactly 1 degraded hotspot, got %d", res.DegradedHotspots)
+	}
+	if res.Verified() {
+		t.Fatal("fixture must not verify")
+	}
+}

@@ -18,6 +18,13 @@
 // over N workers, -stats prints phase wall times and cache counters,
 // -cpuprofile/-memprofile write pprof profiles of the run.
 //
+// Observability: -trace FILE records a span trace of the run, in JSONL
+// (-trace-format jsonl, the default) or the Chrome trace-event format
+// (-trace-format chrome, loadable in Perfetto / chrome://tracing with one
+// lane per worker); -progress paints a live status line on stderr; and
+// -debug-addr HOST:PORT serves /debug/progress, /debug/vars, and
+// /debug/pprof for a run in flight.
+//
 // Resource budgets: -timeout bounds the whole run, -hotspot-timeout,
 // -max-steps and -max-mem bound each analysis unit (one page analysis or
 // one hotspot check). An over-budget unit is reported as
@@ -26,7 +33,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,7 +46,6 @@ import (
 	"sqlciv/internal/analysis"
 	"sqlciv/internal/core"
 	"sqlciv/internal/corpus"
-	"sqlciv/internal/policy"
 	"sqlciv/internal/xss"
 )
 
@@ -56,8 +61,12 @@ func run() int {
 	noRefine := flag.Bool("no-refine", false, "disable regex-guard refinement")
 	doXSS := flag.Bool("xss", false, "also check page HTML output for cross-site scripting")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
-	parallel := flag.Int("parallel", 0, "worker count for pages and hotspot checks (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "worker count for pages and hotspot checks (0 = one per core)")
 	stats := flag.Bool("stats", false, "print phase wall times, cache hit/miss counters, and budget consumption")
+	traceFile := flag.String("trace", "", "record a span trace of the run to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace file format: jsonl or chrome (Perfetto-loadable)")
+	progress := flag.Bool("progress", false, "paint a live progress line on stderr")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/progress, /debug/vars, and /debug/pprof on this address (e.g. localhost:6060)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited)")
@@ -94,16 +103,23 @@ func run() int {
 		}()
 	}
 
-	workers := *parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	// The flag convention (0 = one worker per core) and the Options
+	// convention (0 or 1 = sequential) meet in core.AutoParallel.
+	workers := core.AutoParallel(*parallel)
 	opts := core.Options{Parallel: workers, ParallelHotspots: workers}
 	opts.Analysis.DisableGuardRefinement = *noRefine
 	opts.Budget.Timeout = *timeout
 	opts.Budget.HotspotTimeout = *hotspotTimeout
 	opts.Budget.MaxSteps = *maxSteps
 	opts.Budget.MaxMemBytes = *maxMem
+
+	tracer, stopTracing, err := setupTracer(*traceFile, *traceFormat, *progress, *debugAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlcheck:", err)
+		return 1
+	}
+	defer stopTracing()
+	opts.Tracer = tracer
 
 	if *table1 {
 		runTable1(opts, *stats)
@@ -163,95 +179,6 @@ func run() int {
 		return 1
 	}
 	return 0
-}
-
-// jsonReport is the machine-readable output shape of sqlcheck -json.
-type jsonReport struct {
-	Verified bool          `json:"verified"`
-	Files    int           `json:"files"`
-	Lines    int           `json:"lines"`
-	GrammarV int           `json:"grammar_nonterminals"`
-	GrammarR int           `json:"grammar_productions"`
-	Findings []jsonFinding `json:"findings"`
-	// DegradedHotspots/DegradedPages count analysis units cut short by the
-	// resource budget; when nonzero, "verified": false and each degraded
-	// unit also appears as an analysis-incomplete finding.
-	DegradedHotspots int            `json:"degraded_hotspots,omitempty"`
-	DegradedPages    int            `json:"degraded_pages,omitempty"`
-	Degradations     []jsonDegraded `json:"degradations,omitempty"`
-	XSS              []jsonXSS      `json:"xss,omitempty"`
-}
-
-type jsonFinding struct {
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Call    string `json:"call"`
-	Kind    string `json:"kind"` // direct | indirect | unknown (analysis incomplete)
-	Check   string `json:"check"`
-	Source  string `json:"source,omitempty"`
-	Witness string `json:"witness"`
-}
-
-type jsonDegraded struct {
-	Entry  string `json:"entry"`
-	File   string `json:"file,omitempty"`
-	Line   int    `json:"line,omitempty"`
-	Reason string `json:"reason"`
-	Detail string `json:"detail,omitempty"`
-}
-
-type jsonXSS struct {
-	Entry   string `json:"entry"`
-	Kind    string `json:"kind"`
-	Check   string `json:"check"`
-	Witness string `json:"witness"`
-}
-
-func emitJSON(res *core.AppResult, xssFindings []xss.Finding) {
-	rep := jsonReport{
-		Verified: res.Verified() && len(xssFindings) == 0,
-		Files:    res.Files,
-		Lines:    res.Lines,
-		GrammarV: res.NumNTs,
-		GrammarR: res.NumProds,
-		Findings: []jsonFinding{},
-	}
-	for _, f := range res.Findings {
-		kind := "indirect"
-		if f.Direct() {
-			kind = "direct"
-		}
-		if f.Check == policy.CheckAnalysisIncomplete {
-			kind = "unknown"
-		}
-		rep.Findings = append(rep.Findings, jsonFinding{
-			File: f.File, Line: f.Line, Call: f.Call, Kind: kind,
-			Check: f.Check.String(), Source: f.Source, Witness: f.Witness,
-		})
-	}
-	rep.DegradedHotspots = res.DegradedHotspots
-	rep.DegradedPages = res.DegradedPages
-	for _, d := range res.Degradations {
-		rep.Degradations = append(rep.Degradations, jsonDegraded{
-			Entry: d.Entry, File: d.File, Line: d.Line,
-			Reason: d.Reason.String(), Detail: d.Detail,
-		})
-	}
-	for _, f := range xssFindings {
-		kind := "indirect"
-		if f.Direct() {
-			kind = "direct"
-		}
-		rep.XSS = append(rep.XSS, jsonXSS{
-			Entry: f.Entry, Kind: kind, Check: f.Check.String(), Witness: f.Witness,
-		})
-	}
-	out, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sqlcheck:", err)
-		os.Exit(1)
-	}
-	fmt.Println(string(out))
 }
 
 type multiFlag []string

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"sqlciv/internal/core"
+	"sqlciv/internal/policy"
+	"sqlciv/internal/xss"
+)
+
+// jsonReport is the machine-readable output shape of sqlcheck -json.
+type jsonReport struct {
+	Verified bool          `json:"verified"`
+	Files    int           `json:"files"`
+	Lines    int           `json:"lines"`
+	GrammarV int           `json:"grammar_nonterminals"`
+	GrammarR int           `json:"grammar_productions"`
+	Findings []jsonFinding `json:"findings"`
+	// DegradedHotspots/DegradedPages count analysis units cut short by the
+	// resource budget; when nonzero, "verified": false and each degraded
+	// unit also appears as an analysis-incomplete finding.
+	DegradedHotspots int            `json:"degraded_hotspots,omitempty"`
+	DegradedPages    int            `json:"degraded_pages,omitempty"`
+	Degradations     []jsonDegraded `json:"degradations,omitempty"`
+	XSS              []jsonXSS      `json:"xss,omitempty"`
+}
+
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Call    string `json:"call"`
+	Kind    string `json:"kind"` // direct | indirect | unknown (analysis incomplete)
+	Check   string `json:"check"`
+	Source  string `json:"source,omitempty"`
+	Witness string `json:"witness"`
+	// SpanID names the trace span (see -trace) under which this finding
+	// arose; 0 / omitted when the run was untraced.
+	SpanID uint64 `json:"span_id,omitempty"`
+}
+
+type jsonDegraded struct {
+	Entry  string `json:"entry"`
+	File   string `json:"file,omitempty"`
+	Line   int    `json:"line,omitempty"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
+	SpanID uint64 `json:"span_id,omitempty"`
+}
+
+type jsonXSS struct {
+	Entry   string `json:"entry"`
+	Kind    string `json:"kind"`
+	Check   string `json:"check"`
+	Witness string `json:"witness"`
+}
+
+func emitJSON(res *core.AppResult, xssFindings []xss.Finding) {
+	out, err := renderJSON(res, xssFindings)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
+
+// renderJSON builds the -json report document.
+func renderJSON(res *core.AppResult, xssFindings []xss.Finding) ([]byte, error) {
+	rep := jsonReport{
+		Verified: res.Verified() && len(xssFindings) == 0,
+		Files:    res.Files,
+		Lines:    res.Lines,
+		GrammarV: res.NumNTs,
+		GrammarR: res.NumProds,
+		Findings: []jsonFinding{},
+	}
+	for _, f := range res.Findings {
+		kind := "indirect"
+		if f.Direct() {
+			kind = "direct"
+		}
+		if f.Check == policy.CheckAnalysisIncomplete {
+			kind = "unknown"
+		}
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File: f.File, Line: f.Line, Call: f.Call, Kind: kind,
+			Check: f.Check.String(), Source: f.Source, Witness: f.Witness,
+			SpanID: f.SpanID,
+		})
+	}
+	rep.DegradedHotspots = res.DegradedHotspots
+	rep.DegradedPages = res.DegradedPages
+	for _, d := range res.Degradations {
+		rep.Degradations = append(rep.Degradations, jsonDegraded{
+			Entry: d.Entry, File: d.File, Line: d.Line,
+			Reason: d.Reason.String(), Detail: d.Detail,
+			SpanID: d.SpanID,
+		})
+	}
+	for _, f := range xssFindings {
+		kind := "indirect"
+		if f.Direct() {
+			kind = "direct"
+		}
+		rep.XSS = append(rep.XSS, jsonXSS{
+			Entry: f.Entry, Kind: kind, Check: f.Check.String(), Witness: f.Witness,
+		})
+	}
+	return json.MarshalIndent(rep, "", "  ")
+}

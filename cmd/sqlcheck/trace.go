@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"sqlciv/internal/obs"
+)
+
+// setupTracer wires the observability surface from the CLI flags: a trace
+// file sink (-trace / -trace-format), a live progress meter (-progress),
+// and the debug HTTP endpoint (-debug-addr). It returns the tracer to pass
+// into core.Options (nil when nothing was requested) and a teardown that
+// flushes the trace file, stops the meter, and shuts the endpoint down.
+func setupTracer(traceFile, traceFormat string, progress bool, debugAddr string) (*obs.Tracer, func(), error) {
+	if traceFile == "" && !progress && debugAddr == "" {
+		return nil, func() {}, nil
+	}
+	var sinks []obs.Sink
+	var closers []func() error
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Both sinks close the underlying file themselves on Close.
+		switch traceFormat {
+		case "jsonl":
+			s := obs.NewJSONLSink(f)
+			sinks = append(sinks, s)
+			closers = append(closers, s.Close)
+		case "chrome":
+			s := obs.NewChromeSink(f)
+			sinks = append(sinks, s)
+			closers = append(closers, s.Close)
+		default:
+			f.Close()
+			return nil, nil, fmt.Errorf("unknown -trace-format %q (want jsonl or chrome)", traceFormat)
+		}
+	}
+	tracer := obs.New(sinks...)
+
+	var stopMeter func()
+	if progress {
+		stopMeter = startProgressMeter(tracer)
+	}
+	var shutdownDebug func() error
+	if debugAddr != "" {
+		bound, shutdown, err := obs.ServeDebug(debugAddr, tracer)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-debug-addr: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "sqlcheck: debug endpoint on http://%s/debug/progress\n", bound)
+		shutdownDebug = shutdown
+	}
+
+	teardown := func() {
+		if stopMeter != nil {
+			stopMeter()
+		}
+		if shutdownDebug != nil {
+			shutdownDebug()
+		}
+		for _, c := range closers {
+			if err := c(); err != nil {
+				fmt.Fprintln(os.Stderr, "sqlcheck: trace:", err)
+			}
+		}
+	}
+	return tracer, teardown, nil
+}
+
+// startProgressMeter repaints one stderr status line from the tracer's
+// progress snapshot a few times a second until stopped.
+func startProgressMeter(tracer *obs.Tracer) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				paintProgress(tracer)
+				fmt.Fprintln(os.Stderr)
+				return
+			case <-tick.C:
+				paintProgress(tracer)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+func paintProgress(tracer *obs.Tracer) {
+	s := tracer.Progress()
+	line := fmt.Sprintf("pages %d/%d  hotspots %d/%d  findings %d",
+		s.PagesDone, s.PagesTotal, s.HotspotsDone, s.HotspotsTotal, s.Findings)
+	if n := s.PagesDegraded + s.HotspotsDegraded; n > 0 {
+		line += fmt.Sprintf("  degraded %d", n)
+	}
+	fmt.Fprintf(os.Stderr, "\r\x1b[K%s  [%s]", line, (time.Duration(s.ElapsedMS) * time.Millisecond).Round(time.Millisecond))
+}

@@ -24,6 +24,7 @@ import (
 	"sqlciv/internal/budget"
 	"sqlciv/internal/fst"
 	"sqlciv/internal/grammar"
+	"sqlciv/internal/obs"
 	"sqlciv/internal/php"
 )
 
@@ -257,6 +258,17 @@ func AnalyzeCtx(ctx context.Context, resolver Resolver, entry string, opts Optio
 // panic inside the analysis, which this boundary isolates per page —
 // surfaces as a *budget.Exceeded error, never a partial Result.
 func AnalyzeB(resolver Resolver, entry string, opts Options, b *budget.Budget) (res *Result, err error) {
+	return AnalyzeT(resolver, entry, opts, b, nil)
+}
+
+// AnalyzeT is AnalyzeB observed by sp (normally the page span the core
+// driver opened): the AST walk and the lowering fixpoint get "phase" child
+// spans, and the emitted grammar's census lands on sp as counters
+// ("grammar.nts", "grammar.prods", "analysis.files", "analysis.lines").
+// When the analysis degrades mid-phase the open phase span is dropped, not
+// emitted — the surrounding page span carries the degradation. A nil sp
+// traces nothing.
+func AnalyzeT(resolver Resolver, entry string, opts Options, b *budget.Budget, sp *obs.Span) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			exc := budget.AsExceeded(r)
@@ -298,6 +310,7 @@ func AnalyzeB(resolver Resolver, entry string, opts Options, b *budget.Budget) (
 	a.g.Add(a.numNT, ds)
 	a.g.Add(a.numNT, grammar.T('-'), ds)
 
+	wsp := sp.Child("phase", "walk")
 	file, ok := resolver.Load(entry)
 	if !ok {
 		return nil, fmt.Errorf("analysis: cannot load entry %q", entry)
@@ -308,7 +321,16 @@ func AnalyzeB(resolver Resolver, entry string, opts Options, b *budget.Budget) (
 	for _, out := range a.exitOutputs {
 		pageOut = a.union(pageOut, out)
 	}
+	wsp.Count("analysis.files", int64(a.files))
+	wsp.Count("analysis.lines", int64(a.lines))
+	wsp.End()
+	lsp := sp.Child("phase", "lower", obs.Attr{Key: "deferred-ops", Val: fmt.Sprint(len(a.ops))})
 	a.lower()
+	lsp.Count("lower.approx-in-cycle", int64(a.approx))
+	lsp.Count("lower.sliced-ops", int64(a.sliced))
+	lsp.End()
+	sp.Count("grammar.nts", int64(a.g.NumNTs()))
+	sp.Count("grammar.prods", int64(a.g.NumProds()))
 
 	res = &Result{
 		PageOutput:    pageOut,

@@ -10,6 +10,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"sqlciv/internal/analysis"
 	"sqlciv/internal/budget"
 	"sqlciv/internal/grammar"
+	"sqlciv/internal/obs"
 	"sqlciv/internal/policy"
 )
 
@@ -48,6 +50,27 @@ type Options struct {
 	// tests: a hook that panics or sleeps past the budget must degrade only
 	// its own hotspot.
 	BeforeHotspotCheck func(analysis.Hotspot)
+	// Tracer, when set, observes the run: a span per phase, per page
+	// analysis, and per hotspot check (with the cascade's interior spans
+	// and counters hanging under it), plus live progress totals. Every
+	// Finding and Degradation records the id of the span it arose under.
+	// nil disables tracing at zero cost.
+	Tracer *obs.Tracer
+}
+
+// AutoParallel maps the CLI parallelism convention onto the Options one.
+// Command-line flags use "0 = one worker per core" while Options.Parallel
+// and Options.ParallelHotspots use "0 or 1 = sequential"; this function is
+// the single place the two conventions meet: 0 becomes GOMAXPROCS,
+// negative values clamp to sequential, and positive values pass through.
+func AutoParallel(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n < 0 {
+		return 1
+	}
+	return n
 }
 
 // Finding is one deduplicated SQLCIV report.
@@ -61,6 +84,9 @@ type Finding struct {
 	Witness string
 	// Source names the untrusted origin when tracked ("_GET[userid]").
 	Source string
+	// SpanID is the trace span the finding arose under (the hotspot span,
+	// or the page span for page-level degradations); 0 when untraced.
+	SpanID uint64
 }
 
 // Direct reports whether the finding involves directly user-controlled
@@ -90,6 +116,8 @@ func (f Finding) String() string {
 type HotspotResult struct {
 	analysis.Hotspot
 	Policy *policy.Result
+	// SpanID is the trace span of this hotspot's check; 0 when untraced.
+	SpanID uint64
 }
 
 // PageResult is the outcome for one top-level page.
@@ -101,6 +129,8 @@ type PageResult struct {
 	// then an empty placeholder and the page contributes an
 	// analysis-incomplete finding.
 	Degraded *budget.Exceeded
+	// SpanID is the trace span of this page's analysis; 0 when untraced.
+	SpanID uint64
 }
 
 // Degradation records one unit (page or hotspot) whose analysis was cut
@@ -113,6 +143,8 @@ type Degradation struct {
 	Reason budget.Reason
 	Detail string
 	Stack  string
+	// SpanID is the trace span of the degraded unit; 0 when untraced.
+	SpanID uint64
 }
 
 // AppResult aggregates a whole-application run.
@@ -240,7 +272,10 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 	}
 
 	// ---- phase 1: string-taint analysis per page -----------------------
+	tr := opts.Tracer
+	tr.AddPagesTotal(len(entries))
 	wall1 := time.Now()
+	p1 := tr.Start("phase", "string-analysis")
 	workers := opts.Parallel
 	if workers < 1 {
 		workers = 1
@@ -255,27 +290,45 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// The lane is acquired after winning a semaphore slot, so a run
+			// with N workers renders exactly N trace lanes.
+			lane := tr.AcquireLane()
+			defer tr.ReleaseLane(lane)
+			psp := p1.Child("page", entry, obs.Attr{Key: "entry", Val: entry})
+			psp.SetLane(lane)
 			// Pages are bounded by the run deadline and the per-unit step /
 			// memory limits, but not by HotspotTimeout (a phase 2 knob).
 			pb := budget.New(ctx, budget.Limits{
 				MaxSteps: opts.Budget.MaxSteps, MaxMemBytes: opts.Budget.MaxMemBytes})
-			ar, err := analysis.AnalyzeB(resolver, entry, opts.Analysis, pb)
+			ar, err := analysis.AnalyzeT(resolver, entry, opts.Analysis, pb, psp)
+			psp.Count("budget.steps", pb.Steps())
+			psp.Count("budget.mem.high", pb.MemHigh())
 			if err != nil {
 				if exc, ok := err.(*budget.Exceeded); ok {
 					// Degraded, not failed: the page gets an empty analysis
 					// and an analysis-incomplete finding downstream.
+					psp.SetAttr("degraded", exc.Reason.String())
+					psp.End()
+					tr.PageDone(true)
 					pages[i] = PageResult{Entry: entry,
-						Analysis: &analysis.Result{G: grammar.New()}, Degraded: exc}
+						Analysis: &analysis.Result{G: grammar.New()}, Degraded: exc,
+						SpanID: psp.ID()}
 					return
 				}
+				psp.End()
+				tr.PageDone(false)
 				errs[i] = fmt.Errorf("core: %s: %w", entry, err)
 				return
 			}
+			psp.SetAttr("hotspots", fmt.Sprint(len(ar.Hotspots)))
+			psp.End()
+			tr.PageDone(false)
 			pages[i] = PageResult{Entry: entry, Analysis: ar,
-				Hotspots: make([]HotspotResult, len(ar.Hotspots))}
+				Hotspots: make([]HotspotResult, len(ar.Hotspots)), SpanID: psp.ID()}
 		}(i, entry)
 	}
 	wg.Wait()
+	p1.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -285,6 +338,7 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 
 	// ---- phase 2: policy cascade per hotspot ---------------------------
 	wall2 := time.Now()
+	p2 := tr.Start("phase", "policy-check")
 	checker := policy.New()
 	checker.Memoize = true
 	type job struct{ page, slot int }
@@ -294,12 +348,17 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 			jobs = append(jobs, job{page: i, slot: j})
 		}
 	}
-	check := func(jb job) {
+	tr.AddHotspotsTotal(len(jobs))
+	check := func(jb job, lane int) {
 		page := &pages[jb.page]
 		h := page.Analysis.Hotspots[jb.slot]
+		hsp := p2.Child("hotspot", fmt.Sprintf("%s:%d", h.File, h.Line),
+			obs.Attr{Key: "entry", Val: page.Entry},
+			obs.Attr{Key: "call", Val: h.Call})
+		hsp.SetLane(lane)
 		hb := budget.New(ctx, unitLimits)
 		pr := func() (pr *policy.Result) {
-			// CheckHotspotB recovers its own interior; this outer recovery
+			// CheckHotspotT recovers its own interior; this outer recovery
 			// isolates the hook (and any future pre-check code) so one
 			// poisoned hotspot degrades alone instead of killing a worker.
 			defer func() {
@@ -310,9 +369,17 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 			if opts.BeforeHotspotCheck != nil {
 				opts.BeforeHotspotCheck(h)
 			}
-			return checker.CheckHotspotB(page.Analysis.G, h.Root, hb)
+			return checker.CheckHotspotT(page.Analysis.G, h.Root, hb, hsp)
 		}()
-		page.Hotspots[jb.slot] = HotspotResult{Hotspot: h, Policy: pr}
+		hsp.SetAttr("verdict", pr.Verdict.String())
+		if pr.Verdict == policy.VerdictUnknown {
+			hsp.SetAttr("degraded", pr.Degraded.Reason.String())
+		}
+		hsp.Count("budget.steps", pr.BudgetSteps)
+		hsp.Count("budget.mem.high", pr.BudgetMemHigh)
+		hsp.End()
+		tr.HotspotDone(pr.Verdict == policy.VerdictUnknown)
+		page.Hotspots[jb.slot] = HotspotResult{Hotspot: h, Policy: pr, SpanID: hsp.ID()}
 	}
 	if hw := opts.ParallelHotspots; hw > 1 {
 		hsem := make(chan struct{}, hw)
@@ -322,15 +389,18 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 				defer wg.Done()
 				hsem <- struct{}{}
 				defer func() { <-hsem }()
-				check(jb)
+				lane := tr.AcquireLane()
+				defer tr.ReleaseLane(lane)
+				check(jb, lane)
 			}(jb)
 		}
 		wg.Wait()
 	} else {
 		for _, jb := range jobs {
-			check(jb)
+			check(jb, 0)
 		}
 	}
+	p2.End()
 	res.CheckWall = time.Since(wall2)
 	res.VerdictCacheHits, res.VerdictCacheMisses = checker.VerdictCacheStats()
 	if pc, ok := resolver.(parseCacheStats); ok {
@@ -345,7 +415,8 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 		if exc := page.Degraded; exc != nil {
 			res.DegradedPages++
 			res.Degradations = append(res.Degradations, Degradation{
-				Entry: page.Entry, Reason: exc.Reason, Detail: exc.Detail})
+				Entry: page.Entry, Reason: exc.Reason, Detail: exc.Detail,
+				SpanID: page.SpanID})
 			key := page.Entry + ":incomplete"
 			if !seenFinding[key] {
 				seenFinding[key] = true
@@ -354,6 +425,7 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 					File:    page.Entry,
 					Check:   policy.CheckAnalysisIncomplete,
 					Witness: firstLine(exc.Error()),
+					SpanID:  page.SpanID,
 				})
 			}
 		}
@@ -369,7 +441,8 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 					Entry: page.Entry, File: hr.File, Line: hr.Line,
 					Reason: hr.Policy.Degraded.Reason,
 					Detail: hr.Policy.Degraded.Detail,
-					Stack:  hr.Policy.Stack})
+					Stack:  hr.Policy.Stack,
+					SpanID: hr.SpanID})
 			}
 			for _, rep := range hr.Policy.Reports {
 				// One finding per hotspot and taint class: several labeled
@@ -398,6 +471,7 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 					Label:   rep.Label,
 					Witness: rep.Witness,
 					Source:  rep.Source,
+					SpanID:  hr.SpanID,
 				})
 			}
 		}
@@ -411,6 +485,7 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 	})
 	res.Files = len(resolver.Files())
 	res.Lines = totalLines(resolver)
+	tr.AddFindings(len(res.Findings))
 	return res, nil
 }
 

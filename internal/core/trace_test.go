@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/budget"
+	"sqlciv/internal/obs"
+)
+
+// traceApp runs an app under a tracer with both sinks attached and returns
+// the result plus the decoded JSONL events and the raw Chrome trace bytes.
+func traceApp(t *testing.T, sources map[string]string, entries []string, opts Options) (*AppResult, []obs.Event, []byte) {
+	t.Helper()
+	var jl, ch bytes.Buffer
+	jsink := obs.NewJSONLSink(&jl)
+	csink := obs.NewChromeSink(&ch)
+	opts.Tracer = obs.New(jsink, csink)
+	res, err := AnalyzeApp(analysis.NewMapResolver(sources), entries, opts)
+	if err != nil {
+		t.Fatalf("AnalyzeApp: %v", err)
+	}
+	if err := jsink.Close(); err != nil {
+		t.Fatalf("close jsonl sink: %v", err)
+	}
+	if err := csink.Close(); err != nil {
+		t.Fatalf("close chrome sink: %v", err)
+	}
+	events, err := obs.DecodeJSONL(&jl)
+	if err != nil {
+		t.Fatalf("decode jsonl: %v", err)
+	}
+	return res, events, ch.Bytes()
+}
+
+var tracedSources = map[string]string{
+	"vuln.php": `<?php
+$id = $_GET['id'];
+mysql_query("SELECT * FROM t WHERE name='$id'");
+`,
+	"safe.php": `<?php
+$id = addslashes($_GET['id']);
+mysql_query("SELECT * FROM t WHERE name='$id'");
+`,
+}
+
+func TestTracedRunSpans(t *testing.T) {
+	res, events, _ := traceApp(t, tracedSources, []string{"vuln.php", "safe.php"}, Options{})
+	if len(res.Findings) != 1 {
+		t.Fatalf("findings: %v", res.Findings)
+	}
+
+	byID := map[uint64]obs.Event{}
+	byName := map[string][]obs.Event{}
+	for _, ev := range events {
+		byID[ev.ID] = ev
+		byName[ev.Name] = append(byName[ev.Name], ev)
+	}
+
+	// One page span per entry, one hotspot span per hotspot, phase spans.
+	if n := len(byName["vuln.php"]) + len(byName["safe.php"]); n != 2 {
+		t.Fatalf("want 2 page spans, got %d", n)
+	}
+	if len(byName["string-analysis"]) != 1 || len(byName["policy-check"]) != 1 {
+		t.Fatal("missing phase spans")
+	}
+	hotspots := 0
+	for _, ev := range events {
+		if ev.Cat == "hotspot" {
+			hotspots++
+			if ev.Parent != byName["policy-check"][0].ID {
+				t.Fatalf("hotspot span %d not under policy-check phase", ev.ID)
+			}
+		}
+	}
+	if hotspots != 2 {
+		t.Fatalf("want 2 hotspot spans, got %d", hotspots)
+	}
+
+	// Cascade checks appear as children of hotspot spans.
+	sawCheck := false
+	for _, ev := range events {
+		if ev.Cat == "check" {
+			sawCheck = true
+			parent, ok := byID[ev.Parent]
+			if !ok || parent.Cat != "hotspot" {
+				t.Fatalf("check span %q parent is not a hotspot span", ev.Name)
+			}
+		}
+	}
+	if !sawCheck {
+		t.Fatal("no cascade check spans recorded")
+	}
+
+	// The finding's span id resolves to the hotspot span at its location.
+	f := res.Findings[0]
+	ev, ok := byID[f.SpanID]
+	if !ok {
+		t.Fatalf("finding span id %d not in trace", f.SpanID)
+	}
+	if ev.Cat != "hotspot" || !strings.HasPrefix(ev.Name, "vuln.php:") {
+		t.Fatalf("finding span resolves to %s/%s", ev.Cat, ev.Name)
+	}
+	if ev.Attrs["verdict"] != "vulnerable" {
+		t.Fatalf("finding span verdict attr = %q", ev.Attrs["verdict"])
+	}
+
+	// Counters from the engines reached the run totals.
+	counters := sumCounters(events)
+	for _, key := range []string{"grammar.nts", "grammar.prods", "rels.pops", "policy.labeled-nts"} {
+		if counters[key] <= 0 {
+			t.Fatalf("counter %q missing from trace (have %v)", key, counters)
+		}
+	}
+}
+
+// sumCounters totals the per-span counters across all events.
+func sumCounters(events []obs.Event) map[string]int64 {
+	sum := map[string]int64{}
+	for _, ev := range events {
+		for k, v := range ev.Counters {
+			sum[k] += v
+		}
+	}
+	return sum
+}
+
+func TestTracedDegradedHotspotSpanID(t *testing.T) {
+	res, events, _ := traceApp(t, tracedSources, []string{"vuln.php", "safe.php"}, Options{
+		BeforeHotspotCheck: func(analysis.Hotspot) { panic("injected fault") },
+	})
+	if res.DegradedHotspots != 2 {
+		t.Fatalf("degraded hotspots: %d", res.DegradedHotspots)
+	}
+	byID := map[uint64]obs.Event{}
+	for _, ev := range events {
+		byID[ev.ID] = ev
+	}
+	for _, d := range res.Degradations {
+		ev, ok := byID[d.SpanID]
+		if !ok {
+			t.Fatalf("degradation span id %d not in trace", d.SpanID)
+		}
+		if ev.Attrs["degraded"] != budget.ReasonPanic.String() {
+			t.Fatalf("degraded span attr = %q", ev.Attrs["degraded"])
+		}
+	}
+	for _, f := range res.Findings {
+		if _, ok := byID[f.SpanID]; !ok {
+			t.Fatalf("incomplete finding span id %d not in trace", f.SpanID)
+		}
+	}
+}
+
+func TestTracedParallelLanes(t *testing.T) {
+	res, events, chrome := traceApp(t, tracedSources, []string{"vuln.php", "safe.php"},
+		Options{Parallel: 2, ParallelHotspots: 2})
+	if len(res.Findings) != 1 {
+		t.Fatalf("findings: %v", res.Findings)
+	}
+	maxLane := 0
+	for _, ev := range events {
+		if ev.Lane > maxLane {
+			maxLane = ev.Lane
+		}
+	}
+	if maxLane > 1 {
+		t.Fatalf("2 workers must use at most 2 lanes, saw lane %d", maxLane)
+	}
+	// The Chrome trace must parse as one JSON document.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace empty")
+	}
+}
+
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	plain := analyzeApp(t, tracedSources, []string{"vuln.php", "safe.php"})
+	traced, _, _ := traceApp(t, tracedSources, []string{"vuln.php", "safe.php"}, Options{})
+	if len(plain.Findings) != len(traced.Findings) {
+		t.Fatalf("tracing changed findings: %d vs %d", len(plain.Findings), len(traced.Findings))
+	}
+	for i := range plain.Findings {
+		p, q := plain.Findings[i], traced.Findings[i]
+		p.SpanID, q.SpanID = 0, 0
+		if p != q {
+			t.Fatalf("finding %d differs: %v vs %v", i, p, q)
+		}
+	}
+}
+
+func TestProgressSnapshot(t *testing.T) {
+	var jl bytes.Buffer
+	tr := obs.New(obs.NewJSONLSink(&jl))
+	res, err := AnalyzeApp(analysis.NewMapResolver(tracedSources),
+		[]string{"vuln.php", "safe.php"}, Options{Tracer: tr})
+	if err != nil {
+		t.Fatalf("AnalyzeApp: %v", err)
+	}
+	snap := tr.Progress()
+	if snap.PagesTotal != 2 || snap.PagesDone != 2 {
+		t.Fatalf("pages progress: %+v", snap)
+	}
+	if snap.HotspotsTotal != 2 || snap.HotspotsDone != 2 {
+		t.Fatalf("hotspots progress: %+v", snap)
+	}
+	if snap.Findings != int64(len(res.Findings)) {
+		t.Fatalf("findings progress: %+v vs %d", snap, len(res.Findings))
+	}
+}

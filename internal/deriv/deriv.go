@@ -19,6 +19,7 @@ import (
 
 	"sqlciv/internal/budget"
 	"sqlciv/internal/grammar"
+	"sqlciv/internal/obs"
 )
 
 // Checker holds a reference grammar and search budgets. The reference
@@ -119,6 +120,7 @@ type session struct {
 	c      *Checker
 	b      *budget.Budget
 	parses int
+	items  int64 // Earley items admitted across all parses
 	earley earleyScratch
 }
 
@@ -137,7 +139,20 @@ func (c *Checker) Derivable(g *grammar.Grammar, root grammar.Sym, targets []gram
 // panics with *budget.Exceeded for the hotspot boundary to turn into an
 // explicit unknown verdict. A nil b is unlimited.
 func (c *Checker) DerivableB(g *grammar.Grammar, root grammar.Sym, targets []grammar.Sym, b *budget.Budget) (grammar.Sym, bool) {
+	return c.DerivableT(g, root, targets, b, nil)
+}
+
+// DerivableT is DerivableB observed by sp: the session's Earley traffic —
+// parses run and items admitted across refinement and search — flushes
+// onto the span when the check finishes, whichever way it exits
+// ("earley.parses", "earley.items"). The per-item cost stays one integer
+// increment next to the existing budget probe. A nil sp records nothing.
+func (c *Checker) DerivableT(g *grammar.Grammar, root grammar.Sym, targets []grammar.Sym, b *budget.Budget, sp *obs.Span) (grammar.Sym, bool) {
 	s := &session{c: c, b: b}
+	defer func() {
+		sp.Count("earley.parses", int64(s.parses))
+		sp.Count("earley.items", s.items)
+	}()
 	sub, remap := g.Extract(root)
 	nroot := remap[root]
 

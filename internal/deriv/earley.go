@@ -32,6 +32,7 @@ func (s *session) parse(start grammar.Sym, input form, sets [][]bool) bool {
 		key := uint64(uint32(slot))<<32 | uint64(uint32(it.origin))
 		if sc.sets[k].add(key) {
 			s.b.Step(1)
+			s.items++
 			sc.order[k] = append(sc.order[k], it)
 		}
 	}

@@ -3,6 +3,7 @@ package grammar
 import (
 	"sqlciv/internal/automata"
 	"sqlciv/internal/budget"
+	"sqlciv/internal/obs"
 )
 
 // IntersectInto computes the intersection of the context-free language
@@ -35,6 +36,16 @@ const intersectItemBytes = 96
 // boundary); g may then hold a partial construction and must be discarded.
 // A nil b is unlimited.
 func IntersectIntoB(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget) (Sym, bool) {
+	return IntersectIntoT(g, root, d, b, nil)
+}
+
+// IntersectIntoT is IntersectIntoB observed by sp: the discovered-item and
+// normalized-rule totals flush onto the span when the construction
+// finishes (counters "intersect.items", "intersect.rules"). Like the
+// budget probes, the hot loop touches no tracer state — each discovered
+// item is pushed and popped exactly once, so the final item count is the
+// worklist traffic. A nil sp records nothing.
+func IntersectIntoT(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget, sp *obs.Span) (Sym, bool) {
 	d.Complete()
 	nq := d.NumStates()
 
@@ -264,6 +275,9 @@ func IntersectIntoB(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget) (Sy
 		}
 	}
 
+	sp.Count("intersect.items", int64(len(items)))
+	sp.Count("intersect.rules", int64(len(rules)))
+
 	// ---- root ----------------------------------------------------------
 	rootLocal := localOf[int(root)-NumTerminals]
 	newRoot := Sym(-1)
@@ -295,8 +309,13 @@ func IntersectEmpty(g *Grammar, root Sym, d *automata.DFA) bool {
 
 // IntersectEmptyB is IntersectEmpty metered by b.
 func IntersectEmptyB(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget) bool {
+	return IntersectEmptyT(g, root, d, b, nil)
+}
+
+// IntersectEmptyT is IntersectEmptyB observed by sp.
+func IntersectEmptyT(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget, sp *obs.Span) bool {
 	scratch, remap := g.Extract(root)
-	_, ok := IntersectIntoB(scratch, remap[root], d, b)
+	_, ok := IntersectIntoT(scratch, remap[root], d, b, sp)
 	return !ok
 }
 
@@ -307,8 +326,13 @@ func IntersectWitness(g *Grammar, root Sym, d *automata.DFA) (string, bool) {
 
 // IntersectWitnessB is IntersectWitness metered by b.
 func IntersectWitnessB(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget) (string, bool) {
+	return IntersectWitnessT(g, root, d, b, nil)
+}
+
+// IntersectWitnessT is IntersectWitnessB observed by sp.
+func IntersectWitnessT(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget, sp *obs.Span) (string, bool) {
 	scratch, remap := g.Extract(root)
-	nr, ok := IntersectIntoB(scratch, remap[root], d, b)
+	nr, ok := IntersectIntoT(scratch, remap[root], d, b, sp)
 	if !ok {
 		return "", false
 	}

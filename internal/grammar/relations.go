@@ -5,6 +5,7 @@ import (
 
 	"sqlciv/internal/automata"
 	"sqlciv/internal/budget"
+	"sqlciv/internal/obs"
 )
 
 // Relation-based grammar analyses over small DFAs. For a complete DFA D
@@ -39,6 +40,15 @@ func RelsMin(g *Grammar, d *automata.DFA, minLens []int64) [][]uint32 {
 // RelsMinB is RelsMin metered by b (one step per worklist pop). A nil b is
 // unlimited.
 func RelsMinB(g *Grammar, d *automata.DFA, minLens []int64, b *budget.Budget) [][]uint32 {
+	return RelsMinT(g, d, minLens, b, nil)
+}
+
+// RelsMinT is RelsMinB observed by sp: the fixpoint's worklist traffic
+// (counter "rels.pops" — every production re-evaluation) and the snapshot
+// size ("rels.prods") flush onto the span when the fixpoint converges.
+// The queue only ever grows, so its final length is the pop count and the
+// hot loop stays tracer-free. A nil sp records nothing.
+func RelsMinT(g *Grammar, d *automata.DFA, minLens []int64, b *budget.Budget, sp *obs.Span) [][]uint32 {
 	d.Complete()
 	nq := d.NumStates()
 	if nq > MaxRelStates {
@@ -155,6 +165,8 @@ func RelsMinB(g *Grammar, d *automata.DFA, minLens []int64, b *budget.Budget) []
 			}
 		}
 	}
+	sp.Count("rels.pops", int64(len(queue)))
+	sp.Count("rels.prods", int64(len(prods)))
 	return rel
 }
 
@@ -197,6 +209,13 @@ func ContextsMin(g *Grammar, root Sym, d *automata.DFA, rels [][]uint32, minLens
 // ContextsMinB is ContextsMin metered by b (one step per production
 // evaluation). A nil b is unlimited.
 func ContextsMinB(g *Grammar, root Sym, d *automata.DFA, rels [][]uint32, minLens []int64, b *budget.Budget) []uint32 {
+	return ContextsMinT(g, root, d, rels, minLens, b, nil)
+}
+
+// ContextsMinT is ContextsMinB observed by sp: the number of passes the
+// round-robin fixpoint needed flushes onto the span as "contexts.passes".
+// A nil sp records nothing.
+func ContextsMinT(g *Grammar, root Sym, d *automata.DFA, rels [][]uint32, minLens []int64, b *budget.Budget, sp *obs.Span) []uint32 {
 	n := g.NumNTs()
 	ctx := make([]uint32, n)
 	if rels == nil {
@@ -206,9 +225,11 @@ func ContextsMinB(g *Grammar, root Sym, d *automata.DFA, rels [][]uint32, minLen
 	if minLens[ri] >= 0 {
 		ctx[ri] = 1 << uint(d.Start())
 	}
+	passes := int64(0)
 	changed := true
 	for changed {
 		changed = false
+		passes++
 		g.ForEachProd(func(lhs Sym, rhs []Sym) {
 			b.Step(1)
 			li := int(lhs) - NumTerminals
@@ -249,5 +270,6 @@ func ContextsMinB(g *Grammar, root Sym, d *automata.DFA, rels [][]uint32, minLen
 			}
 		})
 	}
+	sp.Count("contexts.passes", passes)
 	return ctx
 }

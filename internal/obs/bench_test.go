@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkDisabledSpan is the acceptance gate for the nil-safe no-op
+// default: the full instrumentation pattern an engine unit performs
+// (child span, a couple of counter flushes, end) must cost low
+// single-digit nanoseconds when tracing is off, so the hot loops can stay
+// instrumented unconditionally.
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *Tracer
+	parent := tr.Start("run", "r")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := parent.Child("fixpoint", "intersect")
+		sp.Count("intersect.items", int64(i))
+		sp.Count("rels.pops", int64(i))
+		sp.SetAttr("verdict", "verified")
+		sp.End()
+	}
+}
+
+// discardSink measures tracer overhead without sink I/O cost.
+type discardSink struct{}
+
+func (discardSink) Emit(*Event) {}
+func (discardSink) Close() error { return nil }
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := New(discardSink{})
+	parent := tr.Start("run", "r")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := parent.Child("fixpoint", "intersect")
+		sp.Count("intersect.items", int64(i))
+		sp.End()
+	}
+}
+
+func BenchmarkJSONLSinkEmit(b *testing.B) {
+	tr := New(NewJSONLSink(io.Discard))
+	parent := tr.Start("run", "r")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := parent.Child("page", "p.php")
+		sp.Count("grammar.prods", 100)
+		sp.End()
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// The debug endpoint serves three things for a run in flight:
+//
+//	/debug/progress   live JSON Snapshot (pages/hotspots done, degraded,
+//	                  findings, counter totals)
+//	/debug/vars       expvar, including the tracer's counters and progress
+//	                  under "sqlciv"
+//	/debug/pprof/     the standard pprof handlers
+//
+// One tracer at a time owns the expvar export (the process-global expvar
+// namespace admits each name once); ServeDebug/PublishExpvar swap the
+// current tracer in atomically, so sequential runs in one process each see
+// their own numbers.
+
+var (
+	expvarOnce   sync.Once
+	debugCurrent atomic.Pointer[Tracer]
+)
+
+// PublishExpvar makes t the tracer behind the process-wide "sqlciv" expvar
+// (counter totals + progress gauge). Safe to call repeatedly; the latest
+// tracer wins.
+func PublishExpvar(t *Tracer) {
+	debugCurrent.Store(t)
+	expvarOnce.Do(func() {
+		expvar.Publish("sqlciv", expvar.Func(func() any {
+			return debugCurrent.Load().Progress()
+		}))
+	})
+}
+
+// DebugHandler returns the debug mux for t. It also publishes t's expvar
+// export.
+func DebugHandler(t *Tracer) http.Handler {
+	PublishExpvar(t)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(t.Progress())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("sqlciv debug endpoint\n\n/debug/progress\n/debug/vars\n/debug/pprof/\n"))
+	})
+	return mux
+}
+
+// ServeDebug starts the debug endpoint on addr (e.g. "localhost:6060") and
+// returns the bound address and a shutdown func. The server runs until the
+// shutdown func is called; serving errors after a successful bind are
+// dropped (the endpoint is best-effort diagnostics, not a service).
+func ServeDebug(addr string, t *Tracer) (bound string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: DebugHandler(t)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDebugProgressEndpoint(t *testing.T) {
+	tr := New()
+	tr.AddPagesTotal(5)
+	tr.PageDone(false)
+	sp := tr.Start("page", "p")
+	sp.Count("grammar.prods", 11)
+	sp.End()
+
+	srv := httptest.NewServer(DebugHandler(tr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.PagesTotal != 5 || snap.PagesDone != 1 {
+		t.Fatalf("progress = %+v", snap)
+	}
+	if snap.Counters["grammar.prods"] != 11 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+}
+
+func TestDebugVarsAndIndex(t *testing.T) {
+	tr := New()
+	tr.AddPagesTotal(2)
+	srv := httptest.NewServer(DebugHandler(tr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"sqlciv"`) {
+		t.Fatalf("expvar missing sqlciv export: %s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "/debug/progress") {
+		t.Fatalf("index page wrong: %s", body)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	tr := New()
+	addr, shutdown, err := ServeDebug("127.0.0.1:0", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr + "/debug/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

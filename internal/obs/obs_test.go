@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// collectSink buffers events in memory for assertions.
+type collectSink struct {
+	mu     sync.Mutex
+	events []Event
+	closed bool
+}
+
+func (c *collectSink) Emit(e *Event) {
+	c.mu.Lock()
+	c.events = append(c.events, *e)
+	c.mu.Unlock()
+}
+
+func (c *collectSink) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return nil
+}
+
+func TestSpanHierarchyAndCounters(t *testing.T) {
+	sink := &collectSink{}
+	tr := New(sink)
+	root := tr.Start("run", "analyze-app", Attr{"entries", "2"})
+	child := root.Child("page", "index.php")
+	child.SetLane(3)
+	grand := child.Child("fixpoint", "intersect")
+	if grand.lane != 3 {
+		t.Fatalf("child lane not inherited: %d", grand.lane)
+	}
+	grand.Count("intersect.items", 41)
+	grand.Count("intersect.items", 1)
+	grand.End()
+	child.SetAttr("degraded", "step-limit")
+	child.End()
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !sink.closed {
+		t.Fatal("sink not closed")
+	}
+	if len(sink.events) != 3 {
+		t.Fatalf("want 3 events, got %d", len(sink.events))
+	}
+	// Events arrive in End order: grand, child, root.
+	g, c, r := sink.events[0], sink.events[1], sink.events[2]
+	if g.Parent != c.ID || c.Parent != r.ID || r.Parent != 0 {
+		t.Fatalf("parent chain broken: %+v", sink.events)
+	}
+	if g.Counters["intersect.items"] != 42 {
+		t.Fatalf("span counter = %d", g.Counters["intersect.items"])
+	}
+	if c.Attrs["degraded"] != "step-limit" {
+		t.Fatalf("attr missing: %+v", c.Attrs)
+	}
+	if g.Lane != 3 || c.Lane != 3 {
+		t.Fatalf("lanes: grand %d child %d", g.Lane, c.Lane)
+	}
+	if got := tr.Counters()["intersect.items"]; got != 42 {
+		t.Fatalf("run counter = %d", got)
+	}
+	if names := tr.CounterNames(); len(names) != 1 || names[0] != "intersect.items" {
+		t.Fatalf("counter names = %v", names)
+	}
+}
+
+func TestNilTracerAndSpanAreNoops(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("run", "x")
+	if sp != nil {
+		t.Fatal("nil tracer must produce nil spans")
+	}
+	// None of these may panic.
+	sp.Count("k", 1)
+	sp.SetAttr("a", "b")
+	sp.SetLane(5)
+	child := sp.Child("c", "n")
+	if child != nil {
+		t.Fatal("nil span must produce nil children")
+	}
+	child.End()
+	sp.End()
+	if sp.ID() != 0 {
+		t.Fatal("nil span id must be 0")
+	}
+	if lane := tr.AcquireLane(); lane != 0 {
+		t.Fatalf("nil tracer lane = %d", lane)
+	}
+	tr.ReleaseLane(0)
+	tr.AddPagesTotal(3)
+	tr.PageDone(true)
+	tr.AddHotspotsTotal(2)
+	tr.HotspotDone(false)
+	tr.AddFindings(1)
+	if snap := tr.Progress(); snap.PagesTotal != 0 {
+		t.Fatalf("nil tracer progress = %+v", snap)
+	}
+	if tr.Counters() != nil || tr.CounterNames() != nil {
+		t.Fatal("nil tracer counters must be nil")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLanePoolBoundedByConcurrency(t *testing.T) {
+	tr := New()
+	a := tr.AcquireLane()
+	b := tr.AcquireLane()
+	if a != 0 || b != 1 {
+		t.Fatalf("lanes = %d,%d", a, b)
+	}
+	tr.ReleaseLane(a)
+	if c := tr.AcquireLane(); c != 0 {
+		t.Fatalf("released lane not reused: %d", c)
+	}
+	if d := tr.AcquireLane(); d != 2 {
+		t.Fatalf("next fresh lane = %d", d)
+	}
+}
+
+func TestConcurrentSpansAndLanes(t *testing.T) {
+	sink := &collectSink{}
+	tr := New(sink)
+	root := tr.Start("run", "r")
+	var wg sync.WaitGroup
+	const workers = 8
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lane := tr.AcquireLane()
+			defer tr.ReleaseLane(lane)
+			sp := root.Child("page", fmt.Sprintf("p%d.php", i))
+			sp.SetLane(lane)
+			sp.Count("steps", int64(i))
+			sp.End()
+			tr.PageDone(i%2 == 0)
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if len(sink.events) != workers+1 {
+		t.Fatalf("events = %d", len(sink.events))
+	}
+	for _, e := range sink.events[:workers] {
+		if e.Lane < 0 || e.Lane >= workers {
+			t.Fatalf("lane out of range: %d", e.Lane)
+		}
+	}
+	snap := tr.Progress()
+	if snap.PagesDone != workers || snap.PagesDegraded != workers/2 {
+		t.Fatalf("progress = %+v", snap)
+	}
+}
+
+func TestProgressSnapshot(t *testing.T) {
+	tr := New()
+	tr.AddPagesTotal(4)
+	tr.PageDone(false)
+	tr.PageDone(true)
+	tr.AddHotspotsTotal(10)
+	tr.HotspotDone(false)
+	tr.HotspotDone(true)
+	tr.HotspotDone(true)
+	tr.AddFindings(3)
+	snap := tr.Progress()
+	if snap.PagesDone != 2 || snap.PagesTotal != 4 || snap.PagesDegraded != 1 {
+		t.Fatalf("pages: %+v", snap)
+	}
+	if snap.HotspotsDone != 3 || snap.HotspotsTotal != 10 || snap.HotspotsDegraded != 2 {
+		t.Fatalf("hotspots: %+v", snap)
+	}
+	if snap.Findings != 3 {
+		t.Fatalf("findings: %+v", snap)
+	}
+	// The snapshot is the debug endpoint's JSON body; it must marshal.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := New(sink)
+	sp := tr.Start("hotspot", "members.php:6", Attr{"check", "1"})
+	sp.Count("earley.parses", 7)
+	sp.End()
+	tr.Close()
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"id", "name", "cat", "lane", "start_us", "dur_us", "attrs", "counters"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("event JSON missing %q: %s", key, buf.String())
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// JSONLSink writes one Event as one JSON object per line — the
+// machine-readable trace log. Events round-trip through DecodeJSONL.
+type JSONLSink struct {
+	w *bufio.Writer
+	c io.Closer
+}
+
+// NewJSONLSink returns a sink writing newline-delimited Event JSON to w.
+// If w is an io.Closer it is closed by Close.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e *Event) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return // an Event is always marshalable; defensive
+	}
+	s.w.Write(b)
+	s.w.WriteByte('\n')
+}
+
+// Close implements Sink.
+func (s *JSONLSink) Close() error {
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// DecodeJSONL reads back a JSONL trace written by JSONLSink. Blank lines
+// are skipped; a malformed line is an error carrying its line number.
+func DecodeJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ChromeSink writes the Chrome trace-event format (the JSON object form,
+// {"traceEvents": [...]}), loadable in chrome://tracing and Perfetto
+// (ui.perfetto.dev). Every span becomes one complete ("ph":"X") event on
+// the thread track of its worker lane, with attributes and counters in
+// args; the span id is args.span_id so findings' span ids resolve in the
+// viewer's selection panel. Lane tracks are named via thread_name
+// metadata events the first time a lane appears.
+type ChromeSink struct {
+	w     *bufio.Writer
+	c     io.Closer
+	wrote bool
+	lanes map[int]bool
+}
+
+// chromePID is the single process id all events share; the trace models
+// one analyzer run, with lanes as threads.
+const chromePID = 1
+
+// NewChromeSink returns a sink writing a Chrome trace to w. The file is
+// valid JSON only after Close writes the closing bracket. If w is an
+// io.Closer it is closed by Close.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{w: bufio.NewWriter(w), lanes: map[int]bool{}}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	s.w.WriteString(`{"traceEvents":[`)
+	return s
+}
+
+// chromeEvent is one trace-event object.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func (s *ChromeSink) emitRaw(ce *chromeEvent) {
+	b, err := json.Marshal(ce)
+	if err != nil {
+		return
+	}
+	if s.wrote {
+		s.w.WriteByte(',')
+	}
+	s.wrote = true
+	s.w.WriteByte('\n')
+	s.w.Write(b)
+}
+
+// Emit implements Sink.
+func (s *ChromeSink) Emit(e *Event) {
+	if !s.lanes[e.Lane] {
+		s.lanes[e.Lane] = true
+		s.emitRaw(&chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: e.Lane,
+			Args: map[string]any{"name": "worker-" + strconv.Itoa(e.Lane)},
+		})
+	}
+	args := make(map[string]any, len(e.Attrs)+len(e.Counters)+2)
+	args["span_id"] = e.ID
+	if e.Parent != 0 {
+		args["parent_id"] = e.Parent
+	}
+	for k, v := range e.Attrs {
+		args[k] = v
+	}
+	for k, v := range e.Counters {
+		args[k] = v
+	}
+	// Chrome's viewer drops zero-duration complete events; clamp to 1µs so
+	// every span stays visible.
+	dur := e.DurUS
+	if dur <= 0 {
+		dur = 1
+	}
+	s.emitRaw(&chromeEvent{
+		Name: e.Name, Cat: e.Cat, Ph: "X",
+		TS: e.StartUS, Dur: dur, PID: chromePID, TID: e.Lane, Args: args,
+	})
+}
+
+// Close terminates the JSON document and closes the underlying writer.
+func (s *ChromeSink) Close() error {
+	s.w.WriteString("\n]}\n")
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{ID: 1, Name: "analyze-app", Cat: "run", StartUS: 0, DurUS: 5000},
+		{ID: 2, Parent: 1, Name: "index.php", Cat: "page", Lane: 0, StartUS: 10, DurUS: 900,
+			Attrs:    map[string]string{"entry": "index.php"},
+			Counters: map[string]int64{"grammar.prods": 1204, "intersect.items": 33}},
+		{ID: 3, Parent: 1, Name: "members.php:6 mysql_query", Cat: "hotspot", Lane: 1,
+			StartUS: 1000, DurUS: 0, // zero-duration span must survive both formats
+			Attrs: map[string]string{"verdict": "vulnerable", "file": "members.php", "line": "6"}},
+	}
+}
+
+// TestJSONLRoundTrip is the decoder test the trace format contract rests
+// on: events written by the sink decode back exactly.
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	in := sampleEvents()
+	for i := range in {
+		sink.Emit(&in[i])
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-trip count: want %d got %d", len(in), len(out))
+	}
+	for i := range in {
+		a, _ := json.Marshal(in[i])
+		b, _ := json.Marshal(out[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("event %d drifted:\n in: %s\nout: %s", i, a, b)
+		}
+	}
+}
+
+func TestDecodeJSONLRejectsGarbage(t *testing.T) {
+	_, err := DecodeJSONL(strings.NewReader("{\"id\":1}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewChromeSink(&buf)
+	in := sampleEvents()
+	for i := range in {
+		sink.Emit(&in[i])
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The file must be one valid JSON document of the object form.
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   *int64         `json:"ts"`
+			Dur  int64          `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	var complete, meta int
+	lanesNamed := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+			if e.Name != "thread_name" {
+				t.Fatalf("unexpected metadata event %q", e.Name)
+			}
+			lanesNamed[e.TID] = true
+		case "X":
+			complete++
+			if e.TS == nil {
+				t.Fatalf("complete event without ts: %+v", e)
+			}
+			if e.Dur <= 0 {
+				t.Fatalf("complete event must have positive dur (Chrome drops 0): %+v", e)
+			}
+			if e.PID != chromePID {
+				t.Fatalf("pid = %d", e.PID)
+			}
+			if _, ok := e.Args["span_id"]; !ok {
+				t.Fatalf("span_id missing from args: %+v", e.Args)
+			}
+		default:
+			t.Fatalf("unexpected ph %q", e.Ph)
+		}
+	}
+	if complete != len(sampleEvents()) {
+		t.Fatalf("complete events = %d", complete)
+	}
+	// Lanes 0 and 1 appear, so two thread_name records.
+	if meta != 2 || !lanesNamed[0] || !lanesNamed[1] {
+		t.Fatalf("thread metadata wrong: %d named %v", meta, lanesNamed)
+	}
+	// The hotspot event's attrs and ids must surface in args.
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Cat == "hotspot" {
+			found = true
+			if e.Args["verdict"] != "vulnerable" || e.Args["parent_id"] != float64(1) {
+				t.Fatalf("hotspot args: %+v", e.Args)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("hotspot event missing")
+	}
+}
+
+// TestChromeTraceFromTracer drives the full pipeline: tracer -> spans ->
+// chrome file, checking parallel-looking lanes render as separate tids.
+func TestChromeTraceFromTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewChromeSink(&buf))
+	root := tr.Start("run", "r")
+	for lane := 0; lane < 3; lane++ {
+		sp := root.Child("page", "p.php")
+		sp.SetLane(lane)
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			TID int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	tids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			tids[e.TID] = true
+		}
+	}
+	if len(tids) != 3 {
+		t.Fatalf("want 3 lanes, got %v", tids)
+	}
+}

@@ -3,6 +3,7 @@ package policy
 import (
 	"sqlciv/internal/budget"
 	"sqlciv/internal/grammar"
+	"sqlciv/internal/obs"
 )
 
 // Check 2 support: quote-parity contexts. The parity DFA's four states are
@@ -28,6 +29,6 @@ func (ci *contextInfo) literalOnly(nt grammar.Sym) (occurs, literal bool) {
 
 // computeContexts runs the shared relation/context machinery over the
 // quote-parity DFA.
-func (c *Checker) computeContexts(g *grammar.Grammar, root grammar.Sym, parityRels [][]uint32, minLens []int64, b *budget.Budget) *contextInfo {
-	return &contextInfo{ctx: grammar.ContextsMinB(g, root, c.oddQuotes, parityRels, minLens, b)}
+func (c *Checker) computeContexts(g *grammar.Grammar, root grammar.Sym, parityRels [][]uint32, minLens []int64, b *budget.Budget, sp *obs.Span) *contextInfo {
+	return &contextInfo{ctx: grammar.ContextsMinT(g, root, c.oddQuotes, parityRels, minLens, b, sp)}
 }

@@ -12,7 +12,7 @@ func contexts(t *testing.T, g *grammar.Grammar, root grammar.Sym) *contextInfo {
 	t.Helper()
 	c := New()
 	rels := grammar.Rels(g, c.oddQuotes)
-	return c.computeContexts(g, root, rels, g.MinLens(), nil)
+	return c.computeContexts(g, root, rels, g.MinLens(), nil, nil)
 }
 
 func TestContextLiteralDetection(t *testing.T) {

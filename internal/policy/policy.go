@@ -29,6 +29,7 @@ import (
 	"sqlciv/internal/budget"
 	"sqlciv/internal/deriv"
 	"sqlciv/internal/grammar"
+	"sqlciv/internal/obs"
 	"sqlciv/internal/rx"
 	"sqlciv/internal/sqlgram"
 )
@@ -377,6 +378,15 @@ func DegradedResult(r any, b *budget.Budget) *Result {
 // results are not cached: they depend on timing and remaining budget, and a
 // retry with a larger budget could succeed.
 func (c *Checker) CheckHotspotB(g *grammar.Grammar, root grammar.Sym, b *budget.Budget) (res *Result) {
+	return c.CheckHotspotT(g, root, b, nil)
+}
+
+// CheckHotspotT is CheckHotspotB observed by sp (normally the hotspot span
+// the core driver opened): each cascade stage and the derivability session
+// get child spans carrying their fixpoint counters, and the verdict-cache
+// outcome lands on sp itself (attr "verdict-cache", counters
+// "verdict.cache.hits"/"verdict.cache.misses"). A nil sp traces nothing.
+func (c *Checker) CheckHotspotT(g *grammar.Grammar, root grammar.Sym, b *budget.Budget, sp *obs.Span) (res *Result) {
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
@@ -390,11 +400,15 @@ func (c *Checker) CheckHotspotB(g *grammar.Grammar, root grammar.Sym, b *budget.
 		fp = g.Fingerprint(root)
 		if v, ok := c.verdicts.Load(fp); ok {
 			c.cacheHits.Add(1)
+			sp.SetAttr("verdict-cache", "hit")
+			sp.Count("verdict.cache.hits", 1)
 			out := *v.(*Result)
 			out.CheckTime = time.Since(start)
 			return &out
 		}
 		c.cacheMisses.Add(1)
+		sp.SetAttr("verdict-cache", "miss")
+		sp.Count("verdict.cache.misses", 1)
 	}
 	scratch, remap := g.Extract(root)
 	sroot := remap[root]
@@ -411,17 +425,22 @@ func (c *Checker) CheckHotspotB(g *grammar.Grammar, root grammar.Sym, b *budget.
 			vl = append(vl, nt)
 		}
 	}
+	sp.Count("policy.labeled-nts", int64(len(vl)))
 	res = &Result{LabeledNTs: len(vl)}
 	var undecided []grammar.Sym
 	if c.UseMarkerConstruction {
-		undecided = c.cascadeReference(scratch, sroot, vl, res, b)
+		undecided = c.cascadeReference(scratch, sroot, vl, res, b, sp)
 	} else {
-		undecided = c.cascadeFast(scratch, sroot, vl, minLens, res, b)
+		undecided = c.cascadeFast(scratch, sroot, vl, minLens, res, b, sp)
 	}
 
 	// Check 5: derivability of the whole query grammar covers the rest.
 	if len(undecided) > 0 {
-		if _, ok := c.deriv.DerivableB(scratch, sroot, []grammar.Sym{c.sql.Start}, b); !ok {
+		c5 := sp.Child("check", "5:derivability", obs.Attr{Key: "undecided", Val: fmt.Sprint(len(undecided))})
+		_, ok := c.deriv.DerivableT(scratch, sroot, []grammar.Sym{c.sql.Start}, b, c5)
+		c5.SetAttr("derivable", fmt.Sprint(ok))
+		c5.End()
+		if !ok {
 			for _, x := range undecided {
 				w, _ := scratch.WitnessString(x)
 				res.Reports = append(res.Reports, Report{NT: x, Label: scratch.LabelOf(x), Check: CheckNotDerivable, Witness: w, Source: scratch.RawName(x)})
@@ -448,39 +467,42 @@ func (c *Checker) CheckHotspotB(g *grammar.Grammar, root grammar.Sym, b *budget.
 
 // cascadeReference runs checks 1–4 with the paper's original constructions:
 // per-nonterminal regular intersections and the marker-terminal context
-// grammar. Kept for differential testing against the fast path.
-func (c *Checker) cascadeReference(scratch *grammar.Grammar, sroot grammar.Sym, vl []grammar.Sym, res *Result, b *budget.Budget) []grammar.Sym {
+// grammar. Kept for differential testing against the fast path. One child
+// span collects the per-nonterminal intersection traffic.
+func (c *Checker) cascadeReference(scratch *grammar.Grammar, sroot grammar.Sym, vl []grammar.Sym, res *Result, b *budget.Budget, hsp *obs.Span) []grammar.Sym {
+	sp := hsp.Child("check", "1-4:marker-reference")
+	defer sp.End()
 	var undecided []grammar.Sym
 	for _, x := range vl {
 		label := scratch.LabelOf(x)
 
 		// Check 1: odd number of unescaped quotes.
-		if w, ok := grammar.IntersectWitnessB(scratch, x, c.oddQuotes, b); ok {
+		if w, ok := grammar.IntersectWitnessT(scratch, x, c.oddQuotes, b, sp); ok {
 			res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckUnconfinableQuotes, Witness: w, Source: scratch.RawName(x)})
 			continue
 		}
 
 		// Check 2: string-literal position via the marker construction.
 		rt := scratch.ReplaceWithMarker(sroot, x)
-		if !markerAppears(rt, b) {
+		if !markerAppears(rt, b, sp) {
 			continue // X never reaches the query text
 		}
-		if grammar.IntersectEmptyB(rt, rt.Start(), c.evenCtx, b) {
-			if w, ok := grammar.IntersectWitnessB(scratch, x, c.unescQuote, b); ok {
+		if grammar.IntersectEmptyT(rt, rt.Start(), c.evenCtx, b, sp) {
+			if w, ok := grammar.IntersectWitnessT(scratch, x, c.unescQuote, b, sp); ok {
 				res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckLiteralEscape, Witness: w, Source: scratch.RawName(x)})
 			}
 			continue
 		}
 
 		// Check 3: numeric literals only.
-		if grammar.IntersectEmptyB(scratch, x, c.nonNumeric, b) {
+		if grammar.IntersectEmptyT(scratch, x, c.nonNumeric, b, sp) {
 			continue
 		}
 
 		// Check 4: known-unconfinable fragments.
 		attacked := false
 		for _, atk := range c.attackDFAs {
-			if w, ok := grammar.IntersectWitnessB(scratch, x, atk.dfa, b); ok {
+			if w, ok := grammar.IntersectWitnessT(scratch, x, atk.dfa, b, sp); ok {
 				res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckAttackString, Witness: w, Source: scratch.RawName(x)})
 				attacked = true
 				break
@@ -496,20 +518,36 @@ func (c *Checker) cascadeReference(scratch *grammar.Grammar, sroot grammar.Sym, 
 
 // cascadeFast runs checks 1–4 using one relation fixpoint per check DFA
 // (rels.go) and the one-pass quote-parity context analysis (context.go),
-// extracting witnesses only for reported nonterminals.
-func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []grammar.Sym, minLens []int64, res *Result, b *budget.Budget) []grammar.Sym {
-	oddRel := grammar.RelsMinB(scratch, c.oddQuotes, minLens, b)
-	ctxInfo := c.computeContexts(scratch, sroot, oddRel, minLens, b)
-	unescRel := grammar.RelsMinB(scratch, c.unescQuote, minLens, b)
-	numRel := grammar.RelsMinB(scratch, c.nonNumeric, minLens, b)
+// extracting witnesses only for reported nonterminals. Each check's
+// fixpoint gets its own child span under hsp; witness extraction for a
+// reported nonterminal is traced as a "witness" span naming the check.
+func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []grammar.Sym, minLens []int64, res *Result, b *budget.Budget, hsp *obs.Span) []grammar.Sym {
+	c1 := hsp.Child("check", "1:odd-unescaped-quotes")
+	oddRel := grammar.RelsMinT(scratch, c.oddQuotes, minLens, b, c1)
+	c1.End()
+	c2 := hsp.Child("check", "2:string-literal-position")
+	ctxInfo := c.computeContexts(scratch, sroot, oddRel, minLens, b, c2)
+	unescRel := grammar.RelsMinT(scratch, c.unescQuote, minLens, b, c2)
+	c2.End()
+	c3 := hsp.Child("check", "3:numeric-literal")
+	numRel := grammar.RelsMinT(scratch, c.nonNumeric, minLens, b, c3)
+	c3.End()
+	c4 := hsp.Child("check", "4:attack-string")
 	attackRels := make([][][]uint32, len(c.attackDFAs))
 	for i, atk := range c.attackDFAs {
-		attackRels[i] = grammar.RelsMinB(scratch, atk.dfa, minLens, b)
+		attackRels[i] = grammar.RelsMinT(scratch, atk.dfa, minLens, b, c4)
 	}
+	c4.End()
 	// RelNonempty falls back to an intersection when a DFA is too large for
 	// the relation representation (does not happen with the built-ins).
 	nonempty := func(rel [][]uint32, d *automata.DFA, x grammar.Sym) bool {
 		return grammar.RelNonemptyB(rel, d, scratch, x, b)
+	}
+	witness := func(check Check, x grammar.Sym, d *automata.DFA) string {
+		wsp := hsp.Child("witness", check.String(), obs.Attr{Key: "nt", Val: scratch.Name(x)})
+		w, _ := grammar.IntersectWitnessT(scratch, x, d, b, wsp)
+		wsp.End()
+		return w
 	}
 	var undecided []grammar.Sym
 	for _, x := range vl {
@@ -517,7 +555,7 @@ func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []
 
 		// Check 1: odd number of unescaped quotes.
 		if nonempty(oddRel, c.oddQuotes, x) {
-			w, _ := grammar.IntersectWitnessB(scratch, x, c.oddQuotes, b)
+			w := witness(CheckUnconfinableQuotes, x, c.oddQuotes)
 			res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckUnconfinableQuotes, Witness: w, Source: scratch.RawName(x)})
 			continue
 		}
@@ -529,7 +567,7 @@ func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []
 		}
 		if literalOnly {
 			if nonempty(unescRel, c.unescQuote, x) {
-				w, _ := grammar.IntersectWitnessB(scratch, x, c.unescQuote, b)
+				w := witness(CheckLiteralEscape, x, c.unescQuote)
 				res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckLiteralEscape, Witness: w, Source: scratch.RawName(x)})
 			}
 			continue
@@ -544,7 +582,7 @@ func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []
 		attacked := false
 		for i, atk := range c.attackDFAs {
 			if nonempty(attackRels[i], atk.dfa, x) {
-				w, _ := grammar.IntersectWitnessB(scratch, x, atk.dfa, b)
+				w := witness(CheckAttackString, x, atk.dfa)
 				res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckAttackString, Witness: w, Source: scratch.RawName(x)})
 				attacked = true
 				break
@@ -560,7 +598,7 @@ func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []
 
 // markerAppears reports whether the marker terminal occurs in some string
 // of the grammar's language (i.e., X is live in the query).
-func markerAppears(g *grammar.Grammar, b *budget.Budget) bool {
+func markerAppears(g *grammar.Grammar, b *budget.Budget, sp *obs.Span) bool {
 	// A marker is live iff some derivable string contains it: intersect
 	// with (anything)* marker (anything)*, where "anything" includes the
 	// marker itself (X may occur several times in one query).
@@ -572,5 +610,5 @@ func markerAppears(g *grammar.Grammar, b *budget.Budget) bool {
 		n.AddEdge(acc, sym, acc)
 	}
 	n.AddEdge(n.Start(), automata.Marker, acc)
-	return !grammar.IntersectEmptyB(g, g.Start(), n.Determinize(), b)
+	return !grammar.IntersectEmptyT(g, g.Start(), n.Determinize(), b, sp)
 }
