@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench trace-smoke fuzz-smoke
+.PHONY: build test check bench bench-diff trace-smoke fuzz-smoke
 
 # Each fuzz target gets a short randomized burn beyond its seed corpus.
 FUZZ_TIME ?= 30s
@@ -35,6 +35,16 @@ check:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTable1' -benchtime 2x -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_table1.json
+
+# bench-diff is the performance ratchet: bench the working tree into
+# BENCH_new.json (not committed) and compare it against the committed
+# BENCH_table1.json baseline, failing on a >25% ns/op regression. The full
+# comparison lands in bench-diff.json (CI uploads it as an artifact).
+bench-diff:
+	$(GO) test -run '^$$' -bench 'BenchmarkTable1' -benchtime 2x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_new.json
+	$(GO) run ./cmd/benchdiff -max-regress-pct 25 -o bench-diff.json \
+		BENCH_table1.json BENCH_new.json
 
 # trace-smoke exercises the observability surface end to end: a -table1 run
 # with a Chrome trace (Perfetto-loadable; CI uploads it as an artifact) and

@@ -1,0 +1,159 @@
+// Command benchdiff compares two benchjson documents benchmark by benchmark
+// and fails when a tracked metric regresses beyond a threshold. It is the
+// repo's cheap performance ratchet: CI benches the working tree into a fresh
+// JSON file and diffs it against the committed BENCH_table1.json baseline.
+//
+// Usage:
+//
+//	benchdiff [-metric ns/op] [-max-regress-pct 25] [-o diff.json] old.json new.json
+//
+// The exit status is 1 when any benchmark present in both documents regressed
+// on the tracked metric by more than -max-regress-pct percent, 2 on usage or
+// I/O errors, and 0 otherwise. Benchmarks present on only one side are
+// reported but never fail the diff — adding or renaming a benchmark should
+// not break the ratchet. -o writes the full comparison as JSON (the CI job
+// uploads it as an artifact); the human-readable table always prints to
+// stdout.
+//
+// Single-digit-iteration bench runs are noisy, so the default threshold is
+// deliberately loose: the ratchet exists to catch order-of-magnitude
+// mistakes (an accidentally quadratic loop, a cache that stopped hitting),
+// not single-digit-percent drift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Command    string   `json:"command"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+// row is one benchmark's comparison in the -o artifact.
+type row struct {
+	Name string `json:"name"`
+	// Old and New are the tracked metric's values; -1 marks a side where
+	// the benchmark (or the metric) is absent.
+	Old float64 `json:"old"`
+	New float64 `json:"new"`
+	// DeltaPct is 100*(New-Old)/Old; positive = slower.
+	DeltaPct  float64 `json:"delta_pct"`
+	Regressed bool    `json:"regressed"`
+}
+
+type diffDoc struct {
+	Metric        string  `json:"metric"`
+	MaxRegressPct float64 `json:"max_regress_pct"`
+	Rows          []row   `json:"rows"`
+}
+
+func load(path string) (map[string]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]record, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		out[b.Name] = b
+	}
+	return out, nil
+}
+
+func main() {
+	metric := flag.String("metric", "ns/op", "metric to ratchet")
+	maxPct := flag.Float64("max-regress-pct", 25, "fail when the metric regresses by more than this percentage")
+	outFile := flag.String("o", "", "write the comparison as JSON to this file")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-metric ns/op] [-max-regress-pct 25] [-o diff.json] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(old)+len(cur))
+	seen := map[string]bool{}
+	for n := range old {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range cur {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	diff := diffDoc{Metric: *metric, MaxRegressPct: *maxPct}
+	regressions := 0
+	fmt.Printf("%-28s %16s %16s %9s\n", "benchmark", "old "+*metric, "new "+*metric, "delta")
+	for _, n := range names {
+		o, haveOld := old[n]
+		c, haveNew := cur[n]
+		ov, okOld := o.Metrics[*metric]
+		nv, okNew := c.Metrics[*metric]
+		r := row{Name: n, Old: -1, New: -1}
+		switch {
+		case !haveOld || !okOld:
+			r.New = nv
+			fmt.Printf("%-28s %16s %16.0f %9s\n", n, "-", nv, "new")
+		case !haveNew || !okNew:
+			r.Old = ov
+			fmt.Printf("%-28s %16.0f %16s %9s\n", n, ov, "-", "gone")
+		default:
+			r.Old, r.New = ov, nv
+			if ov != 0 {
+				r.DeltaPct = 100 * (nv - ov) / ov
+			}
+			r.Regressed = r.DeltaPct > *maxPct
+			mark := ""
+			if r.Regressed {
+				mark = "  REGRESSED"
+				regressions++
+			}
+			fmt.Printf("%-28s %16.0f %16.0f %+8.1f%%%s\n", n, ov, nv, r.DeltaPct, mark)
+		}
+		diff.Rows = append(diff.Rows, r)
+	}
+
+	if *outFile != "" {
+		data, err := json.MarshalIndent(diff, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*outFile, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% on %s\n",
+			regressions, *maxPct, *metric)
+		os.Exit(1)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"sqlciv/internal/analysis"
 	"sqlciv/internal/core"
+	"sqlciv/internal/vcache"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files from current output")
@@ -97,6 +98,45 @@ func TestGoldenJSON(t *testing.T) {
 		t.Fatalf("renderJSON: %v", err)
 	}
 	checkGolden(t, "golden_report.json", string(out)+"\n")
+}
+
+// TestGoldenStatsWarm locks the stats shape of a warm run: a cold pass
+// fills a persistent verdict cache, and a second pass over the same sources
+// answers every cacheable hotspot from disk without touching the in-memory
+// memoizer. The poisoned hotspot degrades in both passes — degraded results
+// are never cached — so it contributes no counter either way, and the warm
+// findings must match the cold ones exactly.
+func TestGoldenStatsWarm(t *testing.T) {
+	store, err := vcache.Open(filepath.Join(t.TempDir(), "vc"))
+	if err != nil {
+		t.Fatalf("vcache.Open: %v", err)
+	}
+	opts := core.Options{
+		VerdictCache: store,
+		BeforeHotspotCheck: func(h analysis.Hotspot) {
+			if h.File == "poison.php" {
+				panic("injected fault")
+			}
+		},
+	}
+	entries := []string{"poison.php", "safe.php", "vuln.php"}
+	resolver := analysis.NewMapResolver(goldenSources)
+	cold, err := core.AnalyzeApp(resolver, entries, opts)
+	if err != nil {
+		t.Fatalf("cold AnalyzeApp: %v", err)
+	}
+	if err := store.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	warm, err := core.AnalyzeApp(resolver, entries, opts)
+	if err != nil {
+		t.Fatalf("warm AnalyzeApp: %v", err)
+	}
+	checkGolden(t, "golden_stats_warm.txt", normalizeTimes(warm.Stats()))
+	if normalizeTimes(warm.Summary()) != normalizeTimes(cold.Summary()) {
+		t.Errorf("warm summary diverged from cold.\n--- cold ---\n%s\n--- warm ---\n%s",
+			cold.Summary(), warm.Summary())
+	}
 }
 
 // TestGoldenDegradedPresent guards the fixture itself: if the fault hook

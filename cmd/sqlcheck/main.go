@@ -18,6 +18,12 @@
 // over N workers, -stats prints phase wall times and cache counters,
 // -cpuprofile/-memprofile write pprof profiles of the run.
 //
+// Hotspot verdicts persist across runs in a content-addressed on-disk cache
+// (keyed by the compacted slice grammar's fingerprint plus the policy
+// version, so edits and policy changes invalidate naturally). -cache-dir
+// overrides its location (default: a sqlciv directory under the user cache
+// dir); -no-cache disables it for a run.
+//
 // Observability: -trace FILE records a span trace of the run, in JSONL
 // (-trace-format jsonl, the default) or the Chrome trace-event format
 // (-trace-format chrome, loadable in Perfetto / chrome://tracing with one
@@ -46,6 +52,7 @@ import (
 	"sqlciv/internal/analysis"
 	"sqlciv/internal/core"
 	"sqlciv/internal/corpus"
+	"sqlciv/internal/vcache"
 	"sqlciv/internal/xss"
 )
 
@@ -73,6 +80,8 @@ func run() int {
 	hotspotTimeout := flag.Duration("hotspot-timeout", 0, "wall-clock budget per hotspot check (0 = unlimited)")
 	maxSteps := flag.Int64("max-steps", 0, "abstract step budget per analysis unit (0 = unlimited)")
 	maxMem := flag.Int64("max-mem", 0, "estimated memory budget in bytes per analysis unit (0 = unlimited)")
+	cacheDir := flag.String("cache-dir", "", "persistent verdict-cache directory (default: a sqlciv dir under the user cache dir)")
+	noCache := flag.Bool("no-cache", false, "disable the persistent verdict cache")
 	flag.Var(&entries, "entry", "top-level page (repeatable)")
 	flag.Parse()
 
@@ -112,6 +121,32 @@ func run() int {
 	opts.Budget.HotspotTimeout = *hotspotTimeout
 	opts.Budget.MaxSteps = *maxSteps
 	opts.Budget.MaxMemBytes = *maxMem
+
+	// Persistent verdict cache: on by default, content-addressed, so a bad
+	// or missing cache directory only costs speed — warn and run cold.
+	if !*noCache {
+		dir := *cacheDir
+		if dir == "" {
+			d, err := vcache.DefaultDir()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sqlcheck: verdict cache disabled:", err)
+			}
+			dir = d
+		}
+		if dir != "" {
+			store, err := vcache.Open(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sqlcheck: verdict cache disabled:", err)
+			} else {
+				defer func() {
+					if err := store.Close(); err != nil {
+						fmt.Fprintln(os.Stderr, "sqlcheck: verdict cache flush:", err)
+					}
+				}()
+				opts.VerdictCache = store
+			}
+		}
+	}
 
 	tracer, stopTracing, err := setupTracer(*traceFile, *traceFormat, *progress, *debugAddr)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"sqlciv/internal/grammar"
 	"sqlciv/internal/obs"
 	"sqlciv/internal/policy"
+	"sqlciv/internal/vcache"
 )
 
 // Options configures an analysis run.
@@ -56,6 +57,14 @@ type Options struct {
 	// Finding and Degradation records the id of the span it arose under.
 	// nil disables tracing at zero cost.
 	Tracer *obs.Tracer
+	// VerdictCache, when set, persists hotspot verdicts across runs, keyed
+	// by the fingerprint of each hotspot's compacted query-grammar slice
+	// plus the policy version (see internal/vcache). The analyzer only
+	// reads and buffers entries; the caller owns the store's lifecycle and
+	// must Flush (or Close) it for this run's verdicts to reach disk.
+	// Invalid or stale entries are ignored, never trusted — a bad cache can
+	// cost time, not findings. nil disables persistence.
+	VerdictCache *vcache.Store
 }
 
 // AutoParallel maps the CLI parallelism convention onto the Options one.
@@ -184,8 +193,17 @@ type AppResult struct {
 	// the analysis result proper.
 	VerdictCacheHits   int64
 	VerdictCacheMisses int64
+	DiskCacheHits      int64
+	DiskCacheMisses    int64
 	ParseCacheHits     int64
 	ParseCacheMisses   int64
+	// Slice-compaction census summed across hotspot checks: the |V| / |R|
+	// of the extracted per-hotspot slices, and of the compacted grammars
+	// the cascade fixpoints actually ran over.
+	SliceNTs     int64
+	SliceProds   int64
+	CompactNTs   int64
+	CompactProds int64
 }
 
 // Stats renders the run's performance counters (phase wall times and cache
@@ -196,7 +214,10 @@ func (r *AppResult) Stats() string {
 		r.StringAnalysisTime.Round(time.Millisecond), r.StringAnalysisWall.Round(time.Millisecond))
 	fmt.Fprintf(&b, "policy-check:    %v total across hotspots, %v wall\n",
 		r.CheckTime.Round(time.Millisecond), r.CheckWall.Round(time.Millisecond))
-	fmt.Fprintf(&b, "verdict cache:   %d hits, %d misses\n", r.VerdictCacheHits, r.VerdictCacheMisses)
+	fmt.Fprintf(&b, "verdict cache:   %d hits, %d misses (memo); %d hits, %d misses (disk)\n",
+		r.VerdictCacheHits, r.VerdictCacheMisses, r.DiskCacheHits, r.DiskCacheMisses)
+	fmt.Fprintf(&b, "compaction:      slices |V|=%d |R|=%d -> compacted |V|=%d |R|=%d\n",
+		r.SliceNTs, r.SliceProds, r.CompactNTs, r.CompactProds)
 	fmt.Fprintf(&b, "parse cache:     %d hits, %d misses\n", r.ParseCacheHits, r.ParseCacheMisses)
 	fmt.Fprintf(&b, "budget:          %d steps, %d B peak unit mem, %d degraded hotspots, %d degraded pages\n",
 		r.BudgetSteps, r.BudgetMemHigh, r.DegradedHotspots, r.DegradedPages)
@@ -341,6 +362,7 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 	p2 := tr.Start("phase", "policy-check")
 	checker := policy.New()
 	checker.Memoize = true
+	checker.Disk = opts.VerdictCache
 	type job struct{ page, slot int }
 	var jobs []job
 	for i := range pages {
@@ -358,9 +380,10 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 		hsp.SetLane(lane)
 		hb := budget.New(ctx, unitLimits)
 		pr := func() (pr *policy.Result) {
-			// CheckHotspotT recovers its own interior; this outer recovery
-			// isolates the hook (and any future pre-check code) so one
-			// poisoned hotspot degrades alone instead of killing a worker.
+			// CheckSlice recovers its own interior; this outer recovery
+			// isolates the hook, slice preparation (extraction, compaction,
+			// cache probes), and any future pre-check code, so one poisoned
+			// hotspot degrades alone instead of killing a worker.
 			defer func() {
 				if r := recover(); r != nil {
 					pr = policy.DegradedResult(r, hb)
@@ -369,7 +392,8 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 			if opts.BeforeHotspotCheck != nil {
 				opts.BeforeHotspotCheck(h)
 			}
-			return checker.CheckHotspotT(page.Analysis.G, h.Root, hb, hsp)
+			slice := checker.PrepareSlice(page.Analysis.G, h.Root, hb, hsp)
+			return checker.CheckSlice(slice, hb, hsp)
 		}()
 		hsp.SetAttr("verdict", pr.Verdict.String())
 		if pr.Verdict == policy.VerdictUnknown {
@@ -403,6 +427,7 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 	p2.End()
 	res.CheckWall = time.Since(wall2)
 	res.VerdictCacheHits, res.VerdictCacheMisses = checker.VerdictCacheStats()
+	res.DiskCacheHits, res.DiskCacheMisses = checker.DiskCacheStats()
 	if pc, ok := resolver.(parseCacheStats); ok {
 		h, m := pc.ParseCacheStats()
 		res.ParseCacheHits, res.ParseCacheMisses = h-parseHits0, m-parseMisses0
@@ -431,6 +456,10 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 		}
 		for _, hr := range page.Hotspots {
 			res.CheckTime += hr.Policy.CheckTime
+			res.SliceNTs += int64(hr.Policy.SliceNTs)
+			res.SliceProds += int64(hr.Policy.SliceProds)
+			res.CompactNTs += int64(hr.Policy.CompactNTs)
+			res.CompactProds += int64(hr.Policy.CompactProds)
 			res.BudgetSteps += hr.Policy.BudgetSteps
 			if hr.Policy.BudgetMemHigh > res.BudgetMemHigh {
 				res.BudgetMemHigh = hr.Policy.BudgetMemHigh

@@ -1,0 +1,538 @@
+package grammar
+
+import "sqlciv/internal/budget"
+
+// Slice compaction. The policy cascade's fixpoints (relations, contexts,
+// emptiness) are language- and label-level properties of the hotspot's query
+// grammar, so they may run on any smaller grammar with the same language and
+// the same labeled nonterminals. CompactSlice produces that smaller grammar:
+// it trims productions that can never complete, collapses unit/alias chains,
+// and inlines single-production nonterminals so runs of terminal symbols end
+// up packed into one production. On the Table 1 subjects this shrinks the
+// ~70k-production per-hotspot slices by an order of magnitude before the
+// per-DFA relation fixpoints run over them.
+//
+// Witness extraction and the structural derivability check (check 5) are NOT
+// language-level — witnesses tie-break on derivation-tree size and
+// derivability applies heuristic caps — so the policy layer keeps running
+// those on the original slice. Compaction therefore never changes a report.
+
+// CompactStats summarizes one CompactSlice run.
+type CompactStats struct {
+	// NTsIn / ProdsIn census the input sub-grammar reachable from root.
+	NTsIn, ProdsIn int
+	// NTsOut / ProdsOut census the compacted grammar (including the
+	// synthetic super-root, when one was needed).
+	NTsOut, ProdsOut int
+	// DroppedProds counts productions removed because a right-hand-side
+	// nonterminal derives nothing, plus duplicate productions.
+	DroppedProds int
+	// InlinedNTs counts nonterminals eliminated by unit/alias collapse and
+	// chain inlining.
+	InlinedNTs int
+	// Passes is the number of collapse passes run before the fixpoint.
+	Passes int
+}
+
+// Compacted is the result of CompactSlice.
+type Compacted struct {
+	// G is the compacted grammar.
+	G *Grammar
+	// Root is the image of the requested root in G.
+	Root Sym
+	// Top is the fingerprint root: Root itself, or a synthetic unlabeled
+	// super-root whose alternatives are Root plus every surviving labeled
+	// nonterminal that production trimming disconnected from Root. Hashing
+	// from Top makes G.Fingerprint(Top) cover every nonterminal the policy
+	// cascade can report on, so it is a sound content-address for verdicts.
+	Top Sym
+	// Fwd maps surviving input nonterminals to their images in G. Labeled
+	// productive nonterminals always survive; eliminated (inlined or
+	// unproductive) nonterminals have no entry.
+	Fwd map[Sym]Sym
+}
+
+// inlineExpandMax bounds duplication: a nonterminal occurring more than once
+// is inlined only when its full expansion stays this short. Single-occurrence
+// nonterminals always inline — that strictly shrinks the grammar.
+const inlineExpandMax = 4
+
+// maxCompactPasses caps the collapse loop; each pass only fires when the
+// previous one created new single-production nonterminals via deduplication,
+// which converges in practice within two.
+const maxCompactPasses = 4
+
+// CompactSlice compacts the sub-grammar reachable from root, preserving its
+// language exactly and its labeled productive nonterminals individually
+// (same label, same raw name, same language per nonterminal). The result is
+// deterministic and commutes with α-renaming and production permutation of
+// the input, so Fingerprint(Top) of the compacted grammar is a canonical
+// content-address for the slice. Work is metered against b.
+func CompactSlice(g *Grammar, root Sym, b *budget.Budget) (*Compacted, CompactStats) {
+	n := g.NumNTs()
+	idx := func(s Sym) int { return int(s) - NumTerminals }
+	rootI := idx(root)
+	var stats CompactStats
+
+	// Working copy of the production lists; rows are rewritten in place
+	// across passes and materialized into a fresh Grammar at the end.
+	ps := make([][][]Sym, n)
+	reach := g.Reachable(root)
+	for i, ok := range reach {
+		if ok {
+			ps[i] = append([][]Sym(nil), g.prods[i]...)
+			stats.NTsIn++
+			stats.ProdsIn += len(ps[i])
+		}
+	}
+
+	// Productivity trim: a production mentioning a nonterminal that derives
+	// nothing can never complete; dropping it changes no language. An
+	// unproductive nonterminal loses all its productions (its language is
+	// empty either way) and is dropped from every survivor set below.
+	// The emptiness fixpoint is restricted to the reachable slice — a
+	// reachable nonterminal's shortest derivation only ever uses
+	// nonterminals reachable from it — so compacting one hotspot of a large
+	// page grammar never pays for the whole grammar.
+	minLens := make([]int64, n)
+	for i := range minLens {
+		minLens[i] = -1
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, ok := range reach {
+			if !ok {
+				continue
+			}
+			for _, rhs := range g.prods[i] {
+				total := int64(0)
+				ok := true
+				for _, s := range rhs {
+					if IsTerminal(s) {
+						total++
+						continue
+					}
+					l := minLens[idx(s)]
+					if l < 0 {
+						ok = false
+						break
+					}
+					total += l
+				}
+				if ok && (minLens[i] < 0 || total < minLens[i]) {
+					minLens[i] = total
+					changed = true
+				}
+			}
+		}
+	}
+	productive := func(i int) bool { return minLens[i] >= 0 }
+	for i := range ps {
+		if ps[i] == nil {
+			continue
+		}
+		if !productive(i) {
+			stats.DroppedProds += len(ps[i])
+			ps[i] = nil
+			continue
+		}
+		kept := ps[i][:0]
+		for _, rhs := range ps[i] {
+			b.Step(1)
+			ok := true
+			for _, s := range rhs {
+				if !IsTerminal(s) && !productive(idx(s)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, rhs)
+			} else {
+				stats.DroppedProds++
+			}
+		}
+		ps[i] = kept
+	}
+
+	mark := make([]bool, n)
+	memo := make([][]Sym, n)
+	state := make([]byte, n) // 0 unvisited, 1 expanding, 2 done
+	occ := make([]int32, n)
+	for pass := 0; pass < maxCompactPasses; pass++ {
+		stats.Passes = pass + 1
+		changed := dedupProds(ps, &stats, b)
+
+		// Mark collapse candidates: unlabeled, not the root, exactly one
+		// production. Every marked nonterminal is replaced by its (unique)
+		// expansion at every occurrence — unit/alias chains collapse and
+		// terminal runs pack into the consuming production.
+		for i := range occ {
+			occ[i] = 0
+		}
+		for i := range ps {
+			for _, rhs := range ps[i] {
+				for _, s := range rhs {
+					if !IsTerminal(s) {
+						occ[idx(s)]++
+					}
+				}
+			}
+		}
+		anyMark := false
+		for i := range ps {
+			mark[i] = ps[i] != nil && len(ps[i]) == 1 && g.labels[i] == 0 && i != rootI
+			anyMark = anyMark || mark[i]
+		}
+		if anyMark {
+			// Expansion must terminate: demote every mark on a cycle of the
+			// marked→marked dependency subgraph. Cycle membership is a set
+			// property, so the surviving mark set — and with it the compacted
+			// shape — is independent of input numbering and traversal order.
+			demoteMarkedCycles(ps, mark, idx)
+		}
+		anyMark = false
+		for i := range mark {
+			memo[i] = nil
+			state[i] = 0
+			anyMark = anyMark || mark[i]
+		}
+		if !anyMark {
+			if !changed {
+				break
+			}
+			continue
+		}
+
+		// Bottom-up expansion over the (now acyclic) marked subgraph. A
+		// multi-occurrence nonterminal whose full expansion is long is
+		// demoted rather than duplicated; the decision depends only on its
+		// descendants' final status, so any evaluation order agrees.
+		var expand func(i int) []Sym
+		expand = func(i int) []Sym {
+			if !mark[i] {
+				return nil
+			}
+			if state[i] == 2 {
+				return memo[i]
+			}
+			state[i] = 2
+			rhs := ps[i][0]
+			out := make([]Sym, 0, len(rhs))
+			for _, s := range rhs {
+				if !IsTerminal(s) {
+					j := idx(s)
+					e := expand(j)
+					if mark[j] {
+						out = append(out, e...)
+						continue
+					}
+				}
+				out = append(out, s)
+			}
+			b.Step(int64(len(out)) + 1)
+			if occ[i] > 1 && len(out) > inlineExpandMax {
+				mark[i] = false
+				return nil
+			}
+			memo[i] = out
+			return out
+		}
+		for i := range mark {
+			if mark[i] {
+				expand(i)
+			}
+		}
+
+		// Rewrite every surviving production, splicing in the expansions.
+		for i := range ps {
+			if ps[i] == nil || mark[i] {
+				continue
+			}
+			for pi, rhs := range ps[i] {
+				hit := false
+				for _, s := range rhs {
+					if !IsTerminal(s) && mark[idx(s)] {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					continue
+				}
+				nr := make([]Sym, 0, len(rhs))
+				for _, s := range rhs {
+					if !IsTerminal(s) && mark[idx(s)] {
+						nr = append(nr, memo[idx(s)]...)
+					} else {
+						nr = append(nr, s)
+					}
+				}
+				b.Step(int64(len(nr)) + 1)
+				ps[i][pi] = nr
+			}
+		}
+		for i := range ps {
+			if mark[i] {
+				ps[i] = nil
+				stats.InlinedNTs++
+			}
+		}
+	}
+
+	// Survivors: everything reachable from root or from a surviving labeled
+	// nonterminal. Labeled productive nonterminals are kept even when the
+	// productivity trim disconnected them from root — the cascade's checks
+	// 1, 3, and 4 report on them regardless of whether they occur in a
+	// complete query derivation, so their languages must survive.
+	keep := make([]bool, n)
+	var stack []int
+	push := func(i int) {
+		if !keep[i] {
+			keep[i] = true
+			stack = append(stack, i)
+		}
+	}
+	push(rootI)
+	for i := range ps {
+		if ps[i] != nil && g.labels[i] != 0 {
+			push(i)
+		}
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, rhs := range ps[i] {
+			for _, s := range rhs {
+				if !IsTerminal(s) {
+					push(idx(s))
+				}
+			}
+		}
+	}
+
+	out := New()
+	fwd := make(map[Sym]Sym)
+	for i, ok := range keep {
+		if !ok {
+			continue
+		}
+		nn := out.NewNT(g.names[i])
+		out.labels[out.ntIndex(nn)] = g.labels[i]
+		fwd[Sym(NumTerminals+i)] = nn
+	}
+	for i, ok := range keep {
+		if !ok {
+			continue
+		}
+		li := out.ntIndex(fwd[Sym(NumTerminals+i)])
+		rules := make([][]Sym, 0, len(ps[i]))
+		for _, rhs := range ps[i] {
+			nr := make([]Sym, len(rhs))
+			for k, s := range rhs {
+				if IsTerminal(s) {
+					nr[k] = s
+				} else {
+					nr[k] = fwd[s]
+				}
+			}
+			rules = append(rules, nr)
+		}
+		out.prods[li] = rules
+		out.numProds += len(rules)
+	}
+	croot := fwd[root]
+	out.SetStart(croot)
+
+	// Labeled survivors disconnected from root get a synthetic super-root so
+	// one fingerprint covers everything the cascade can report on.
+	top := croot
+	fromRoot := out.Reachable(croot)
+	var extras []Sym
+	for i, ok := range keep {
+		if ok && g.labels[i] != 0 {
+			img := fwd[Sym(NumTerminals+i)]
+			if !fromRoot[out.ntIndex(img)] {
+				extras = append(extras, img)
+			}
+		}
+	}
+	if len(extras) > 0 {
+		top = out.NewNT("")
+		out.Add(top, croot)
+		for _, x := range extras {
+			out.Add(top, x)
+		}
+	}
+
+	stats.NTsOut = out.NumNTs()
+	stats.ProdsOut = out.NumProds()
+	return &Compacted{G: out, Root: croot, Top: top, Fwd: fwd}, stats
+}
+
+// dedupProds removes duplicate right-hand sides per nonterminal (keeping the
+// first occurrence) and reports whether anything changed. Duplicates arise
+// from construction and, after inlining, from formerly distinct chains that
+// collapse to the same packed production.
+func dedupProds(ps [][][]Sym, stats *CompactStats, b *budget.Budget) bool {
+	// Below this rule count a quadratic scan with early exit beats hashing;
+	// most nonterminals have a handful of productions and no duplicates.
+	const smallDedup = 8
+	changed := false
+	var buckets map[uint64][]int32
+	for i := range ps {
+		if len(ps[i]) < 2 {
+			continue
+		}
+		rules := ps[i]
+		kept := rules[:0]
+		if len(rules) <= smallDedup {
+			for _, rhs := range rules {
+				b.Step(1)
+				dup := false
+				for _, k := range kept {
+					if sameRHS(k, rhs) {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					stats.DroppedProds++
+					changed = true
+					continue
+				}
+				kept = append(kept, rhs)
+			}
+			ps[i] = kept
+			continue
+		}
+		if buckets == nil {
+			buckets = make(map[uint64][]int32, len(rules))
+		} else {
+			clear(buckets)
+		}
+		for _, rhs := range rules {
+			b.Step(1)
+			h := uint64(colorOffset)
+			for _, s := range rhs {
+				h = mixColor(h, uint64(s))
+			}
+			dup := false
+			for _, ki := range buckets[h] {
+				if sameRHS(kept[ki], rhs) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				stats.DroppedProds++
+				changed = true
+				continue
+			}
+			buckets[h] = append(buckets[h], int32(len(kept)))
+			kept = append(kept, rhs)
+		}
+		ps[i] = kept
+	}
+	return changed
+}
+
+// demoteMarkedCycles clears mark for every nonterminal on a cycle of the
+// marked→marked dependency subgraph (including self-loops), using an
+// iterative Tarjan SCC pass restricted to marked nodes. Marks off a cycle
+// are untouched: a chain hanging into a recursive nonterminal still inlines,
+// its expansion simply stops at the unmarked cycle member.
+func demoteMarkedCycles(ps [][][]Sym, mark []bool, idx func(Sym) int) {
+	n := len(mark)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int32
+	next := int32(0)
+	succs := func(i int) []Sym { return ps[i][0] }
+
+	type frame struct {
+		v   int32
+		sym int
+	}
+	var frames []frame
+	push := func(v int32) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		frames = append(frames, frame{v: v})
+	}
+	for v0 := 0; v0 < n; v0++ {
+		if !mark[v0] || index[v0] != -1 {
+			continue
+		}
+		push(int32(v0))
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			rhs := succs(int(f.v))
+			advanced := false
+			for f.sym < len(rhs) {
+				s := rhs[f.sym]
+				f.sym++
+				if IsTerminal(s) {
+					continue
+				}
+				w := int32(idx(s))
+				if !mark[w] {
+					continue
+				}
+				if index[w] == -1 {
+					push(w)
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				demote := len(comp) > 1
+				if !demote {
+					// Single-node component: demote only on a self-loop.
+					for _, s := range succs(int(v)) {
+						if !IsTerminal(s) && int32(idx(s)) == v {
+							demote = true
+							break
+						}
+					}
+				}
+				if demote {
+					for _, w := range comp {
+						mark[w] = false
+					}
+				}
+			}
+		}
+	}
+}

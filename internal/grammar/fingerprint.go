@@ -227,7 +227,21 @@ func (g *Grammar) canonicalize(root Sym) (order []Sym, canon []int32, prodOrder 
 // equal fingerprints mean isomorphic grammars (up to hash collision).
 func (g *Grammar) Fingerprint(root Sym) Fingerprint {
 	order, canon, prodOrder := g.canonicalize(root)
+	return g.fingerprintFrom(order, canon, prodOrder)
+}
 
+// FingerprintOrder returns Fingerprint(root) together with
+// CanonicalOrder(root) from a single canonicalization pass. The policy layer
+// needs both per hotspot (the fingerprint keys the verdict caches, the order
+// fixes the report order), and canonicalization — a Weisfeiler-Leman
+// refinement over the whole slice — is too expensive to run twice.
+func (g *Grammar) FingerprintOrder(root Sym) (Fingerprint, []Sym) {
+	order, canon, prodOrder := g.canonicalize(root)
+	return g.fingerprintFrom(order, canon, prodOrder), order
+}
+
+// fingerprintFrom serializes an already-canonicalized sub-grammar.
+func (g *Grammar) fingerprintFrom(order []Sym, canon []int32, prodOrder [][]int32) Fingerprint {
 	h := sha256.New()
 	var buf [8]byte
 	writeU32 := func(v uint32) {
@@ -250,8 +264,11 @@ func (g *Grammar) Fingerprint(root Sym) Fingerprint {
 		writeU32(uint32(len(g.names[i])))
 		h.Write([]byte(g.names[i]))
 		writeU32(uint32(len(g.prods[i])))
-		po := append([]int32(nil), prodOrder[i]...)
-		sort.SliceStable(po, func(a, b int) bool {
+		// In-place, non-stable sort: a full tie means identical canonical
+		// symbol sequences, which serialize identically in any order, and
+		// prodOrder has no further reader.
+		po := prodOrder[i]
+		sort.Slice(po, func(a, b int) bool {
 			ra, rb := g.prods[i][po[a]], g.prods[i][po[b]]
 			for k := 0; k < len(ra) && k < len(rb); k++ {
 				if ca, cb := symCode(ra[k]), symCode(rb[k]); ca != cb {

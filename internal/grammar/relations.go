@@ -49,78 +49,155 @@ func RelsMinB(g *Grammar, d *automata.DFA, minLens []int64, b *budget.Budget) []
 // The queue only ever grows, so its final length is the pop count and the
 // hot loop stays tracer-free. A nil sp records nothing.
 func RelsMinT(g *Grammar, d *automata.DFA, minLens []int64, b *budget.Budget, sp *obs.Span) [][]uint32 {
-	d.Complete()
-	nq := d.NumStates()
-	if nq > MaxRelStates {
-		return nil
-	}
-	n := g.NumNTs()
-	rel := make([][]uint32, n)
-	flat := make([]uint32, n*nq)
-	for i := range rel {
-		rel[i] = flat[i*nq : (i+1)*nq : (i+1)*nq]
-	}
+	return NewRelPlan(g, minLens, b).RelsT(d, b, sp)
+}
 
-	// Snapshot the productive productions and index them by the
-	// nonterminals their right-hand sides mention.
-	type prod struct {
-		lhs int
-		rhs []Sym
-	}
-	var prods []prod
+// A RelPlan is the DFA-independent half of the relation fixpoint over one
+// grammar: the productive-production snapshot, the production dependency
+// index, and each right-hand side pre-segmented into nonterminal references
+// and maximal terminal runs (deduplicated across productions). The policy
+// cascade runs one fixpoint per check DFA over the same hotspot slice;
+// building the plan once and calling RelsT per DFA does the snapshot work
+// once instead of once per check.
+type RelPlan struct {
+	n          int        // nonterminal count
+	prods      []planProd // productive productions
+	dependents [][]int32  // NT index -> productions mentioning it
+	runs       [][]Sym    // distinct maximal terminal runs
+}
+
+// planProd is one productive production, segmented. A segment with nt >= 0
+// references that nonterminal index; nt < 0 marks the terminal run
+// plan.runs[run].
+type planProd struct {
+	lhs  int32
+	segs []planSeg
+}
+
+type planSeg struct {
+	nt  int32
+	run int32
+}
+
+// NewRelPlan snapshots g's productive productions (per minLens) for
+// repeated relation fixpoints. Plan construction is metered by b at one
+// step per production.
+func NewRelPlan(g *Grammar, minLens []int64, b *budget.Budget) *RelPlan {
+	p := &RelPlan{n: g.NumNTs()}
+	runIdx := map[string]int32{}
+	var key []byte
 	for i, rules := range g.prods {
 		if minLens[i] < 0 {
 			continue
 		}
 		for _, rhs := range rules {
-			prods = append(prods, prod{lhs: i, rhs: rhs})
+			b.Step(1)
+			pp := planProd{lhs: int32(i)}
+			for k := 0; k < len(rhs); {
+				if !IsTerminal(rhs[k]) {
+					pp.segs = append(pp.segs, planSeg{nt: int32(rhs[k]) - NumTerminals})
+					k++
+					continue
+				}
+				j := k
+				key = key[:0]
+				for j < len(rhs) && IsTerminal(rhs[j]) {
+					key = append(key, byte(rhs[j]))
+					j++
+				}
+				ri, ok := runIdx[string(key)]
+				if !ok {
+					ri = int32(len(p.runs))
+					runIdx[string(key)] = ri
+					p.runs = append(p.runs, rhs[k:j])
+				}
+				pp.segs = append(pp.segs, planSeg{nt: -1, run: ri})
+				k = j
+			}
+			p.prods = append(p.prods, pp)
 		}
 	}
-	dependents := make([][]int32, n)
-	for pi, p := range prods {
-		for _, s := range p.rhs {
-			if IsTerminal(s) {
+	p.dependents = make([][]int32, p.n)
+	for pi, pp := range p.prods {
+		for _, sg := range pp.segs {
+			if sg.nt < 0 {
 				continue
 			}
-			si := int(s) - NumTerminals
-			deps := dependents[si]
+			deps := p.dependents[sg.nt]
 			if len(deps) == 0 || deps[len(deps)-1] != int32(pi) {
-				dependents[si] = append(deps, int32(pi))
+				p.dependents[sg.nt] = append(deps, int32(pi))
+			}
+		}
+	}
+	return p
+}
+
+// RelsT runs the relation fixpoint for d over the plan's grammar. Each
+// distinct terminal run is composed through d into a state map once up
+// front, so re-evaluating a production costs one bitset pass per segment
+// regardless of how many terminals the run packs (compacted slices carry
+// long byte runs). See RelsMinT for the counters flushed onto sp.
+func (p *RelPlan) RelsT(d *automata.DFA, b *budget.Budget, sp *obs.Span) [][]uint32 {
+	d.Complete()
+	nq := d.NumStates()
+	if nq > MaxRelStates {
+		return nil
+	}
+	rel := make([][]uint32, p.n)
+	flat := make([]uint32, p.n*nq)
+	for i := range rel {
+		rel[i] = flat[i*nq : (i+1)*nq : (i+1)*nq]
+	}
+	runMaps := make([]uint8, len(p.runs)*nq)
+	for ri, run := range p.runs {
+		b.Step(1)
+		rm := runMaps[ri*nq : (ri+1)*nq]
+		for q := 0; q < nq; q++ {
+			rm[q] = uint8(q)
+		}
+		for _, s := range run {
+			for q := 0; q < nq; q++ {
+				rm[q] = uint8(d.Step(int(rm[q]), int(s)))
 			}
 		}
 	}
 
 	cur := make([]uint32, nq)
 	next := make([]uint32, nq)
-	inQueue := make([]bool, len(prods))
-	queue := make([]int32, len(prods))
+	inQueue := make([]bool, len(p.prods))
+	queue := make([]int32, len(p.prods))
+	// Seed the worklist in reverse production order: grammars arrive in
+	// root-first (BFS) order, so the reverse visits constituents before
+	// their users and the first sweep converges most productions. The
+	// fixpoint's result is order-independent; only the pop count changes.
 	for i := range queue {
-		queue[i] = int32(i)
+		queue[i] = int32(len(queue) - 1 - i)
 		inQueue[i] = true
 	}
 	for head := 0; head < len(queue); head++ {
 		b.Step(1)
 		pi := queue[head]
 		inQueue[pi] = false
-		p := prods[pi]
+		pp := &p.prods[pi]
 		for q := 0; q < nq; q++ {
 			cur[q] = 1 << q
 		}
 		ok := true
-		for _, s := range p.rhs {
-			if IsTerminal(s) {
+		for _, sg := range pp.segs {
+			if sg.nt < 0 {
+				rm := runMaps[int(sg.run)*nq : (int(sg.run)+1)*nq]
 				for q := 0; q < nq; q++ {
 					m := cur[q]
 					var nb uint32
 					for m != 0 {
-						b := bits.TrailingZeros32(m)
+						t := bits.TrailingZeros32(m)
 						m &= m - 1
-						nb |= 1 << uint(d.Step(b, int(s)))
+						nb |= 1 << rm[t]
 					}
 					next[q] = nb
 				}
 			} else {
-				sr := rel[int(s)-NumTerminals]
+				sr := rel[sg.nt]
 				empty := true
 				for _, v := range sr {
 					if v != 0 {
@@ -136,9 +213,9 @@ func RelsMinT(g *Grammar, d *automata.DFA, minLens []int64, b *budget.Budget, sp
 					m := cur[q]
 					var nb uint32
 					for m != 0 {
-						b := bits.TrailingZeros32(m)
+						t := bits.TrailingZeros32(m)
 						m &= m - 1
-						nb |= sr[b]
+						nb |= sr[t]
 					}
 					next[q] = nb
 				}
@@ -149,7 +226,7 @@ func RelsMinT(g *Grammar, d *automata.DFA, minLens []int64, b *budget.Budget, sp
 			continue
 		}
 		grew := false
-		lr := rel[p.lhs]
+		lr := rel[pp.lhs]
 		for q := 0; q < nq; q++ {
 			if lr[q]|cur[q] != lr[q] {
 				lr[q] |= cur[q]
@@ -157,7 +234,7 @@ func RelsMinT(g *Grammar, d *automata.DFA, minLens []int64, b *budget.Budget, sp
 			}
 		}
 		if grew {
-			for _, di := range dependents[p.lhs] {
+			for _, di := range p.dependents[pp.lhs] {
 				if !inQueue[di] {
 					inQueue[di] = true
 					queue = append(queue, di)
@@ -166,7 +243,7 @@ func RelsMinT(g *Grammar, d *automata.DFA, minLens []int64, b *budget.Budget, sp
 		}
 	}
 	sp.Count("rels.pops", int64(len(queue)))
-	sp.Count("rels.prods", int64(len(prods)))
+	sp.Count("rels.prods", int64(len(p.prods)))
 	return rel
 }
 

@@ -26,7 +26,7 @@ func BenchmarkDisabledSpan(b *testing.B) {
 // discardSink measures tracer overhead without sink I/O cost.
 type discardSink struct{}
 
-func (discardSink) Emit(*Event) {}
+func (discardSink) Emit(*Event)  {}
 func (discardSink) Close() error { return nil }
 
 func BenchmarkEnabledSpan(b *testing.B) {

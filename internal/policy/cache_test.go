@@ -1,0 +1,271 @@
+package policy
+
+import (
+	"context"
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sqlciv/internal/budget"
+	"sqlciv/internal/vcache"
+)
+
+// openStore opens a fresh vcache store under t.TempDir.
+func openStore(t *testing.T, dir string) *vcache.Store {
+	t.Helper()
+	store, err := vcache.Open(dir)
+	if err != nil {
+		t.Fatalf("vcache.Open: %v", err)
+	}
+	return store
+}
+
+// sameReports compares the fields a persisted report round-trips: the
+// nonterminal id (Report.NT) is local to the run that computed the verdict
+// and is intentionally zero on a disk hit.
+func sameReports(t *testing.T, computed, cached []Report) {
+	t.Helper()
+	if len(computed) != len(cached) {
+		t.Fatalf("report count: computed %d, cached %d", len(computed), len(cached))
+	}
+	for i := range computed {
+		c, d := computed[i], cached[i]
+		if c.Check != d.Check || c.Label != d.Label || c.Witness != d.Witness || c.Source != d.Source {
+			t.Errorf("report %d diverged: computed %+v, cached %+v", i, c, d)
+		}
+	}
+}
+
+// cacheFiles lists the entry files a flushed store left on disk.
+func cacheFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") {
+			files = append(files, path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatalf("walk %s: %v", dir, err)
+	}
+	return files
+}
+
+func TestDiskCacheRoundTripIdenticalReports(t *testing.T) {
+	dir := t.TempDir()
+	g, root := buildQuery(false, "X", "'")
+
+	cold := New()
+	cold.Disk = openStore(t, dir)
+	computed := cold.CheckHotspot(g, root)
+	if computed.Verdict != VerdictVulnerable {
+		t.Fatalf("fixture must be vulnerable, got %v", computed.Verdict)
+	}
+	if err := cold.Disk.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	warm := New()
+	warm.Disk = openStore(t, dir)
+	cached := warm.CheckHotspot(g, root)
+	if hits, misses := warm.DiskCacheStats(); hits != 1 || misses != 0 {
+		t.Fatalf("disk stats = %d hits, %d misses; want 1, 0", hits, misses)
+	}
+	if cached.Verdict != computed.Verdict || cached.LabeledNTs != computed.LabeledNTs {
+		t.Fatalf("cached verdict %v/%d, computed %v/%d",
+			cached.Verdict, cached.LabeledNTs, computed.Verdict, computed.LabeledNTs)
+	}
+	sameReports(t, computed.Reports, cached.Reports)
+
+	// The compaction census is recomputed locally on a hit, so stats stay
+	// meaningful on fully-warm runs.
+	if cached.CompactProds == 0 || cached.SliceProds == 0 {
+		t.Error("disk hit must still carry the slice census")
+	}
+}
+
+func TestDiskCacheVerifiedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g, root := buildQuery(false, "X", "ok")
+
+	cold := New()
+	cold.Disk = openStore(t, dir)
+	computed := cold.CheckHotspot(g, root)
+	if computed.Verdict != VerdictVerified {
+		t.Fatalf("fixture must verify, got %v", computed.Verdict)
+	}
+	if err := cold.Disk.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	warm := New()
+	warm.Disk = openStore(t, dir)
+	cached := warm.CheckHotspot(g, root)
+	if hits, _ := warm.DiskCacheStats(); hits != 1 {
+		t.Fatal("verified verdict must round-trip through the disk cache")
+	}
+	if !cached.Verified || cached.Verdict != VerdictVerified || len(cached.Reports) != 0 {
+		t.Fatalf("cached verdict = %+v, want verified", cached)
+	}
+}
+
+// TestDiskCacheCorruptEntryRecomputes locks the failure mode for a damaged
+// cache: every corrupt entry is an ordinary miss, the verdict is recomputed,
+// and the result matches a cold run exactly.
+func TestDiskCacheCorruptEntryRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	g, root := buildQuery(false, "X", "'")
+
+	cold := New()
+	cold.Disk = openStore(t, dir)
+	computed := cold.CheckHotspot(g, root)
+	if err := cold.Disk.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	files := cacheFiles(t, dir)
+	if len(files) == 0 {
+		t.Fatal("cold run must write cache entries")
+	}
+	for _, f := range files {
+		if err := os.WriteFile(f, []byte("not json {"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	warm := New()
+	warm.Disk = openStore(t, dir)
+	recomputed := warm.CheckHotspot(g, root)
+	if hits, misses := warm.DiskCacheStats(); hits != 0 || misses != 1 {
+		t.Fatalf("disk stats = %d hits, %d misses; want 0, 1", hits, misses)
+	}
+	if warm.Disk.CacheStats().Errors == 0 {
+		t.Error("corrupt entry must be counted in Stats.Errors")
+	}
+	if recomputed.Verdict != computed.Verdict {
+		t.Fatalf("recomputed verdict %v, computed %v", recomputed.Verdict, computed.Verdict)
+	}
+	sameReports(t, computed.Reports, recomputed.Reports)
+}
+
+// TestDiskCacheStaleTagRecomputes simulates a policy-version bump: entries
+// whose tag does not match CacheVersion are ignored, never trusted.
+func TestDiskCacheStaleTagRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	g, root := buildQuery(false, "X", "'")
+
+	cold := New()
+	cold.Disk = openStore(t, dir)
+	computed := cold.CheckHotspot(g, root)
+	if err := cold.Disk.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	for _, f := range cacheFiles(t, dir) {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e map[string]any
+		if err := json.Unmarshal(data, &e); err != nil {
+			t.Fatal(err)
+		}
+		e["tag"] = "sqlciv-policy-v0-obsolete"
+		out, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(f, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	warm := New()
+	warm.Disk = openStore(t, dir)
+	recomputed := warm.CheckHotspot(g, root)
+	if hits, misses := warm.DiskCacheStats(); hits != 0 || misses != 1 {
+		t.Fatalf("disk stats = %d hits, %d misses; want 0, 1", hits, misses)
+	}
+	if recomputed.Verdict != computed.Verdict {
+		t.Fatalf("recomputed verdict %v, computed %v", recomputed.Verdict, computed.Verdict)
+	}
+	sameReports(t, computed.Reports, recomputed.Reports)
+}
+
+// TestDegradedVerdictNotPersisted: a budget-tripped check yields
+// VerdictUnknown, which must never be written to disk — a retry with a
+// larger budget could succeed, and a cached unknown would pin the
+// degradation forever.
+func TestDegradedVerdictNotPersisted(t *testing.T) {
+	dir := t.TempDir()
+	g, root := buildQuery(false, "X", "'")
+
+	c := New()
+	c.Disk = openStore(t, dir)
+	b := budget.New(context.Background(), budget.Limits{MaxSteps: 1})
+	res := c.CheckHotspotB(g, root, b)
+	if res.Verdict != VerdictUnknown {
+		t.Fatalf("tiny budget must degrade the check, got %v", res.Verdict)
+	}
+	if err := c.Disk.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if files := cacheFiles(t, dir); len(files) != 0 {
+		t.Fatalf("degraded verdict must not be persisted; found %d entries", len(files))
+	}
+
+	// The same store answers a later unbudgeted run with the real verdict.
+	retry := New()
+	retry.Disk = openStore(t, dir)
+	full := retry.CheckHotspot(g, root)
+	if full.Verdict != VerdictVulnerable {
+		t.Fatalf("retry verdict %v, want vulnerable", full.Verdict)
+	}
+}
+
+// TestDiskCacheUnifiesAlphaRenamedOriginals: the persistent cache is keyed
+// by the compacted slice's canonical fingerprint, so an α-renamed copy of a
+// hotspot answers from an entry its twin wrote.
+func TestDiskCacheUnifiesAlphaRenamedOriginals(t *testing.T) {
+	dir := t.TempDir()
+	g1, r1 := buildQuery(false, "X", "'")
+	g2, r2 := buildQuery(true, "X", "'")
+
+	cold := New()
+	cold.Disk = openStore(t, dir)
+	computed := cold.CheckHotspot(g1, r1)
+	if err := cold.Disk.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	warm := New()
+	warm.Disk = openStore(t, dir)
+	cached := warm.CheckHotspot(g2, r2)
+	if hits, _ := warm.DiskCacheStats(); hits != 1 {
+		t.Fatal("α-renamed original must hit the compacted-fingerprint cache")
+	}
+	sameReports(t, computed.Reports, cached.Reports)
+}
+
+// TestNilDiskMatchesNoCache: a Checker without a store behaves exactly like
+// one whose store never hits (the -no-cache path).
+func TestNilDiskMatchesNoCache(t *testing.T) {
+	g, root := buildQuery(false, "X", "'")
+	plain := New().CheckHotspot(g, root)
+	withStore := New()
+	withStore.Disk = openStore(t, t.TempDir())
+	stored := withStore.CheckHotspot(g, root)
+	if plain.Verdict != stored.Verdict {
+		t.Fatalf("verdicts diverged: %v vs %v", plain.Verdict, stored.Verdict)
+	}
+	if len(plain.Reports) != len(stored.Reports) {
+		t.Fatalf("report counts diverged: %d vs %d", len(plain.Reports), len(stored.Reports))
+	}
+	for i := range plain.Reports {
+		if plain.Reports[i] != stored.Reports[i] {
+			t.Errorf("report %d diverged: %+v vs %+v", i, plain.Reports[i], stored.Reports[i])
+		}
+	}
+}

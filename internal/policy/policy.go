@@ -32,7 +32,16 @@ import (
 	"sqlciv/internal/obs"
 	"sqlciv/internal/rx"
 	"sqlciv/internal/sqlgram"
+	"sqlciv/internal/vcache"
 )
+
+// CacheVersion tags persistent verdict-cache entries with the identity of
+// the policy logic that produced them. It MUST be bumped whenever anything
+// that feeds a verdict changes: the cascade structure, a check DFA, the
+// attack-fragment list, the reference SQL grammar, the derivability checker
+// or its caps, or witness selection. A mismatched tag orphans old entries —
+// they are ignored, never migrated.
+const CacheVersion = "sqlciv-policy-v1"
 
 // Check identifies which stage of the cascade produced a report.
 type Check int
@@ -135,6 +144,11 @@ type Result struct {
 	CheckTime     time.Duration
 	BudgetSteps   int64 // abstract steps consumed (0 when unbudgeted)
 	BudgetMemHigh int64 // memory high-water estimate in bytes
+	// Slice compaction census: the extracted slice's |V| / |R| and the
+	// compacted grammar the cascade fixpoints actually ran over. All zero
+	// when compaction was off (marker-construction mode, Compact=false).
+	SliceNTs, SliceProds     int
+	CompactNTs, CompactProds int
 }
 
 // Checker holds the policy automata and reference grammar. The automata and
@@ -159,21 +173,48 @@ type Checker struct {
 	// measure the cascade, not the cache; core.AnalyzeApp turns it on.
 	Memoize bool
 
+	// Compact (on by default via New) runs grammar.CompactSlice on each
+	// hotspot slice and evaluates the cascade's relation/context fixpoints
+	// — language- and label-level properties, exactly preserved by
+	// compaction — over the much smaller compacted grammar. Witness
+	// extraction and the structural derivability check stay on the original
+	// slice, so reports are byte-identical with Compact off; the flag exists
+	// for differential tests and A/B benchmarks.
+	Compact bool
+
+	// Disk, when set, persists verdicts across runs, keyed by the
+	// fingerprint of the compacted slice plus CacheVersion. Only complete
+	// (non-degraded) verdicts are stored; entries become visible to later
+	// runs when the owner calls Disk.Flush (core never flushes mid-run, so
+	// cold results stay schedule-independent). Requires Compact.
+	Disk *vcache.Store
+
 	verdicts    sync.Map // grammar.Fingerprint -> *Result
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+	diskHits    atomic.Int64
+	diskMisses  atomic.Int64
 
 	oddQuotes  *automata.DFA
 	unescQuote *automata.DFA
 	evenCtx    *automata.DFA
 	nonNumeric *automata.DFA
 	attackDFAs []attackDFA
+	// attackUnion accepts ∪ᵢ L(attackDFAs[i]); nil disables the check-4
+	// prefilter (the per-pattern fixpoints run eagerly, as before).
+	attackUnion *automata.DFA
 }
 
-// VerdictCacheStats returns the cumulative verdict-cache hit and miss
-// counts for this checker.
+// VerdictCacheStats returns the cumulative in-memory verdict-cache hit and
+// miss counts for this checker.
 func (c *Checker) VerdictCacheStats() (hits, misses int64) {
 	return c.cacheHits.Load(), c.cacheMisses.Load()
+}
+
+// DiskCacheStats returns the cumulative persistent verdict-cache hit and
+// miss counts for this checker (both zero when Disk is unset).
+func (c *Checker) DiskCacheStats() (hits, misses int64) {
+	return c.diskHits.Load(), c.diskMisses.Load()
 }
 
 type attackDFA struct {
@@ -189,6 +230,11 @@ var (
 		evenCtx    *automata.DFA
 		nonNumeric *automata.DFA
 		attacks    []attackDFA
+		// attackUnion accepts the union of every attack pattern's
+		// language — one relation fixpoint answers "no attack fragment
+		// derivable" for the common case; nil if the union DFA outgrows
+		// the relation representation.
+		attackUnion *automata.DFA
 	}
 )
 
@@ -203,9 +249,21 @@ func New() *Checker {
 			panic("policy: numeric pattern: " + err.Error())
 		}
 		prebuilt.nonNumeric = re.MatchDFA().Complement().Minimize()
+		var frags *automata.NFA
 		for _, frag := range []string{"--", "DROP", "UNION", ";", "/*", " OR ", " or 1=1"} {
-			n := automata.Concat(automata.Concat(automata.SigmaStar(), automata.FromString(frag)), automata.SigmaStar())
+			f := automata.FromString(frag)
+			if frags == nil {
+				frags = f
+			} else {
+				frags = automata.Union(frags, f)
+			}
+			n := automata.Concat(automata.Concat(automata.SigmaStar(), f), automata.SigmaStar())
 			prebuilt.attacks = append(prebuilt.attacks, attackDFA{name: frag, dfa: n.Determinize().Minimize()})
+		}
+		u := automata.Concat(automata.Concat(automata.SigmaStar(), frags), automata.SigmaStar()).Determinize().Minimize()
+		u.Complete()
+		if u.NumStates() <= grammar.MaxRelStates {
+			prebuilt.attackUnion = u
 		}
 		// Complete the shared DFAs now: Complete mutates on first call
 		// (adds a dead state for missing edges) and is a no-op afterwards,
@@ -222,13 +280,15 @@ func New() *Checker {
 	})
 	sql := sqlgram.Get()
 	return &Checker{
-		sql:        sql,
-		deriv:      deriv.New(sql.G),
-		oddQuotes:  prebuilt.oddQuotes,
-		unescQuote: prebuilt.unescQuote,
-		evenCtx:    prebuilt.evenCtx,
-		nonNumeric: prebuilt.nonNumeric,
-		attackDFAs: prebuilt.attacks,
+		sql:         sql,
+		Compact:     true,
+		deriv:       deriv.New(sql.G),
+		oddQuotes:   prebuilt.oddQuotes,
+		unescQuote:  prebuilt.unescQuote,
+		evenCtx:     prebuilt.evenCtx,
+		nonNumeric:  prebuilt.nonNumeric,
+		attackDFAs:  prebuilt.attacks,
+		attackUnion: prebuilt.attackUnion,
 	}
 }
 
@@ -386,6 +446,10 @@ func (c *Checker) CheckHotspotB(g *grammar.Grammar, root grammar.Sym, b *budget.
 // get child spans carrying their fixpoint counters, and the verdict-cache
 // outcome lands on sp itself (attr "verdict-cache", counters
 // "verdict.cache.hits"/"verdict.cache.misses"). A nil sp traces nothing.
+//
+// The check itself is PrepareSlice followed by CheckSlice; callers that want
+// to drive the two stages separately (the core analyzer does, so slicing is
+// visible in its per-hotspot pipeline) call them directly.
 func (c *Checker) CheckHotspotT(g *grammar.Grammar, root grammar.Sym, b *budget.Budget, sp *obs.Span) (res *Result) {
 	start := time.Now()
 	defer func() {
@@ -394,56 +458,213 @@ func (c *Checker) CheckHotspotT(g *grammar.Grammar, root grammar.Sym, b *budget.
 			res.CheckTime = time.Since(start)
 		}
 	}()
+	return c.checkSlice(c.PrepareSlice(g, root, b, sp), b, sp)
+}
+
+// Slice is the prepared state of one hotspot check: the extracted original
+// slice, its compacted form, the labeled nonterminals to examine in
+// canonical order, and any cache short-circuit PrepareSlice discovered. A
+// Slice is consumed by exactly one CheckSlice call.
+type Slice struct {
+	start   time.Time
+	hit     *Result          // memoized or persisted verdict; skip the cascade
+	scratch *grammar.Grammar // extracted original slice; nil on a disk hit
+	sroot   grammar.Sym
+	minLens []int64       // scratch.MinLens(); nil on the compacted path
+	vl      []grammar.Sym // labeled productive NTs (scratch syms, canonical order)
+	cg      *grammar.Compacted
+	cstats  grammar.CompactStats
+	fp      grammar.Fingerprint // original-slice fingerprint (memo key)
+	haveFP  bool
+	cfp     grammar.Fingerprint // compacted-slice fingerprint (disk key)
+	haveCFP bool
+}
+
+// PrepareSlice compacts, canonicalizes, and extracts the query-grammar
+// slice rooted at root, consulting the persistent and in-memory verdict
+// caches along the way. The persistent cache is keyed by the compacted
+// slice's fingerprint, which unifies structurally different originals with
+// the same canonical compact form; it is probed first, straight off the
+// compacted form of the page grammar, so a disk hit never extracts or
+// canonicalizes the original slice at all. The in-memory memoizer is keyed
+// by the original slice's fingerprint — isomorphic originals are guaranteed
+// bit-identical results.
+//
+// Budget trips and panics propagate to the caller's recovery (CheckHotspotT
+// or the core driver's per-hotspot recovery).
+func (c *Checker) PrepareSlice(g *grammar.Grammar, root grammar.Sym, b *budget.Budget, sp *obs.Span) *Slice {
+	s := &Slice{start: time.Now()}
 	b.Check()
-	var fp grammar.Fingerprint
-	if c.Memoize {
-		fp = g.Fingerprint(root)
-		if v, ok := c.verdicts.Load(fp); ok {
+
+	// memoLookup canonicalizes g from root for the in-memory memoizer key,
+	// keeping the canonical symbol order for reuse. On the compacted path
+	// it runs only after the persistent cache misses: a warm run answers
+	// from the (cheaper) compacted fingerprint without ever canonicalizing
+	// the full original slice.
+	var orderG []grammar.Sym
+	memoLookup := func() bool {
+		if !c.Memoize {
+			return false
+		}
+		s.fp, orderG = g.FingerprintOrder(root)
+		s.haveFP = true
+		if v, ok := c.verdicts.Load(s.fp); ok {
 			c.cacheHits.Add(1)
 			sp.SetAttr("verdict-cache", "hit")
 			sp.Count("verdict.cache.hits", 1)
-			out := *v.(*Result)
-			out.CheckTime = time.Since(start)
-			return &out
+			s.hit = v.(*Result)
+			return true
 		}
 		c.cacheMisses.Add(1)
 		sp.SetAttr("verdict-cache", "miss")
 		sp.Count("verdict.cache.misses", 1)
+		return false
+	}
+	// collectVL gathers labeled nonterminals in canonical (BFS-from-root)
+	// order: α-equivalent grammars then produce Results with identically
+	// ordered Reports, so a cached verdict is indistinguishable from a
+	// recomputed one no matter which hotspot filled the cache. The memoized
+	// path already canonicalized g for the fingerprint; reuse that order
+	// through the extraction remap instead of canonicalizing the slice
+	// again.
+	collectVL := func(remap map[grammar.Sym]grammar.Sym) []grammar.Sym {
+		var vlAll []grammar.Sym
+		if orderG != nil {
+			for _, nt := range orderG {
+				if g.LabelOf(nt) != 0 {
+					vlAll = append(vlAll, remap[nt])
+				}
+			}
+		} else {
+			for _, nt := range s.scratch.CanonicalOrder(s.sroot) {
+				if s.scratch.LabelOf(nt) != 0 {
+					vlAll = append(vlAll, nt)
+				}
+			}
+		}
+		return vlAll
+	}
+
+	if c.UseMarkerConstruction || !c.Compact {
+		if memoLookup() {
+			return s
+		}
+		scratch, remap := g.Extract(root)
+		s.scratch, s.sroot = scratch, remap[root]
+		// Uncompacted path: filter unproductive labeled NTs by emptiness.
+		s.minLens = scratch.MinLens()
+		for _, nt := range collectVL(remap) {
+			if s.minLens[int(nt)-grammar.NumTerminals] >= 0 {
+				s.vl = append(s.vl, nt)
+			}
+		}
+		return s
+	}
+
+	// Compact straight off the page grammar: CompactSlice only touches the
+	// sub-grammar reachable from root, and its output is numbering-invariant,
+	// so the compacted form — and with it the persistent-cache key — is the
+	// same whether or not the slice was extracted first. Probing the disk
+	// cache before extraction means a warm run never materializes the
+	// original slice at all.
+	csp := sp.Child("compact", "slice")
+	cg, cstats := grammar.CompactSlice(g, root, b)
+	csp.Count("compact.nts.in", int64(cstats.NTsIn))
+	csp.Count("compact.prods.in", int64(cstats.ProdsIn))
+	csp.Count("compact.nts.out", int64(cstats.NTsOut))
+	csp.Count("compact.prods.out", int64(cstats.ProdsOut))
+	csp.Count("compact.inlined", int64(cstats.InlinedNTs))
+	csp.End()
+	s.cg, s.cstats = cg, cstats
+
+	if c.Disk != nil {
+		s.cfp = cg.G.Fingerprint(cg.Top)
+		s.haveCFP = true
+		if ent, ok := c.Disk.Get(s.cfp, CacheVersion); ok {
+			c.diskHits.Add(1)
+			sp.SetAttr("disk-cache", "hit")
+			sp.Count("verdict.cache.disk.hits", 1)
+			s.hit = resultFromEntry(ent, s)
+			return s
+		}
+		c.diskMisses.Add(1)
+		sp.SetAttr("disk-cache", "miss")
+		sp.Count("verdict.cache.disk.misses", 1)
 	}
 	scratch, remap := g.Extract(root)
-	sroot := remap[root]
-
-	// Collect labeled nonterminals with nonempty languages, in canonical
-	// (BFS-from-root) order: α-equivalent grammars then produce Results
-	// with identically ordered Reports, so a cached verdict is
-	// indistinguishable from a recomputed one no matter which hotspot
-	// filled the cache.
-	minLens := scratch.MinLens()
-	var vl []grammar.Sym
-	for _, nt := range scratch.CanonicalOrder(sroot) {
-		if scratch.LabelOf(nt) != 0 && minLens[int(nt)-grammar.NumTerminals] >= 0 {
-			vl = append(vl, nt)
+	s.scratch, s.sroot = scratch, remap[root]
+	// The cascade and the vl filter below address compacted nonterminals
+	// from scratch symbols, so rebase Fwd (keyed by page symbols above) into
+	// the extraction's numbering.
+	fwd := make(map[grammar.Sym]grammar.Sym, len(cg.Fwd))
+	for k, v := range cg.Fwd {
+		fwd[remap[k]] = v
+	}
+	cg.Fwd = fwd
+	if memoLookup() {
+		return s
+	}
+	// Compaction keeps exactly the labeled NTs with nonempty languages, so
+	// survivorship in Fwd is the productivity filter.
+	for _, nt := range collectVL(remap) {
+		if _, ok := cg.Fwd[nt]; ok {
+			s.vl = append(s.vl, nt)
 		}
 	}
-	sp.Count("policy.labeled-nts", int64(len(vl)))
-	res = &Result{LabeledNTs: len(vl)}
+	return s
+}
+
+// CheckSlice runs the policy cascade over a prepared slice. Budget trips
+// and panics inside the cascade degrade the hotspot to a VerdictUnknown
+// Result — reported, never silently passed — and degraded results are never
+// cached (they depend on timing and remaining budget; a retry with a larger
+// budget could succeed).
+func (c *Checker) CheckSlice(s *Slice, b *budget.Budget, sp *obs.Span) (res *Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = DegradedResult(r, b)
+			res.CheckTime = time.Since(s.start)
+		}
+	}()
+	return c.checkSlice(s, b, sp)
+}
+
+// checkSlice is CheckSlice without the recovery wrapper (CheckHotspotT
+// supplies its own, covering PrepareSlice too).
+func (c *Checker) checkSlice(s *Slice, b *budget.Budget, sp *obs.Span) *Result {
+	if s.hit != nil {
+		out := *s.hit
+		if s.cg != nil {
+			// Disk hit: the slice census was computed locally this run.
+			setSliceStats(&out, s)
+		}
+		out.CheckTime = time.Since(s.start)
+		return &out
+	}
+	b.Check()
+	sp.Count("policy.labeled-nts", int64(len(s.vl)))
+	res := &Result{LabeledNTs: len(s.vl)}
+	setSliceStats(res, s)
 	var undecided []grammar.Sym
 	if c.UseMarkerConstruction {
-		undecided = c.cascadeReference(scratch, sroot, vl, res, b, sp)
+		undecided = c.cascadeReference(s.scratch, s.sroot, s.vl, res, b, sp)
 	} else {
-		undecided = c.cascadeFast(scratch, sroot, vl, minLens, res, b, sp)
+		undecided = c.cascadeFast(s, res, b, sp)
 	}
 
-	// Check 5: derivability of the whole query grammar covers the rest.
+	// Check 5: derivability of the whole query grammar covers the rest. It
+	// runs on the original slice: derivability is checked structurally with
+	// heuristic caps, so unlike the relation fixpoints it is not invariant
+	// under compaction.
 	if len(undecided) > 0 {
 		c5 := sp.Child("check", "5:derivability", obs.Attr{Key: "undecided", Val: fmt.Sprint(len(undecided))})
-		_, ok := c.deriv.DerivableT(scratch, sroot, []grammar.Sym{c.sql.Start}, b, c5)
+		_, ok := c.deriv.DerivableT(s.scratch, s.sroot, []grammar.Sym{c.sql.Start}, b, c5)
 		c5.SetAttr("derivable", fmt.Sprint(ok))
 		c5.End()
 		if !ok {
 			for _, x := range undecided {
-				w, _ := scratch.WitnessString(x)
-				res.Reports = append(res.Reports, Report{NT: x, Label: scratch.LabelOf(x), Check: CheckNotDerivable, Witness: w, Source: scratch.RawName(x)})
+				w, _ := s.scratch.WitnessString(x)
+				res.Reports = append(res.Reports, Report{NT: x, Label: s.scratch.LabelOf(x), Check: CheckNotDerivable, Witness: w, Source: s.scratch.RawName(x)})
 			}
 		}
 	}
@@ -454,14 +675,64 @@ func (c *Checker) CheckHotspotT(g *grammar.Grammar, root grammar.Sym, b *budget.
 	} else {
 		res.Verdict = VerdictVulnerable
 	}
-	res.CheckTime = time.Since(start)
+	res.CheckTime = time.Since(s.start)
 	res.BudgetSteps = b.Steps()
 	res.BudgetMemHigh = b.MemHigh()
 	if c.Memoize {
 		// First writer wins; a concurrent loser computed an identical
 		// Result (canonical report order), so dropping it is harmless.
-		c.verdicts.LoadOrStore(fp, res)
+		c.verdicts.LoadOrStore(s.fp, res)
 	}
+	if c.Disk != nil && s.haveCFP {
+		c.Disk.Put(s.cfp, CacheVersion, entryFromResult(s, res))
+	}
+	return res
+}
+
+// setSliceStats copies the compaction census onto a Result.
+func setSliceStats(res *Result, s *Slice) {
+	res.SliceNTs = s.cstats.NTsIn
+	res.SliceProds = s.cstats.ProdsIn
+	res.CompactNTs = s.cstats.NTsOut
+	res.CompactProds = s.cstats.ProdsOut
+}
+
+// entryFromResult serializes a computed verdict for the persistent cache.
+func entryFromResult(s *Slice, res *Result) *vcache.Entry {
+	e := &vcache.Entry{Verdict: res.Verdict.String(), LabeledNTs: res.LabeledNTs}
+	for _, r := range res.Reports {
+		e.Reports = append(e.Reports, vcache.Report{
+			NTName:  s.scratch.RawName(r.NT),
+			Label:   uint8(r.Label),
+			Check:   int(r.Check),
+			Witness: r.Witness,
+			Source:  r.Source,
+		})
+	}
+	return e
+}
+
+// resultFromEntry rebuilds a Result from a persisted verdict. Report.NT is
+// left zero — the nonterminal id was local to the run that filled the cache
+// and no consumer reads it (core keys findings on file/line/label); the
+// human-readable NTName travels in Source.
+func resultFromEntry(e *vcache.Entry, s *Slice) *Result {
+	res := &Result{LabeledNTs: e.LabeledNTs}
+	for _, r := range e.Reports {
+		res.Reports = append(res.Reports, Report{
+			Label:   grammar.Label(r.Label),
+			Check:   Check(r.Check),
+			Witness: r.Witness,
+			Source:  r.Source,
+		})
+	}
+	if len(res.Reports) == 0 {
+		res.Verified = true
+		res.Verdict = VerdictVerified
+	} else {
+		res.Verdict = VerdictVulnerable
+	}
+	setSliceStats(res, s)
 	return res
 }
 
@@ -521,27 +792,60 @@ func (c *Checker) cascadeReference(scratch *grammar.Grammar, sroot grammar.Sym, 
 // extracting witnesses only for reported nonterminals. Each check's
 // fixpoint gets its own child span under hsp; witness extraction for a
 // reported nonterminal is traced as a "witness" span naming the check.
-func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []grammar.Sym, minLens []int64, res *Result, b *budget.Budget, hsp *obs.Span) []grammar.Sym {
+//
+// When the slice carries a compacted grammar, every fixpoint runs over it:
+// the relations and contexts are language-level properties, exactly
+// preserved by compaction, and the compacted grammar is typically an order
+// of magnitude smaller. Witness strings are still extracted from the
+// original slice — the witness tie-break depends on derivation-tree
+// structure, which compaction changes — so reports are byte-for-byte the
+// ones an uncompacted run produces.
+func (c *Checker) cascadeFast(s *Slice, res *Result, b *budget.Budget, hsp *obs.Span) []grammar.Sym {
+	scratch := s.scratch
+	relG, relRoot := scratch, s.sroot
+	conv := func(x grammar.Sym) grammar.Sym { return x }
+	minLens := s.minLens
+	if s.cg != nil {
+		relG, relRoot = s.cg.G, s.cg.Root
+		conv = func(x grammar.Sym) grammar.Sym { return s.cg.Fwd[x] }
+		minLens = relG.MinLens()
+	}
+	// One production snapshot feeds every fixpoint: the cascade runs one
+	// relation computation per check DFA (3 + one per attack pattern) over
+	// the same grammar.
+	plan := grammar.NewRelPlan(relG, minLens, b)
 	c1 := hsp.Child("check", "1:odd-unescaped-quotes")
-	oddRel := grammar.RelsMinT(scratch, c.oddQuotes, minLens, b, c1)
+	oddRel := plan.RelsT(c.oddQuotes, b, c1)
 	c1.End()
 	c2 := hsp.Child("check", "2:string-literal-position")
-	ctxInfo := c.computeContexts(scratch, sroot, oddRel, minLens, b, c2)
-	unescRel := grammar.RelsMinT(scratch, c.unescQuote, minLens, b, c2)
+	ctxInfo := c.computeContexts(relG, relRoot, oddRel, minLens, b, c2)
+	unescRel := plan.RelsT(c.unescQuote, b, c2)
 	c2.End()
 	c3 := hsp.Child("check", "3:numeric-literal")
-	numRel := grammar.RelsMinT(scratch, c.nonNumeric, minLens, b, c3)
+	numRel := plan.RelsT(c.nonNumeric, b, c3)
 	c3.End()
 	c4 := hsp.Child("check", "4:attack-string")
-	attackRels := make([][][]uint32, len(c.attackDFAs))
-	for i, atk := range c.attackDFAs {
-		attackRels[i] = grammar.RelsMinT(scratch, atk.dfa, minLens, b, c4)
+	defer c4.End()
+	// One union-DFA fixpoint prefilters check 4: most nonterminals derive
+	// no attack fragment at all, and the per-pattern fixpoints — needed
+	// only to attribute a match to its first pattern — run lazily.
+	var unionRel [][]uint32
+	if c.attackUnion != nil {
+		unionRel = plan.RelsT(c.attackUnion, b, c4)
 	}
-	c4.End()
+	attackRels := make([][][]uint32, len(c.attackDFAs))
+	attackDone := make([]bool, len(c.attackDFAs))
+	attackRel := func(i int) [][]uint32 {
+		if !attackDone[i] {
+			attackDone[i] = true
+			attackRels[i] = plan.RelsT(c.attackDFAs[i].dfa, b, c4)
+		}
+		return attackRels[i]
+	}
 	// RelNonempty falls back to an intersection when a DFA is too large for
 	// the relation representation (does not happen with the built-ins).
-	nonempty := func(rel [][]uint32, d *automata.DFA, x grammar.Sym) bool {
-		return grammar.RelNonemptyB(rel, d, scratch, x, b)
+	nonempty := func(rel [][]uint32, d *automata.DFA, cx grammar.Sym) bool {
+		return grammar.RelNonemptyB(rel, d, relG, cx, b)
 	}
 	witness := func(check Check, x grammar.Sym, d *automata.DFA) string {
 		wsp := hsp.Child("witness", check.String(), obs.Attr{Key: "nt", Val: scratch.Name(x)})
@@ -550,23 +854,24 @@ func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []
 		return w
 	}
 	var undecided []grammar.Sym
-	for _, x := range vl {
+	for _, x := range s.vl {
 		label := scratch.LabelOf(x)
+		cx := conv(x)
 
 		// Check 1: odd number of unescaped quotes.
-		if nonempty(oddRel, c.oddQuotes, x) {
+		if nonempty(oddRel, c.oddQuotes, cx) {
 			w := witness(CheckUnconfinableQuotes, x, c.oddQuotes)
 			res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckUnconfinableQuotes, Witness: w, Source: scratch.RawName(x)})
 			continue
 		}
 
 		// Check 2: string-literal position.
-		occurs, literalOnly := ctxInfo.literalOnly(x)
+		occurs, literalOnly := ctxInfo.literalOnly(cx)
 		if !occurs {
 			continue
 		}
 		if literalOnly {
-			if nonempty(unescRel, c.unescQuote, x) {
+			if nonempty(unescRel, c.unescQuote, cx) {
 				w := witness(CheckLiteralEscape, x, c.unescQuote)
 				res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckLiteralEscape, Witness: w, Source: scratch.RawName(x)})
 			}
@@ -574,18 +879,20 @@ func (c *Checker) cascadeFast(scratch *grammar.Grammar, sroot grammar.Sym, vl []
 		}
 
 		// Check 3: numeric literals only.
-		if !nonempty(numRel, c.nonNumeric, x) {
+		if !nonempty(numRel, c.nonNumeric, cx) {
 			continue
 		}
 
 		// Check 4: known-unconfinable fragments.
 		attacked := false
-		for i, atk := range c.attackDFAs {
-			if nonempty(attackRels[i], atk.dfa, x) {
-				w := witness(CheckAttackString, x, atk.dfa)
-				res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckAttackString, Witness: w, Source: scratch.RawName(x)})
-				attacked = true
-				break
+		if c.attackUnion == nil || nonempty(unionRel, c.attackUnion, cx) {
+			for i, atk := range c.attackDFAs {
+				if nonempty(attackRel(i), atk.dfa, cx) {
+					w := witness(CheckAttackString, x, atk.dfa)
+					res.Reports = append(res.Reports, Report{NT: x, Label: label, Check: CheckAttackString, Witness: w, Source: scratch.RawName(x)})
+					attacked = true
+					break
+				}
 			}
 		}
 		if attacked {

@@ -1,0 +1,266 @@
+// Package vcache is a persistent, content-addressed verdict cache. The
+// policy layer stores one entry per checked hotspot, keyed by the canonical
+// fingerprint of the hotspot's *compacted* query-grammar slice plus a policy
+// version tag, so repeat analyses of unchanged pages — and different pages
+// whose query grammars compact to the same canonical form — short-circuit
+// the entire check cascade across process runs.
+//
+// The design is crash- and corruption-tolerant rather than transactional:
+//
+//   - One file per entry under <dir>/<aa>/<fingerprint>.json (aa = first
+//     fingerprint byte), written via temp file + rename, so readers never
+//     observe a partial entry.
+//   - Get validates the format version, the policy tag, and the embedded
+//     fingerprint before trusting an entry; anything unreadable, truncated,
+//     corrupt, stale, or version-mismatched is reported as a miss (and
+//     counted on Stats().Errors). A bad cache can cost time, never findings.
+//   - Put buffers entries in memory; Flush (or Close) writes them out.
+//     Pending entries are deliberately invisible to Get, so the verdicts a
+//     cold run computes can never depend on which hotspot reached the cache
+//     first — cold results stay schedule-independent and byte-identical to
+//     an uncached run.
+//
+// Invalidation is purely content-addressed: editing a page changes its query
+// grammars, which changes their fingerprints, which misses the cache; old
+// entries are simply never read again. Changing the checker (new attack
+// patterns, new cascade logic) must bump the policy tag, which orphans every
+// existing entry.
+package vcache
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"sqlciv/internal/grammar"
+)
+
+// FormatVersion is the on-disk entry schema version; entries written by a
+// different schema are ignored.
+const FormatVersion = 1
+
+// Entry is one cached hotspot verdict. Report fields mirror policy.Report
+// structurally (the policy package converts), keeping this package free of a
+// dependency cycle.
+type Entry struct {
+	Format  int    `json:"format"`
+	Tag     string `json:"tag"`
+	FP      string `json:"fp"`
+	Verdict string `json:"verdict"` // "verified" or "vulnerable"
+	// LabeledNTs is the number of labeled nonterminals the cascade examined.
+	LabeledNTs int      `json:"labeled_nts"`
+	Reports    []Report `json:"reports,omitempty"`
+}
+
+// Report is one cached policy report.
+type Report struct {
+	NTName  string `json:"nt,omitempty"`
+	Label   uint8  `json:"label"`
+	Check   int    `json:"check"`
+	Witness string `json:"witness"`
+	Source  string `json:"source,omitempty"`
+}
+
+// Stats is a snapshot of a store's traffic counters.
+type Stats struct {
+	Hits    int64 // Get found a valid entry
+	Misses  int64 // Get found nothing usable
+	Errors  int64 // unreadable/invalid entries encountered (subset of Misses)
+	Puts    int64 // entries buffered
+	Written int64 // entries flushed to disk (skips existing files)
+}
+
+// Store is a verdict cache rooted at one directory. All methods are safe for
+// concurrent use and safe on a nil receiver (nil = caching disabled: every
+// Get misses, Put and Flush do nothing).
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	pending map[grammar.Fingerprint][]byte // serialized entries awaiting Flush
+
+	hits, misses, errs, puts, written atomic.Int64
+}
+
+// DefaultDir returns the default cache directory,
+// <os.UserCacheDir()>/sqlciv/vcache.
+func DefaultDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("vcache: no user cache dir: %w", err)
+	}
+	return filepath.Join(base, "sqlciv", "vcache"), nil
+}
+
+// Open returns a Store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("vcache: %w", err)
+	}
+	return &Store{dir: dir, pending: map[grammar.Fingerprint][]byte{}}, nil
+}
+
+// Dir returns the store's root directory ("" on a nil store).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// path returns the entry file for fp.
+func (s *Store) path(fp grammar.Fingerprint) string {
+	hx := hex.EncodeToString(fp[:])
+	return filepath.Join(s.dir, hx[:2], hx+".json")
+}
+
+// Get returns the valid on-disk entry for (fp, tag), if any. Entries
+// buffered by Put but not yet flushed are not visible. Any invalid entry —
+// wrong schema version, wrong tag (stale policy), wrong embedded fingerprint
+// (renamed or corrupted file), malformed JSON, out-of-range fields — counts
+// as a miss.
+func (s *Store) Get(fp grammar.Fingerprint, tag string) (*Entry, bool) {
+	if s == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(fp))
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.errs.Add(1)
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil || !s.valid(&e, fp, tag) {
+		s.errs.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return &e, true
+}
+
+// valid vets a decoded entry against its expected identity and value ranges.
+func (s *Store) valid(e *Entry, fp grammar.Fingerprint, tag string) bool {
+	if e.Format != FormatVersion || e.Tag != tag || e.FP != hex.EncodeToString(fp[:]) {
+		return false
+	}
+	switch e.Verdict {
+	case "verified":
+		if len(e.Reports) != 0 {
+			return false
+		}
+	case "vulnerable":
+		if len(e.Reports) == 0 {
+			return false
+		}
+	default:
+		return false
+	}
+	if e.LabeledNTs < 0 {
+		return false
+	}
+	for _, r := range e.Reports {
+		// Cacheable reports come from cascade checks 1-4 (analysis-incomplete
+		// results are never stored).
+		if r.Check < 1 || r.Check > 4 {
+			return false
+		}
+	}
+	return true
+}
+
+// Put buffers an entry for fp. The entry's identity fields (Format, Tag, FP)
+// are filled in here. When two goroutines put different entries under one
+// fingerprint in the same run (two structurally distinct hotspots whose
+// slices compact to the same canonical form), the lexicographically smaller
+// serialization wins, so the flushed cache content is schedule-independent.
+func (s *Store) Put(fp grammar.Fingerprint, tag string, e *Entry) {
+	if s == nil || e == nil {
+		return
+	}
+	e.Format = FormatVersion
+	e.Tag = tag
+	e.FP = hex.EncodeToString(fp[:])
+	data, err := json.Marshal(e)
+	if err != nil {
+		s.errs.Add(1)
+		return
+	}
+	s.puts.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.pending[fp]; ok && string(prev) <= string(data) {
+		return
+	}
+	s.pending[fp] = data
+}
+
+// Flush writes every pending entry to disk via temp file + rename. Files
+// that already exist are left untouched (first writer wins across runs).
+// The pending buffer is cleared even on error; the first error is returned.
+func (s *Store) Flush() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	pending := s.pending
+	s.pending = map[grammar.Fingerprint][]byte{}
+	s.mu.Unlock()
+	var first error
+	for fp, data := range pending {
+		if err := s.write(fp, data); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (s *Store) write(fp grammar.Fingerprint, data []byte) error {
+	path := s.path(fp)
+	if _, err := os.Stat(path); err == nil {
+		return nil // first writer wins
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("vcache: writing %s: %w", path, errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("vcache: %w", err)
+	}
+	s.written.Add(1)
+	return nil
+}
+
+// Close flushes pending entries.
+func (s *Store) Close() error { return s.Flush() }
+
+// CacheStats returns a snapshot of the store's counters.
+func (s *Store) CacheStats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Errors:  s.errs.Load(),
+		Puts:    s.puts.Load(),
+		Written: s.written.Load(),
+	}
+}

@@ -195,12 +195,13 @@ func (c *Checker) CheckOutput(g *grammar.Grammar, root grammar.Sym) *Result {
 	}
 	res := &Result{LabeledNTs: len(vl)}
 
-	htmlRels := grammar.Rels(scratch, pre.html)
+	plan := grammar.NewRelPlan(scratch, minLens, nil)
+	htmlRels := plan.RelsT(pre.html, nil, nil)
 	ctx := grammar.Contexts(scratch, sroot, pre.html, htmlRels)
-	ltRels := grammar.Rels(scratch, pre.hasLT)
-	dqRels := grammar.Rels(scratch, pre.hasDQ)
-	sqRels := grammar.Rels(scratch, pre.hasSQ)
-	niRels := grammar.Rels(scratch, pre.nonIdent)
+	ltRels := plan.RelsT(pre.hasLT, nil, nil)
+	dqRels := plan.RelsT(pre.hasDQ, nil, nil)
+	sqRels := plan.RelsT(pre.hasSQ, nil, nil)
+	niRels := plan.RelsT(pre.nonIdent, nil, nil)
 
 	report := func(x grammar.Sym, check Check, d *automata.DFA) {
 		w, _ := grammar.IntersectWitness(scratch, x, d)
