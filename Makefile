@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-diff trace-smoke fuzz-smoke
+.PHONY: build test check bench bench-classes bench-diff trace-smoke fuzz-smoke
 
 # Each fuzz target gets a short randomized burn beyond its seed corpus.
 FUZZ_TIME ?= 30s
@@ -10,7 +10,8 @@ FUZZ_TARGETS = \
 	FuzzRun:./internal/interp \
 	FuzzParseCompile:./internal/rx \
 	FuzzAnalyze:./internal/analysis \
-	FuzzIntersect:./internal/grammar
+	FuzzIntersect:./internal/grammar \
+	FuzzByteClasses:./internal/rx
 
 build:
 	$(GO) build ./...
@@ -35,6 +36,15 @@ check:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTable1' -benchtime 2x -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_table1.json
+
+# bench-classes is the alphabet-compression canary: every prebuilt policy
+# and XSS check DFA must stay within the byte-class budget (24 classes).
+# A check automaton growing past that bound means some construction started
+# distinguishing bytes the policy does not care about, which would inflate
+# every relation fixpoint seeded from it. Verbose so the per-DFA census
+# (states / classes / slab bytes) lands in the CI log.
+bench-classes:
+	$(GO) test -run TestCheckDFAClassBudget -v ./internal/policy ./internal/xss
 
 # bench-diff is the performance ratchet: bench the working tree into
 # BENCH_new.json (not committed) and compare it against the committed

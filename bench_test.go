@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sqlciv/internal/analysis"
+	"sqlciv/internal/automata"
 	"sqlciv/internal/core"
 	"sqlciv/internal/corpus"
 	"sqlciv/internal/fst"
@@ -33,6 +34,7 @@ func benchApp(b *testing.B, app *corpus.App) {
 
 func benchAppOpts(b *testing.B, app *corpus.App, opts core.Options) {
 	b.Helper()
+	memoHits0, memoMisses0 := grammar.RelMemoStats()
 	var last *core.AppResult
 	for i := 0; i < b.N; i++ {
 		res, err := core.AnalyzeApp(analysis.NewMapResolver(app.Sources), app.Entries, opts)
@@ -76,6 +78,23 @@ func benchAppOpts(b *testing.B, app *corpus.App, opts core.Options) {
 	hits := last.VerdictCacheHits + last.DiskCacheHits
 	if total := last.VerdictCacheMisses + hits; total > 0 {
 		b.ReportMetric(100*float64(hits)/float64(total), "verdict-cache-hit-pct")
+	}
+	// Automaton census: cumulative process-wide totals for every DFA that
+	// entered the class-indexed representation (Compress or Decompress).
+	// The absolutes let bench-diff ratchet compression regressions — a
+	// check DFA that suddenly needs more byte classes shows up as a jump in
+	// dfa-classes and slab-B long before it costs wall-clock time.
+	census := automata.CensusSnapshot()
+	b.ReportMetric(float64(census.DFAs), "dfas")
+	b.ReportMetric(float64(census.States), "dfa-states")
+	b.ReportMetric(float64(census.Classes), "dfa-classes")
+	b.ReportMetric(float64(census.SlabBytes), "slab-B")
+	// Class-string memo effectiveness inside the relation fixpoints:
+	// terminal runs collapsing to an already-composed class sequence.
+	memoHits, memoMisses := grammar.RelMemoStats()
+	dh, dm := memoHits-memoHits0, memoMisses-memoMisses0
+	if dh+dm > 0 {
+		b.ReportMetric(100*float64(dh)/float64(dh+dm), "class-memo-hit-pct")
 	}
 }
 

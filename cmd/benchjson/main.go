@@ -9,7 +9,9 @@
 //
 // Each benchmark line becomes one record with its iteration count and
 // every reported metric (ns/op, B/op, allocs/op, and custom b.ReportMetric
-// values such as grammar-V or verdict-cache-hit-pct) keyed by unit.
+// values such as grammar-V, verdict-cache-hit-pct, or the alphabet
+// compression census — dfas, dfa-states, dfa-classes, slab-B, and
+// class-memo-hit-pct) keyed by unit.
 package main
 
 import (

@@ -1,0 +1,68 @@
+package sqlciv
+
+import (
+	"reflect"
+	"testing"
+
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/core"
+	"sqlciv/internal/corpus"
+	"sqlciv/internal/grammar"
+	"sqlciv/internal/xss"
+)
+
+// TestCompressionPreservesFindingsOnCorpus is the tentpole's differential
+// oracle: whole-app analysis with byte-class compression forced off must
+// produce reports DeepEqual to the default compressed run, for every Table 1
+// subject. The class-indexed DFA is a lossless re-indexing and every
+// class-based construction is numbering-exact, so any divergence — a
+// witness, a verdict, even report order — is a compression bug.
+func TestCompressionPreservesFindingsOnCorpus(t *testing.T) {
+	defer func(prev bool) { grammar.AlphabetCompression = prev }(grammar.AlphabetCompression)
+	run := func(compressed bool) map[string]*core.AppResult {
+		grammar.AlphabetCompression = compressed
+		out := map[string]*core.AppResult{}
+		for _, app := range corpus.Apps() {
+			res, err := core.AnalyzeApp(analysis.NewMapResolver(app.Sources), app.Entries, core.Options{})
+			if err != nil {
+				t.Fatalf("%s (compressed=%v): %v", app.Name, compressed, err)
+			}
+			out[app.Name] = res
+		}
+		return out
+	}
+	on := run(true)
+	off := run(false)
+	for name, want := range off {
+		got := on[name]
+		if !reflect.DeepEqual(got.Findings, want.Findings) {
+			t.Errorf("%s: findings diverged\ncompressed:   %+v\nuncompressed: %+v",
+				name, got.Findings, want.Findings)
+		}
+	}
+	if len(on) == 0 {
+		t.Fatal("corpus produced no subjects")
+	}
+}
+
+// TestCompressionPreservesXSSFindings runs the XSS auditor both ways over
+// the corpus apps that emit page output.
+func TestCompressionPreservesXSSFindings(t *testing.T) {
+	defer func(prev bool) { grammar.AlphabetCompression = prev }(grammar.AlphabetCompression)
+	for _, app := range corpus.Apps() {
+		resolver := analysis.NewMapResolver(app.Sources)
+		grammar.AlphabetCompression = true
+		on, err := xss.Audit(resolver, app.Entries, analysis.Options{})
+		if err != nil {
+			t.Fatalf("%s compressed: %v", app.Name, err)
+		}
+		grammar.AlphabetCompression = false
+		off, err := xss.Audit(resolver, app.Entries, analysis.Options{})
+		if err != nil {
+			t.Fatalf("%s uncompressed: %v", app.Name, err)
+		}
+		if !reflect.DeepEqual(on, off) {
+			t.Errorf("%s: XSS findings diverged\ncompressed:   %+v\nuncompressed: %+v", app.Name, on, off)
+		}
+	}
+}

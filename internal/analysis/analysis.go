@@ -216,8 +216,6 @@ type analyzer struct {
 
 	lits       map[string]grammar.Sym
 	arrayish   map[grammar.Sym]bool
-	guardCache map[string]*dfaPair
-	noSubCache map[string]*automata.DFA
 	magicNT    grammar.Sym
 	inFunction bool
 	curReturns []grammar.Sym

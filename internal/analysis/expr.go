@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"strings"
+	"sync"
 
 	"sqlciv/internal/automata"
 	"sqlciv/internal/fst"
@@ -938,18 +939,25 @@ type dfaPair struct {
 	non   *automata.DFA
 }
 
+// guardCache and noSubCache hold the conditional-refinement automata at
+// package level rather than per analyzer: the same guard patterns and
+// sanitizer fragments recur on every page of an app, and the DFAs are
+// immutable after construction, so one build (and one class-indexed slab)
+// serves the whole process. Racing builders compute identical automata and
+// the first store wins.
+var (
+	guardCache sync.Map // string -> *dfaPair
+	noSubCache sync.Map // string -> *automata.DFA
+)
+
 // guardDFAs caches the match/non-match DFA pair per guard pattern.
 func (a *analyzer) guardDFAs(pattern string, dialect int, build func() *dfaPair) *dfaPair {
 	key := string(rune(dialect+2)) + pattern
-	if a.guardCache == nil {
-		a.guardCache = map[string]*dfaPair{}
+	if p, ok := guardCache.Load(key); ok {
+		return p.(*dfaPair)
 	}
-	if p, ok := a.guardCache[key]; ok {
-		return p
-	}
-	p := build()
-	a.guardCache[key] = p
-	return p
+	v, _ := guardCache.LoadOrStore(key, build())
+	return v.(*dfaPair)
 }
 
 // addSlashesFST is the transducer for DB escape methods.
@@ -957,14 +965,11 @@ func addSlashesFST() *fst.FST { return fst.AddSlashes() }
 
 // noSubstringDFA returns the (cached) DFA of strings NOT containing frag.
 func (a *analyzer) noSubstringDFA(frag string) *automata.DFA {
-	if a.noSubCache == nil {
-		a.noSubCache = map[string]*automata.DFA{}
-	}
-	if d, ok := a.noSubCache[frag]; ok {
-		return d
+	if d, ok := noSubCache.Load(frag); ok {
+		return d.(*automata.DFA)
 	}
 	contains := automata.Concat(automata.Concat(automata.SigmaStar(), automata.FromString(frag)), automata.SigmaStar())
-	d := contains.Determinize().Complement().Minimize()
-	a.noSubCache[frag] = d
-	return d
+	d := automata.Intern(contains.Determinize().Complement().Minimize())
+	v, _ := noSubCache.LoadOrStore(frag, d)
+	return v.(*automata.DFA)
 }

@@ -1,0 +1,458 @@
+package automata
+
+import "sync/atomic"
+
+// CDFA is the class-indexed execution form of a DFA: the same states,
+// acceptance, and start, with transitions indexed by byte-equivalence class
+// instead of raw symbol and stored in one flat numStates × numClasses slab
+// (no per-state row allocations). Construction-time code keeps using the
+// dense DFA API; hot loops (relation composition, emptiness, shortest
+// witness, product) run on the slab, which for the policy check automata is
+// 25–80× smaller than the dense rows and stays resident in L1.
+//
+// Every CDFA carries the coarsest partition of its dense expansion, so
+// Compress/Decompress round-trip losslessly and the byte encoding of
+// (classes, slab, accept, start) is a canonical fingerprint of the dense
+// automaton. A CDFA is immutable after construction and safe to share.
+type CDFA struct {
+	bc     *ByteClasses
+	nc     int
+	trans  []int32 // trans[s*nc+cls] = target state, -1 if unset
+	accept []bool
+	start  int32
+}
+
+// Classes returns the (interned) byte-class partition.
+func (c *CDFA) Classes() *ByteClasses { return c.bc }
+
+// NumClasses reports the number of byte classes.
+func (c *CDFA) NumClasses() int { return c.nc }
+
+// NumStates reports the number of states.
+func (c *CDFA) NumStates() int { return len(c.accept) }
+
+// Start returns the start state.
+func (c *CDFA) Start() int { return int(c.start) }
+
+// IsAccept reports whether s accepts.
+func (c *CDFA) IsAccept(s int) bool { return c.accept[s] }
+
+// ClassOf returns the class id of symbol sym.
+func (c *CDFA) ClassOf(sym int) int { return int(c.bc.class[sym]) }
+
+// Step returns the successor of state s on symbol sym (-1 if unset).
+func (c *CDFA) Step(s, sym int) int { return int(c.trans[s*c.nc+int(c.bc.class[sym])]) }
+
+// StepClass returns the successor of state s on class cls (-1 if unset).
+func (c *CDFA) StepClass(s, cls int) int { return int(c.trans[s*c.nc+cls]) }
+
+// SlabBytes reports the transition slab footprint in bytes.
+func (c *CDFA) SlabBytes() int { return 4 * len(c.trans) }
+
+// Accepts reports whether c accepts the symbol sequence.
+func (c *CDFA) Accepts(syms []int) bool {
+	s := int(c.start)
+	for _, sym := range syms {
+		s = int(c.trans[s*c.nc+int(c.bc.class[sym])])
+		if s < 0 {
+			return false
+		}
+	}
+	return c.accept[s]
+}
+
+// AcceptsString reports whether c accepts the bytes of str.
+func (c *CDFA) AcceptsString(str string) bool {
+	s := int(c.start)
+	for i := 0; i < len(str); i++ {
+		s = int(c.trans[s*c.nc+int(c.bc.class[str[i]])])
+		if s < 0 {
+			return false
+		}
+	}
+	return c.accept[s]
+}
+
+// Compress returns the class-indexed form of d under the coarsest byte
+// partition d's transition structure supports. The result is a lossless
+// snapshot: Decompress reproduces d's states, edges, acceptance, and start
+// exactly. Most callers want Compressed, which computes once and caches.
+func (d *DFA) Compress() *CDFA {
+	bc := classesOfDFA(d)
+	nc := bc.NumClasses()
+	c := &CDFA{
+		bc:     bc,
+		nc:     nc,
+		trans:  make([]int32, len(d.trans)*nc),
+		accept: append([]bool(nil), d.accept...),
+		start:  int32(d.start),
+	}
+	for s, row := range d.trans {
+		out := c.trans[s*nc : (s+1)*nc]
+		for cls := 0; cls < nc; cls++ {
+			out[cls] = row[bc.reps[cls]]
+		}
+	}
+	registerCensus(c)
+	return c
+}
+
+// Compressed returns the cached class-indexed form of d, computing it on
+// first use. It must only be called once d is finalized (no further edge or
+// state mutations); mutating methods invalidate the cache. Safe for
+// concurrent use — racing first calls compute identical snapshots and one
+// wins.
+func (d *DFA) Compressed() *CDFA {
+	if c := d.compressed.Load(); c != nil {
+		return c
+	}
+	c := d.Compress()
+	if !d.compressed.CompareAndSwap(nil, c) {
+		return d.compressed.Load()
+	}
+	return c
+}
+
+// Decompress expands c back to a dense DFA. c must be coarsest (every CDFA
+// this package publishes is): the result's compressed cache is pre-seeded
+// with c, so Compressed() on it is free, and its total flag is set when the
+// slab has no unset transitions.
+func (c *CDFA) Decompress() *DFA {
+	d := &DFA{
+		trans:  make([][]int32, c.NumStates()),
+		accept: append([]bool(nil), c.accept...),
+		start:  int(c.start),
+	}
+	flat := make([]int32, c.NumStates()*AlphabetSize)
+	total := true
+	for s := range d.trans {
+		row := flat[s*AlphabetSize : (s+1)*AlphabetSize]
+		src := c.trans[s*c.nc : (s+1)*c.nc]
+		for _, t := range src {
+			if t < 0 {
+				total = false
+				break
+			}
+		}
+		for sym := 0; sym < AlphabetSize; sym++ {
+			row[sym] = src[c.bc.class[sym]]
+		}
+		d.trans[s] = row
+	}
+	d.compressed.Store(c)
+	d.total.Store(total && len(d.trans) > 0)
+	registerCensus(c)
+	return d
+}
+
+// coarsen re-derives the coarsest partition of c's dense expansion and
+// merges slab columns accordingly. Construction over a finer-than-necessary
+// partition (subset construction over NFA classes, products over merged
+// classes, minimization) calls this so the published CDFA is canonical.
+func (c *CDFA) coarsen() *CDFA {
+	n := c.NumStates()
+	p := newPartition()
+	var sig [AlphabetSize]int32
+	for s := 0; s < n && p.n < c.nc; s++ {
+		row := c.trans[s*c.nc : (s+1)*c.nc]
+		for sym := 0; sym < AlphabetSize; sym++ {
+			sig[sym] = row[c.bc.class[sym]]
+		}
+		p.refine(sig[:])
+	}
+	bc := p.finish()
+	if bc == c.bc {
+		return c
+	}
+	nc := bc.NumClasses()
+	out := &CDFA{bc: bc, nc: nc, trans: make([]int32, n*nc), accept: c.accept, start: c.start}
+	for s := 0; s < n; s++ {
+		src := c.trans[s*c.nc : (s+1)*c.nc]
+		dst := out.trans[s*nc : (s+1)*nc]
+		for cls := 0; cls < nc; cls++ {
+			dst[cls] = src[c.bc.class[bc.reps[cls]]]
+		}
+	}
+	return out
+}
+
+// IsEmpty reports whether L(c) is empty.
+func (c *CDFA) IsEmpty() bool {
+	n := c.NumStates()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	work := []int{int(c.start)}
+	seen[c.start] = true
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		if c.accept[s] {
+			return false
+		}
+		row := c.trans[s*c.nc : (s+1)*c.nc]
+		for _, t32 := range row {
+			t := int(t32)
+			if t >= 0 && !seen[t] {
+				seen[t] = true
+				work = append(work, t)
+			}
+		}
+	}
+	return true
+}
+
+// MinWord returns a shortest accepted symbol sequence, or nil, false if the
+// language is empty. Ties break toward the smallest symbol, matching the
+// dense search: each class's representative is its smallest member, and the
+// first class reaching a state in class order is the first symbol reaching
+// it in symbol order.
+func (c *CDFA) MinWord() ([]int, bool) {
+	n := c.NumStates()
+	if n == 0 {
+		return nil, false
+	}
+	type back struct {
+		prev int32
+		sym  int32
+	}
+	prev := make([]back, n)
+	for i := range prev {
+		prev[i] = back{-1, -1}
+	}
+	seen := make([]bool, n)
+	queue := []int32{c.start}
+	seen[c.start] = true
+	goal := -1
+	for i := 0; i < len(queue); i++ {
+		s := int(queue[i])
+		if c.accept[s] {
+			goal = s
+			break
+		}
+		row := c.trans[s*c.nc : (s+1)*c.nc]
+		for cls, t32 := range row {
+			t := int(t32)
+			if t >= 0 && !seen[t] {
+				seen[t] = true
+				prev[t] = back{int32(s), c.bc.reps[cls]}
+				queue = append(queue, t32)
+			}
+		}
+	}
+	if goal < 0 {
+		return nil, false
+	}
+	var rev []int
+	for s := goal; s != int(c.start) || len(rev) == 0; {
+		b := prev[s]
+		if b.prev < 0 {
+			break
+		}
+		rev = append(rev, int(b.sym))
+		s = int(b.prev)
+		if s == int(c.start) {
+			break
+		}
+	}
+	out := make([]int, len(rev))
+	for i, sym := range rev {
+		out[len(rev)-1-i] = sym
+	}
+	return out, true
+}
+
+// Complement flips acceptance. c must be complete (no -1 transitions); the
+// class partition depends only on transitions, so it carries over.
+func (c *CDFA) Complement() *CDFA {
+	return &CDFA{
+		bc:     c.bc,
+		nc:     c.nc,
+		trans:  c.trans,
+		accept: flipBools(c.accept),
+		start:  c.start,
+	}
+}
+
+func flipBools(in []bool) []bool {
+	out := make([]bool, len(in))
+	for i, v := range in {
+		out[i] = !v
+	}
+	return out
+}
+
+// Intersect returns the reachable product CDFA accepting L(c) ∩ L(o). Both
+// automata must be complete. The product runs over the merge of the two
+// partitions, then coarsens; state discovery order matches the dense
+// product exactly (classes in ascending-representative order visit
+// successor pairs in the same first-occurrence order as ascending symbols).
+func (c *CDFA) Intersect(o *CDFA) *CDFA {
+	bc := mergeClasses(c.bc, o.bc)
+	nc := bc.NumClasses()
+	// Per merged class, the operand class ids.
+	clsA := make([]int32, nc)
+	clsB := make([]int32, nc)
+	for cls := 0; cls < nc; cls++ {
+		rep := bc.reps[cls]
+		clsA[cls] = int32(c.bc.class[rep])
+		clsB[cls] = int32(o.bc.class[rep])
+	}
+	type pair struct{ a, b int32 }
+	ids := map[pair]int32{}
+	out := &CDFA{bc: bc, nc: nc}
+	get := func(p pair) int32 {
+		if id, ok := ids[p]; ok {
+			return id
+		}
+		id := int32(len(out.accept))
+		ids[p] = id
+		out.trans = append(out.trans, make([]int32, nc)...)
+		out.accept = append(out.accept, c.accept[p.a] && o.accept[p.b])
+		return id
+	}
+	startP := pair{c.start, o.start}
+	out.start = get(startP)
+	work := []pair{startP}
+	done := map[pair]bool{startP: true}
+	for len(work) > 0 {
+		p := work[len(work)-1]
+		work = work[:len(work)-1]
+		id := ids[p]
+		rowA := c.trans[int(p.a)*c.nc : (int(p.a)+1)*c.nc]
+		rowB := o.trans[int(p.b)*o.nc : (int(p.b)+1)*o.nc]
+		for cls := 0; cls < nc; cls++ {
+			np := pair{rowA[clsA[cls]], rowB[clsB[cls]]}
+			nid := get(np)
+			out.trans[int(id)*nc+cls] = nid
+			if !done[np] {
+				done[np] = true
+				work = append(work, np)
+			}
+		}
+	}
+	return out.coarsen()
+}
+
+// Minimize returns an equivalent minimal complete CDFA (Moore partition
+// refinement over the reachable states, exactly the dense algorithm with
+// per-class instead of per-symbol signatures). c must be complete.
+func (c *CDFA) Minimize() *CDFA {
+	nc := c.nc
+	// Restrict to reachable states. Iterating classes in ascending-
+	// representative order visits targets in the same first-occurrence
+	// order as the dense symbol scan, so `order` matches it exactly.
+	reach := make([]int, c.NumStates()) // old -> compact index or -1
+	for i := range reach {
+		reach[i] = -1
+	}
+	var order []int
+	work := []int{int(c.start)}
+	reach[c.start] = 0
+	order = append(order, int(c.start))
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		row := c.trans[s*nc : (s+1)*nc]
+		for _, t32 := range row {
+			t := int(t32)
+			if reach[t] < 0 {
+				reach[t] = len(order)
+				order = append(order, t)
+				work = append(work, t)
+			}
+		}
+	}
+	n := len(order)
+	class := make([]int, n)
+	for i, old := range order {
+		if c.accept[old] {
+			class[i] = 1
+		}
+	}
+	numClasses := 2
+	allSame := true
+	for i := 1; i < n; i++ {
+		if class[i] != class[0] {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		numClasses = 1
+		for i := range class {
+			class[i] = 0
+		}
+	}
+	for {
+		next := make([]int, n)
+		ids := map[string]int{}
+		buf := make([]byte, 0, (nc+1)*4)
+		for i, old := range order {
+			buf = buf[:0]
+			buf = appendInt(buf, class[i])
+			row := c.trans[old*nc : (old+1)*nc]
+			for _, t32 := range row {
+				buf = appendInt(buf, class[reach[int(t32)]])
+			}
+			k := string(buf)
+			id, ok := ids[k]
+			if !ok {
+				id = len(ids)
+				ids[k] = id
+			}
+			next[i] = id
+		}
+		if len(ids) == numClasses {
+			class = next
+			break
+		}
+		numClasses = len(ids)
+		class = next
+	}
+	out := &CDFA{bc: c.bc, nc: nc, trans: make([]int32, numClasses*nc), accept: make([]bool, numClasses)}
+	for i, old := range order {
+		sc := class[i]
+		out.accept[sc] = c.accept[old]
+		row := c.trans[old*nc : (old+1)*nc]
+		dst := out.trans[sc*nc : (sc+1)*nc]
+		for cls := 0; cls < nc; cls++ {
+			dst[cls] = int32(class[reach[int(row[cls])]])
+		}
+	}
+	out.start = int32(class[reach[int(c.start)]])
+	return out.coarsen()
+}
+
+// Census is the cumulative automaton-compression census: how many distinct
+// automata were compressed this process, and the total states, classes, and
+// slab bytes of their class-indexed forms. cmd/benchjson records it per
+// benchmark so `make bench-diff` can ratchet compression regressions.
+type CensusData struct {
+	DFAs      int64
+	States    int64
+	Classes   int64
+	SlabBytes int64
+}
+
+var census struct {
+	dfas, states, classes, slab atomic.Int64
+}
+
+func registerCensus(c *CDFA) {
+	census.dfas.Add(1)
+	census.states.Add(int64(c.NumStates()))
+	census.classes.Add(int64(c.nc))
+	census.slab.Add(int64(c.SlabBytes()))
+}
+
+// CensusSnapshot returns the current cumulative compression census.
+func CensusSnapshot() CensusData {
+	return CensusData{
+		DFAs:      census.dfas.Load(),
+		States:    census.states.Load(),
+		Classes:   census.classes.Load(),
+		SlabBytes: census.slab.Load(),
+	}
+}

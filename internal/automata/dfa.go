@@ -1,12 +1,32 @@
 package automata
 
+import "sync/atomic"
+
 // DFA is a complete deterministic finite automaton: every state has a
 // transition on every symbol (Determinize and the hand constructions below
 // always produce complete automata).
+//
+// The dense per-symbol rows are the construction-time representation; the
+// standard constructions (Minimize, Complement, Intersect, IsEmpty, MinWord)
+// run on the cached class-indexed form (see Compressed) and expand back, so
+// their outputs are byte-for-byte what the dense algorithms produce while
+// scanning a handful of byte classes instead of all 257 symbols per state.
 type DFA struct {
 	trans  [][]int32 // trans[s][sym] = target state
 	accept []bool
 	start  int
+
+	// compressed caches the class-indexed form; total caches completeness.
+	// Both are invalidated by every mutating method, so a finalized DFA can
+	// serve concurrent readers without rescanning.
+	compressed atomic.Pointer[CDFA]
+	total      atomic.Bool
+}
+
+// noteMutation drops the caches derived from the transition structure.
+func (d *DFA) noteMutation() {
+	d.compressed.Store(nil)
+	d.total.Store(false)
 }
 
 // NewDFA returns a DFA with no states.
@@ -21,6 +41,7 @@ func (d *DFA) AddState() int {
 	}
 	d.trans = append(d.trans, row)
 	d.accept = append(d.accept, false)
+	d.noteMutation()
 	return len(d.trans) - 1
 }
 
@@ -31,23 +52,38 @@ func (d *DFA) NumStates() int { return len(d.trans) }
 func (d *DFA) Start() int { return d.start }
 
 // SetStart makes s the start state.
-func (d *DFA) SetStart(s int) { d.start = s }
+func (d *DFA) SetStart(s int) {
+	d.start = s
+	d.compressed.Store(nil)
+}
 
 // SetAccept marks s accepting or not.
-func (d *DFA) SetAccept(s int, v bool) { d.accept[s] = v }
+func (d *DFA) SetAccept(s int, v bool) {
+	d.accept[s] = v
+	d.compressed.Store(nil)
+}
 
 // IsAccept reports whether s accepts.
 func (d *DFA) IsAccept(s int) bool { return d.accept[s] }
 
 // SetEdge sets the transition from→to on sym.
-func (d *DFA) SetEdge(from, sym, to int) { d.trans[from][sym] = int32(to) }
+func (d *DFA) SetEdge(from, sym, to int) {
+	d.trans[from][sym] = int32(to)
+	d.noteMutation()
+}
 
 // Step returns the successor of state s on sym (-1 if unset).
 func (d *DFA) Step(s, sym int) int { return int(d.trans[s][sym]) }
 
 // Complete fills any unset transition with a dead state so the automaton is
-// total, adding the dead state only if needed.
+// total, adding the dead state only if needed. A DFA known to be total (from
+// a previous Complete with no mutation since) early-exits without rescanning
+// the rows, which also makes Complete safe to call concurrently on a
+// finalized automaton.
 func (d *DFA) Complete() {
+	if d.total.Load() {
+		return
+	}
 	dead := -1
 	for s := range d.trans {
 		for sym := 0; sym < AlphabetSize; sym++ {
@@ -62,10 +98,19 @@ func (d *DFA) Complete() {
 			}
 		}
 	}
+	d.total.Store(true)
 }
 
-// Complement flips acceptance. The DFA must be complete.
+// Complement flips acceptance. The automaton is made total first — the dead
+// state (if any) comes from Complete, not a private copy of its logic.
 func (d *DFA) Complement() *DFA {
+	d.Complete()
+	return d.Compressed().Complement().Decompress()
+}
+
+// complementDense is the per-symbol reference implementation, kept for the
+// differential tests in this package.
+func (d *DFA) complementDense() *DFA {
 	d.Complete()
 	out := &DFA{start: d.start}
 	out.trans = make([][]int32, len(d.trans))
@@ -76,12 +121,24 @@ func (d *DFA) Complement() *DFA {
 		out.trans[s] = row
 		out.accept[s] = !d.accept[s]
 	}
+	out.total.Store(true)
 	return out
 }
 
 // Intersect returns the product DFA accepting L(d) ∩ L(o). Both automata
-// must be complete. Only the reachable part of the product is built.
+// must be complete. Only the reachable part of the product is built. The
+// product runs on the class-indexed forms; its states are numbered in the
+// same discovery order as the per-symbol construction (see CDFA.Intersect),
+// so the result is byte-identical to intersectDense.
 func (d *DFA) Intersect(o *DFA) *DFA {
+	d.Complete()
+	o.Complete()
+	return d.Compressed().Intersect(o.Compressed()).Decompress()
+}
+
+// intersectDense is the per-symbol reference implementation, kept for the
+// differential tests in this package.
+func (d *DFA) intersectDense(o *DFA) *DFA {
 	d.Complete()
 	o.Complete()
 	type pair struct{ a, b int }
@@ -139,7 +196,11 @@ func (d *DFA) AcceptsString(str string) bool {
 }
 
 // IsEmpty reports whether L(d) is empty.
-func (d *DFA) IsEmpty() bool {
+func (d *DFA) IsEmpty() bool { return d.Compressed().IsEmpty() }
+
+// isEmptyDense is the per-symbol reference implementation, kept for the
+// differential tests in this package.
+func (d *DFA) isEmptyDense() bool {
 	if len(d.trans) == 0 {
 		return true
 	}
@@ -164,8 +225,14 @@ func (d *DFA) IsEmpty() bool {
 }
 
 // MinWord returns a shortest accepted symbol sequence, or nil, false if the
-// language is empty.
-func (d *DFA) MinWord() ([]int, bool) {
+// language is empty. Ties break toward the smallest symbol (the BFS scans
+// classes in ascending-representative order, which visits successors in the
+// same order as an ascending symbol scan).
+func (d *DFA) MinWord() ([]int, bool) { return d.Compressed().MinWord() }
+
+// minWordDense is the per-symbol reference implementation, kept for the
+// differential tests in this package.
+func (d *DFA) minWordDense() ([]int, bool) {
 	if len(d.trans) == 0 {
 		return nil, false
 	}
@@ -219,8 +286,19 @@ func (d *DFA) MinWord() ([]int, bool) {
 }
 
 // Minimize returns an equivalent minimal complete DFA (Moore partition
-// refinement over the reachable states).
+// refinement over the reachable states). The refinement runs on the
+// class-indexed form with per-class signatures; state numbering and output
+// rows are byte-identical to minimizeDense (per-class and per-symbol
+// signatures induce the same partition because rows are class-uniform, and
+// reachability discovers states in the same order).
 func (d *DFA) Minimize() *DFA {
+	d.Complete()
+	return d.Compressed().Minimize().Decompress()
+}
+
+// minimizeDense is the per-symbol reference implementation, kept for the
+// differential tests in this package.
+func (d *DFA) minimizeDense() *DFA {
 	d.Complete()
 	// Restrict to reachable states.
 	reach := make([]int, len(d.trans)) // old -> new (compact) or -1

@@ -120,8 +120,102 @@ func (n *NFA) epsClosure(set []int) []int {
 
 // Determinize converts the NFA to an equivalent complete DFA via the subset
 // construction. The result always has a dead state, so every transition is
-// defined.
+// defined. The construction runs over byte classes (DeterminizeC) and
+// expands; the result is byte-identical to the per-symbol construction.
 func (n *NFA) Determinize() *DFA {
+	return n.DeterminizeC().Decompress()
+}
+
+// DeterminizeC runs the subset construction over the NFA's byte classes and
+// returns the class-indexed DFA directly. Classes are computed on the NFA
+// first, so the exponential step scans a handful of classes per subset
+// instead of all 257 symbols. State numbering matches the per-symbol
+// construction exactly: state 0 is the dead state, state 1 the start set,
+// and subsets are numbered in first-discovery order under an ascending
+// class scan, which coincides with the ascending symbol scan because each
+// class is ordered by its smallest member.
+func (n *NFA) DeterminizeC() *CDFA {
+	bc := classesOfNFA(n)
+	nc := bc.NumClasses()
+	enc := func(set []int) string {
+		b := make([]byte, 0, len(set)*3)
+		for _, s := range set {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16))
+		}
+		return string(b)
+	}
+	c := &CDFA{bc: bc, nc: nc}
+	addState := func() int32 {
+		id := int32(len(c.accept))
+		c.trans = append(c.trans, make([]int32, nc)...)
+		c.accept = append(c.accept, false)
+		return id
+	}
+	dead := addState() // state 0 is the dead state
+	for cls := 0; cls < nc; cls++ {
+		c.trans[int(dead)*nc+cls] = dead
+	}
+
+	anyAccept := func(set []int) bool {
+		for _, s := range set {
+			if n.accept[s] {
+				return true
+			}
+		}
+		return false
+	}
+
+	startSet := n.epsClosure([]int{n.start})
+	startID := addState()
+	ids := map[string]int32{enc(startSet): startID}
+	c.start = startID
+	sets := map[int32][]int{startID: startSet}
+	work := []int32{startID}
+	c.accept[startID] = anyAccept(startSet)
+
+	succ := make([][]int, nc)
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		set := sets[id]
+		// Gather successor sets per class. Within a class every symbol has
+		// the same targets at every state (that is what classesOfNFA
+		// refines on), so any one symbol of the class stands for all.
+		for cls := range succ {
+			succ[cls] = succ[cls][:0]
+		}
+		for _, s := range set {
+			for sym, tos := range n.trans[s] {
+				cls := bc.class[sym]
+				succ[cls] = append(succ[cls], tos...)
+			}
+		}
+		row := c.trans[int(id)*nc : (int(id)+1)*nc]
+		for cls := 0; cls < nc; cls++ {
+			if len(succ[cls]) == 0 {
+				row[cls] = dead
+				continue
+			}
+			cl := n.epsClosure(succ[cls])
+			k := enc(cl)
+			tid, ok := ids[k]
+			if !ok {
+				tid = addState()
+				ids[k] = tid
+				sets[tid] = cl
+				c.accept[tid] = anyAccept(cl)
+				work = append(work, tid)
+				row = c.trans[int(id)*nc : (int(id)+1)*nc]
+			}
+			row[cls] = tid
+		}
+	}
+	return c.coarsen()
+}
+
+// determinizeDense is the per-symbol reference implementation, kept for the
+// differential tests in this package.
+func (n *NFA) determinizeDense() *DFA {
 	type key string
 	enc := func(set []int) key {
 		b := make([]byte, 0, len(set)*3)

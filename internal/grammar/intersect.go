@@ -227,14 +227,41 @@ func IntersectIntoT(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget, sp 
 			discover(int32(lhs), int32(q), int32(q))
 		}
 	}
-	// Seed: X -> t gives (X, i, d(i,t)).
+	// Seed: X -> t gives (X, i, d(i,t)). Terminals in the same byte class
+	// share the same successor column; build each class's q→d(q,t) table
+	// lazily and reuse it for every terminal of the class. The discover
+	// order (t ascending, q ascending) is unchanged, so item and
+	// nonterminal numbering match the per-symbol seeding exactly.
+	var cd *automata.CDFA
+	var classTo [][]int32
+	if AlphabetCompression {
+		cd = d.Compressed()
+		classTo = make([][]int32, cd.NumClasses())
+	}
 	for t := 0; t < NumTerminals; t++ {
 		lhss := unitT[t]
 		if len(lhss) == 0 {
 			continue
 		}
+		var col []int32
+		if cd != nil {
+			cls := cd.ClassOf(t)
+			col = classTo[cls]
+			if col == nil {
+				col = make([]int32, nq)
+				for q := 0; q < nq; q++ {
+					col[q] = int32(cd.StepClass(q, cls))
+				}
+				classTo[cls] = col
+			}
+		}
 		for q := 0; q < nq; q++ {
-			to := int32(d.Step(q, t))
+			var to int32
+			if col != nil {
+				to = col[q]
+			} else {
+				to = int32(d.Step(q, t))
+			}
 			for _, lhs := range lhss {
 				discover(int32(lhs), int32(q), to, Sym(t))
 			}

@@ -2,11 +2,35 @@ package grammar
 
 import (
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"sqlciv/internal/automata"
 	"sqlciv/internal/budget"
 	"sqlciv/internal/obs"
 )
+
+// AlphabetCompression selects the byte-class execution paths in the
+// relation fixpoints and the intersection seeding: terminal runs are
+// translated byte→class once per partition and composed on the class-indexed
+// transition slab, with runs that collapse to the same class sequence
+// sharing one composed state map. The two paths produce byte-identical
+// results (the class-indexed DFA is a lossless re-indexing); the flag exists
+// so the differential tests can force the dense path and compare whole
+// reports. Toggle only in tests, before any analysis runs.
+var AlphabetCompression = true
+
+// relMemo counts RelsT's class-string memo traffic across the process:
+// a hit means a terminal run's composed state map was copied from another
+// run with the same class sequence instead of being recomposed.
+var relMemo struct{ hits, misses atomic.Int64 }
+
+// RelMemoStats reports the cumulative class-memo performance of terminal-run
+// composition in RelsT: hits are runs whose composed state map was shared,
+// misses are runs composed symbol by symbol.
+func RelMemoStats() (hits, misses int64) {
+	return relMemo.hits.Load(), relMemo.misses.Load()
+}
 
 // Relation-based grammar analyses over small DFAs. For a complete DFA D
 // with at most 32 states, Rels computes for every nonterminal the
@@ -64,6 +88,48 @@ type RelPlan struct {
 	prods      []planProd // productive productions
 	dependents [][]int32  // NT index -> productions mentioning it
 	runs       [][]Sym    // distinct maximal terminal runs
+
+	// clsRuns caches the byte→class translation of runs per partition.
+	// Check DFAs that induce the same partition (interned, so pointer
+	// equality is partition equality) share one translation across the
+	// cascade's several RelsT calls on this plan.
+	mu      sync.Mutex
+	clsRuns map[*automata.ByteClasses]*classRuns
+}
+
+// classRuns is the plan's terminal runs translated into the class ids of one
+// byte-class partition: runs[i] is the class sequence of plan run i and
+// keys[i] its canonical byte encoding — the memo key under which RelsT
+// shares composed state maps between runs with equal class sequences.
+type classRuns struct {
+	runs [][]uint16
+	keys []string
+}
+
+func (p *RelPlan) classRunsFor(bc *automata.ByteClasses) *classRuns {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cr, ok := p.clsRuns[bc]; ok {
+		return cr
+	}
+	cr := &classRuns{runs: make([][]uint16, len(p.runs)), keys: make([]string, len(p.runs))}
+	var enc []byte
+	for i, run := range p.runs {
+		cls := make([]uint16, len(run))
+		enc = enc[:0]
+		for k, s := range run {
+			c := uint16(bc.ClassOf(int(s)))
+			cls[k] = c
+			enc = append(enc, byte(c), byte(c>>8))
+		}
+		cr.runs[i] = cls
+		cr.keys[i] = string(enc)
+	}
+	if p.clsRuns == nil {
+		p.clsRuns = map[*automata.ByteClasses]*classRuns{}
+	}
+	p.clsRuns[bc] = cr
+	return cr
 }
 
 // planProd is one productive production, segmented. A segment with nt >= 0
@@ -149,15 +215,49 @@ func (p *RelPlan) RelsT(d *automata.DFA, b *budget.Budget, sp *obs.Span) [][]uin
 		rel[i] = flat[i*nq : (i+1)*nq : (i+1)*nq]
 	}
 	runMaps := make([]uint8, len(p.runs)*nq)
-	for ri, run := range p.runs {
-		b.Step(1)
-		rm := runMaps[ri*nq : (ri+1)*nq]
-		for q := 0; q < nq; q++ {
-			rm[q] = uint8(q)
-		}
-		for _, s := range run {
+	if AlphabetCompression {
+		// Compose each run on the class-indexed slab, translating byte→class
+		// once per partition (cached on the plan). Runs that collapse to the
+		// same class sequence under this DFA's partition share one composed
+		// state map via the class-string memo.
+		cd := d.Compressed()
+		cr := p.classRunsFor(cd.Classes())
+		memo := make(map[string]int32, len(p.runs))
+		var hits, misses int64
+		for ri := range p.runs {
+			b.Step(1)
+			rm := runMaps[ri*nq : (ri+1)*nq]
+			if src, ok := memo[cr.keys[ri]]; ok {
+				copy(rm, runMaps[int(src)*nq:(int(src)+1)*nq])
+				hits++
+				continue
+			}
+			memo[cr.keys[ri]] = int32(ri)
+			misses++
 			for q := 0; q < nq; q++ {
-				rm[q] = uint8(d.Step(int(rm[q]), int(s)))
+				rm[q] = uint8(q)
+			}
+			for _, c := range cr.runs[ri] {
+				for q := 0; q < nq; q++ {
+					rm[q] = uint8(cd.StepClass(int(rm[q]), int(c)))
+				}
+			}
+		}
+		relMemo.hits.Add(hits)
+		relMemo.misses.Add(misses)
+		sp.Count("rels.runmemo.hits", hits)
+		sp.Count("rels.runmemo.misses", misses)
+	} else {
+		for ri, run := range p.runs {
+			b.Step(1)
+			rm := runMaps[ri*nq : (ri+1)*nq]
+			for q := 0; q < nq; q++ {
+				rm[q] = uint8(q)
+			}
+			for _, s := range run {
+				for q := 0; q < nq; q++ {
+					rm[q] = uint8(d.Step(int(rm[q]), int(s)))
+				}
 			}
 		}
 	}
@@ -302,6 +402,10 @@ func ContextsMinT(g *Grammar, root Sym, d *automata.DFA, rels [][]uint32, minLen
 	if minLens[ri] >= 0 {
 		ctx[ri] = 1 << uint(d.Start())
 	}
+	var cd *automata.CDFA
+	if AlphabetCompression {
+		cd = d.Compressed()
+	}
 	passes := int64(0)
 	changed := true
 	for changed {
@@ -323,10 +427,19 @@ func ContextsMinT(g *Grammar, root Sym, d *automata.DFA, rels [][]uint32, minLen
 				if IsTerminal(s) {
 					var next uint32
 					m := states
-					for m != 0 {
-						p := bits.TrailingZeros32(m)
-						m &= m - 1
-						next |= 1 << uint(d.Step(p, int(s)))
+					if cd != nil {
+						cls := cd.ClassOf(int(s))
+						for m != 0 {
+							p := bits.TrailingZeros32(m)
+							m &= m - 1
+							next |= 1 << uint(cd.StepClass(p, cls))
+						}
+					} else {
+						for m != 0 {
+							p := bits.TrailingZeros32(m)
+							m &= m - 1
+							next |= 1 << uint(d.Step(p, int(s)))
+						}
 					}
 					states = next
 					continue

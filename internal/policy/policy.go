@@ -238,46 +238,96 @@ var (
 	}
 )
 
+// buildPrebuilt constructs the shared check DFAs once per process (run via
+// buildOnce by New and CheckAutomata).
+func buildPrebuilt() {
+	prebuilt.oddQuotes = buildQuoteParityDFA(true)
+	prebuilt.unescQuote = buildUnescapedQuoteDFA()
+	prebuilt.evenCtx = buildEvenContextDFA()
+	re, err := rx.Parse(`^-?[0-9]+(\.[0-9]+)?$`, false)
+	if err != nil {
+		panic("policy: numeric pattern: " + err.Error())
+	}
+	prebuilt.nonNumeric = re.MatchDFA().Complement().Minimize()
+	var frags *automata.NFA
+	for _, frag := range []string{"--", "DROP", "UNION", ";", "/*", " OR ", " or 1=1"} {
+		f := automata.FromString(frag)
+		if frags == nil {
+			frags = f
+		} else {
+			frags = automata.Union(frags, f)
+		}
+		n := automata.Concat(automata.Concat(automata.SigmaStar(), f), automata.SigmaStar())
+		prebuilt.attacks = append(prebuilt.attacks, attackDFA{name: frag, dfa: n.Determinize().Minimize()})
+	}
+	u := automata.Concat(automata.Concat(automata.SigmaStar(), frags), automata.SigmaStar()).Determinize().Minimize()
+	u.Complete()
+	if u.NumStates() <= grammar.MaxRelStates {
+		prebuilt.attackUnion = u
+	}
+	// Complete the shared DFAs now: Complete mutates on first call (adds a
+	// dead state for missing edges) and is a no-op afterwards, so completing
+	// here makes the prebuilt automata read-only — a requirement for
+	// concurrent CheckHotspot calls, which would otherwise race inside the
+	// lazy completion. Then intern each automaton by fingerprint (so an
+	// identical regex compiled elsewhere shares the same *DFA and its
+	// downstream memos) and warm the class-indexed form the cascade's
+	// fixpoints execute on.
+	prebuilt.oddQuotes.Complete()
+	prebuilt.unescQuote.Complete()
+	prebuilt.evenCtx.Complete()
+	prebuilt.nonNumeric.Complete()
+	for _, atk := range prebuilt.attacks {
+		atk.dfa.Complete()
+	}
+	prebuilt.oddQuotes = automata.Intern(prebuilt.oddQuotes)
+	prebuilt.unescQuote = automata.Intern(prebuilt.unescQuote)
+	prebuilt.evenCtx = automata.Intern(prebuilt.evenCtx)
+	prebuilt.nonNumeric = automata.Intern(prebuilt.nonNumeric)
+	for i := range prebuilt.attacks {
+		prebuilt.attacks[i].dfa = automata.Intern(prebuilt.attacks[i].dfa)
+		prebuilt.attacks[i].dfa.Compressed()
+	}
+	if prebuilt.attackUnion != nil {
+		prebuilt.attackUnion = automata.Intern(prebuilt.attackUnion)
+		prebuilt.attackUnion.Compressed()
+	}
+	prebuilt.oddQuotes.Compressed()
+	prebuilt.unescQuote.Compressed()
+	prebuilt.evenCtx.Compressed()
+	prebuilt.nonNumeric.Compressed()
+}
+
+// CheckAutomaton names one prebuilt policy check DFA.
+type CheckAutomaton struct {
+	Name string
+	DFA  *automata.DFA
+}
+
+// CheckAutomata returns the prebuilt check DFAs by name. Tooling uses it to
+// ratchet the byte-class footprint of the cascade (`make bench-classes`): a
+// check DFA growing past a couple dozen classes means some construction
+// started distinguishing bytes it should not.
+func CheckAutomata() []CheckAutomaton {
+	buildOnce.Do(buildPrebuilt)
+	out := []CheckAutomaton{
+		{"odd-quotes", prebuilt.oddQuotes},
+		{"unescaped-quote", prebuilt.unescQuote},
+		{"even-context", prebuilt.evenCtx},
+		{"non-numeric", prebuilt.nonNumeric},
+	}
+	for _, atk := range prebuilt.attacks {
+		out = append(out, CheckAutomaton{"attack:" + atk.name, atk.dfa})
+	}
+	if prebuilt.attackUnion != nil {
+		out = append(out, CheckAutomaton{"attack-union", prebuilt.attackUnion})
+	}
+	return out
+}
+
 // New returns a Checker against the shared reference SQL grammar.
 func New() *Checker {
-	buildOnce.Do(func() {
-		prebuilt.oddQuotes = buildQuoteParityDFA(true)
-		prebuilt.unescQuote = buildUnescapedQuoteDFA()
-		prebuilt.evenCtx = buildEvenContextDFA()
-		re, err := rx.Parse(`^-?[0-9]+(\.[0-9]+)?$`, false)
-		if err != nil {
-			panic("policy: numeric pattern: " + err.Error())
-		}
-		prebuilt.nonNumeric = re.MatchDFA().Complement().Minimize()
-		var frags *automata.NFA
-		for _, frag := range []string{"--", "DROP", "UNION", ";", "/*", " OR ", " or 1=1"} {
-			f := automata.FromString(frag)
-			if frags == nil {
-				frags = f
-			} else {
-				frags = automata.Union(frags, f)
-			}
-			n := automata.Concat(automata.Concat(automata.SigmaStar(), f), automata.SigmaStar())
-			prebuilt.attacks = append(prebuilt.attacks, attackDFA{name: frag, dfa: n.Determinize().Minimize()})
-		}
-		u := automata.Concat(automata.Concat(automata.SigmaStar(), frags), automata.SigmaStar()).Determinize().Minimize()
-		u.Complete()
-		if u.NumStates() <= grammar.MaxRelStates {
-			prebuilt.attackUnion = u
-		}
-		// Complete the shared DFAs now: Complete mutates on first call
-		// (adds a dead state for missing edges) and is a no-op afterwards,
-		// so completing here makes the prebuilt automata read-only — a
-		// requirement for concurrent CheckHotspot calls, which would
-		// otherwise race inside the lazy completion.
-		prebuilt.oddQuotes.Complete()
-		prebuilt.unescQuote.Complete()
-		prebuilt.evenCtx.Complete()
-		prebuilt.nonNumeric.Complete()
-		for _, atk := range prebuilt.attacks {
-			atk.dfa.Complete()
-		}
-	})
+	buildOnce.Do(buildPrebuilt)
 	sql := sqlgram.Get()
 	return &Checker{
 		sql:         sql,

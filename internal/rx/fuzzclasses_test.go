@@ -1,0 +1,80 @@
+package rx
+
+import (
+	"testing"
+
+	"sqlciv/internal/automata"
+)
+
+// FuzzByteClasses drives the byte-class compression machinery through the
+// regex front end: for every accepted pattern it checks that the
+// class-indexed form of the match DFA is a lossless re-indexing (round-trip
+// identity, valid canonical partition) and that match/complement agree with
+// the automaton semantics on the fuzzed subject. Seeds are the policy
+// cascade's own check patterns and attack fragments, so the corpus starts on
+// the automata the SQL checker actually ships.
+func FuzzByteClasses(f *testing.F) {
+	seeds := []string{
+		// policy check regexes
+		`^-?[0-9]+(\.[0-9]+)?$`,
+		`^[A-Za-z0-9_-]*$`,
+		// attack fragments (policy check 4) and quote machinery
+		`--`, `DROP`, `UNION`, `;`, `/\*`, ` OR `, ` or 1=1`,
+		`[^'\\]*`, `'[^']*'`,
+	}
+	for _, s := range seeds {
+		f.Add(s, false, "probe' OR 1=1 --")
+		f.Add(s, true, "42.5")
+	}
+	f.Fuzz(func(t *testing.T, pattern string, ci bool, subject string) {
+		re, err := Parse(pattern, ci)
+		if err != nil {
+			return
+		}
+		d := re.MatchDFA()
+		c := d.Compressed()
+		if nc := c.NumClasses(); nc < 1 || nc > automata.AlphabetSize {
+			t.Fatalf("pattern %q: %d classes out of range", pattern, nc)
+		}
+		bc := c.Classes()
+		// Partition validity: every symbol steps like its class
+		// representative at every state, and reps are the smallest members.
+		for sym := 0; sym < automata.AlphabetSize; sym++ {
+			rep := bc.Rep(bc.ClassOf(sym))
+			if rep > sym {
+				t.Fatalf("pattern %q: class rep %d larger than member %d", pattern, rep, sym)
+			}
+			for s := 0; s < d.NumStates(); s++ {
+				if d.Step(s, sym) != d.Step(s, rep) {
+					t.Fatalf("pattern %q: state %d distinguishes %d from class rep %d", pattern, s, sym, rep)
+				}
+			}
+		}
+		// Round trip: expanding the compressed form reproduces the DFA.
+		dd := c.Decompress()
+		if dd.NumStates() != d.NumStates() || dd.Start() != d.Start() {
+			t.Fatalf("pattern %q: decompressed shape differs", pattern)
+		}
+		for s := 0; s < d.NumStates(); s++ {
+			if dd.IsAccept(s) != d.IsAccept(s) {
+				t.Fatalf("pattern %q: acceptance differs at state %d", pattern, s)
+			}
+			for sym := 0; sym < automata.AlphabetSize; sym++ {
+				if dd.Step(s, sym) != d.Step(s, sym) {
+					t.Fatalf("pattern %q: transition (%d,%d) differs", pattern, s, sym)
+				}
+			}
+		}
+		// Semantics: CDFA execution matches the dense DFA and the NFA, and
+		// the complement DFA is the exact negation on the fuzzed subject.
+		if c.AcceptsString(subject) != d.AcceptsString(subject) {
+			t.Fatalf("pattern %q: CDFA and DFA disagree on %q", pattern, subject)
+		}
+		if re.MatchLang().AcceptsString(subject) != d.AcceptsString(subject) {
+			t.Fatalf("pattern %q: DFA and NFA disagree on %q", pattern, subject)
+		}
+		if re.ComplementMatchDFA().AcceptsString(subject) == d.AcceptsString(subject) {
+			t.Fatalf("pattern %q: complement not a negation on %q", pattern, subject)
+		}
+	})
+}

@@ -17,6 +17,7 @@ package rx
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"sqlciv/internal/automata"
 )
@@ -584,15 +585,48 @@ func (re *Regex) MatchLang() *automata.NFA {
 	return body
 }
 
-// MatchDFA returns the minimized DFA of MatchLang.
+// matchDFACache and nonMatchDFACache hold the compiled guard DFAs keyed by
+// (case-insensitivity, pattern source). The same guard pattern recurs across
+// pages and apps; one build serves every call site, and the automaton is
+// additionally interned by structural fingerprint so even distinct patterns
+// with the same language share the class-indexed transition slab. Cached
+// DFAs are finalized (complete, compressed) and must be treated as
+// read-only.
+var (
+	matchDFACache    sync.Map // string -> *automata.DFA
+	nonMatchDFACache sync.Map
+)
+
+func (re *Regex) cacheKey() string {
+	if re.CaseInsensitive {
+		return "i\x00" + re.Source
+	}
+	return "-\x00" + re.Source
+}
+
+// MatchDFA returns the minimized DFA of MatchLang. The result is cached per
+// (pattern, flags) and shared: callers must not mutate it.
 func (re *Regex) MatchDFA() *automata.DFA {
-	return re.MatchLang().Determinize().Minimize()
+	k := re.cacheKey()
+	if v, ok := matchDFACache.Load(k); ok {
+		return v.(*automata.DFA)
+	}
+	d := automata.Intern(re.MatchLang().Determinize().Minimize())
+	v, _ := matchDFACache.LoadOrStore(k, d)
+	return v.(*automata.DFA)
 }
 
 // ComplementMatchDFA returns the minimized DFA of the strings on which the
-// pattern does NOT match — the language of the else branch of a guard.
+// pattern does NOT match — the language of the else branch of a guard. The
+// result is cached and shared like MatchDFA.
 func (re *Regex) ComplementMatchDFA() *automata.DFA {
-	return re.MatchDFA().Complement().Minimize()
+	k := re.cacheKey()
+	if v, ok := nonMatchDFACache.Load(k); ok {
+		return v.(*automata.DFA)
+	}
+	d := automata.Intern(re.MatchDFA().Complement().Minimize())
+	v, _ := nonMatchDFACache.LoadOrStore(k, d)
+	return v.(*automata.DFA)
 }
 
 // compile translates an AST node to an NFA.

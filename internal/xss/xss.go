@@ -161,22 +161,51 @@ func containsDFA(frag string) *automata.DFA {
 	return n.Determinize().Minimize()
 }
 
+func buildPre() {
+	pre.html = buildHTMLDFA()
+	pre.hasLT = containsDFA("<")
+	pre.hasDQ = containsDFA(`"`)
+	pre.hasSQ = containsDFA("'")
+	identRe, err := rx.Parse(`^[A-Za-z0-9_-]*$`, false)
+	if err != nil {
+		panic("xss: ident pattern: " + err.Error())
+	}
+	pre.nonIdent = identRe.MatchDFA().Complement().Minimize()
+	// Finalize for concurrent use (Complete mutates on first call), intern
+	// by fingerprint, and warm the class-indexed form the relation
+	// fixpoints execute on.
+	for _, d := range []**automata.DFA{&pre.html, &pre.hasLT, &pre.hasDQ, &pre.hasSQ, &pre.nonIdent} {
+		(*d).Complete()
+		*d = automata.Intern(*d)
+		(*d).Compressed()
+	}
+}
+
+// CheckAutomaton names one prebuilt XSS check DFA.
+type CheckAutomaton struct {
+	Name string
+	DFA  *automata.DFA
+}
+
+// CheckAutomata returns the prebuilt check DFAs by name, for the
+// byte-class-footprint canary (`make bench-classes`).
+func CheckAutomata() []CheckAutomaton {
+	once.Do(buildPre)
+	return []CheckAutomaton{
+		{"html-context", pre.html},
+		{"has-lt", pre.hasLT},
+		{"has-dquote", pre.hasDQ},
+		{"has-squote", pre.hasSQ},
+		{"non-ident", pre.nonIdent},
+	}
+}
+
 // Checker checks page-output grammars for XSS.
 type Checker struct{}
 
 // New returns a Checker (the underlying automata are shared and immutable).
 func New() *Checker {
-	once.Do(func() {
-		pre.html = buildHTMLDFA()
-		pre.hasLT = containsDFA("<")
-		pre.hasDQ = containsDFA(`"`)
-		pre.hasSQ = containsDFA("'")
-		identRe, err := rx.Parse(`^[A-Za-z0-9_-]*$`, false)
-		if err != nil {
-			panic("xss: ident pattern: " + err.Error())
-		}
-		pre.nonIdent = identRe.MatchDFA().Complement().Minimize()
-	})
+	once.Do(buildPre)
 	return &Checker{}
 }
 
