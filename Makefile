@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-classes bench-diff trace-smoke fuzz-smoke
+.PHONY: build test check bench bench-classes bench-diff bench-mem trace-smoke fuzz-smoke
 
 # Each fuzz target gets a short randomized burn beyond its seed corpus.
 FUZZ_TIME ?= 30s
@@ -48,13 +48,32 @@ bench-classes:
 
 # bench-diff is the performance ratchet: bench the working tree into
 # BENCH_new.json (not committed) and compare it against the committed
-# BENCH_table1.json baseline, failing on a >25% ns/op regression. The full
-# comparison lands in bench-diff.json (CI uploads it as an artifact).
+# BENCH_table1.json baseline. Wall-clock gets a loose band (2x-iteration
+# runs are noisy); the allocation metrics are nearly deterministic, so B/op
+# and allocs/op ratchet much tighter — an allocator regression fails here
+# even when ns/op hides it. The full comparison lands in bench-diff.json
+# (CI uploads it as an artifact).
 bench-diff:
 	$(GO) test -run '^$$' -bench 'BenchmarkTable1' -benchtime 2x -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_new.json
-	$(GO) run ./cmd/benchdiff -max-regress-pct 25 -o bench-diff.json \
+	$(GO) run ./cmd/benchdiff -metrics 'ns/op:25,B/op:15,allocs/op:10' -o bench-diff.json \
 		BENCH_table1.json BENCH_new.json
+
+# bench-mem is the allocator smoke: a short pass over the two biggest
+# subjects with -benchmem, ratcheting only the allocation metrics (tight
+# bands, no wall-clock — B/op and allocs/op barely move run to run, so this
+# is cheap enough to gate every PR). -benchtime must match the committed
+# baseline's (2x): per-op numbers amortize one-time process-global warmup
+# (intern pool, interned DFAs, rx caches) over the iteration count, so a
+# different count skews the first subject's B/op. Note for noisy hosts: with
+# GODEBUG=madvdontneed=1 the runtime returns memory eagerly, which perturbs
+# RSS-based observations but NOT B/op or allocs/op — those count
+# allocations, not resident pages, so the ratchet is immune to that knob.
+bench-mem:
+	$(GO) test -run '^$$' -bench 'BenchmarkTable1_(Tiger|E107)$$' -benchtime 2x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_mem.json
+	$(GO) run ./cmd/benchdiff -metrics 'B/op:15,allocs/op:10' -o bench-mem-diff.json \
+		BENCH_table1.json BENCH_mem.json
 
 # trace-smoke exercises the observability surface end to end: a -table1 run
 # with a Chrome trace (Perfetto-loadable; CI uploads it as an artifact) and

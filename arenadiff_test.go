@@ -1,0 +1,68 @@
+package sqlciv
+
+import (
+	"reflect"
+	"testing"
+
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/core"
+	"sqlciv/internal/corpus"
+	"sqlciv/internal/grammar"
+	"sqlciv/internal/xss"
+)
+
+// TestArenaPreservesFindingsOnCorpus is the arena substrate's differential
+// oracle: whole-app analysis with arena allocation forced off (the retained
+// per-production-slice layout) must produce reports DeepEqual to the default
+// slab-backed run, for every Table 1 subject. The two representations hold
+// identical productions in identical order, so any divergence — a witness, a
+// verdict, even report order — is an arena bug.
+func TestArenaPreservesFindingsOnCorpus(t *testing.T) {
+	defer func(prev bool) { grammar.ArenaAllocation = prev }(grammar.ArenaAllocation)
+	run := func(arena bool) map[string]*core.AppResult {
+		grammar.ArenaAllocation = arena
+		out := map[string]*core.AppResult{}
+		for _, app := range corpus.Apps() {
+			res, err := core.AnalyzeApp(analysis.NewMapResolver(app.Sources), app.Entries, core.Options{})
+			if err != nil {
+				t.Fatalf("%s (arena=%v): %v", app.Name, arena, err)
+			}
+			out[app.Name] = res
+		}
+		return out
+	}
+	on := run(true)
+	off := run(false)
+	for name, want := range off {
+		got := on[name]
+		if !reflect.DeepEqual(got.Findings, want.Findings) {
+			t.Errorf("%s: findings diverged\narena:  %+v\nslices: %+v",
+				name, got.Findings, want.Findings)
+		}
+	}
+	if len(on) == 0 {
+		t.Fatal("corpus produced no subjects")
+	}
+}
+
+// TestArenaPreservesXSSFindings runs the XSS auditor both ways over the
+// corpus apps that emit page output.
+func TestArenaPreservesXSSFindings(t *testing.T) {
+	defer func(prev bool) { grammar.ArenaAllocation = prev }(grammar.ArenaAllocation)
+	for _, app := range corpus.Apps() {
+		resolver := analysis.NewMapResolver(app.Sources)
+		grammar.ArenaAllocation = true
+		on, err := xss.Audit(resolver, app.Entries, analysis.Options{})
+		if err != nil {
+			t.Fatalf("%s arena: %v", app.Name, err)
+		}
+		grammar.ArenaAllocation = false
+		off, err := xss.Audit(resolver, app.Entries, analysis.Options{})
+		if err != nil {
+			t.Fatalf("%s slices: %v", app.Name, err)
+		}
+		if !reflect.DeepEqual(on, off) {
+			t.Errorf("%s: XSS findings diverged\narena:  %+v\nslices: %+v", app.Name, on, off)
+		}
+	}
+}

@@ -96,6 +96,15 @@ func benchAppOpts(b *testing.B, app *corpus.App, opts core.Options) {
 	if dh+dm > 0 {
 		b.ReportMetric(100*float64(dh)/float64(dh+dm), "class-memo-hit-pct")
 	}
+	// Grammar arena census for the last run: retained page-grammar slab
+	// bytes, and the hit rate against the process-global terminal-run
+	// intern pool. Ratcheted by bench-diff alongside B/op and allocs/op —
+	// a slab-bytes jump or a hit-rate collapse is an allocator regression
+	// even when wall-clock hides it.
+	b.ReportMetric(float64(last.GrammarSlabBytes), "grammar-slab-B")
+	if t := last.InternHits + last.InternMisses; t > 0 {
+		b.ReportMetric(100*float64(last.InternHits)/float64(t), "intern-hit-pct")
+	}
 }
 
 // benchAppWarm measures the steady state of the persistent verdict cache:

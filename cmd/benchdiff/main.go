@@ -1,24 +1,33 @@
 // Command benchdiff compares two benchjson documents benchmark by benchmark
-// and fails when a tracked metric regresses beyond a threshold. It is the
+// and fails when a tracked metric regresses beyond its threshold. It is the
 // repo's cheap performance ratchet: CI benches the working tree into a fresh
 // JSON file and diffs it against the committed BENCH_table1.json baseline.
 //
 // Usage:
 //
+//	benchdiff [-metrics "ns/op:25,B/op:15,allocs/op:10"] [-o diff.json] old.json new.json
 //	benchdiff [-metric ns/op] [-max-regress-pct 25] [-o diff.json] old.json new.json
 //
-// The exit status is 1 when any benchmark present in both documents regressed
-// on the tracked metric by more than -max-regress-pct percent, 2 on usage or
-// I/O errors, and 0 otherwise. Benchmarks present on only one side are
-// reported but never fail the diff — adding or renaming a benchmark should
-// not break the ratchet. -o writes the full comparison as JSON (the CI job
-// uploads it as an artifact); the human-readable table always prints to
-// stdout.
+// -metrics ratchets several metrics at once, each with its own tolerance
+// band: a comma-separated list of metric:max-regress-pct pairs (the
+// percentage defaults to -max-regress-pct when omitted). The older
+// single-metric flags remain and are equivalent to a one-entry list.
 //
-// Single-digit-iteration bench runs are noisy, so the default threshold is
-// deliberately loose: the ratchet exists to catch order-of-magnitude
-// mistakes (an accidentally quadratic loop, a cache that stopped hitting),
-// not single-digit-percent drift.
+// The exit status is 1 when any benchmark present in both documents
+// regressed on a tracked metric by more than that metric's threshold, 2 on
+// usage or I/O errors, and 0 otherwise. Benchmarks present on only one side
+// are reported but never fail the diff — adding or renaming a benchmark
+// should not break the ratchet. A benchmark lacking a tracked metric on
+// either side is skipped for that metric (not every benchmark reports every
+// census counter). -o writes the full comparison as JSON (the CI job uploads
+// it as an artifact); the human-readable table always prints to stdout.
+//
+// Single-digit-iteration bench runs are noisy on wall-clock, so the default
+// ns/op threshold is deliberately loose: that ratchet exists to catch
+// order-of-magnitude mistakes (an accidentally quadratic loop, a cache that
+// stopped hitting), not single-digit-percent drift. Allocation metrics
+// (B/op, allocs/op) are far more repeatable — allocation counts are nearly
+// deterministic run to run — so they tolerate tighter bands.
 package main
 
 import (
@@ -27,6 +36,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 type record struct {
@@ -41,22 +52,28 @@ type document struct {
 	Benchmarks []record `json:"benchmarks"`
 }
 
-// row is one benchmark's comparison in the -o artifact.
+// metricSpec is one ratcheted metric and its tolerance band.
+type metricSpec struct {
+	Metric        string  `json:"metric"`
+	MaxRegressPct float64 `json:"max_regress_pct"`
+}
+
+// row is one benchmark's comparison on one metric in the -o artifact.
 type row struct {
-	Name string `json:"name"`
-	// Old and New are the tracked metric's values; -1 marks a side where
-	// the benchmark (or the metric) is absent.
+	Name   string `json:"name"`
+	Metric string `json:"metric"`
+	// Old and New are the metric's values; -1 marks a side where the
+	// benchmark (or the metric) is absent.
 	Old float64 `json:"old"`
 	New float64 `json:"new"`
-	// DeltaPct is 100*(New-Old)/Old; positive = slower.
+	// DeltaPct is 100*(New-Old)/Old; positive = slower / bigger.
 	DeltaPct  float64 `json:"delta_pct"`
 	Regressed bool    `json:"regressed"`
 }
 
 type diffDoc struct {
-	Metric        string  `json:"metric"`
-	MaxRegressPct float64 `json:"max_regress_pct"`
-	Rows          []row   `json:"rows"`
+	Metrics []metricSpec `json:"metrics"`
+	Rows    []row        `json:"rows"`
 }
 
 func load(path string) (map[string]record, error) {
@@ -75,14 +92,51 @@ func load(path string) (map[string]record, error) {
 	return out, nil
 }
 
+// parseMetrics parses "ns/op:25,B/op:15,allocs/op" into specs; entries
+// without a band inherit defPct.
+func parseMetrics(s string, defPct float64) ([]metricSpec, error) {
+	var specs []metricSpec
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		spec := metricSpec{Metric: ent, MaxRegressPct: defPct}
+		// The metric name itself may contain '/' (ns/op); the band, if
+		// present, follows the last ':'.
+		if i := strings.LastIndex(ent, ":"); i >= 0 {
+			pct, err := strconv.ParseFloat(ent[i+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric spec %q: %w", ent, err)
+			}
+			spec.Metric, spec.MaxRegressPct = ent[:i], pct
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("empty -metrics list")
+	}
+	return specs, nil
+}
+
 func main() {
-	metric := flag.String("metric", "ns/op", "metric to ratchet")
-	maxPct := flag.Float64("max-regress-pct", 25, "fail when the metric regresses by more than this percentage")
+	metric := flag.String("metric", "ns/op", "single metric to ratchet (superseded by -metrics)")
+	maxPct := flag.Float64("max-regress-pct", 25, "default tolerance band: fail when a metric regresses by more than this percentage")
+	metrics := flag.String("metrics", "", "comma-separated metric:max-regress-pct pairs to ratchet together")
 	outFile := flag.String("o", "", "write the comparison as JSON to this file")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-metric ns/op] [-max-regress-pct 25] [-o diff.json] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-metrics \"ns/op:25,B/op:15\"] [-o diff.json] old.json new.json")
 		os.Exit(2)
+	}
+	specs := []metricSpec{{Metric: *metric, MaxRegressPct: *maxPct}}
+	if *metrics != "" {
+		var err error
+		specs, err = parseMetrics(*metrics, *maxPct)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
 	}
 	old, err := load(flag.Arg(0))
 	if err != nil {
@@ -108,36 +162,42 @@ func main() {
 	}
 	sort.Strings(names)
 
-	diff := diffDoc{Metric: *metric, MaxRegressPct: *maxPct}
+	diff := diffDoc{Metrics: specs}
 	regressions := 0
-	fmt.Printf("%-28s %16s %16s %9s\n", "benchmark", "old "+*metric, "new "+*metric, "delta")
-	for _, n := range names {
-		o, haveOld := old[n]
-		c, haveNew := cur[n]
-		ov, okOld := o.Metrics[*metric]
-		nv, okNew := c.Metrics[*metric]
-		r := row{Name: n, Old: -1, New: -1}
-		switch {
-		case !haveOld || !okOld:
-			r.New = nv
-			fmt.Printf("%-28s %16s %16.0f %9s\n", n, "-", nv, "new")
-		case !haveNew || !okNew:
-			r.Old = ov
-			fmt.Printf("%-28s %16.0f %16s %9s\n", n, ov, "-", "gone")
-		default:
-			r.Old, r.New = ov, nv
-			if ov != 0 {
-				r.DeltaPct = 100 * (nv - ov) / ov
+	for _, spec := range specs {
+		fmt.Printf("== %s (band %.0f%%)\n", spec.Metric, spec.MaxRegressPct)
+		fmt.Printf("%-28s %16s %16s %9s\n", "benchmark", "old", "new", "delta")
+		for _, n := range names {
+			o, haveOld := old[n]
+			c, haveNew := cur[n]
+			ov, okOld := o.Metrics[spec.Metric]
+			nv, okNew := c.Metrics[spec.Metric]
+			r := row{Name: n, Metric: spec.Metric, Old: -1, New: -1}
+			switch {
+			case !haveOld || !okOld:
+				if !okNew {
+					continue // metric on neither side: not this benchmark's metric
+				}
+				r.New = nv
+				fmt.Printf("%-28s %16s %16.0f %9s\n", n, "-", nv, "new")
+			case !haveNew || !okNew:
+				r.Old = ov
+				fmt.Printf("%-28s %16.0f %16s %9s\n", n, ov, "-", "gone")
+			default:
+				r.Old, r.New = ov, nv
+				if ov != 0 {
+					r.DeltaPct = 100 * (nv - ov) / ov
+				}
+				r.Regressed = r.DeltaPct > spec.MaxRegressPct
+				mark := ""
+				if r.Regressed {
+					mark = "  REGRESSED"
+					regressions++
+				}
+				fmt.Printf("%-28s %16.0f %16.0f %+8.1f%%%s\n", n, ov, nv, r.DeltaPct, mark)
 			}
-			r.Regressed = r.DeltaPct > *maxPct
-			mark := ""
-			if r.Regressed {
-				mark = "  REGRESSED"
-				regressions++
-			}
-			fmt.Printf("%-28s %16.0f %16.0f %+8.1f%%%s\n", n, ov, nv, r.DeltaPct, mark)
+			diff.Rows = append(diff.Rows, r)
 		}
-		diff.Rows = append(diff.Rows, r)
 	}
 
 	if *outFile != "" {
@@ -152,8 +212,7 @@ func main() {
 		}
 	}
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% on %s\n",
-			regressions, *maxPct, *metric)
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark/metric pair(s) regressed beyond their band\n", regressions)
 		os.Exit(1)
 	}
 }

@@ -123,7 +123,7 @@ func emitDot(w io.Writer, n int, h analysis.Hotspot, sub *grammar.Grammar, root 
 		if ml := minLens[j]; ml >= 0 {
 			min = fmt.Sprintf("%d", ml)
 		}
-		label := fmt.Sprintf("%s\nR=%d min=%s", sub.Name(nt), len(sub.Prods(nt)), min)
+		label := fmt.Sprintf("%s\nR=%d min=%s", sub.Name(nt), sub.NumProdsOf(nt), min)
 		attrs := []string{"label=" + dotQuote(label)}
 		switch {
 		case sub.HasLabel(nt, grammar.Direct):

@@ -53,11 +53,14 @@ func goldenResult(t *testing.T) *core.AppResult {
 }
 
 // normalizeTimes replaces every duration literal so wall-clock noise cannot
-// fail a golden comparison.
+// fail a golden comparison, and the terminal-run intern counters because the
+// intern pool is process-global: whether this run hits or misses depends on
+// what earlier tests in the same binary already interned.
 var durRE = regexp.MustCompile(`\d+(\.\d+)?(ns|µs|ms|s|m|h)`)
+var internRE = regexp.MustCompile(`intern \d+ hits, \d+ misses \(\d+\.\d% hit\)`)
 
 func normalizeTimes(s string) string {
-	return durRE.ReplaceAllString(s, "<DUR>")
+	return internRE.ReplaceAllString(durRE.ReplaceAllString(s, "<DUR>"), "intern <COUNTS>")
 }
 
 func checkGolden(t *testing.T, name, got string) {

@@ -222,6 +222,11 @@ type analyzer struct {
 	// exitOutputs collects the page output of paths that end in exit/die,
 	// so the XSS checker sees every emitted document.
 	exitOutputs []grammar.Sym
+
+	// reachBuf is the reusable visited buffer for opReady's reachability
+	// walks, which otherwise allocate one NumNTs-sized slice per deferred
+	// op per lowering pass.
+	reachBuf []bool
 }
 
 // outKey is the environment key accumulating page output. It contains a
@@ -280,6 +285,7 @@ func AnalyzeT(resolver Resolver, entry string, opts Options, b *budget.Budget, s
 		opts.MaxIncludeDepth = 32
 	}
 	start := time.Now()
+	arena0 := grammar.ArenaStatsSnapshot()
 	a := &analyzer{
 		g:        grammar.New(),
 		b:        b,
@@ -329,6 +335,13 @@ func AnalyzeT(resolver Resolver, entry string, opts Options, b *budget.Budget, s
 	lsp.End()
 	sp.Count("grammar.nts", int64(a.g.NumNTs()))
 	sp.Count("grammar.prods", int64(a.g.NumProds()))
+	// Allocator behavior of the page grammar: retained slab footprint plus
+	// this page's traffic against the process-global terminal-run intern
+	// pool (delta over the whole phase-1 run).
+	sp.Count("arena.slab-bytes", a.g.SlabBytes())
+	arena1 := grammar.ArenaStatsSnapshot()
+	sp.Count("arena.intern-hits", arena1.InternHits-arena0.InternHits)
+	sp.Count("arena.intern-misses", arena1.InternMisses-arena0.InternMisses)
 
 	res = &Result{
 		PageOutput:    pageOut,

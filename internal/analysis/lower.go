@@ -61,8 +61,8 @@ func (a *analyzer) sliceOps() {
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, rhs := range a.g.Prods(s) {
-			for _, x := range rhs {
+		for pi := 0; pi < a.g.NumProdsOf(s); pi++ {
+			for _, x := range a.g.Rhs(s, pi) {
 				if !grammar.IsTerminal(x) {
 					push(x)
 				}
@@ -86,7 +86,14 @@ func (a *analyzer) opReady(arg, self grammar.Sym) bool {
 	if arg == self {
 		return false
 	}
-	for i, ok := range a.g.Reachable(arg) {
+	n := a.g.NumNTs()
+	if cap(a.reachBuf) < n {
+		a.reachBuf = make([]bool, n)
+	} else {
+		a.reachBuf = a.reachBuf[:n]
+		clear(a.reachBuf)
+	}
+	for i, ok := range a.g.ReachableInto(arg, a.reachBuf) {
 		if !ok {
 			continue
 		}
@@ -146,8 +153,8 @@ func (a *analyzer) labelsThroughOps(sym grammar.Sym) grammar.Label {
 		}
 		seen[s] = true
 		lbl |= a.g.LabelOf(s)
-		for _, rhs := range a.g.Prods(s) {
-			for _, x := range rhs {
+		for pi := 0; pi < a.g.NumProdsOf(s); pi++ {
+			for _, x := range a.g.Rhs(s, pi) {
 				if !grammar.IsTerminal(x) && !seen[x] {
 					stack = append(stack, x)
 				}

@@ -204,6 +204,14 @@ type AppResult struct {
 	SliceProds   int64
 	CompactNTs   int64
 	CompactProds int64
+	// Arena allocator census: the retained production-storage footprint of
+	// the per-page grammars (flat symbol slabs plus reference tables), and
+	// this run's traffic against the process-global terminal-run intern
+	// pool. A falling intern hit rate on an unchanged corpus means literal
+	// runs stopped deduplicating — usually an upstream construction change.
+	GrammarSlabBytes int64
+	InternHits       int64
+	InternMisses     int64
 }
 
 // Stats renders the run's performance counters (phase wall times and cache
@@ -219,6 +227,12 @@ func (r *AppResult) Stats() string {
 	fmt.Fprintf(&b, "compaction:      slices |V|=%d |R|=%d -> compacted |V|=%d |R|=%d\n",
 		r.SliceNTs, r.SliceProds, r.CompactNTs, r.CompactProds)
 	fmt.Fprintf(&b, "parse cache:     %d hits, %d misses\n", r.ParseCacheHits, r.ParseCacheMisses)
+	internPct := 0.0
+	if t := r.InternHits + r.InternMisses; t > 0 {
+		internPct = 100 * float64(r.InternHits) / float64(t)
+	}
+	fmt.Fprintf(&b, "grammar arena:   %d B page slabs; intern %d hits, %d misses (%.1f%% hit)\n",
+		r.GrammarSlabBytes, r.InternHits, r.InternMisses, internPct)
 	fmt.Fprintf(&b, "budget:          %d steps, %d B peak unit mem, %d degraded hotspots, %d degraded pages\n",
 		r.BudgetSteps, r.BudgetMemHigh, r.DegradedHotspots, r.DegradedPages)
 	return b.String()
@@ -291,6 +305,7 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 	if pc, ok := resolver.(parseCacheStats); ok {
 		parseHits0, parseMisses0 = pc.ParseCacheStats()
 	}
+	arena0 := grammar.ArenaStatsSnapshot()
 
 	// ---- phase 1: string-taint analysis per page -----------------------
 	tr := opts.Tracer
@@ -432,11 +447,17 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 		h, m := pc.ParseCacheStats()
 		res.ParseCacheHits, res.ParseCacheMisses = h-parseHits0, m-parseMisses0
 	}
+	arena1 := grammar.ArenaStatsSnapshot()
+	res.InternHits = arena1.InternHits - arena0.InternHits
+	res.InternMisses = arena1.InternMisses - arena0.InternMisses
 	seenFinding := map[string]bool{}
 	for _, page := range pages {
 		res.StringAnalysisTime += page.Analysis.AnalysisTime
 		res.NumNTs += page.Analysis.NumNTs
 		res.NumProds += page.Analysis.NumProds
+		if page.Analysis.G != nil {
+			res.GrammarSlabBytes += page.Analysis.G.SlabBytes()
+		}
 		if exc := page.Degraded; exc != nil {
 			res.DegradedPages++
 			res.Degradations = append(res.Degradations, Degradation{

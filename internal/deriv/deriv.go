@@ -62,11 +62,11 @@ func tablesFor(ref *grammar.Grammar) *refTables {
 	t.prodBase = make([][]int32, n)
 	for i := 0; i < n; i++ {
 		nt := grammar.Sym(grammar.NumTerminals + i)
-		prods := ref.Prods(nt)
-		base := make([]int32, len(prods))
-		for pi, rhs := range prods {
+		np := ref.NumProdsOf(nt)
+		base := make([]int32, np)
+		for pi := 0; pi < np; pi++ {
 			base[pi] = int32(t.numSlots)
-			t.numSlots += len(rhs) + 1 // one slot per dot position
+			t.numSlots += len(ref.Rhs(nt, pi)) + 1 // one slot per dot position
 		}
 		t.prodBase[i] = base
 	}
@@ -121,8 +121,13 @@ type session struct {
 	b      *budget.Budget
 	parses int
 	items  int64 // Earley items admitted across all parses
-	earley earleyScratch
+	earley *earleyScratch
 }
+
+// scratchPool recycles Earley workspaces across Derivable calls: one check
+// can run tens of thousands of parses, and the per-position item sets and
+// order lists dominate its allocation profile when rebuilt per call.
+var scratchPool = sync.Pool{New: func() any { return &earleyScratch{} }}
 
 // Derivable reports whether the sub-grammar of g rooted at root is
 // derivable from the checker's reference grammar with F(root) drawn from
@@ -148,8 +153,9 @@ func (c *Checker) DerivableB(g *grammar.Grammar, root grammar.Sym, targets []gra
 // ("earley.parses", "earley.items"). The per-item cost stays one integer
 // increment next to the existing budget probe. A nil sp records nothing.
 func (c *Checker) DerivableT(g *grammar.Grammar, root grammar.Sym, targets []grammar.Sym, b *budget.Budget, sp *obs.Span) (grammar.Sym, bool) {
-	s := &session{c: c, b: b}
+	s := &session{c: c, b: b, earley: scratchPool.Get().(*earleyScratch)}
 	defer func() {
+		scratchPool.Put(s.earley)
 		sp.Count("earley.parses", int64(s.parses))
 		sp.Count("earley.items", s.items)
 	}()

@@ -25,7 +25,7 @@ func (s *session) parse(start grammar.Sym, input form, sets [][]bool) bool {
 
 	type item = earleyItem
 	n := len(input)
-	sc := &s.earley
+	sc := s.earley
 	sc.reset(n + 1)
 	add := func(k int, it item) {
 		slot := tab.prodBase[int(it.nt)-grammar.NumTerminals][it.prod] + it.dot
@@ -43,7 +43,7 @@ func (s *session) parse(start grammar.Sym, input form, sets [][]bool) bool {
 		}
 		return grammar.Sym(v) == expected
 	}
-	for pi := range g.Prods(start) {
+	for pi := 0; pi < g.NumProdsOf(start); pi++ {
 		add(0, item{start, int32(pi), 0, 0})
 	}
 	// Top-level: the whole input may be the single symbol `start` itself
@@ -54,7 +54,7 @@ func (s *session) parse(start grammar.Sym, input form, sets [][]bool) bool {
 	for k := 0; k <= n; k++ {
 		for idx := 0; idx < len(sc.order[k]); idx++ {
 			it := sc.order[k][idx]
-			rhs := g.Prods(it.nt)[it.prod]
+			rhs := g.Rhs(it.nt, int(it.prod))
 			if int(it.dot) < len(rhs) {
 				next := rhs[it.dot]
 				// scan: both terminals and nonterminals can be scanned —
@@ -64,7 +64,7 @@ func (s *session) parse(start grammar.Sym, input form, sets [][]bool) bool {
 					add(k+1, item{it.nt, it.prod, it.dot + 1, it.origin})
 				}
 				if !grammar.IsTerminal(next) {
-					for pi := range g.Prods(next) {
+					for pi := 0; pi < g.NumProdsOf(next); pi++ {
 						add(k, item{next, int32(pi), 0, int32(k)})
 					}
 					if tab.nullable[int(next)-grammar.NumTerminals] {
@@ -74,7 +74,7 @@ func (s *session) parse(start grammar.Sym, input form, sets [][]bool) bool {
 				continue
 			}
 			for _, back := range sc.order[it.origin] {
-				brhs := g.Prods(back.nt)[back.prod]
+				brhs := g.Rhs(back.nt, int(back.prod))
 				if int(back.dot) < len(brhs) && brhs[back.dot] == it.nt {
 					add(k, item{back.nt, back.prod, back.dot + 1, back.origin})
 				}
@@ -82,7 +82,7 @@ func (s *session) parse(start grammar.Sym, input form, sets [][]bool) bool {
 		}
 	}
 	for _, it := range sc.order[n] {
-		if it.nt == start && it.origin == 0 && int(it.dot) == len(g.Prods(start)[it.prod]) {
+		if it.nt == start && it.origin == 0 && int(it.dot) == len(g.Rhs(start, int(it.prod))) {
 			return true
 		}
 	}

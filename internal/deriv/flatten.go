@@ -49,9 +49,9 @@ func (c *Checker) flatten(sub *grammar.Grammar, root grammar.Sym) (vars []gramma
 		defer func() { visiting[i] = false }()
 		nt := grammar.Sym(grammar.NumTerminals + i)
 		var out []form
-		for _, rhs := range sub.Prods(nt) {
+		for pi := 0; pi < sub.NumProdsOf(nt); pi++ {
 			partial := []form{{}}
-			for _, s := range rhs {
+			for _, s := range sub.Rhs(nt, pi) {
 				var pieces []form
 				if grammar.IsTerminal(s) {
 					pieces = []form{{int32(s)}}
@@ -102,10 +102,10 @@ func (c *Checker) flatten(sub *grammar.Grammar, root grammar.Sym) (vars []gramma
 			continue
 		}
 		nt := grammar.Sym(grammar.NumTerminals + i)
-		for _, rhs := range sub.Prods(nt) {
+		for pi := 0; pi < sub.NumProdsOf(nt); pi++ {
 			partial := []form{{}}
 			okRHS := true
-			for _, s := range rhs {
+			for _, s := range sub.Rhs(nt, pi) {
 				var pieces []form
 				if grammar.IsTerminal(s) {
 					pieces = []form{{int32(s)}}

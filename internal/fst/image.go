@@ -11,43 +11,51 @@ import "sqlciv/internal/grammar"
 // transduction (the FST analogue of Theorem 3.1).
 //
 // The boolean result reports whether the image is nonempty.
+//
+// The construction is the dominant allocator of phase 1, so all of its
+// bookkeeping is flat: rules are fixed-width records indexed by CSR buckets,
+// item membership is insertion-ordered index lists per (local, state), and
+// per-item production dedup runs over chains through one shared symbol slab
+// instead of a map of byte-string keys per item.
 func ImageInto(g *grammar.Grammar, root grammar.Sym, t *FST) (grammar.Sym, bool) {
 	nq := t.NumStates()
 
 	// ---- input-epsilon reachability and Eps-path nonterminals -----------
-	// epsReach[p] = states reachable from p via input-epsilon edges.
-	epsReach := make([][]bool, nq)
+	// epsReach[p*nq+q] = q reachable from p via input-epsilon edges.
+	epsReach := make([]bool, nq*nq)
+	var stack []int
 	for p := 0; p < nq; p++ {
-		seen := make([]bool, nq)
-		seen[p] = true
-		stack := []int{p}
+		row := epsReach[p*nq : (p+1)*nq]
+		row[p] = true
+		stack = append(stack[:0], p)
 		for len(stack) > 0 {
 			s := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			for _, e := range t.edges[s] {
-				if e.In == EpsIn && !seen[e.To] {
-					seen[e.To] = true
+				if e.In == EpsIn && !row[e.To] {
+					row[e.To] = true
 					stack = append(stack, e.To)
 				}
 			}
 		}
-		epsReach[p] = seen
 	}
 	// epsNT(p,q) generates the outputs of input-epsilon paths p→q.
-	type pq struct{ p, q int }
-	epsNTs := map[pq]grammar.Sym{}
+	epsNTs := make([]grammar.Sym, nq*nq)
+	for i := range epsNTs {
+		epsNTs[i] = -1
+	}
 	var epsNT func(p, q int) grammar.Sym
 	epsNT = func(p, q int) grammar.Sym {
-		if s, ok := epsNTs[pq{p, q}]; ok {
+		if s := epsNTs[p*nq+q]; s >= 0 {
 			return s
 		}
 		nt := g.NewNT("")
-		epsNTs[pq{p, q}] = nt
+		epsNTs[p*nq+q] = nt
 		if p == q {
 			g.Add(nt)
 		}
 		for _, e := range t.edges[p] {
-			if e.In == EpsIn && epsReach[e.To][q] {
+			if e.In == EpsIn && epsReach[e.To*nq+q] {
 				rhs := make([]grammar.Sym, 0, len(e.Out)+1)
 				for _, b := range e.Out {
 					rhs = append(rhs, grammar.T(b))
@@ -60,97 +68,156 @@ func ImageInto(g *grammar.Grammar, root grammar.Sym, t *FST) (grammar.Sym, bool)
 	}
 
 	// ---- snapshot + normalize the sub-grammar ---------------------------
+	// Same flat-rule normal form as grammar.IntersectIntoT: every rule is a
+	// fixed-width record with at most two symbols (>=0 local NT, <0 terminal
+	// ^(-1-sym)).
 	type rule struct {
-		lhs int
-		rhs []int // >=0: local NT; <0: terminal ^(-1-sym)
+		lhs  int32
+		a, c int32
+		n    int8
 	}
-	encTerm := func(s grammar.Sym) int { return -1 - int(s) }
-	decTerm := func(v int) grammar.Sym { return grammar.Sym(-1 - v) }
+	encTerm := func(s grammar.Sym) int32 { return -1 - int32(s) }
+	decTerm := func(v int32) grammar.Sym { return grammar.Sym(-1 - v) }
 
-	localOf := map[grammar.Sym]int{}
+	localOf := make([]int32, g.NumNTs())
+	for i := range localOf {
+		localOf[i] = -1
+	}
 	var localSyms []grammar.Sym
-	newLocal := func(orig grammar.Sym) int {
-		id := len(localSyms)
+	newLocal := func(orig grammar.Sym) int32 {
+		id := int32(len(localSyms))
 		localSyms = append(localSyms, orig)
 		if orig >= 0 {
-			localOf[orig] = id
+			localOf[int(orig)-grammar.NumTerminals] = id
 		}
 		return id
 	}
 	var rules []rule
-	seen := map[grammar.Sym]bool{root: true}
+	var cur []int32
 	newLocal(root)
-	stack := []grammar.Sym{root}
-	for len(stack) > 0 {
-		nt := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, rhs := range g.Prods(nt) {
+	ntStack := []grammar.Sym{root}
+	for len(ntStack) > 0 {
+		nt := ntStack[len(ntStack)-1]
+		ntStack = ntStack[:len(ntStack)-1]
+		for pi := 0; pi < g.NumProdsOf(nt); pi++ {
+			rhs := g.Rhs(nt, pi)
 			for _, s := range rhs {
-				if !grammar.IsTerminal(s) && !seen[s] {
-					seen[s] = true
+				if !grammar.IsTerminal(s) && localOf[int(s)-grammar.NumTerminals] < 0 {
 					newLocal(s)
-					stack = append(stack, s)
+					ntStack = append(ntStack, s)
 				}
 			}
-			lhs := localOf[nt]
-			cur := make([]int, len(rhs))
-			for i, s := range rhs {
+			lhs := localOf[int(nt)-grammar.NumTerminals]
+			cur = cur[:0]
+			for _, s := range rhs {
 				if grammar.IsTerminal(s) {
-					cur[i] = encTerm(s)
+					cur = append(cur, encTerm(s))
 				} else {
-					cur[i] = localOf[s]
+					cur = append(cur, localOf[int(s)-grammar.NumTerminals])
 				}
 			}
-			for len(cur) > 2 {
+			w := cur
+			for len(w) > 2 {
 				helper := newLocal(-1)
-				rules = append(rules, rule{lhs: lhs, rhs: []int{cur[0], helper}})
+				rules = append(rules, rule{lhs: lhs, a: w[0], c: helper, n: 2})
 				lhs = helper
-				cur = cur[1:]
+				w = w[1:]
 			}
-			rules = append(rules, rule{lhs: lhs, rhs: cur})
+			switch len(w) {
+			case 0:
+				rules = append(rules, rule{lhs: lhs, n: 0})
+			case 1:
+				rules = append(rules, rule{lhs: lhs, a: w[0], n: 1})
+			default:
+				rules = append(rules, rule{lhs: lhs, a: w[0], c: w[1], n: 2})
+			}
 		}
 	}
 	// Terminal locals so binary joins are NT-NT only.
-	termLocal := map[grammar.Sym]int{}
-	for ri := range rules {
-		if len(rules[ri].rhs) != 2 {
+	termLocal := make([]int32, grammar.NumTerminals)
+	for i := range termLocal {
+		termLocal[i] = -1
+	}
+	for ri := 0; ri < len(rules); ri++ {
+		if rules[ri].n != 2 {
 			continue
 		}
-		for k, v := range rules[ri].rhs {
-			if v < 0 {
-				tm := decTerm(v)
-				id, ok := termLocal[tm]
-				if !ok {
-					id = newLocal(-1)
-					termLocal[tm] = id
-					rules = append(rules, rule{lhs: id, rhs: []int{encTerm(tm)}})
-				}
-				rules[ri].rhs[k] = id
+		for k := 0; k < 2; k++ {
+			v := rules[ri].a
+			if k == 1 {
+				v = rules[ri].c
+			}
+			if v >= 0 {
+				continue
+			}
+			tm := decTerm(v)
+			id := termLocal[int(tm)]
+			if id < 0 {
+				id = newLocal(-1)
+				termLocal[int(tm)] = id
+				rules = append(rules, rule{lhs: id, a: encTerm(tm), n: 1})
+			}
+			if k == 0 {
+				rules[ri].a = id
+			} else {
+				rules[ri].c = id
 			}
 		}
 	}
 	nLocal := len(localSyms)
 
-	var unitNT = make([][]rule, nLocal)
-	var binFirst = make([][]rule, nLocal)
-	var binSecond = make([][]rule, nLocal)
-	var unitT = map[grammar.Sym][]int{}
-	var epsLHS []int
+	var epsLHS []int32
+	unitT := make([][]int32, grammar.NumTerminals)
+	unitNTCnt := make([]int32, nLocal+1)
+	binFirstCnt := make([]int32, nLocal+1)
+	binSecondCnt := make([]int32, nLocal+1)
 	for _, r := range rules {
-		switch len(r.rhs) {
+		switch r.n {
 		case 0:
 			epsLHS = append(epsLHS, r.lhs)
 		case 1:
-			if r.rhs[0] < 0 {
-				tm := decTerm(r.rhs[0])
+			if r.a < 0 {
+				tm := decTerm(r.a)
 				unitT[tm] = append(unitT[tm], r.lhs)
 			} else {
-				unitNT[r.rhs[0]] = append(unitNT[r.rhs[0]], r)
+				unitNTCnt[r.a]++
 			}
 		case 2:
-			binFirst[r.rhs[0]] = append(binFirst[r.rhs[0]], r)
-			binSecond[r.rhs[1]] = append(binSecond[r.rhs[1]], r)
+			binFirstCnt[r.a]++
+			binSecondCnt[r.c]++
 		}
+	}
+	prefix := func(cnt []int32) []int32 {
+		sum := int32(0)
+		for i, n := range cnt {
+			cnt[i] = sum
+			sum += n
+		}
+		return make([]int32, sum)
+	}
+	unitNTIdx := prefix(unitNTCnt)
+	binFirstIdx := prefix(binFirstCnt)
+	binSecondIdx := prefix(binSecondCnt)
+	for ri, r := range rules {
+		switch r.n {
+		case 1:
+			if r.a >= 0 {
+				unitNTIdx[unitNTCnt[r.a]] = int32(ri)
+				unitNTCnt[r.a]++
+			}
+		case 2:
+			binFirstIdx[binFirstCnt[r.a]] = int32(ri)
+			binFirstCnt[r.a]++
+			binSecondIdx[binSecondCnt[r.c]] = int32(ri)
+			binSecondCnt[r.c]++
+		}
+	}
+	bucket := func(idx, cnt []int32, x int32) []int32 {
+		start := int32(0)
+		if x > 0 {
+			start = cnt[x-1]
+		}
+		return idx[start:cnt[x]]
 	}
 
 	// ---- bottom-up worklist over items (x, p, q) -------------------------
@@ -159,143 +226,177 @@ func ImageInto(g *grammar.Grammar, root grammar.Sym, t *FST) (grammar.Sym, bool)
 	// exactly at q; for nullable x, p == q. Left epsilon closures are folded
 	// into terminal items; the right-edge closure is applied once at the
 	// root.
-	type item struct {
-		x    int
+	type itemRec struct {
+		x    int32
 		p, q int32
+		nt   grammar.Sym
 	}
-	itemNT := map[item]grammar.Sym{}
-	getNT := func(it item) grammar.Sym {
-		if s, ok := itemNT[it]; ok {
-			return s
-		}
-		name := ""
-		if orig := localSyms[it.x]; orig >= 0 {
-			name = g.RawName(orig)
-		}
-		s := g.NewNT(name)
-		itemNT[it] = s
-		if orig := localSyms[it.x]; orig >= 0 {
-			g.TaintIf(orig, s)
-		}
-		return s
+	var items []itemRec
+	byStart := make([][][]int32, nLocal) // x -> p -> item indices
+	byEnd := make([][][]int32, nLocal)   // x -> q -> item indices
+	// Per-item production dedup: chains of (off, n) runs over one Sym slab.
+	type prodRun struct {
+		off, n int32
+		next   int32
 	}
-	byStart := make([]map[int32][]int32, nLocal)
-	byEnd := make([]map[int32][]int32, nLocal)
-	known := map[item]bool{}
-	prodSeen := map[item]map[string]bool{}
-	var work []item
-	discover := func(it item, rhs []grammar.Sym) {
-		key := make([]byte, 0, len(rhs)*4)
-		for _, s := range rhs {
-			key = append(key, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+	var prodRuns []prodRun
+	var prodHead []int32
+	var rhsSlab []grammar.Sym
+
+	findItem := func(x, p, q int32) int32 {
+		rows := byStart[x]
+		if rows == nil {
+			return -1
 		}
-		ps := prodSeen[it]
-		if ps == nil {
-			ps = map[string]bool{}
-			prodSeen[it] = ps
+		for _, idx := range rows[p] {
+			if items[idx].q == q {
+				return idx
+			}
 		}
-		if !ps[string(key)] {
-			ps[string(key)] = true
-			g.Add(getNT(it), rhs...)
+		return -1
+	}
+	sameRun := func(off, n int32, rhs []grammar.Sym) bool {
+		if int(n) != len(rhs) {
+			return false
 		}
-		if known[it] {
-			return
+		for i, s := range rhs {
+			if rhsSlab[off+int32(i)] != s {
+				return false
+			}
 		}
-		known[it] = true
-		if byStart[it.x] == nil {
-			byStart[it.x] = map[int32][]int32{}
-			byEnd[it.x] = map[int32][]int32{}
+		return true
+	}
+
+	var work []int32
+	discover := func(x, p, q int32, rhs []grammar.Sym) {
+		idx := findItem(x, p, q)
+		if idx < 0 {
+			name := ""
+			orig := localSyms[x]
+			if orig >= 0 {
+				name = g.RawName(orig)
+			}
+			nt := g.NewNT(name)
+			if orig >= 0 {
+				g.TaintIf(orig, nt)
+			}
+			idx = int32(len(items))
+			items = append(items, itemRec{x: x, p: p, q: q, nt: nt})
+			prodHead = append(prodHead, -1)
+			if byStart[x] == nil {
+				byStart[x] = make([][]int32, nq)
+				byEnd[x] = make([][]int32, nq)
+			}
+			byStart[x][p] = append(byStart[x][p], idx)
+			byEnd[x][q] = append(byEnd[x][q], idx)
+			work = append(work, idx)
 		}
-		byStart[it.x][it.p] = append(byStart[it.x][it.p], it.q)
-		byEnd[it.x][it.q] = append(byEnd[it.x][it.q], it.p)
-		work = append(work, it)
+		for pk := prodHead[idx]; pk >= 0; pk = prodRuns[pk].next {
+			if sameRun(prodRuns[pk].off, prodRuns[pk].n, rhs) {
+				return
+			}
+		}
+		off := int32(len(rhsSlab))
+		rhsSlab = append(rhsSlab, rhs...)
+		prodRuns = append(prodRuns, prodRun{off: off, n: int32(len(rhs)), next: prodHead[idx]})
+		prodHead[idx] = int32(len(prodRuns) - 1)
+		g.Add(items[idx].nt, rhs...)
 	}
 
 	// Seed epsilon rules.
 	for _, lhs := range epsLHS {
 		for p := 0; p < nq; p++ {
-			discover(item{lhs, int32(p), int32(p)}, nil)
+			discover(lhs, int32(p), int32(p), nil)
 		}
 	}
-	// Seed terminals: consuming edges indexed by input byte.
-	consuming := map[int][]Edge{}
-	edgeFrom := map[int][]int{} // flattened: for locating source state of edge
+	// Seed terminals: consuming edges indexed by input byte, visited in
+	// ascending byte order so construction is deterministic.
+	var consuming [256][]Edge
+	var edgeFrom [256][]int32
 	for s := 0; s < nq; s++ {
 		for _, e := range t.edges[s] {
 			if e.In != EpsIn {
 				consuming[e.In] = append(consuming[e.In], e)
-				edgeFrom[e.In] = append(edgeFrom[e.In], s)
+				edgeFrom[e.In] = append(edgeFrom[e.In], int32(s))
 			}
 		}
 	}
-	for tm, lhss := range unitT {
-		if int(tm) > 255 {
-			continue // the marker terminal has no transduction
+	var rhsBuf []grammar.Sym
+	for tm := 0; tm < 256; tm++ { // the marker terminal has no transduction
+		lhss := unitT[tm]
+		if len(lhss) == 0 {
+			continue
 		}
-		edges := consuming[int(tm)]
-		froms := edgeFrom[int(tm)]
+		edges := consuming[tm]
+		froms := edgeFrom[tm]
 		for ei, e := range edges {
-			src := froms[ei]
+			src := int(froms[ei])
 			for p := 0; p < nq; p++ {
-				if !epsReach[p][src] {
+				if !epsReach[p*nq+src] {
 					continue
 				}
-				rhs := make([]grammar.Sym, 0, len(e.Out)+1)
-				rhs = append(rhs, epsNT(p, src))
+				rhsBuf = rhsBuf[:0]
+				rhsBuf = append(rhsBuf, epsNT(p, src))
 				for _, b := range e.Out {
-					rhs = append(rhs, grammar.T(b))
+					rhsBuf = append(rhsBuf, grammar.T(b))
 				}
 				for _, lhs := range lhss {
-					discover(item{lhs, int32(p), int32(e.To)}, rhs)
+					discover(lhs, int32(p), int32(e.To), rhsBuf)
 				}
 			}
 		}
 	}
 
+	var pair [2]grammar.Sym
 	for len(work) > 0 {
-		it := work[len(work)-1]
+		idx := work[len(work)-1]
 		work = work[:len(work)-1]
-		ynt := itemNT[it]
-		for _, r := range unitNT[it.x] {
-			discover(item{r.lhs, it.p, it.q}, []grammar.Sym{ynt})
+		it := items[idx]
+		ynt := it.nt
+		for _, ri := range bucket(unitNTIdx, unitNTCnt, it.x) {
+			pair[0] = ynt
+			discover(rules[ri].lhs, it.p, it.q, pair[:1])
 		}
-		for _, r := range binFirst[it.x] {
-			b := r.rhs[1]
-			if byStart[b] == nil {
+		for _, ri := range bucket(binFirstIdx, binFirstCnt, it.x) {
+			bb := rules[ri].c
+			if byStart[bb] == nil {
 				continue
 			}
-			for _, k := range byStart[b][it.q] {
-				bnt := itemNT[item{b, it.q, k}]
-				discover(item{r.lhs, it.p, k}, []grammar.Sym{ynt, bnt})
+			for _, bidx := range byStart[bb][it.q] {
+				bit := items[bidx]
+				pair[0], pair[1] = ynt, bit.nt
+				discover(rules[ri].lhs, it.p, bit.q, pair[:2])
 			}
 		}
-		for _, r := range binSecond[it.x] {
-			a := r.rhs[0]
-			if byEnd[a] == nil {
+		for _, ri := range bucket(binSecondIdx, binSecondCnt, it.x) {
+			aa := rules[ri].a
+			if byEnd[aa] == nil {
 				continue
 			}
-			for _, p0 := range byEnd[a][it.p] {
-				ant := itemNT[item{a, p0, it.p}]
-				discover(item{r.lhs, p0, it.q}, []grammar.Sym{ant, ynt})
+			for _, aidx := range byEnd[aa][it.p] {
+				ait := items[aidx]
+				pair[0], pair[1] = ait.nt, ynt
+				discover(rules[ri].lhs, ait.p, it.q, pair[:2])
 			}
 		}
 	}
 
 	// ---- root: right-edge epsilon closure to accepting states -----------
-	rootLocal := localOf[root]
+	rootLocal := localOf[int(root)-grammar.NumTerminals]
 	newRoot := grammar.Sym(-1)
 	q0 := int32(t.start)
 	if byStart[rootLocal] != nil {
-		for _, q := range byStart[rootLocal][q0] {
+		for _, ridx := range byStart[rootLocal][q0] {
+			q := items[ridx].q
 			for f := 0; f < nq; f++ {
-				if !t.accept[f] || !epsReach[int(q)][f] {
+				if !t.accept[f] || !epsReach[int(q)*nq+f] {
 					continue
 				}
 				if newRoot < 0 {
 					newRoot = g.NewNT(g.RawName(root))
 					g.TaintIf(root, newRoot)
 				}
-				rhs := []grammar.Sym{itemNT[item{rootLocal, q0, q}], epsNT(int(q), f)}
+				rhs := []grammar.Sym{items[ridx].nt, epsNT(int(q), f)}
 				for _, b := range t.finalOut[f] {
 					rhs = append(rhs, grammar.T(b))
 				}

@@ -1,0 +1,166 @@
+package grammar
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// buildScripted replays the same randomized construction script — NewNT,
+// Add with mixed rhs, AddString with runs long enough to intern, labels —
+// under whichever representation ArenaAllocation currently selects. Same
+// seed, same script, so the two representations must hold identical
+// productions in identical order.
+func buildScripted(seed int64) (*Grammar, Sym) {
+	r := rand.New(rand.NewSource(seed))
+	g := New()
+	n := 3 + r.Intn(4)
+	nts := make([]Sym, n)
+	for i := range nts {
+		nts[i] = g.NewNT(fmt.Sprintf("n%d", i))
+	}
+	g.AddLabel(nts[r.Intn(n)], Direct)
+	alpha := []byte("abc'=")
+	for _, nt := range nts {
+		// A long literal: crosses the intern threshold, so arena mode routes
+		// it through the process-global pool.
+		lit := make([]byte, 4+r.Intn(24))
+		for i := range lit {
+			lit[i] = alpha[r.Intn(len(alpha))]
+		}
+		g.AddString(nt, string(lit))
+		// Short and mixed productions stay in the per-grammar slab.
+		for k := 0; k < 1+r.Intn(3); k++ {
+			var rhs []Sym
+			for j := 0; j < r.Intn(4); j++ {
+				if r.Intn(3) == 0 {
+					rhs = append(rhs, nts[r.Intn(n)])
+				} else {
+					rhs = append(rhs, T(alpha[r.Intn(len(alpha))]))
+				}
+			}
+			g.Add(nt, rhs...)
+		}
+		// A marker-bearing production: markers must never intern.
+		g.Add(nt, T('('), MarkerSym, T(')'))
+	}
+	g.SetStart(nts[0])
+	return g, nts[0]
+}
+
+// dumpProds enumerates every production through the public accessors.
+func dumpProds(g *Grammar) [][][]Sym {
+	out := make([][][]Sym, g.NumNTs())
+	for i := 0; i < g.NumNTs(); i++ {
+		nt := Sym(NumTerminals + i)
+		rows := make([][]Sym, g.NumProdsOf(nt))
+		for pi := range rows {
+			rows[pi] = append([]Sym(nil), g.Rhs(nt, pi)...)
+		}
+		out[i] = rows
+	}
+	return out
+}
+
+// TestArenaSliceRoundTrip: the slab-backed and slice-backed representations
+// built from the same construction script enumerate DeepEqual productions
+// and produce identical canonical fingerprints.
+func TestArenaSliceRoundTrip(t *testing.T) {
+	defer func(prev bool) { ArenaAllocation = prev }(ArenaAllocation)
+	for seed := int64(0); seed < 60; seed++ {
+		ArenaAllocation = true
+		ga, roota := buildScripted(seed)
+		ArenaAllocation = false
+		gs, roots := buildScripted(seed)
+		if !ga.arena || gs.arena {
+			t.Fatal("toggle not captured at New()")
+		}
+		if !reflect.DeepEqual(dumpProds(ga), dumpProds(gs)) {
+			t.Fatalf("seed %d: productions diverged\narena:\n%s\nslices:\n%s", seed, ga, gs)
+		}
+		if ga.Fingerprint(roota) != gs.Fingerprint(roots) {
+			t.Fatalf("seed %d: fingerprints diverged", seed)
+		}
+		if ga.NumProds() != gs.NumProds() {
+			t.Fatalf("seed %d: NumProds %d != %d", seed, ga.NumProds(), gs.NumProds())
+		}
+	}
+}
+
+// TestArenaRoundTripSurvivesMutation: clearProds and ReplaceWithMarker — the
+// two in-place mutations — leave both representations content-equal.
+func TestArenaRoundTripSurvivesMutation(t *testing.T) {
+	defer func(prev bool) { ArenaAllocation = prev }(ArenaAllocation)
+	build := func(arena bool) (*Grammar, Sym, Sym) {
+		ArenaAllocation = arena
+		g := New()
+		q := g.NewNT("q")
+		x := g.NewNT("x")
+		g.AddLabel(x, Direct)
+		rhs := append(TermString("SELECT a FROM t WHERE id='"), x)
+		rhs = append(rhs, T('\''))
+		g.Add(q, rhs...)
+		g.AddString(x, "longliteralvalue")
+		g.Add(x, T('1'))
+		g.SetStart(q)
+		return g, q, x
+	}
+	ga, qa, xa := build(true)
+	gs, qs, xs := build(false)
+	ra := ga.ReplaceWithMarker(qa, xa)
+	rs := gs.ReplaceWithMarker(qs, xs)
+	if !reflect.DeepEqual(dumpProds(ra), dumpProds(rs)) {
+		t.Fatalf("marker grammars diverged\narena:\n%s\nslices:\n%s", ra, rs)
+	}
+	ga.clearProds(xa)
+	gs.clearProds(xs)
+	if !reflect.DeepEqual(dumpProds(ga), dumpProds(gs)) || ga.NumProds() != gs.NumProds() {
+		t.Fatalf("clearProds diverged\narena:\n%s\nslices:\n%s", ga, gs)
+	}
+}
+
+// TestCompactScratchNoLeakAcrossSessions is the pooled-scratch mutation
+// test: interleaving compactions of large random grammars (which fill the
+// pooled workspaces with their rows, slabs, and memo tables) with
+// compactions of a fixed small grammar must leave the small result — its
+// rendered productions, its stats, its fingerprint — bit-identical to the
+// first run. Any stale production leaking out of a recycled workspace
+// perturbs the output and fails the comparison.
+func TestCompactScratchNoLeakAcrossSessions(t *testing.T) {
+	small := func() (*Grammar, Sym) {
+		g := New()
+		q := g.NewNT("q")
+		x := g.NewNT("x")
+		g.AddLabel(x, Direct)
+		rhs := append(TermString("a='"), x)
+		rhs = append(rhs, T('\''))
+		g.Add(q, rhs...)
+		g.AddString(x, "value")
+		g.SetStart(q)
+		return g, q
+	}
+	g0, r0 := small()
+	cg0, stats0 := CompactSlice(g0, r0, nil)
+	want := cg0.G.String()
+	wantFP := cg0.G.Fingerprint(cg0.Root)
+
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 40; i++ {
+		// Pollute the pool: a large random compaction session.
+		big, broot := buildScripted(int64(1000 + r.Intn(1<<20)))
+		CompactSlice(big, broot, nil)
+
+		g, root := small()
+		cg, stats := CompactSlice(g, root, nil)
+		if got := cg.G.String(); got != want {
+			t.Fatalf("iteration %d: compaction output drifted\nwant:\n%s\ngot:\n%s", i, want, got)
+		}
+		if cg.G.Fingerprint(cg.Root) != wantFP {
+			t.Fatalf("iteration %d: compacted fingerprint drifted", i)
+		}
+		if stats != stats0 {
+			t.Fatalf("iteration %d: stats drifted: %+v vs %+v", i, stats, stats0)
+		}
+	}
+}

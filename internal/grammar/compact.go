@@ -1,6 +1,10 @@
 package grammar
 
-import "sqlciv/internal/budget"
+import (
+	"sync"
+
+	"sqlciv/internal/budget"
+)
 
 // Slice compaction. The policy cascade's fixpoints (relations, contexts,
 // emptiness) are language- and label-level properties of the hotspot's query
@@ -62,6 +66,73 @@ const inlineExpandMax = 4
 // which converges in practice within two.
 const maxCompactPasses = 4
 
+// compactScratch is CompactSlice's pooled working state. The production
+// rows under rewrite are {off, len} references into the scratch symbol slab
+// (one allocation-flat copy of the reachable slice), and every fixpoint
+// array is reused across per-hotspot compactions — acquisition resets
+// everything, so state can never leak from one hotspot's session into the
+// next.
+type compactScratch struct {
+	syms    []Sym       // scratch RHS slab; rewrites append new runs
+	refSlab []prodRef   // contiguous backing for the initial rows
+	rows    [][]prodRef // per-NT production rows (nil = not reachable)
+	minLens []int64
+	mark    []bool
+	keep    []bool
+	reach   []bool
+	state   []byte
+	occ     []int32
+	memo    [][]Sym
+	stack   []int32
+	buf     []Sym
+}
+
+var compactPool = sync.Pool{New: func() any { return new(compactScratch) }}
+
+func (ws *compactScratch) acquire(n int) {
+	ws.syms = ws.syms[:0]
+	ws.refSlab = ws.refSlab[:0]
+	ws.buf = ws.buf[:0]
+	ws.stack = ws.stack[:0]
+	if cap(ws.rows) < n {
+		ws.rows = make([][]prodRef, n)
+		ws.minLens = make([]int64, n)
+		ws.mark = make([]bool, n)
+		ws.keep = make([]bool, n)
+		ws.reach = make([]bool, n)
+		ws.state = make([]byte, n)
+		ws.occ = make([]int32, n)
+		ws.memo = make([][]Sym, n)
+		return
+	}
+	ws.rows = ws.rows[:n]
+	ws.minLens = ws.minLens[:n]
+	ws.mark = ws.mark[:n]
+	ws.keep = ws.keep[:n]
+	ws.reach = ws.reach[:n]
+	ws.state = ws.state[:n]
+	ws.occ = ws.occ[:n]
+	ws.memo = ws.memo[:n]
+	clear(ws.rows)
+	clear(ws.mark)
+	clear(ws.keep)
+	clear(ws.reach)
+	clear(ws.state)
+	clear(ws.memo)
+}
+
+// rhs resolves a scratch row reference (offsets here are always local).
+func (ws *compactScratch) rhs(r prodRef) []Sym {
+	return ws.syms[r.off : r.off+r.n]
+}
+
+// place appends rhs to the scratch slab and returns its reference.
+func (ws *compactScratch) place(rhs []Sym) prodRef {
+	off := len(ws.syms)
+	ws.syms = append(ws.syms, rhs...)
+	return prodRef{off: int32(off), n: int32(len(rhs))}
+}
+
 // CompactSlice compacts the sub-grammar reachable from root, preserving its
 // language exactly and its labeled productive nonterminals individually
 // (same label, same raw name, same language per nonterminal). The result is
@@ -74,17 +145,42 @@ func CompactSlice(g *Grammar, root Sym, b *budget.Budget) (*Compacted, CompactSt
 	rootI := idx(root)
 	var stats CompactStats
 
-	// Working copy of the production lists; rows are rewritten in place
-	// across passes and materialized into a fresh Grammar at the end.
-	ps := make([][][]Sym, n)
-	reach := g.Reachable(root)
-	for i, ok := range reach {
+	ws := compactPool.Get().(*compactScratch)
+	defer compactPool.Put(ws)
+	ws.acquire(n)
+
+	// Flat working copy of the reachable production rows; rows are rewritten
+	// in place across passes and materialized into a fresh Grammar at the
+	// end. Rows shrink or are rewritten element-wise, never grow, so they
+	// can share one contiguous reference slab.
+	g.ReachableInto(root, ws.reach)
+	total := 0
+	for i, ok := range ws.reach {
 		if ok {
-			ps[i] = append([][]Sym(nil), g.prods[i]...)
-			stats.NTsIn++
-			stats.ProdsIn += len(ps[i])
+			total += g.numProdsAt(i)
 		}
 	}
+	if cap(ws.refSlab) < total {
+		ws.refSlab = make([]prodRef, total)
+	} else {
+		ws.refSlab = ws.refSlab[:total]
+	}
+	at := 0
+	for i, ok := range ws.reach {
+		if !ok {
+			continue
+		}
+		np := g.numProdsAt(i)
+		row := ws.refSlab[at : at+np : at+np]
+		at += np
+		for pi := 0; pi < np; pi++ {
+			row[pi] = ws.place(g.rhsAt(i, pi))
+		}
+		ws.rows[i] = row
+		stats.NTsIn++
+		stats.ProdsIn += np
+	}
+	rows := ws.rows
 
 	// Productivity trim: a production mentioning a nonterminal that derives
 	// nothing can never complete; dropping it changes no language. An
@@ -94,20 +190,20 @@ func CompactSlice(g *Grammar, root Sym, b *budget.Budget) (*Compacted, CompactSt
 	// reachable nonterminal's shortest derivation only ever uses
 	// nonterminals reachable from it — so compacting one hotspot of a large
 	// page grammar never pays for the whole grammar.
-	minLens := make([]int64, n)
+	minLens := ws.minLens
 	for i := range minLens {
 		minLens[i] = -1
 	}
 	for changed := true; changed; {
 		changed = false
-		for i, ok := range reach {
+		for i, ok := range ws.reach {
 			if !ok {
 				continue
 			}
-			for _, rhs := range g.prods[i] {
+			for _, r := range rows[i] {
 				total := int64(0)
 				ok := true
-				for _, s := range rhs {
+				for _, s := range ws.rhs(r) {
 					if IsTerminal(s) {
 						total++
 						continue
@@ -127,41 +223,41 @@ func CompactSlice(g *Grammar, root Sym, b *budget.Budget) (*Compacted, CompactSt
 		}
 	}
 	productive := func(i int) bool { return minLens[i] >= 0 }
-	for i := range ps {
-		if ps[i] == nil {
+	for i := range rows {
+		if rows[i] == nil {
 			continue
 		}
 		if !productive(i) {
-			stats.DroppedProds += len(ps[i])
-			ps[i] = nil
+			stats.DroppedProds += len(rows[i])
+			rows[i] = nil
 			continue
 		}
-		kept := ps[i][:0]
-		for _, rhs := range ps[i] {
+		kept := rows[i][:0]
+		for _, r := range rows[i] {
 			b.Step(1)
 			ok := true
-			for _, s := range rhs {
+			for _, s := range ws.rhs(r) {
 				if !IsTerminal(s) && !productive(idx(s)) {
 					ok = false
 					break
 				}
 			}
 			if ok {
-				kept = append(kept, rhs)
+				kept = append(kept, r)
 			} else {
 				stats.DroppedProds++
 			}
 		}
-		ps[i] = kept
+		rows[i] = kept
 	}
 
-	mark := make([]bool, n)
-	memo := make([][]Sym, n)
-	state := make([]byte, n) // 0 unvisited, 1 expanding, 2 done
-	occ := make([]int32, n)
+	mark := ws.mark
+	memo := ws.memo
+	state := ws.state
+	occ := ws.occ
 	for pass := 0; pass < maxCompactPasses; pass++ {
 		stats.Passes = pass + 1
-		changed := dedupProds(ps, &stats, b)
+		changed := dedupProds(ws, &stats, b)
 
 		// Mark collapse candidates: unlabeled, not the root, exactly one
 		// production. Every marked nonterminal is replaced by its (unique)
@@ -170,9 +266,9 @@ func CompactSlice(g *Grammar, root Sym, b *budget.Budget) (*Compacted, CompactSt
 		for i := range occ {
 			occ[i] = 0
 		}
-		for i := range ps {
-			for _, rhs := range ps[i] {
-				for _, s := range rhs {
+		for i := range rows {
+			for _, r := range rows[i] {
+				for _, s := range ws.rhs(r) {
 					if !IsTerminal(s) {
 						occ[idx(s)]++
 					}
@@ -180,8 +276,8 @@ func CompactSlice(g *Grammar, root Sym, b *budget.Budget) (*Compacted, CompactSt
 			}
 		}
 		anyMark := false
-		for i := range ps {
-			mark[i] = ps[i] != nil && len(ps[i]) == 1 && g.labels[i] == 0 && i != rootI
+		for i := range rows {
+			mark[i] = rows[i] != nil && len(rows[i]) == 1 && g.labels[i] == 0 && i != rootI
 			anyMark = anyMark || mark[i]
 		}
 		if anyMark {
@@ -189,7 +285,7 @@ func CompactSlice(g *Grammar, root Sym, b *budget.Budget) (*Compacted, CompactSt
 			// marked→marked dependency subgraph. Cycle membership is a set
 			// property, so the surviving mark set — and with it the compacted
 			// shape — is independent of input numbering and traversal order.
-			demoteMarkedCycles(ps, mark, idx)
+			demoteMarkedCycles(ws, mark, idx)
 		}
 		anyMark = false
 		for i := range mark {
@@ -217,7 +313,7 @@ func CompactSlice(g *Grammar, root Sym, b *budget.Budget) (*Compacted, CompactSt
 				return memo[i]
 			}
 			state[i] = 2
-			rhs := ps[i][0]
+			rhs := ws.rhs(rows[i][0])
 			out := make([]Sym, 0, len(rhs))
 			for _, s := range rhs {
 				if !IsTerminal(s) {
@@ -244,12 +340,14 @@ func CompactSlice(g *Grammar, root Sym, b *budget.Budget) (*Compacted, CompactSt
 			}
 		}
 
-		// Rewrite every surviving production, splicing in the expansions.
-		for i := range ps {
-			if ps[i] == nil || mark[i] {
+		// Rewrite every surviving production, splicing the expansions into
+		// fresh scratch-slab runs.
+		for i := range rows {
+			if rows[i] == nil || mark[i] {
 				continue
 			}
-			for pi, rhs := range ps[i] {
+			for pi, r := range rows[i] {
+				rhs := ws.rhs(r)
 				hit := false
 				for _, s := range rhs {
 					if !IsTerminal(s) && mark[idx(s)] {
@@ -260,21 +358,22 @@ func CompactSlice(g *Grammar, root Sym, b *budget.Budget) (*Compacted, CompactSt
 				if !hit {
 					continue
 				}
-				nr := make([]Sym, 0, len(rhs))
+				off := len(ws.syms)
 				for _, s := range rhs {
 					if !IsTerminal(s) && mark[idx(s)] {
-						nr = append(nr, memo[idx(s)]...)
+						ws.syms = append(ws.syms, memo[idx(s)]...)
 					} else {
-						nr = append(nr, s)
+						ws.syms = append(ws.syms, s)
 					}
 				}
-				b.Step(int64(len(nr)) + 1)
-				ps[i][pi] = nr
+				nr := prodRef{off: int32(off), n: int32(len(ws.syms) - off)}
+				b.Step(int64(nr.n) + 1)
+				rows[i][pi] = nr
 			}
 		}
-		for i := range ps {
+		for i := range rows {
 			if mark[i] {
-				ps[i] = nil
+				rows[i] = nil
 				stats.InlinedNTs++
 			}
 		}
@@ -285,31 +384,32 @@ func CompactSlice(g *Grammar, root Sym, b *budget.Budget) (*Compacted, CompactSt
 	// productivity trim disconnected them from root — the cascade's checks
 	// 1, 3, and 4 report on them regardless of whether they occur in a
 	// complete query derivation, so their languages must survive.
-	keep := make([]bool, n)
-	var stack []int
+	keep := ws.keep
+	stack := ws.stack
 	push := func(i int) {
 		if !keep[i] {
 			keep[i] = true
-			stack = append(stack, i)
+			stack = append(stack, int32(i))
 		}
 	}
 	push(rootI)
-	for i := range ps {
-		if ps[i] != nil && g.labels[i] != 0 {
+	for i := range rows {
+		if rows[i] != nil && g.labels[i] != 0 {
 			push(i)
 		}
 	}
 	for len(stack) > 0 {
 		i := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, rhs := range ps[i] {
-			for _, s := range rhs {
+		for _, r := range rows[i] {
+			for _, s := range ws.rhs(r) {
 				if !IsTerminal(s) {
 					push(idx(s))
 				}
 			}
 		}
 	}
+	ws.stack = stack[:0]
 
 	out := New()
 	fwd := make(map[Sym]Sym)
@@ -321,26 +421,18 @@ func CompactSlice(g *Grammar, root Sym, b *budget.Budget) (*Compacted, CompactSt
 		out.labels[out.ntIndex(nn)] = g.labels[i]
 		fwd[Sym(NumTerminals+i)] = nn
 	}
+	buf := ws.buf
 	for i, ok := range keep {
 		if !ok {
 			continue
 		}
-		li := out.ntIndex(fwd[Sym(NumTerminals+i)])
-		rules := make([][]Sym, 0, len(ps[i]))
-		for _, rhs := range ps[i] {
-			nr := make([]Sym, len(rhs))
-			for k, s := range rhs {
-				if IsTerminal(s) {
-					nr[k] = s
-				} else {
-					nr[k] = fwd[s]
-				}
-			}
-			rules = append(rules, nr)
+		lhs := fwd[Sym(NumTerminals+i)]
+		for _, r := range rows[i] {
+			buf = remapRHS(buf[:0], ws.rhs(r), fwd)
+			out.Add(lhs, buf...)
 		}
-		out.prods[li] = rules
-		out.numProds += len(rules)
 	}
+	ws.buf = buf[:0]
 	croot := fwd[root]
 	out.SetStart(croot)
 
@@ -374,24 +466,25 @@ func CompactSlice(g *Grammar, root Sym, b *budget.Budget) (*Compacted, CompactSt
 // first occurrence) and reports whether anything changed. Duplicates arise
 // from construction and, after inlining, from formerly distinct chains that
 // collapse to the same packed production.
-func dedupProds(ps [][][]Sym, stats *CompactStats, b *budget.Budget) bool {
+func dedupProds(ws *compactScratch, stats *CompactStats, b *budget.Budget) bool {
 	// Below this rule count a quadratic scan with early exit beats hashing;
 	// most nonterminals have a handful of productions and no duplicates.
 	const smallDedup = 8
 	changed := false
 	var buckets map[uint64][]int32
-	for i := range ps {
-		if len(ps[i]) < 2 {
+	for i := range ws.rows {
+		if len(ws.rows[i]) < 2 {
 			continue
 		}
-		rules := ps[i]
+		rules := ws.rows[i]
 		kept := rules[:0]
 		if len(rules) <= smallDedup {
-			for _, rhs := range rules {
+			for _, r := range rules {
 				b.Step(1)
+				rhs := ws.rhs(r)
 				dup := false
 				for _, k := range kept {
-					if sameRHS(k, rhs) {
+					if sameRHS(ws.rhs(k), rhs) {
 						dup = true
 						break
 					}
@@ -401,9 +494,9 @@ func dedupProds(ps [][][]Sym, stats *CompactStats, b *budget.Budget) bool {
 					changed = true
 					continue
 				}
-				kept = append(kept, rhs)
+				kept = append(kept, r)
 			}
-			ps[i] = kept
+			ws.rows[i] = kept
 			continue
 		}
 		if buckets == nil {
@@ -411,15 +504,16 @@ func dedupProds(ps [][][]Sym, stats *CompactStats, b *budget.Budget) bool {
 		} else {
 			clear(buckets)
 		}
-		for _, rhs := range rules {
+		for _, r := range rules {
 			b.Step(1)
+			rhs := ws.rhs(r)
 			h := uint64(colorOffset)
 			for _, s := range rhs {
 				h = mixColor(h, uint64(s))
 			}
 			dup := false
 			for _, ki := range buckets[h] {
-				if sameRHS(kept[ki], rhs) {
+				if sameRHS(ws.rhs(kept[ki]), rhs) {
 					dup = true
 					break
 				}
@@ -430,9 +524,9 @@ func dedupProds(ps [][][]Sym, stats *CompactStats, b *budget.Budget) bool {
 				continue
 			}
 			buckets[h] = append(buckets[h], int32(len(kept)))
-			kept = append(kept, rhs)
+			kept = append(kept, r)
 		}
-		ps[i] = kept
+		ws.rows[i] = kept
 	}
 	return changed
 }
@@ -442,7 +536,7 @@ func dedupProds(ps [][][]Sym, stats *CompactStats, b *budget.Budget) bool {
 // iterative Tarjan SCC pass restricted to marked nodes. Marks off a cycle
 // are untouched: a chain hanging into a recursive nonterminal still inlines,
 // its expansion simply stops at the unmarked cycle member.
-func demoteMarkedCycles(ps [][][]Sym, mark []bool, idx func(Sym) int) {
+func demoteMarkedCycles(ws *compactScratch, mark []bool, idx func(Sym) int) {
 	n := len(mark)
 	index := make([]int32, n)
 	low := make([]int32, n)
@@ -452,7 +546,7 @@ func demoteMarkedCycles(ps [][][]Sym, mark []bool, idx func(Sym) int) {
 	}
 	var stack []int32
 	next := int32(0)
-	succs := func(i int) []Sym { return ps[i][0] }
+	succs := func(i int) []Sym { return ws.rhs(ws.rows[i][0]) }
 
 	type frame struct {
 		v   int32

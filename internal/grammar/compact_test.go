@@ -162,10 +162,9 @@ func permutedGrammar(g *Grammar, root Sym, r *rand.Rand) (*Grammar, Sym) {
 	}
 	for oldIdx := 0; oldIdx < n; oldIdx++ {
 		old := Sym(NumTerminals + oldIdx)
-		rules := g.Prods(old)
-		order := r.Perm(len(rules))
+		order := r.Perm(g.NumProdsOf(old))
 		for _, pi := range order {
-			rhs := rules[pi]
+			rhs := g.Rhs(old, pi)
 			nr := make([]Sym, len(rhs))
 			for k, s := range rhs {
 				if IsTerminal(s) {
@@ -208,7 +207,7 @@ func TestCompactCollapsesChains(t *testing.T) {
 	if cg.G.NumNTs() != 1 || cg.G.NumProds() != 1 {
 		t.Fatalf("chain should pack into one production, got\n%s", cg.G.String())
 	}
-	rhs := cg.G.Prods(cg.Root)[0]
+	rhs := cg.G.Rhs(cg.Root, 0)
 	if TermsToString(rhs) != "SEL" {
 		t.Fatalf("packed run = %q, want SEL", TermsToString(rhs))
 	}

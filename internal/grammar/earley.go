@@ -8,20 +8,47 @@ package grammar
 // reference-grammar symbols.
 
 type earleyItem struct {
-	nt     Sym // left-hand side
-	prod   int // index into prods of nt
-	dot    int // position in RHS
-	origin int // set index where this item started
+	nt     Sym   // left-hand side
+	prod   int32 // index into nt's productions
+	dot    int32 // position in RHS
+	origin int32 // set index where this item started
+}
+
+// earleyScratch holds the per-parse state: one packed-key dedup set and one
+// ordered item list per input position, reused across Recognize calls so a
+// session of repeated queries allocates only on high-water growth.
+type earleyScratch struct {
+	sets  []u64set
+	order [][]earleyItem
+}
+
+func (s *earleyScratch) reset(m int) {
+	for len(s.sets) < m {
+		s.sets = append(s.sets, u64set{})
+		s.order = append(s.order, nil)
+	}
+	for i := 0; i < m; i++ {
+		s.sets[i].reset()
+		s.order[i] = s.order[i][:0]
+	}
 }
 
 type earleyParser struct {
 	g        *Grammar
 	nullable []bool
+	prodBase []int64 // prodBase[ntIndex] = global slot of the NT's production 0
+	scratch  earleyScratch
 }
 
 func newEarley(g *Grammar) *earleyParser {
 	p := &earleyParser{g: g}
 	p.nullable = make([]bool, g.NumNTs())
+	p.prodBase = make([]int64, g.NumNTs())
+	base := int64(0)
+	for i := range p.prodBase {
+		p.prodBase[i] = base
+		base += int64(g.numProdsAt(i))
+	}
 	changed := true
 	for changed {
 		changed = false
@@ -41,30 +68,37 @@ func newEarley(g *Grammar) *earleyParser {
 	return p
 }
 
+// itemKey packs an item into one dedup key: the production's global slot
+// identifies (nt, prod), then 20 bits each for dot and origin. Both are
+// bounded by the RHS length and input length, far below 1<<20 for every
+// caller, and slots fit the remaining 24 bits for any grammar this analysis
+// builds (≤16M productions).
+func (p *earleyParser) itemKey(it earleyItem) uint64 {
+	slot := uint64(p.prodBase[p.g.ntIndex(it.nt)] + int64(it.prod))
+	return slot<<40 | uint64(uint32(it.dot))<<20 | uint64(uint32(it.origin))
+}
+
 // Recognize reports whether start ⇒* input in g, where input is a sentential
-// form over g's symbols (an input nonterminal matches only itself).
+// form over g's symbols (an input nonterminal matches only itself). Not safe
+// for concurrent use on one parser; each Recognizer owns its scratch.
 func (p *earleyParser) Recognize(start Sym, input []Sym) bool {
 	g := p.g
 	n := len(input)
-	sets := make([]map[earleyItem]bool, n+1)
-	order := make([][]earleyItem, n+1)
-	for i := range sets {
-		sets[i] = map[earleyItem]bool{}
-	}
+	p.scratch.reset(n + 1)
+	sets, order := p.scratch.sets, p.scratch.order
 	add := func(k int, it earleyItem) {
-		if !sets[k][it] {
-			sets[k][it] = true
+		if sets[k].add(p.itemKey(it)) {
 			order[k] = append(order[k], it)
 		}
 	}
-	for pi := range g.Prods(start) {
-		add(0, earleyItem{start, pi, 0, 0})
+	for pi := 0; pi < g.NumProdsOf(start); pi++ {
+		add(0, earleyItem{start, int32(pi), 0, 0})
 	}
 	for k := 0; k <= n; k++ {
 		for idx := 0; idx < len(order[k]); idx++ {
 			it := order[k][idx]
-			rhs := g.Prods(it.nt)[it.prod]
-			if it.dot < len(rhs) {
+			rhs := g.Rhs(it.nt, int(it.prod))
+			if int(it.dot) < len(rhs) {
 				next := rhs[it.dot]
 				if IsTerminal(next) {
 					// scan
@@ -78,8 +112,8 @@ func (p *earleyParser) Recognize(start Sym, input []Sym) bool {
 					add(k+1, earleyItem{it.nt, it.prod, it.dot + 1, it.origin})
 				}
 				// predict
-				for pi := range g.Prods(next) {
-					add(k, earleyItem{next, pi, 0, k})
+				for pi := 0; pi < g.NumProdsOf(next); pi++ {
+					add(k, earleyItem{next, int32(pi), 0, int32(k)})
 				}
 				// Aycock–Horspool: if next is nullable, advance directly.
 				if p.nullable[g.ntIndex(next)] {
@@ -89,15 +123,15 @@ func (p *earleyParser) Recognize(start Sym, input []Sym) bool {
 			}
 			// complete
 			for _, back := range order[it.origin] {
-				brhs := g.Prods(back.nt)[back.prod]
-				if back.dot < len(brhs) && brhs[back.dot] == it.nt {
+				brhs := g.Rhs(back.nt, int(back.prod))
+				if int(back.dot) < len(brhs) && brhs[back.dot] == it.nt {
 					add(k, earleyItem{back.nt, back.prod, back.dot + 1, back.origin})
 				}
 			}
 		}
 	}
 	for _, it := range order[n] {
-		if it.nt == start && it.origin == 0 && it.dot == len(g.Prods(start)[it.prod]) {
+		if it.nt == start && it.origin == 0 && int(it.dot) == len(g.Rhs(start, int(it.prod))) {
 			return true
 		}
 	}
@@ -116,7 +150,8 @@ func (g *Grammar) DerivesString(start Sym, s string) bool {
 }
 
 // Recognizer is a reusable Earley recognizer for one grammar. The grammar
-// must not change between Recognize calls.
+// must not change between Recognize calls, and one Recognizer must not be
+// shared across goroutines (it reuses internal scratch between calls).
 type Recognizer struct{ p *earleyParser }
 
 // NewRecognizer builds a Recognizer for g.

@@ -10,7 +10,7 @@ import "sort"
 func (g *Grammar) Enumerate(nt Sym, maxLen, maxCount int) []string {
 	// memo[ntIndex] = set of strings (≤ maxLen) derivable, built by a
 	// length-bounded fixpoint: iterate until no set grows.
-	n := len(g.prods)
+	n := g.NumNTs()
 	sets := make([]map[string]bool, n)
 	for i := range sets {
 		sets[i] = map[string]bool{}
@@ -25,8 +25,9 @@ func (g *Grammar) Enumerate(nt Sym, maxLen, maxCount int) []string {
 	changed := true
 	for changed && total() < maxCount*n {
 		changed = false
-		for i, rules := range g.prods {
-			for _, rhs := range rules {
+		for i := 0; i < n; i++ {
+			for pi := 0; pi < g.numProdsAt(i); pi++ {
+				rhs := g.rhsAt(i, pi)
 				// Combine constituent sets positionally.
 				partial := []string{""}
 				ok := true

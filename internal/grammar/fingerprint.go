@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"sort"
+	"sync"
 )
 
 // Fingerprint is a canonical content hash of an annotated sub-grammar. Two
@@ -47,31 +48,40 @@ const maxColorRounds = 24
 // hashes of the final round order production traversal canonically,
 // independent of symbol numbering and production insertion order.
 func (g *Grammar) colorize(order []Sym) (color []uint64, prodHash [][]uint64) {
-	color = make([]uint64, len(g.prods))
-	prodHash = make([][]uint64, len(g.prods))
+	color = make([]uint64, g.NumNTs())
+	prodHash = make([][]uint64, g.NumNTs())
+	// One flat backing array for all per-production hashes instead of one
+	// heap slice per reachable nonterminal.
+	totalProds := 0
+	for _, nt := range order {
+		totalProds += g.numProdsAt(g.ntIndex(nt))
+	}
+	hashSlab := make([]uint64, totalProds)
 	for _, nt := range order {
 		i := g.ntIndex(nt)
+		np := g.numProdsAt(i)
 		h := uint64(colorOffset)
 		h = mixColor(h, uint64(g.labels[i]))
 		for _, c := range []byte(g.names[i]) {
 			h = mixColor(h, uint64(c))
 		}
-		h = mixColor(h, uint64(len(g.prods[i])))
+		h = mixColor(h, uint64(np))
 		color[i] = h
-		prodHash[i] = make([]uint64, len(g.prods[i]))
+		prodHash[i], hashSlab = hashSlab[:np:np], hashSlab[np:]
 	}
-	next := make([]uint64, len(g.prods))
+	next := make([]uint64, g.NumNTs())
 	type hp struct {
 		h  uint64
 		pi int32
 	}
 	scratch := make([]hp, 0, 8)
+	var seen u64set
 	distinct := func(of []uint64) int {
-		seen := make(map[uint64]struct{}, len(order))
+		seen.reset()
 		for _, nt := range order {
-			seen[of[g.ntIndex(nt)]] = struct{}{}
+			seen.add(of[g.ntIndex(nt)])
 		}
-		return len(seen)
+		return seen.n
 	}
 	classes := 0
 	for round := 0; round < maxColorRounds; round++ {
@@ -79,7 +89,8 @@ func (g *Grammar) colorize(order []Sym) (color []uint64, prodHash [][]uint64) {
 		for _, nt := range order {
 			i := g.ntIndex(nt)
 			scratch = scratch[:0]
-			for pi, rhs := range g.prods[i] {
+			for pi := 0; pi < g.numProdsAt(i); pi++ {
+				rhs := g.rhsAt(i, pi)
 				h := uint64(colorOffset)
 				h = mixColor(h, uint64(len(rhs)))
 				for _, s := range rhs {
@@ -100,7 +111,7 @@ func (g *Grammar) colorize(order []Sym) (color []uint64, prodHash [][]uint64) {
 			for k, v := range scratch {
 				h = mixColor(h, v.h)
 				if k > 0 && v.h == scratch[k-1].h &&
-					!sameRHS(g.prods[i][v.pi], g.prods[i][scratch[k-1].pi]) {
+					!sameRHS(g.rhsAt(i, int(v.pi)), g.rhsAt(i, int(scratch[k-1].pi))) {
 					ambiguous = true
 				}
 			}
@@ -147,23 +158,66 @@ func sameRHS(a, b []Sym) bool {
 // depends only on the sub-grammar's shape, never on symbol numbering or the
 // sequence in which productions were added.
 func (g *Grammar) CanonicalOrder(root Sym) []Sym {
-	order, _, _ := g.canonicalize(root)
-	return order
+	e := g.canonEntry(root)
+	return e.order
+}
+
+// canonMemo caches canonicalization results per root, invalidated by the
+// grammar's mutation epoch. Warm verdict-cache probes call FingerprintOrder
+// on the same unmutated page grammar once per hotspot occurrence; without
+// the memo each probe re-runs the Weisfeiler-Leman refinement and an
+// O(R log R) sort over the whole reachable slice.
+type canonMemo struct {
+	mu sync.Mutex
+	m  map[Sym]*canonEntry
+}
+
+type canonEntry struct {
+	epoch     uint64
+	order     []Sym
+	canon     []int32
+	prodOrder [][]int32
+	fpOnce    sync.Once // fingerprintFrom mutates prodOrder; run it once
+	fp        Fingerprint
+}
+
+// canonEntry returns the memoized canonicalization of root, computing it on
+// epoch mismatch. Safe for concurrent readers of an unmutated grammar; the
+// grammar must not be mutated concurrently with this call (mutation and
+// parallel checking are already distinct phases everywhere).
+func (g *Grammar) canonEntry(root Sym) *canonEntry {
+	g.canon.mu.Lock()
+	if e, ok := g.canon.m[root]; ok && e.epoch == g.epoch {
+		g.canon.mu.Unlock()
+		return e
+	}
+	g.canon.mu.Unlock()
+	order, canon, prodOrder := g.canonicalize(root)
+	e := &canonEntry{epoch: g.epoch, order: order, canon: canon, prodOrder: prodOrder}
+	g.canon.mu.Lock()
+	if g.canon.m == nil {
+		g.canon.m = make(map[Sym]*canonEntry)
+	}
+	// Last writer wins under a race; both computed identical content.
+	g.canon.m[root] = e
+	g.canon.mu.Unlock()
+	return e
 }
 
 // canonicalize computes the canonical order plus, per nonterminal index,
-// the production traversal order (indices into g.prods[i] sorted by
-// structural hash) shared by CanonicalOrder and Fingerprint.
+// the production traversal order (production indices sorted by structural
+// hash) shared by CanonicalOrder and Fingerprint.
 func (g *Grammar) canonicalize(root Sym) (order []Sym, canon []int32, prodOrder [][]int32) {
 	// Discovery pass: any reachability order works for colorize, which
 	// iterates to a numbering-independent fixpoint.
 	reach := make([]Sym, 0, 16)
-	seen := make([]bool, len(g.prods))
+	seen := make([]bool, g.NumNTs())
 	reach = append(reach, root)
 	seen[g.ntIndex(root)] = true
 	for qi := 0; qi < len(reach); qi++ {
-		for _, rhs := range g.prods[g.ntIndex(reach[qi])] {
-			for _, s := range rhs {
+		i := g.ntIndex(reach[qi])
+		for pi := 0; pi < g.numProdsAt(i); pi++ {
+			for _, s := range g.rhsAt(i, pi) {
 				if !IsTerminal(s) && !seen[g.ntIndex(s)] {
 					seen[g.ntIndex(s)] = true
 					reach = append(reach, s)
@@ -173,10 +227,17 @@ func (g *Grammar) canonicalize(root Sym) (order []Sym, canon []int32, prodOrder 
 	}
 	_, prodHash := g.colorize(reach)
 
-	prodOrder = make([][]int32, len(g.prods))
+	prodOrder = make([][]int32, g.NumNTs())
+	totalProds := 0
+	for _, nt := range reach {
+		totalProds += g.numProdsAt(g.ntIndex(nt))
+	}
+	poSlab := make([]int32, totalProds)
 	for _, nt := range reach {
 		i := g.ntIndex(nt)
-		po := make([]int32, len(g.prods[i]))
+		np := g.numProdsAt(i)
+		var po []int32
+		po, poSlab = poSlab[:np:np], poSlab[np:]
 		for k := range po {
 			po[k] = int32(k)
 		}
@@ -199,7 +260,7 @@ func (g *Grammar) canonicalize(root Sym) (order []Sym, canon []int32, prodOrder 
 	for qi := 0; qi < len(order); qi++ {
 		i := g.ntIndex(order[qi])
 		for _, pi := range prodOrder[i] {
-			for _, s := range g.prods[i][pi] {
+			for _, s := range g.rhsAt(i, int(pi)) {
 				if !IsTerminal(s) && !seen[g.ntIndex(s)] {
 					seen[g.ntIndex(s)] = true
 					order = append(order, s)
@@ -207,7 +268,7 @@ func (g *Grammar) canonicalize(root Sym) (order []Sym, canon []int32, prodOrder 
 			}
 		}
 	}
-	canon = make([]int32, len(g.prods))
+	canon = make([]int32, g.NumNTs())
 	for i := range canon {
 		canon[i] = -1
 	}
@@ -226,8 +287,8 @@ func (g *Grammar) canonicalize(root Sym) (order []Sym, canon []int32, prodOrder 
 // serialization is a complete description of the annotated sub-grammar, so
 // equal fingerprints mean isomorphic grammars (up to hash collision).
 func (g *Grammar) Fingerprint(root Sym) Fingerprint {
-	order, canon, prodOrder := g.canonicalize(root)
-	return g.fingerprintFrom(order, canon, prodOrder)
+	fp, _ := g.FingerprintOrder(root)
+	return fp
 }
 
 // FingerprintOrder returns Fingerprint(root) together with
@@ -236,8 +297,14 @@ func (g *Grammar) Fingerprint(root Sym) Fingerprint {
 // fixes the report order), and canonicalization — a Weisfeiler-Leman
 // refinement over the whole slice — is too expensive to run twice.
 func (g *Grammar) FingerprintOrder(root Sym) (Fingerprint, []Sym) {
-	order, canon, prodOrder := g.canonicalize(root)
-	return g.fingerprintFrom(order, canon, prodOrder), order
+	e := g.canonEntry(root)
+	// fingerprintFrom re-sorts prodOrder in place by canonical symbol code —
+	// a refinement of the structural-hash order that every later consumer of
+	// the entry is also correct under — so it runs exactly once per entry.
+	e.fpOnce.Do(func() {
+		e.fp = g.fingerprintFrom(e.order, e.canon, e.prodOrder)
+	})
+	return e.fp, e.order
 }
 
 // fingerprintFrom serializes an already-canonicalized sub-grammar.
@@ -263,13 +330,14 @@ func (g *Grammar) fingerprintFrom(order []Sym, canon []int32, prodOrder [][]int3
 		writeU32(uint32(g.labels[i]))
 		writeU32(uint32(len(g.names[i])))
 		h.Write([]byte(g.names[i]))
-		writeU32(uint32(len(g.prods[i])))
+		writeU32(uint32(g.numProdsAt(i)))
 		// In-place, non-stable sort: a full tie means identical canonical
 		// symbol sequences, which serialize identically in any order, and
-		// prodOrder has no further reader.
+		// later readers of prodOrder are correct under any refinement of the
+		// structural-hash order.
 		po := prodOrder[i]
 		sort.Slice(po, func(a, b int) bool {
-			ra, rb := g.prods[i][po[a]], g.prods[i][po[b]]
+			ra, rb := g.rhsAt(i, int(po[a])), g.rhsAt(i, int(po[b]))
 			for k := 0; k < len(ra) && k < len(rb); k++ {
 				if ca, cb := symCode(ra[k]), symCode(rb[k]); ca != cb {
 					return ca < cb
@@ -278,7 +346,7 @@ func (g *Grammar) fingerprintFrom(order []Sym, canon []int32, prodOrder [][]int3
 			return len(ra) < len(rb)
 		})
 		for _, pi := range po {
-			rhs := g.prods[i][pi]
+			rhs := g.rhsAt(i, int(pi))
 			writeU32(uint32(len(rhs)))
 			for _, s := range rhs {
 				writeU32(symCode(s))

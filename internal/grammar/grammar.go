@@ -82,23 +82,43 @@ func (l Label) String() string {
 
 // Grammar is a context-free grammar with labeled nonterminals. Nonterminal
 // identifiers are dense and local to one Grammar instance.
+//
+// Productions are stored in one of two representations holding identical
+// content in identical order. In arena mode (the ArenaAllocation default)
+// every right-hand side lives in the flat syms slab (or the process-global
+// interned terminal-run pool) and refs[i] holds {off, len} references; in
+// slice mode prods[i] holds one heap slice per production, the seed layout
+// retained for differential testing. All accessors are representation-
+// agnostic.
 type Grammar struct {
 	names    []string
 	labels   []Label
-	prods    [][][]Sym
+	prods    [][][]Sym   // slice mode: prods[ntIndex][prodIndex] = rhs
+	refs     [][]prodRef // arena mode: refs[ntIndex][prodIndex] -> syms/pool
+	syms     []Sym       // arena mode: flat RHS symbol slab
 	start    Sym
 	numProds int
+	arena    bool
+	epoch    uint64 // bumped on every mutation; canonicalization memo key
+	keyBuf   []byte // scratch for intern-pool probes (single-writer)
+
+	canon canonMemo // memoized canonical orders (fingerprint.go)
 }
 
 // New returns an empty grammar with no nonterminals and no start symbol.
-func New() *Grammar { return &Grammar{start: -1} }
+func New() *Grammar { return &Grammar{start: -1, arena: ArenaAllocation} }
 
 // NewNT adds a fresh nonterminal. An empty name is allowed; Name fabricates
 // a placeholder when asked.
 func (g *Grammar) NewNT(name string) Sym {
 	g.names = append(g.names, name)
 	g.labels = append(g.labels, 0)
-	g.prods = append(g.prods, nil)
+	if g.arena {
+		g.refs = append(g.refs, nil)
+	} else {
+		g.prods = append(g.prods, nil)
+	}
+	g.epoch++
 	return Sym(NumTerminals + len(g.names) - 1)
 }
 
@@ -126,20 +146,104 @@ func (g *Grammar) IsNT(s Sym) bool {
 // Add appends the production lhs → rhs.
 func (g *Grammar) Add(lhs Sym, rhs ...Sym) {
 	i := g.ntIndex(lhs)
-	cp := make([]Sym, len(rhs))
-	copy(cp, rhs)
-	g.prods[i] = append(g.prods[i], cp)
+	if g.arena {
+		g.refs[i] = append(g.refs[i], g.placeRHS(rhs))
+	} else {
+		cp := make([]Sym, len(rhs))
+		copy(cp, rhs)
+		g.prods[i] = append(g.prods[i], cp)
+	}
 	g.numProds++
+	g.epoch++
 }
 
-// AddString appends the production lhs → the terminal sequence of s.
+// AddString appends the production lhs → the terminal sequence of s. In
+// arena mode long strings intern directly against the global pool with no
+// intermediate symbol slice.
 func (g *Grammar) AddString(lhs Sym, s string) {
+	if g.arena && len(s) >= internMinRun && len(s) < internChunkSize {
+		i := g.ntIndex(lhs)
+		g.refs[i] = append(g.refs[i], internRun(s))
+		g.numProds++
+		g.epoch++
+		return
+	}
 	g.Add(lhs, TermString(s)...)
 }
 
-// Prods returns the productions (right-hand sides) of nt. The caller must
-// not mutate the returned slices.
-func (g *Grammar) Prods(nt Sym) [][]Sym { return g.prods[g.ntIndex(nt)] }
+// placeRHS stores rhs in the grammar's slab — or, for a long pure-terminal
+// run, in the process-global intern pool — and returns its reference.
+func (g *Grammar) placeRHS(rhs []Sym) prodRef {
+	if n := len(rhs); n >= internMinRun && n < internChunkSize {
+		key := g.keyBuf[:0]
+		for _, s := range rhs {
+			if !IsTerminal(s) || s == MarkerSym {
+				key = nil
+				break
+			}
+			key = append(key, byte(s))
+		}
+		if key != nil {
+			g.keyBuf = key
+			return internRunBytes(key)
+		}
+	}
+	off := len(g.syms)
+	g.syms = append(g.syms, rhs...)
+	return prodRef{off: int32(off), n: int32(len(rhs))}
+}
+
+// addRef appends an already-placed production reference to nt. Internal
+// callers (Extract, CompactSlice) use it to share interned regions without
+// re-probing the pool.
+func (g *Grammar) addRef(nt Sym, r prodRef) {
+	i := g.ntIndex(nt)
+	g.refs[i] = append(g.refs[i], r)
+	g.numProds++
+	g.epoch++
+}
+
+// NumProdsOf reports how many productions nt has.
+func (g *Grammar) NumProdsOf(nt Sym) int { return g.numProdsAt(g.ntIndex(nt)) }
+
+// Rhs returns the right-hand side of nt's pi-th production. The caller must
+// not mutate the returned slice; it aliases the grammar's storage.
+func (g *Grammar) Rhs(nt Sym, pi int) []Sym { return g.rhsAt(g.ntIndex(nt), pi) }
+
+func (g *Grammar) numProdsAt(i int) int {
+	if g.arena {
+		return len(g.refs[i])
+	}
+	return len(g.prods[i])
+}
+
+func (g *Grammar) rhsAt(i, pi int) []Sym {
+	if g.arena {
+		return g.refSyms(g.refs[i][pi])
+	}
+	return g.prods[i][pi]
+}
+
+// refSyms resolves a production reference to its symbol slice.
+func (g *Grammar) refSyms(r prodRef) []Sym {
+	if r.off < 0 {
+		return internSlice(r.off, r.n)
+	}
+	off, end := int(r.off), int(r.off)+int(r.n)
+	return g.syms[off:end:end]
+}
+
+// clearProds removes every production of nt, keeping the nonterminal.
+func (g *Grammar) clearProds(nt Sym) {
+	i := g.ntIndex(nt)
+	g.numProds -= g.numProdsAt(i)
+	if g.arena {
+		g.refs[i] = nil
+	} else {
+		g.prods[i] = nil
+	}
+	g.epoch++
+}
 
 // SetStart sets the start nonterminal.
 func (g *Grammar) SetStart(s Sym) { g.ntIndex(s); g.start = s }
@@ -202,10 +306,11 @@ func (g *Grammar) LabeledNTs() []Sym {
 
 // ForEachProd calls f for every production in the grammar.
 func (g *Grammar) ForEachProd(f func(lhs Sym, rhs []Sym)) {
-	for i, rules := range g.prods {
+	for i := 0; i < len(g.names); i++ {
 		lhs := Sym(NumTerminals + i)
-		for _, rhs := range rules {
-			f(lhs, rhs)
+		np := g.numProdsAt(i)
+		for pi := 0; pi < np; pi++ {
+			f(lhs, g.rhsAt(i, pi))
 		}
 	}
 }
@@ -214,9 +319,10 @@ func (g *Grammar) ForEachProd(f func(lhs Sym, rhs []Sym)) {
 // line, labeled nonterminals annotated.
 func (g *Grammar) String() string {
 	var b strings.Builder
-	for i, rules := range g.prods {
+	for i := 0; i < len(g.names); i++ {
 		lhs := Sym(NumTerminals + i)
-		for _, rhs := range rules {
+		for pi := 0; pi < g.numProdsAt(i); pi++ {
+			rhs := g.rhsAt(i, pi)
 			b.WriteString(g.Name(lhs))
 			if l := g.labels[i]; l != 0 {
 				fmt.Fprintf(&b, "[%s]", l)

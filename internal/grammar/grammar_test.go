@@ -119,8 +119,7 @@ func TestReplaceWithMarker(t *testing.T) {
 	x := g.NewNT("X")
 	g.AddLabel(x, Direct)
 	g.Add(q, TermString("SELECT '")[0], TermString("SELECT '")[1]) // dummy; real rule below
-	g.prods[g.ntIndex(q)] = nil
-	g.numProds = 0
+	g.clearProds(q)
 	rhs := append(TermString("a='"), x)
 	rhs = append(rhs, T('\''))
 	g.Add(q, rhs...)

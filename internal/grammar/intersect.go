@@ -50,37 +50,42 @@ func IntersectIntoT(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget, sp 
 	nq := d.NumStates()
 
 	// ---- snapshot + NORMALIZE ----------------------------------------
-	// Local rule representation over local ids: 0..nLocal-1 nonterminals.
-	// localOf maps g's nonterminal indices (at entry) to local ids.
+	// Flat rule records over local ids: 0..nLocal-1 nonterminals. localOf
+	// maps g's nonterminal indices (at entry) to local ids. After
+	// normalization every rule has at most two symbols, so the whole rule
+	// set is one flat record array — no per-rule heap slices.
 	type rule struct {
-		lhs int
-		rhs []int // local symbol: >=0 local NT id, <0 encodes terminal ^(-1-sym)
+		lhs  int32
+		a, c int32 // local symbol: >=0 local NT id, <0 encodes terminal ^(-1-sym)
+		n    int8
 	}
-	encTerm := func(s Sym) int { return -1 - int(s) }
-	isLocalTerm := func(v int) bool { return v < 0 }
-	decTerm := func(v int) Sym { return Sym(-1 - v) }
+	encTerm := func(s Sym) int32 { return -1 - int32(s) }
+	isLocalTerm := func(v int32) bool { return v < 0 }
+	decTerm := func(v int32) Sym { return Sym(-1 - v) }
 
 	localOf := make([]int32, g.NumNTs()) // -1 = not yet discovered
 	for i := range localOf {
 		localOf[i] = -1
 	}
 	var localSyms []Sym // local id -> original NT symbol, or -1 for helpers
-	newLocal := func(orig Sym) int {
-		id := len(localSyms)
+	newLocal := func(orig Sym) int32 {
+		id := int32(len(localSyms))
 		localSyms = append(localSyms, orig)
 		if orig >= 0 {
-			localOf[int(orig)-NumTerminals] = int32(id)
+			localOf[int(orig)-NumTerminals] = id
 		}
 		return id
 	}
 
 	var rules []rule
+	var cur []int32 // reused normalization scratch
 	stack := []Sym{root}
 	newLocal(root)
 	for len(stack) > 0 {
 		nt := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, rhs := range g.Prods(nt) {
+		for pi := 0; pi < g.NumProdsOf(nt); pi++ {
+			rhs := g.Rhs(nt, pi)
 			for _, s := range rhs {
 				if !IsTerminal(s) && localOf[int(s)-NumTerminals] < 0 {
 					newLocal(s)
@@ -88,22 +93,30 @@ func IntersectIntoT(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget, sp 
 				}
 			}
 			// normalize to length <= 2 with helper locals
-			lhs := int(localOf[int(nt)-NumTerminals])
-			cur := make([]int, len(rhs))
-			for i, s := range rhs {
+			lhs := localOf[int(nt)-NumTerminals]
+			cur = cur[:0]
+			for _, s := range rhs {
 				if IsTerminal(s) {
-					cur[i] = encTerm(s)
+					cur = append(cur, encTerm(s))
 				} else {
-					cur[i] = int(localOf[int(s)-NumTerminals])
+					cur = append(cur, localOf[int(s)-NumTerminals])
 				}
 			}
-			for len(cur) > 2 {
+			w := cur
+			for len(w) > 2 {
 				helper := newLocal(-1)
-				rules = append(rules, rule{lhs: lhs, rhs: []int{cur[0], helper}})
+				rules = append(rules, rule{lhs: lhs, a: w[0], c: helper, n: 2})
 				lhs = helper
-				cur = cur[1:]
+				w = w[1:]
 			}
-			rules = append(rules, rule{lhs: lhs, rhs: cur})
+			switch len(w) {
+			case 0:
+				rules = append(rules, rule{lhs: lhs, n: 0})
+			case 1:
+				rules = append(rules, rule{lhs: lhs, a: w[0], n: 1})
+			default:
+				rules = append(rules, rule{lhs: lhs, a: w[0], c: w[1], n: 2})
+			}
 		}
 	}
 
@@ -113,61 +126,116 @@ func IntersectIntoT(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget, sp 
 	for i := range termLocal {
 		termLocal[i] = -1
 	}
-	for ri := range rules {
-		if len(rules[ri].rhs) != 2 {
+	for ri := 0; ri < len(rules); ri++ {
+		if rules[ri].n != 2 {
 			continue
 		}
-		for k, v := range rules[ri].rhs {
-			if isLocalTerm(v) {
-				t := decTerm(v)
-				id := termLocal[int(t)]
-				if id < 0 {
-					id = int32(newLocal(-1))
-					termLocal[int(t)] = id
-					rules = append(rules, rule{lhs: int(id), rhs: []int{encTerm(t)}})
-				}
-				rules[ri].rhs[k] = int(id)
+		for k := 0; k < 2; k++ {
+			v := rules[ri].a
+			if k == 1 {
+				v = rules[ri].c
+			}
+			if !isLocalTerm(v) {
+				continue
+			}
+			t := decTerm(v)
+			id := termLocal[int(t)]
+			if id < 0 {
+				id = newLocal(-1)
+				termLocal[int(t)] = id
+				rules = append(rules, rule{lhs: id, a: encTerm(t), n: 1})
+			}
+			if k == 0 {
+				rules[ri].a = id
+			} else {
+				rules[ri].c = id
 			}
 		}
 	}
 	nLocal := len(localSyms)
 
-	// Index rules.
-	unitNT := make([][]rule, nLocal)     // by rhs[0] local NT: X -> Y
-	unitT := make([][]int, NumTerminals) // terminal t -> lhs list: X -> t
-	var epsLHS []int
-	binFirst := make([][]rule, nLocal)  // by rhs[0]
-	binSecond := make([][]rule, nLocal) // by rhs[1]
+	// Index rules by role, as CSR lists of rule indices — counting pass,
+	// prefix sums, fill pass. Bucket order matches the rule array, exactly
+	// like the append-built lists these replace.
+	var epsLHS []int32
+	unitT := make([][]int32, NumTerminals) // terminal t -> lhs list: X -> t
+	unitNTCnt := make([]int32, nLocal+1)   // by rhs[0] local NT: X -> Y
+	binFirstCnt := make([]int32, nLocal+1) // by rhs[0]
+	binSecondCnt := make([]int32, nLocal+1)
 	for _, r := range rules {
-		switch len(r.rhs) {
+		switch r.n {
 		case 0:
 			epsLHS = append(epsLHS, r.lhs)
 		case 1:
-			if isLocalTerm(r.rhs[0]) {
-				t := int(decTerm(r.rhs[0]))
+			if isLocalTerm(r.a) {
+				t := decTerm(r.a)
 				unitT[t] = append(unitT[t], r.lhs)
 			} else {
-				unitNT[r.rhs[0]] = append(unitNT[r.rhs[0]], r)
+				unitNTCnt[r.a]++
 			}
 		case 2:
-			binFirst[r.rhs[0]] = append(binFirst[r.rhs[0]], r)
-			binSecond[r.rhs[1]] = append(binSecond[r.rhs[1]], r)
+			binFirstCnt[r.a]++
+			binSecondCnt[r.c]++
 		}
+	}
+	prefix := func(cnt []int32) []int32 {
+		sum := int32(0)
+		for i, c := range cnt {
+			cnt[i] = sum
+			sum += c
+		}
+		return make([]int32, sum)
+	}
+	unitNTIdx := prefix(unitNTCnt)
+	binFirstIdx := prefix(binFirstCnt)
+	binSecondIdx := prefix(binSecondCnt)
+	for ri, r := range rules {
+		switch r.n {
+		case 1:
+			if !isLocalTerm(r.a) {
+				unitNTIdx[unitNTCnt[r.a]] = int32(ri)
+				unitNTCnt[r.a]++
+			}
+		case 2:
+			binFirstIdx[binFirstCnt[r.a]] = int32(ri)
+			binFirstCnt[r.a]++
+			binSecondIdx[binSecondCnt[r.c]] = int32(ri)
+			binSecondCnt[r.c]++
+		}
+	}
+	// After the fill pass cnt[x] is the end offset of x's bucket and
+	// cnt[x-1] its start; bucket x therefore reads cnt-relative.
+	bucket := func(idx, cnt []int32, x int32) []int32 {
+		start := int32(0)
+		if x > 0 {
+			start = cnt[x-1]
+		}
+		return idx[start:cnt[x]]
 	}
 
 	// ---- worklist ------------------------------------------------------
 	// item: local NT x with DFA state span (i, j). Each discovered item is
-	// one record; spanIdx[x][i] and endIdx[x][j] list record indices, so
-	// membership tests are short scans bounded by the DFA state count.
+	// one record; spanIdx[x][i] and endIdx[x][j] list record indices in
+	// insertion order (the join iteration order feeds the discover sequence,
+	// which fixes production order downstream), so membership tests are
+	// short scans bounded by the DFA state count.
 	type itemRec struct {
 		x    int32
 		i, j int32
 		nt   Sym
 	}
 	var items []itemRec
-	itemProds := [][][2]Sym{}            // per item: productions already added
 	spanIdx := make([][][]int32, nLocal) // x -> i -> item indices
 	endIdx := make([][][]int32, nLocal)  // x -> j -> item indices
+	// Per-item added-production keys as chains through one flat slab
+	// (replaces one heap slice per item; chain order is irrelevant — it
+	// only answers membership).
+	type prodKey struct {
+		a, c Sym
+		next int32
+	}
+	var prodKeys []prodKey
+	var prodHead []int32
 
 	findItem := func(x, i, j int32) int32 {
 		rows := spanIdx[x]
@@ -183,7 +251,8 @@ func IntersectIntoT(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget, sp 
 	}
 
 	var work []int32
-	discover := func(x, i, j int32, rhs ...Sym) {
+	var addBuf [2]Sym
+	discover := func(x, i, j int32, s0, s1 Sym, nsyms int) {
 		idx := findItem(x, i, j)
 		if idx < 0 {
 			b.Step(1)
@@ -199,7 +268,7 @@ func IntersectIntoT(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget, sp 
 			}
 			idx = int32(len(items))
 			items = append(items, itemRec{x: x, i: i, j: j, nt: nt})
-			itemProds = append(itemProds, nil)
+			prodHead = append(prodHead, -1)
 			if spanIdx[x] == nil {
 				spanIdx[x] = make([][]int32, nq)
 				endIdx[x] = make([][]int32, nq)
@@ -208,23 +277,21 @@ func IntersectIntoT(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget, sp 
 			endIdx[x][j] = append(endIdx[x][j], idx)
 			work = append(work, idx)
 		}
-		key := [2]Sym{-1, -1}
-		for k, s := range rhs {
-			key[k] = s
-		}
-		for _, pk := range itemProds[idx] {
-			if pk == key {
+		for pk := prodHead[idx]; pk >= 0; pk = prodKeys[pk].next {
+			if prodKeys[pk].a == s0 && prodKeys[pk].c == s1 {
 				return
 			}
 		}
-		itemProds[idx] = append(itemProds[idx], key)
-		g.Add(items[idx].nt, rhs...)
+		prodKeys = append(prodKeys, prodKey{a: s0, c: s1, next: prodHead[idx]})
+		prodHead[idx] = int32(len(prodKeys) - 1)
+		addBuf[0], addBuf[1] = s0, s1
+		g.Add(items[idx].nt, addBuf[:nsyms]...)
 	}
 
 	// Seed: X -> eps gives (X,i,i) for all i.
 	for _, lhs := range epsLHS {
 		for q := 0; q < nq; q++ {
-			discover(int32(lhs), int32(q), int32(q))
+			discover(lhs, int32(q), int32(q), -1, -1, 0)
 		}
 	}
 	// Seed: X -> t gives (X, i, d(i,t)). Terminals in the same byte class
@@ -263,7 +330,7 @@ func IntersectIntoT(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget, sp 
 				to = int32(d.Step(q, t))
 			}
 			for _, lhs := range lhss {
-				discover(int32(lhs), int32(q), to, Sym(t))
+				discover(lhs, int32(q), to, Sym(t), -1, 1)
 			}
 		}
 	}
@@ -275,29 +342,29 @@ func IntersectIntoT(g *Grammar, root Sym, d *automata.DFA, b *budget.Budget, sp 
 		it := items[idx]
 		ynt := it.nt
 		// unit rules X -> Y
-		for _, r := range unitNT[it.x] {
-			discover(int32(r.lhs), it.i, it.j, ynt)
+		for _, ri := range bucket(unitNTIdx, unitNTCnt, it.x) {
+			discover(rules[ri].lhs, it.i, it.j, ynt, -1, 1)
 		}
 		// binary rules X -> Y B with Y = it
-		for _, r := range binFirst[it.x] {
-			b := r.rhs[1]
-			if spanIdx[b] == nil {
+		for _, ri := range bucket(binFirstIdx, binFirstCnt, it.x) {
+			bb := rules[ri].c
+			if spanIdx[bb] == nil {
 				continue
 			}
-			for _, bidx := range spanIdx[b][it.j] {
+			for _, bidx := range spanIdx[bb][it.j] {
 				bit := items[bidx]
-				discover(int32(r.lhs), it.i, bit.j, ynt, bit.nt)
+				discover(rules[ri].lhs, it.i, bit.j, ynt, bit.nt, 2)
 			}
 		}
 		// binary rules X -> A Y with Y = it
-		for _, r := range binSecond[it.x] {
-			a := r.rhs[0]
-			if endIdx[a] == nil {
+		for _, ri := range bucket(binSecondIdx, binSecondCnt, it.x) {
+			aa := rules[ri].a
+			if endIdx[aa] == nil {
 				continue
 			}
-			for _, aidx := range endIdx[a][it.i] {
+			for _, aidx := range endIdx[aa][it.i] {
 				ait := items[aidx]
-				discover(int32(r.lhs), ait.i, it.j, ait.nt, ynt)
+				discover(rules[ri].lhs, ait.i, it.j, ait.nt, ynt, 2)
 			}
 		}
 	}

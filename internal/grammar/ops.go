@@ -6,7 +6,7 @@ import "math"
 // string it derives, or -1 when its language is empty. A worklist fixpoint
 // over the productions.
 func (g *Grammar) MinLens() []int64 {
-	n := len(g.prods)
+	n := g.NumNTs()
 	lens := make([]int64, n)
 	for i := range lens {
 		lens[i] = -1
@@ -14,8 +14,9 @@ func (g *Grammar) MinLens() []int64 {
 	changed := true
 	for changed {
 		changed = false
-		for i, rules := range g.prods {
-			for _, rhs := range rules {
+		for i := 0; i < n; i++ {
+			for pi := 0; pi < g.numProdsAt(i); pi++ {
+				rhs := g.rhsAt(i, pi)
 				total := int64(0)
 				ok := true
 				for _, s := range rhs {
@@ -53,7 +54,7 @@ func (g *Grammar) Empty(nt Sym) bool {
 // function of the grammar's language structure alone — α-renaming
 // nonterminals or permuting production order cannot change it.
 func (g *Grammar) Witness(nt Sym) ([]Sym, bool) {
-	n := len(g.prods)
+	n := g.NumNTs()
 	// cost = length*sizeWeight + treeSize; treeSize bounds recursion.
 	const sizeWeight = 1 << 20
 	cost := make([]int64, n)
@@ -63,8 +64,9 @@ func (g *Grammar) Witness(nt Sym) ([]Sym, bool) {
 	changed := true
 	for changed {
 		changed = false
-		for i, rules := range g.prods {
-			for _, rhs := range rules {
+		for i := 0; i < n; i++ {
+			for pi := 0; pi < g.numProdsAt(i); pi++ {
+				rhs := g.rhsAt(i, pi)
 				total := int64(1) // production application
 				ok := true
 				for _, s := range rhs {
@@ -113,7 +115,8 @@ func (g *Grammar) Witness(nt Sym) ([]Sym, bool) {
 		}
 		var bestExp []Sym
 		haveBest := false
-		for _, rhs := range g.prods[i] {
+		for pi := 0; pi < g.numProdsAt(i); pi++ {
+			rhs := g.rhsAt(i, pi)
 			total := int64(1)
 			ok := true
 			for _, x := range rhs {
@@ -170,14 +173,22 @@ func (g *Grammar) WitnessString(nt Sym) (string, bool) {
 // Reachable returns the set of nonterminals reachable from root (including
 // root itself), as a bitset indexed by nonterminal index.
 func (g *Grammar) Reachable(root Sym) []bool {
-	seen := make([]bool, len(g.prods))
+	return g.ReachableInto(root, make([]bool, g.NumNTs()))
+}
+
+// ReachableInto is Reachable writing into a caller-provided bitset, which
+// must be at least NumNTs long and all-false; it is returned for chaining.
+// Fixpoint callers (analysis lowering) reuse one buffer across many probes
+// instead of allocating a fresh slice per call.
+func (g *Grammar) ReachableInto(root Sym, seen []bool) []bool {
+	seen = seen[:g.NumNTs()]
 	stack := []int{g.ntIndex(root)}
 	seen[stack[0]] = true
 	for len(stack) > 0 {
 		i := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, rhs := range g.prods[i] {
-			for _, s := range rhs {
+		for pi := 0; pi < g.numProdsAt(i); pi++ {
+			for _, s := range g.rhsAt(i, pi) {
 				if !IsTerminal(s) {
 					j := g.ntIndex(s)
 					if !seen[j] {
@@ -208,25 +219,46 @@ func (g *Grammar) Extract(root Sym) (*Grammar, map[Sym]Sym) {
 		out.labels[out.ntIndex(nn)] = g.labels[i]
 		remap[old] = nn
 	}
+	var buf []Sym
 	for i, ok := range seen {
 		if !ok {
 			continue
 		}
-		old := Sym(NumTerminals + i)
-		for _, rhs := range g.prods[i] {
-			nr := make([]Sym, len(rhs))
-			for k, s := range rhs {
-				if IsTerminal(s) {
-					nr[k] = s
-				} else {
-					nr[k] = remap[s]
+		nlhs := remap[Sym(NumTerminals+i)]
+		if g.arena && out.arena {
+			// Interned regions are pure-terminal, hence invariant under
+			// nonterminal remapping: share them by reference instead of
+			// copying the run into the new slab.
+			for _, r := range g.refs[i] {
+				if r.off < 0 {
+					out.addRef(nlhs, r)
+					continue
 				}
+				buf = remapRHS(buf[:0], g.refSyms(r), remap)
+				out.Add(nlhs, buf...)
 			}
-			out.Add(remap[old], nr...)
+			continue
+		}
+		for pi := 0; pi < g.numProdsAt(i); pi++ {
+			buf = remapRHS(buf[:0], g.rhsAt(i, pi), remap)
+			out.Add(nlhs, buf...)
 		}
 	}
 	out.SetStart(remap[root])
 	return out, remap
+}
+
+// remapRHS appends rhs to dst with nonterminals translated through remap
+// (terminals pass through unchanged).
+func remapRHS(dst, rhs []Sym, remap map[Sym]Sym) []Sym {
+	for _, s := range rhs {
+		if IsTerminal(s) {
+			dst = append(dst, s)
+		} else {
+			dst = append(dst, remap[s])
+		}
+	}
+	return dst
 }
 
 // ReplaceWithMarker returns a copy of the sub-grammar reachable from root in
@@ -239,9 +271,40 @@ func (g *Grammar) ReplaceWithMarker(root, x Sym) *Grammar {
 	if !ok {
 		return sub // x not reachable: nothing to replace
 	}
-	xi := sub.ntIndex(nx)
-	sub.numProds -= len(sub.prods[xi])
-	sub.prods[xi] = nil
+	sub.clearProds(nx)
+	if sub.arena {
+		// Interned regions are pure-terminal and cannot contain nx; only
+		// slab-resident rows can need rewriting. The replacement run is
+		// appended to the slab and the row repointed.
+		for i := range sub.refs {
+			for ri, r := range sub.refs[i] {
+				if r.off < 0 {
+					continue
+				}
+				rhs := sub.refSyms(r)
+				hit := false
+				for _, s := range rhs {
+					if s == nx {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					continue
+				}
+				off := len(sub.syms)
+				for _, s := range rhs {
+					if s == nx {
+						s = MarkerSym
+					}
+					sub.syms = append(sub.syms, s)
+				}
+				sub.refs[i][ri] = prodRef{off: int32(off), n: r.n}
+			}
+		}
+		sub.epoch++
+		return sub
+	}
 	for i, rules := range sub.prods {
 		for ri, rhs := range rules {
 			for k, s := range rhs {
@@ -259,6 +322,7 @@ func (g *Grammar) ReplaceWithMarker(root, x Sym) *Grammar {
 			}
 		}
 	}
+	sub.epoch++
 	return sub
 }
 
@@ -267,7 +331,7 @@ func (g *Grammar) ReplaceWithMarker(root, x Sym) *Grammar {
 // Tarjan's algorithm, returned in reverse topological order (callees before
 // callers). Each component is a slice of nonterminal symbols.
 func (g *Grammar) SCCs() [][]Sym {
-	n := len(g.prods)
+	n := g.NumNTs()
 	index := make([]int, n)
 	low := make([]int, n)
 	onStack := make([]bool, n)
@@ -301,8 +365,8 @@ func (g *Grammar) SCCs() [][]Sym {
 		for len(frames) > 0 {
 			f := &frames[len(frames)-1]
 			advanced := false
-			for f.prod < len(g.prods[f.v]) {
-				rhs := g.prods[f.v][f.prod]
+			for f.prod < g.numProdsAt(f.v) {
+				rhs := g.rhsAt(f.v, f.prod)
 				for f.sym < len(rhs) {
 					s := rhs[f.sym]
 					f.sym++
@@ -358,7 +422,7 @@ func (g *Grammar) SCCs() [][]Sym {
 // a sentential form containing itself (i.e., it sits in a nontrivial SCC or
 // has a self-referential production).
 func (g *Grammar) InCycle() []bool {
-	out := make([]bool, len(g.prods))
+	out := make([]bool, g.NumNTs())
 	for _, comp := range g.SCCs() {
 		if len(comp) > 1 {
 			for _, s := range comp {
@@ -367,8 +431,8 @@ func (g *Grammar) InCycle() []bool {
 			continue
 		}
 		i := g.ntIndex(comp[0])
-		for _, rhs := range g.prods[i] {
-			for _, s := range rhs {
+		for pi := 0; pi < g.numProdsAt(i); pi++ {
+			for _, s := range g.rhsAt(i, pi) {
 				if s == comp[0] {
 					out[i] = true
 				}

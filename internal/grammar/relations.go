@@ -86,6 +86,7 @@ func RelsMinT(g *Grammar, d *automata.DFA, minLens []int64, b *budget.Budget, sp
 type RelPlan struct {
 	n          int        // nonterminal count
 	prods      []planProd // productive productions
+	segs       []planSeg  // CSR slab of all production segments
 	dependents [][]int32  // NT index -> productions mentioning it
 	runs       [][]Sym    // distinct maximal terminal runs
 
@@ -132,12 +133,13 @@ func (p *RelPlan) classRunsFor(bc *automata.ByteClasses) *classRuns {
 	return cr
 }
 
-// planProd is one productive production, segmented. A segment with nt >= 0
-// references that nonterminal index; nt < 0 marks the terminal run
-// plan.runs[run].
+// planProd is one productive production: its segments are the CSR row
+// p.segs[off : off+n]. A segment with nt >= 0 references that nonterminal
+// index; nt < 0 marks the terminal run plan.runs[run].
 type planProd struct {
-	lhs  int32
-	segs []planSeg
+	lhs int32
+	off int32
+	n   int32
 }
 
 type planSeg struct {
@@ -147,21 +149,23 @@ type planSeg struct {
 
 // NewRelPlan snapshots g's productive productions (per minLens) for
 // repeated relation fixpoints. Plan construction is metered by b at one
-// step per production.
+// step per production. Segments accumulate in one shared CSR slab rather
+// than one heap slice per production.
 func NewRelPlan(g *Grammar, minLens []int64, b *budget.Budget) *RelPlan {
 	p := &RelPlan{n: g.NumNTs()}
 	runIdx := map[string]int32{}
 	var key []byte
-	for i, rules := range g.prods {
+	for i := 0; i < p.n; i++ {
 		if minLens[i] < 0 {
 			continue
 		}
-		for _, rhs := range rules {
+		for pi := 0; pi < g.numProdsAt(i); pi++ {
+			rhs := g.rhsAt(i, pi)
 			b.Step(1)
-			pp := planProd{lhs: int32(i)}
+			off := int32(len(p.segs))
 			for k := 0; k < len(rhs); {
 				if !IsTerminal(rhs[k]) {
-					pp.segs = append(pp.segs, planSeg{nt: int32(rhs[k]) - NumTerminals})
+					p.segs = append(p.segs, planSeg{nt: int32(rhs[k]) - NumTerminals})
 					k++
 					continue
 				}
@@ -177,15 +181,15 @@ func NewRelPlan(g *Grammar, minLens []int64, b *budget.Budget) *RelPlan {
 					runIdx[string(key)] = ri
 					p.runs = append(p.runs, rhs[k:j])
 				}
-				pp.segs = append(pp.segs, planSeg{nt: -1, run: ri})
+				p.segs = append(p.segs, planSeg{nt: -1, run: ri})
 				k = j
 			}
-			p.prods = append(p.prods, pp)
+			p.prods = append(p.prods, planProd{lhs: int32(i), off: off, n: int32(len(p.segs)) - off})
 		}
 	}
 	p.dependents = make([][]int32, p.n)
 	for pi, pp := range p.prods {
-		for _, sg := range pp.segs {
+		for _, sg := range p.prodSegs(pp) {
 			if sg.nt < 0 {
 				continue
 			}
@@ -196,6 +200,10 @@ func NewRelPlan(g *Grammar, minLens []int64, b *budget.Budget) *RelPlan {
 		}
 	}
 	return p
+}
+
+func (p *RelPlan) prodSegs(pp planProd) []planSeg {
+	return p.segs[pp.off : pp.off+pp.n]
 }
 
 // RelsT runs the relation fixpoint for d over the plan's grammar. Each
@@ -283,7 +291,7 @@ func (p *RelPlan) RelsT(d *automata.DFA, b *budget.Budget, sp *obs.Span) [][]uin
 			cur[q] = 1 << q
 		}
 		ok := true
-		for _, sg := range pp.segs {
+		for _, sg := range p.prodSegs(*pp) {
 			if sg.nt < 0 {
 				rm := runMaps[int(sg.run)*nq : (int(sg.run)+1)*nq]
 				for q := 0; q < nq; q++ {

@@ -1,0 +1,156 @@
+package grammar
+
+// Open-addressing hash containers keyed by packed uint64 values. The hot
+// construction loops (Earley recognition, the Figure-7 intersection, grammar
+// compaction) previously deduplicated work items through Go maps keyed by
+// small structs, which costs one runtime map bucket chain per insert; these
+// flat tables cut that to a probe over a power-of-two slice that is reused
+// across sessions. Key 0 is reserved as the empty slot, so callers store
+// key+1 (all packed keys here are < 1<<63).
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// u64set is a set of uint64 keys.
+type u64set struct {
+	tab []uint64
+	n   int
+}
+
+func (s *u64set) reset() {
+	if s.tab == nil {
+		s.tab = make([]uint64, 64)
+	} else {
+		clear(s.tab)
+	}
+	s.n = 0
+}
+
+// add inserts key and reports whether it was absent.
+func (s *u64set) add(key uint64) bool {
+	k := key + 1
+	if k == 0 {
+		k = 1 // fold MaxUint64 onto 0's slot rather than the empty marker
+	}
+	mask := uint64(len(s.tab) - 1)
+	i := mix64(k) & mask
+	for {
+		v := s.tab[i]
+		if v == 0 {
+			s.tab[i] = k
+			s.n++
+			if s.n*2 >= len(s.tab) {
+				s.grow()
+			}
+			return true
+		}
+		if v == k {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *u64set) grow() {
+	old := s.tab
+	s.tab = make([]uint64, len(old)*2)
+	mask := uint64(len(s.tab) - 1)
+	for _, k := range old {
+		if k == 0 {
+			continue
+		}
+		i := mix64(k) & mask
+		for s.tab[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.tab[i] = k
+	}
+}
+
+// u64i32map maps uint64 keys to int32 values.
+type u64i32map struct {
+	keys []uint64
+	vals []int32
+	n    int
+}
+
+func (m *u64i32map) reset() {
+	if m.keys == nil {
+		m.keys = make([]uint64, 64)
+		m.vals = make([]int32, 64)
+	} else {
+		clear(m.keys)
+	}
+	m.n = 0
+}
+
+// get returns the value for key, or -1 when absent.
+func (m *u64i32map) get(key uint64) int32 {
+	k := key + 1
+	if k == 0 {
+		k = 1
+	}
+	mask := uint64(len(m.keys) - 1)
+	i := mix64(k) & mask
+	for {
+		v := m.keys[i]
+		if v == 0 {
+			return -1
+		}
+		if v == k {
+			return m.vals[i]
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// put sets key to val (key must be absent or mapped to the same slot).
+func (m *u64i32map) put(key uint64, val int32) {
+	k := key + 1
+	if k == 0 {
+		k = 1
+	}
+	mask := uint64(len(m.keys) - 1)
+	i := mix64(k) & mask
+	for {
+		v := m.keys[i]
+		if v == 0 {
+			m.keys[i] = k
+			m.vals[i] = val
+			m.n++
+			if m.n*2 >= len(m.keys) {
+				m.grow()
+			}
+			return
+		}
+		if v == k {
+			m.vals[i] = val
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (m *u64i32map) grow() {
+	oldK, oldV := m.keys, m.vals
+	m.keys = make([]uint64, len(oldK)*2)
+	m.vals = make([]int32, len(oldK)*2)
+	mask := uint64(len(m.keys) - 1)
+	for j, k := range oldK {
+		if k == 0 {
+			continue
+		}
+		i := mix64(k) & mask
+		for m.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		m.keys[i] = k
+		m.vals[i] = oldV[j]
+	}
+}

@@ -33,9 +33,8 @@ func permutedCopy(g *grammar.Grammar, root grammar.Sym, seed int64) (*grammar.Gr
 		remap[nt] = nn
 	}
 	for _, nt := range nts {
-		prods := g.Prods(nt)
-		for _, pi := range rng.Perm(len(prods)) {
-			rhs := prods[pi]
+		for _, pi := range rng.Perm(g.NumProdsOf(nt)) {
+			rhs := g.Rhs(nt, pi)
 			nr := make([]grammar.Sym, len(rhs))
 			for k, s := range rhs {
 				if grammar.IsTerminal(s) {
