@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-classes bench-diff bench-mem trace-smoke fuzz-smoke
+.PHONY: build test check bench bench-classes bench-diff bench-mem bench-server trace-smoke fuzz-smoke daemon-smoke
 
 # Each fuzz target gets a short randomized burn beyond its seed corpus.
 FUZZ_TIME ?= 30s
@@ -11,7 +11,8 @@ FUZZ_TARGETS = \
 	FuzzParseCompile:./internal/rx \
 	FuzzAnalyze:./internal/analysis \
 	FuzzIntersect:./internal/grammar \
-	FuzzByteClasses:./internal/rx
+	FuzzByteClasses:./internal/rx \
+	FuzzServerRequest:./internal/server
 
 build:
 	$(GO) build ./...
@@ -74,6 +75,24 @@ bench-mem:
 		| $(GO) run ./cmd/benchjson -o BENCH_mem.json
 	$(GO) run ./cmd/benchdiff -metrics 'B/op:15,allocs/op:10' -o bench-mem-diff.json \
 		BENCH_table1.json BENCH_mem.json
+
+# bench-server measures the daemon's serving throughput: warm HTTP+JSON
+# round trips per second (sync and async, single subjects and a mixed
+# fleet) plus the warm-hit-% custom metric — the fraction of hotspot checks
+# a warm resident server answers from its verdict-cache tiers instead of
+# recomputing. Records to BENCH_server.json; the EXPERIMENTS.md
+# analysis-as-a-service table comes from this file.
+bench-server:
+	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchtime 5x ./internal/server \
+		| $(GO) run ./cmd/benchjson -o BENCH_server.json
+
+# daemon-smoke is the end-to-end service check: start sqlcheckd on a
+# loopback port with a throwaway verdict-cache dir, submit a corpus subject
+# through the real HTTP surface with the library client — sync, then async
+# with polling — and require the known findings plus a warm cache hit on
+# the repeat.
+daemon-smoke:
+	$(GO) run ./cmd/sqlcheckd -smoke -cache-dir "$$(mktemp -d)"
 
 # trace-smoke exercises the observability surface end to end: a -table1 run
 # with a Chrome trace (Perfetto-loadable; CI uploads it as an artifact) and

@@ -13,7 +13,15 @@
 //
 // This package re-exports the high-level entry points; the building blocks
 // live under internal/ (grammar, automata, rx, fst, php, phplib, analysis,
-// policy, sqlgram, deriv, taintcheck, corpus).
+// policy, sqlgram, deriv, taintcheck, corpus, server).
+//
+// Besides the in-process entry points below, the analyzer runs as a
+// service: cmd/sqlcheckd is a resident daemon whose warm caches (verdict
+// memo and disk store, DFA and terminal-run interns, byte-class
+// partitions) amortize across submissions; client.go in this package holds
+// the matching HTTP client (Client, AnalyzeRequest, AnalyzeResponse,
+// JobStatus) and NewServer for embedding the same engine in other
+// processes.
 //
 // Quick start:
 //

@@ -1,0 +1,224 @@
+// Command sqlcheckd serves the analyzer over HTTP+JSON: one resident
+// process whose warm state — the in-memory fingerprint-keyed verdict memo,
+// the persistent verdict store, the process-global DFA/terminal-run interns
+// and byte-class partitions — is shared by every submission, so fleets of
+// CI jobs and IDE clients pay cache hits instead of cold analyses.
+//
+// Usage:
+//
+//	sqlcheckd [-addr localhost:7433] [-workers N] [-queue-depth N]
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/analyze     submit {"sources": {...}, "entries": [...]},
+//	                     block, get findings/degradations/stats JSON
+//	POST /v1/jobs        same body, asynchronous; poll the returned id
+//	GET  /v1/jobs/<id>   progress snapshot / final report (?wait= to
+//	                     long-poll)
+//	GET  /healthz        liveness
+//	GET  /debug/server   queue + tenant + cache counters
+//	GET  /debug/...      expvar, pprof
+//
+// Admission control: -workers analysis workers drain a bounded queue of
+// -queue-depth waiting jobs; a full queue answers 429 with Retry-After.
+// Per-tenant isolation (header X-Sqlciv-Tenant): -tenant-inflight caps each
+// tenant's queued+running jobs, and -tenant-timeout / -tenant-hotspot-
+// timeout / -tenant-max-steps / -tenant-max-mem set the budget ceiling a
+// request's own budget is clamped to — an oversized job degrades its own
+// units to explicit analysis-incomplete findings instead of starving the
+// fleet.
+//
+// Hotspot verdicts persist in the same content-addressed cache the sqlcheck
+// CLI uses (-cache-dir / -no-cache), flushed after every job, so a daemon
+// restart starts warm.
+//
+// -smoke runs the CI self-check: start the server on a loopback port,
+// submit a corpus subject through the real HTTP surface with the library
+// client, and exit 0 only if the known findings come back.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sqlciv"
+	"sqlciv/internal/corpus"
+	"sqlciv/internal/obs"
+	"sqlciv/internal/server"
+	"sqlciv/internal/vcache"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "localhost:7433", "listen address")
+	workers := flag.Int("workers", 2, "analysis worker pool size")
+	queueDepth := flag.Int("queue-depth", 0, "bounded queue depth beyond running jobs (0 = 2x workers)")
+	maxBody := flag.Int64("max-body", 16<<20, "request body cap in bytes")
+	maxParallel := flag.Int("max-request-parallel", 1, "per-job worker cap a request may ask for")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	tenantInflight := flag.Int("tenant-inflight", 8, "per-tenant queued+running job cap (0 = uncapped)")
+	tenantTimeout := flag.Duration("tenant-timeout", 0, "per-tenant whole-run budget ceiling (0 = unlimited)")
+	tenantHotspotTimeout := flag.Duration("tenant-hotspot-timeout", 0, "per-tenant hotspot budget ceiling (0 = unlimited)")
+	tenantMaxSteps := flag.Int64("tenant-max-steps", 0, "per-tenant abstract step ceiling per analysis unit (0 = unlimited)")
+	tenantMaxMem := flag.Int64("tenant-max-mem", 0, "per-tenant estimated memory ceiling per analysis unit (0 = unlimited)")
+	cacheDir := flag.String("cache-dir", "", "persistent verdict-cache directory (default: a sqlciv dir under the user cache dir)")
+	noCache := flag.Bool("no-cache", false, "disable the persistent verdict cache")
+	fsRoot := flag.String("fs-root", "", "allow requests to name resolver roots under this directory (empty = inline sources only)")
+	smoke := flag.Bool("smoke", false, "self-check: serve on a loopback port, submit a corpus app over HTTP, assert its known findings, exit")
+	flag.Parse()
+
+	cfg := server.Config{
+		Workers:            *workers,
+		QueueDepth:         *queueDepth,
+		MaxBodyBytes:       *maxBody,
+		MaxRequestParallel: *maxParallel,
+		RetryAfter:         *retryAfter,
+		FSRootPrefix:       *fsRoot,
+		DefaultTenant: server.Tenant{
+			MaxInFlight: *tenantInflight,
+		},
+		Tracer: obs.New(),
+	}
+	cfg.DefaultTenant.Limits.Timeout = *tenantTimeout
+	cfg.DefaultTenant.Limits.HotspotTimeout = *tenantHotspotTimeout
+	cfg.DefaultTenant.Limits.MaxSteps = *tenantMaxSteps
+	cfg.DefaultTenant.Limits.MaxMemBytes = *tenantMaxMem
+
+	// Persistent verdict cache: on by default; a bad cache directory only
+	// costs warmth, so warn and serve cold.
+	if !*noCache {
+		dir := *cacheDir
+		if dir == "" {
+			d, err := vcache.DefaultDir()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sqlcheckd: verdict cache disabled:", err)
+			}
+			dir = d
+		}
+		if dir != "" {
+			store, err := vcache.Open(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sqlcheckd: verdict cache disabled:", err)
+			} else {
+				cfg.VerdictCache = store
+			}
+		}
+	}
+
+	if *smoke {
+		return runSmoke(cfg)
+	}
+
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlcheckd:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Stats reports the resolved configuration (0 flags fall back to
+	// defaults inside server.New).
+	st := srv.Stats()
+	fmt.Printf("sqlcheckd: listening on http://%s (%d workers, queue depth %d)\n",
+		ln.Addr(), st.Workers, st.QueueDepth)
+
+	// Serve until SIGINT/SIGTERM, then drain: stop accepting, fail queued
+	// jobs, cancel running ones (their units degrade soundly), flush the
+	// verdict store.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "sqlcheckd:", err)
+			return 1
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "sqlcheckd: shutting down")
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shutCtx)
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "sqlcheckd: close:", err)
+		return 1
+	}
+	return 0
+}
+
+// runSmoke is the CI daemon smoke: a real listener, a real client, one
+// corpus subject each way (sync and async), asserting the expected findings
+// census comes back over the wire.
+func runSmoke(cfg server.Config) int {
+	srv := server.New(cfg)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlcheckd: smoke:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	client := sqlciv.NewServiceClient("http://" + ln.Addr().String())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	app := corpus.Utopia()
+	want := app.Expect.DirectReal + app.Expect.DirectFalse + app.Expect.Indirect
+	req := &sqlciv.AnalyzeRequest{Sources: app.Sources, Entries: app.Entries}
+
+	res, err := client.Analyze(ctx, req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlcheckd: smoke: sync analyze:", err)
+		return 1
+	}
+	if len(res.Findings) != want {
+		fmt.Fprintf(os.Stderr, "sqlcheckd: smoke: %s: got %d findings over the wire, want %d\n",
+			app.Name, len(res.Findings), want)
+		return 1
+	}
+
+	st, err := client.SubmitJob(ctx, req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlcheckd: smoke: submit job:", err)
+		return 1
+	}
+	asyncRes, err := client.WaitJob(ctx, st.ID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlcheckd: smoke: wait job:", err)
+		return 1
+	}
+	if len(asyncRes.Findings) != want {
+		fmt.Fprintf(os.Stderr, "sqlcheckd: smoke: async %s: got %d findings, want %d\n",
+			app.Name, len(asyncRes.Findings), want)
+		return 1
+	}
+
+	stats, err := client.ServerStats(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlcheckd: smoke: stats:", err)
+		return 1
+	}
+	fmt.Printf("sqlcheckd: smoke ok: %s served twice (%d findings), memo %d / disk %d hits, warm hit rate %.1f%%\n",
+		app.Name, len(res.Findings), stats.VerdictCacheHits, stats.DiskCacheHits, stats.WarmHitPct)
+	if stats.VerdictCacheHits == 0 && stats.DiskCacheHits == 0 {
+		fmt.Fprintln(os.Stderr, "sqlcheckd: smoke: warm repeat submission hit no verdict cache")
+		return 1
+	}
+	return 0
+}

@@ -65,6 +65,18 @@ type Options struct {
 	// Invalid or stale entries are ignored, never trusted — a bad cache can
 	// cost time, not findings. nil disables persistence.
 	VerdictCache *vcache.Store
+	// Checker, when set, is the policy checker the run executes on instead
+	// of a fresh one — the long-lived-daemon path: a resident checker keeps
+	// its in-memory fingerprint-keyed verdict memo warm across requests, so
+	// repeat submissions of unchanged apps answer from memo hits without
+	// touching disk. The caller owns its configuration (Memoize, Compact,
+	// Disk — VerdictCache is ignored when Checker is set) and may share one
+	// checker across concurrent runs; verdicts are content-addressed, so
+	// sharing can only add cache hits, never change findings. The cache
+	// counters on AppResult are per-run deltas either way, though under
+	// concurrent runs on one shared checker a delta attributes overlapping
+	// traffic to whichever run reads it — observability data, not results.
+	Checker *policy.Checker
 }
 
 // AutoParallel maps the CLI parallelism convention onto the Options one.
@@ -375,9 +387,14 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 	// ---- phase 2: policy cascade per hotspot ---------------------------
 	wall2 := time.Now()
 	p2 := tr.Start("phase", "policy-check")
-	checker := policy.New()
-	checker.Memoize = true
-	checker.Disk = opts.VerdictCache
+	checker := opts.Checker
+	if checker == nil {
+		checker = policy.New()
+		checker.Memoize = true
+		checker.Disk = opts.VerdictCache
+	}
+	verdictHits0, verdictMisses0 := checker.VerdictCacheStats()
+	diskHits0, diskMisses0 := checker.DiskCacheStats()
 	type job struct{ page, slot int }
 	var jobs []job
 	for i := range pages {
@@ -441,8 +458,10 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 	}
 	p2.End()
 	res.CheckWall = time.Since(wall2)
-	res.VerdictCacheHits, res.VerdictCacheMisses = checker.VerdictCacheStats()
-	res.DiskCacheHits, res.DiskCacheMisses = checker.DiskCacheStats()
+	vh, vm := checker.VerdictCacheStats()
+	res.VerdictCacheHits, res.VerdictCacheMisses = vh-verdictHits0, vm-verdictMisses0
+	dh, dm := checker.DiskCacheStats()
+	res.DiskCacheHits, res.DiskCacheMisses = dh-diskHits0, dm-diskMisses0
 	if pc, ok := resolver.(parseCacheStats); ok {
 		h, m := pc.ParseCacheStats()
 		res.ParseCacheHits, res.ParseCacheMisses = h-parseHits0, m-parseMisses0

@@ -1,0 +1,125 @@
+// bench_test.go measures the daemon's serving throughput: full HTTP+JSON
+// round trips through a warm resident server, which is the steady state a
+// fleet of CI clients sees. `make bench-server` records the results (and
+// the warm-hit-rate custom metric) to BENCH_server.json via cmd/benchjson;
+// the EXPERIMENTS.md "analysis as a service" table comes from that file.
+package server_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"sqlciv"
+	"sqlciv/internal/corpus"
+	"sqlciv/internal/server"
+)
+
+// benchService starts a warm server: every benchmark app is analyzed once
+// cold so the measured loop sees only the amortized path.
+func benchService(b *testing.B, apps []*corpus.App) *sqlciv.Client {
+	b.Helper()
+	srv := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	client := sqlciv.NewServiceClient(ts.URL)
+	for _, app := range apps {
+		if _, err := client.Analyze(context.Background(),
+			&sqlciv.AnalyzeRequest{Sources: app.Sources, Entries: app.Entries}); err != nil {
+			b.Fatalf("prewarm %s: %v", app.Name, err)
+		}
+	}
+	return client
+}
+
+// benchServe measures warm round trips for one app and reports the served
+// warm-hit-rate alongside the wall metrics.
+func benchServe(b *testing.B, app *corpus.App, async bool) {
+	client := benchService(b, []*corpus.App{app})
+	ctx := context.Background()
+	req := &sqlciv.AnalyzeRequest{Sources: app.Sources, Entries: app.Entries}
+	before, err := client.ServerStats(ctx)
+	if err != nil {
+		b.Fatalf("stats: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var res *sqlciv.AnalyzeResponse
+		var err error
+		if async {
+			var st *sqlciv.JobStatus
+			if st, err = client.SubmitJob(ctx, req); err == nil {
+				res, err = client.WaitJob(ctx, st.ID)
+			}
+		} else {
+			res, err = client.Analyze(ctx, req)
+		}
+		if err != nil {
+			b.Fatalf("serve %s: %v", app.Name, err)
+		}
+		if len(res.Findings) == 0 {
+			b.Fatalf("%s served no findings", app.Name)
+		}
+	}
+	b.StopTimer()
+	after, err := client.ServerStats(ctx)
+	if err != nil {
+		b.Fatalf("stats: %v", err)
+	}
+	dh := after.DiskCacheHits - before.DiskCacheHits
+	vh := after.VerdictCacheHits - before.VerdictCacheHits
+	vm := after.VerdictCacheMisses - before.VerdictCacheMisses
+	if total := dh + vh + vm; total > 0 {
+		b.ReportMetric(100*float64(dh+vh)/float64(total), "warm-hit-%")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+func BenchmarkServeUtopiaSync(b *testing.B)  { benchServe(b, corpus.Utopia(), false) }
+func BenchmarkServeUtopiaAsync(b *testing.B) { benchServe(b, corpus.Utopia(), true) }
+func BenchmarkServeTigerSync(b *testing.B)   { benchServe(b, corpus.Tiger(), false) }
+func BenchmarkServeEVESync(b *testing.B)     { benchServe(b, corpus.EVE(), false) }
+
+// BenchmarkServeFleet is the mixed-fleet number: RunParallel clients
+// hammering one warm 2-worker server with different apps, the closest
+// benchable analogue of the CI-fleet steady state.
+func BenchmarkServeFleet(b *testing.B) {
+	apps := corpus.Apps()
+	client := benchService(b, apps)
+	before, err := client.ServerStats(context.Background())
+	if err != nil {
+		b.Fatalf("stats: %v", err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		i := 0
+		for pb.Next() {
+			app := apps[i%len(apps)]
+			i++
+			res, err := client.Analyze(ctx,
+				&sqlciv.AnalyzeRequest{Sources: app.Sources, Entries: app.Entries})
+			if err != nil {
+				b.Fatalf("serve %s: %v", app.Name, err)
+			}
+			if res.Files == 0 {
+				b.Fatalf("%s served an empty census", app.Name)
+			}
+		}
+	})
+	b.StopTimer()
+	after, err := client.ServerStats(context.Background())
+	if err != nil {
+		b.Fatalf("stats: %v", err)
+	}
+	dh := after.DiskCacheHits - before.DiskCacheHits
+	vh := after.VerdictCacheHits - before.VerdictCacheHits
+	vm := after.VerdictCacheMisses - before.VerdictCacheMisses
+	if total := dh + vh + vm; total > 0 {
+		b.ReportMetric(100*float64(dh+vh)/float64(total), "warm-hit-%")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}

@@ -1,0 +1,176 @@
+// golden_test.go locks the daemon's wire payloads. The JSON bodies of the
+// analyze response, a degraded response, the error envelope, and a running
+// job's status snapshot are goldens under testdata/; regenerate with
+//
+//	go test ./internal/server -update
+//
+// after an intentional wire change. Volatile values — durations, cache and
+// intern counters (the pools are process-global, so hits depend on what ran
+// earlier in the binary), span ids, and budget step counts — are scrubbed
+// before comparison; everything else drifting is a wire break.
+package server
+
+import (
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sqlciv/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenSources is the same fixture shape the sqlcheck CLI goldens use: one
+// real vulnerability, one sanitized page.
+var goldenSources = map[string]string{
+	"vuln.php": `<?php
+$id = $_GET['id'];
+mysql_query("SELECT * FROM t WHERE name='$id'");
+`,
+	"safe.php": `<?php
+$id = addslashes($_GET['id']);
+mysql_query("SELECT * FROM t WHERE name='$id'");
+`,
+}
+
+// scrubs normalize run-to-run noise in rendered JSON while keeping it valid.
+var (
+	// Volatile numeric fields: wall-clock, cache/intern traffic, budget
+	// meters, arena census, span ids.
+	volatileNumRE = regexp.MustCompile(`"(string_analysis_ms|check_ms|string_analysis_wall_ms|check_wall_ms|` +
+		`verdict_cache_hits|verdict_cache_misses|disk_cache_hits|disk_cache_misses|` +
+		`parse_cache_hits|parse_cache_misses|budget_steps|budget_mem_high|` +
+		`grammar_slab_bytes|intern_hits|intern_misses|elapsed_ms|span_id)": \d+`)
+	// Budget-trip details embed the exact step count at the trip.
+	stepsDetailRE = regexp.MustCompile(`\d+ steps used, limit \d+`)
+)
+
+func scrub(s string) string {
+	s = volatileNumRE.ReplaceAllString(s, `"$1": 0`)
+	s = stepsDetailRE.ReplaceAllString(s, `N steps used, limit N`)
+	return s
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run `go test ./internal/server -update`): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted.\n--- want ---\n%s\n--- got ---\n%s", name, want, got)
+	}
+}
+
+// post runs one request through the daemon's handler and returns the
+// response body.
+func post(t *testing.T, srv *Server, path, body string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+const goldenRequest = `{
+  "sources": {
+    "vuln.php": "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE name='$id'\");\n",
+    "safe.php": "<?php\n$id = addslashes($_GET['id']);\nmysql_query(\"SELECT * FROM t WHERE name='$id'\");\n"
+  },
+  "entries": ["safe.php", "vuln.php"]
+}`
+
+// TestGoldenAnalyzeResponse locks the full sync payload: finding fields
+// (numeric check/label plus derived names), census, and the stats block's
+// key set.
+func TestGoldenAnalyzeResponse(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	code, body := post(t, srv, "/v1/analyze", goldenRequest)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	checkGolden(t, "golden_analyze.json", scrub(body))
+}
+
+// TestGoldenDegradedResponse locks the degraded payload: a one-step budget
+// trips phase 1, so the page degrades to an explicit analysis-incomplete
+// finding plus a degradation record with the budget reason.
+func TestGoldenDegradedResponse(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	req := `{
+  "sources": {
+    "vuln.php": "<?php\n$id = $_GET['id'];\nmysql_query(\"SELECT * FROM t WHERE name='$id'\");\n"
+  },
+  "entries": ["vuln.php"],
+  "budget": {"max_steps": 1}
+}`
+	code, body := post(t, srv, "/v1/analyze", req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if !strings.Contains(body, `"degradations"`) {
+		t.Fatalf("one-step budget did not degrade:\n%s", body)
+	}
+	checkGolden(t, "golden_degraded.json", scrub(body))
+}
+
+// TestGoldenErrorEnvelope locks the structured error shape clients switch
+// on.
+func TestGoldenErrorEnvelope(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	code, body := post(t, srv, "/v1/analyze",
+		`{"sources":{"a.php":"x"},"root":"/also"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", code, body)
+	}
+	checkGolden(t, "golden_error.json", scrub(body))
+}
+
+// TestGoldenJobSnapshot locks the running-job status payload: the job is
+// fabricated with a tracer whose progress gauge is set to known totals, so
+// the snapshot is deterministic (elapsed time is scrubbed).
+func TestGoldenJobSnapshot(t *testing.T) {
+	tr := obs.New()
+	tr.AddPagesTotal(3)
+	tr.PageDone(false)
+	tr.PageDone(true)
+	tr.AddHotspotsTotal(7)
+	tr.HotspotDone(false)
+	tr.HotspotDone(false)
+	tr.HotspotDone(true)
+	tr.AddFindings(2)
+	sp := tr.Start("test", "unit")
+	sp.Count("policy.cascade", 5)
+	sp.End()
+	j := &Job{
+		id:     "j00000042",
+		tenant: DefaultTenantName,
+		phase:  StateRunning,
+		tracer: tr,
+		traced: true,
+	}
+	var sb strings.Builder
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, j.Status())
+	sb.WriteString(rec.Body.String())
+	checkGolden(t, "golden_job_snapshot.json", scrub(sb.String()))
+}

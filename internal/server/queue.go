@@ -1,0 +1,252 @@
+// queue.go is the bounded job queue behind both endpoints. Sync and async
+// submissions travel the same path — a fixed worker pool draining a
+// fixed-capacity channel — so the overload behavior is uniform: when the
+// queue is full the submission is refused immediately with 429 and a
+// Retry-After hint, never buffered without bound. Each job owns a tracer
+// (no sinks, counters + progress only), so GET /v1/jobs/<id> can serve a
+// live obs snapshot of the analysis in flight and the final findings keep
+// span ids that link into it.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/core"
+	"sqlciv/internal/obs"
+	"sqlciv/internal/xss"
+)
+
+// Job is one queued analysis.
+type Job struct {
+	id     string
+	tenant string
+	state  *tenantState
+	req    *Request
+	// tracer observes the run for the progress endpoint; per-job so one
+	// job's counters never mix into another's snapshot.
+	tracer *obs.Tracer
+	// sync jobs skip tracing so their findings are byte-identical to an
+	// untraced library run (span ids are 0); async jobs trace for progress.
+	traced bool
+
+	mu       sync.Mutex
+	phase    string // StateQueued | StateRunning | StateDone | StateFailed
+	result   *Response
+	err      *apiError
+	done     chan struct{}
+	enqueued time.Time
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.phase = StateRunning
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(res *Response, err *apiError) {
+	j.mu.Lock()
+	if err != nil {
+		j.phase, j.err = StateFailed, err
+	} else {
+		j.phase, j.result = StateDone, res
+	}
+	j.mu.Unlock()
+	j.state.release()
+	close(j.done)
+}
+
+// Status renders the job for the wire. While the job runs it carries the
+// tracer's live progress snapshot; once done it carries the final report.
+func (j *Job) Status() *JobStatus {
+	j.mu.Lock()
+	st := &JobStatus{ID: j.id, Tenant: j.tenant, State: j.phase,
+		Result: j.result, Error: j.err.body()}
+	j.mu.Unlock()
+	if st.State == StateRunning && j.traced {
+		snap := j.tracer.Progress()
+		st.Progress = &ProgressSnapshot{
+			ElapsedMS:        snap.ElapsedMS,
+			PagesDone:        snap.PagesDone,
+			PagesTotal:       snap.PagesTotal,
+			PagesDegraded:    snap.PagesDegraded,
+			HotspotsDone:     snap.HotspotsDone,
+			HotspotsTotal:    snap.HotspotsTotal,
+			HotspotsDegraded: snap.HotspotsDegraded,
+			Findings:         snap.Findings,
+			Counters:         snap.Counters,
+		}
+	}
+	return st
+}
+
+func (e *apiError) body() *ErrorBody {
+	if e == nil {
+		return nil
+	}
+	return &ErrorBody{Code: e.code, Message: e.message}
+}
+
+// submit creates a job for req under tenant and enqueues it, enforcing the
+// tenant in-flight cap and the queue bound. traced controls whether the job
+// runs under a per-job tracer (async jobs do; sync jobs stay untraced so
+// their findings match an untraced library run exactly).
+func (s *Server) submit(tenant string, req *Request, traced bool) (*Job, *apiError) {
+	st := s.tenants.get(tenant)
+	if !st.acquire() {
+		return nil, errf(429, CodeTenantLimit,
+			"tenant %q has %d jobs in flight (cap %d)", orDefault(tenant), st.inFlight.Load(), st.cfg.MaxInFlight)
+	}
+	j := &Job{
+		id:       fmt.Sprintf("j%08d", s.nextJob.Add(1)),
+		tenant:   orDefault(tenant),
+		state:    st,
+		req:      req,
+		traced:   traced,
+		phase:    StateQueued,
+		done:     make(chan struct{}),
+		enqueued: time.Now(),
+	}
+	if traced {
+		j.tracer = obs.New()
+	}
+	s.jobsMu.Lock()
+	s.jobs[j.id] = j
+	s.jobsMu.Unlock()
+	s.admitMu.RLock()
+	if s.closed.Load() {
+		s.admitMu.RUnlock()
+		st.release()
+		s.dropJob(j.id)
+		return nil, errf(http.StatusServiceUnavailable, CodeShutdown, "server shutting down")
+	}
+	select {
+	case s.queue <- j:
+		s.admitMu.RUnlock()
+		st.jobs.Add(1)
+		s.submitted.Add(1)
+		return j, nil
+	default:
+		s.admitMu.RUnlock()
+		st.release()
+		s.dropJob(j.id)
+		s.rejectedFull.Add(1)
+		return nil, errf(429, CodeQueueFull,
+			"job queue is full (%d queued, %d workers)", cap(s.queue), s.cfg.Workers)
+	}
+}
+
+func (s *Server) dropJob(id string) {
+	s.jobsMu.Lock()
+	delete(s.jobs, id)
+	s.jobsMu.Unlock()
+}
+
+func orDefault(tenant string) string {
+	if tenant == "" {
+		return DefaultTenantName
+	}
+	return tenant
+}
+
+// worker drains the queue until it closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one analysis under the job's tenant budget and the shared
+// warm checker, then publishes the result.
+func (s *Server) runJob(j *Job) {
+	j.setRunning()
+	res, err := s.analyze(j)
+	if err != nil {
+		s.failed.Add(1)
+		j.finish(nil, err)
+		return
+	}
+	j.state.budgetTrips.Add(int64(res.DegradedHotspots + res.DegradedPages))
+	j.state.findings.Add(int64(len(res.Findings)))
+	s.completed.Add(1)
+	j.finish(res, nil)
+}
+
+// analyze maps a wire request onto the library: resolver, options, tenant
+// budget clamp, the server's shared checker, and — when requested — the XSS
+// audit over the same resolver.
+func (s *Server) analyze(j *Job) (*Response, *apiError) {
+	req := j.req
+	sources := req.Sources
+	if req.Root != "" {
+		loaded, aerr := s.loadRoot(req.Root)
+		if aerr != nil {
+			return nil, aerr
+		}
+		sources = loaded
+	}
+	entries := req.Entries
+	if len(entries) == 0 {
+		entries = guessEntries(sources)
+	}
+	if len(entries) == 0 {
+		return nil, errf(422, CodeBadApp, "no entry pages (no sources, or every file looks like an include)")
+	}
+	parallel := req.Options.Parallel
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > s.cfg.MaxRequestParallel {
+		parallel = s.cfg.MaxRequestParallel
+	}
+	opts := core.Options{
+		Parallel:         parallel,
+		ParallelHotspots: parallel,
+		Budget:           clampLimits(req.Budget.Limits(), j.state.cfg.Limits),
+		Tracer:           j.tracer,
+		Checker:          s.checker,
+	}
+	opts.Analysis.DisableGuardRefinement = req.Options.NoGuardRefinement
+	opts.Analysis.MagicQuotes = req.Options.MagicQuotes
+
+	resolver := analysis.NewMapResolver(sources)
+	res, err := core.AnalyzeAppCtx(s.runCtx, resolver, entries, opts)
+	if err != nil {
+		// AnalyzeAppCtx errors only on genuine input failures (an entry
+		// that cannot be loaded) — the client's fault, structured as such.
+		return nil, errf(422, CodeBadApp, "%v", err)
+	}
+	var xssFindings []xss.Finding
+	if req.Options.XSS {
+		xssFindings, err = xss.Audit(resolver, entries, opts.Analysis)
+		if err != nil {
+			return nil, errf(422, CodeBadApp, "xss audit: %v", err)
+		}
+	}
+	// Make this job's verdicts durable (and visible to future cold starts)
+	// before answering; flush errors cost persistence, never correctness.
+	if s.store != nil {
+		if ferr := s.store.Flush(); ferr != nil {
+			s.flushErrs.Add(1)
+		}
+	}
+	return responseFromResult(res, xssFindings), nil
+}
+
+// await blocks until the job finishes or ctx is done. The job keeps running
+// (and caching) even when the waiter gives up.
+func (j *Job) await(ctx context.Context) (*Response, *apiError) {
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.result, j.err
+	case <-ctx.Done():
+		return nil, errf(499, CodeShutdown, "client went away: %v", ctx.Err())
+	}
+}

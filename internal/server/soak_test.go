@@ -1,0 +1,292 @@
+// soak_test.go hammers one small resident server from many concurrent
+// clients (run it under -race: the Makefile's race target includes this
+// package). Mixed SQL+XSS apps flow through a 2-worker bounded queue from
+// two tenants — one unlimited, one with a deliberately tiny budget ceiling
+// — and the test pins three properties of the daemon under contention:
+//
+//  1. determinism: every served result for an app is DeepEqual to the
+//     in-process reference, no matter which worker ran it or what else was
+//     in flight;
+//  2. isolation: the starved tenant's budget trips never bleed into the
+//     unlimited tenant's runs (budget state is per-request; degraded
+//     verdicts are never cached);
+//  3. amortization: with every app submitted many times, most hotspot
+//     checks answer from the warm verdict-cache tiers.
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sqlciv"
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/budget"
+	"sqlciv/internal/core"
+	"sqlciv/internal/corpus"
+	"sqlciv/internal/server"
+	"sqlciv/internal/xss"
+)
+
+// soakApps are three small mixed SQL+XSS applications: enough hotspots to
+// exercise the checker, small enough that the soak stays fast under -race.
+func soakApps() []*corpus.App {
+	return []*corpus.App{
+		{
+			Name: "soak-guestbook",
+			Sources: map[string]string{"guestbook.php": `<?php
+$name = $_GET['name'];
+$msg = $_POST['message'];
+echo "<h1>Guestbook</h1>";
+echo "<div class='entry'>$name said: $msg</div>";
+mysql_query("INSERT INTO guestbook (name, msg) VALUES ('$name', '$msg')");
+mysql_query("SELECT * FROM guestbook ORDER BY id DESC LIMIT 20");
+`},
+			Entries: []string{"guestbook.php"},
+		},
+		{
+			Name: "soak-profile",
+			Sources: map[string]string{"profile.php": `<?php
+$id = $_GET['id'];
+if (preg_match('/^[0-9]+$/', $id)) {
+  $row = mysql_query("SELECT * FROM users WHERE id = $id");
+  echo "<p>User #$id</p>";
+} else {
+  echo "<p>bad id</p>";
+}
+$bio = $_GET['bio'];
+mysql_query("UPDATE users SET bio = '$bio' WHERE id = $id");
+echo "<textarea name='bio'>$bio</textarea>";
+`},
+			Entries: []string{"profile.php"},
+		},
+		{
+			Name: "soak-search",
+			Sources: map[string]string{"search.php": `<?php
+$q = addslashes($_GET['q']);
+mysql_query("SELECT * FROM posts WHERE body LIKE '%$q%'");
+echo "<p>Results for <b>" . htmlspecialchars($_GET['q']) . "</b></p>";
+$sort = $_GET['sort'];
+mysql_query("SELECT * FROM posts ORDER BY $sort");
+echo "<a href='search.php?sort=$sort'>resort</a>";
+`},
+			Entries: []string{"search.php"},
+		},
+	}
+}
+
+// soakReference is the in-process ground truth for one app: the SQL
+// analysis plus the XSS audit, both unbudgeted and untraced.
+type soakReference struct {
+	app *corpus.App
+	res *core.AppResult
+	xss []xss.Finding
+}
+
+func buildReferences(t *testing.T) []soakReference {
+	t.Helper()
+	var refs []soakReference
+	for _, app := range soakApps() {
+		resolver := analysis.NewMapResolver(app.Sources)
+		res, err := core.AnalyzeAppCtx(context.Background(), resolver, app.Entries, core.Options{})
+		if err != nil {
+			t.Fatalf("reference %s: %v", app.Name, err)
+		}
+		xf, err := xss.Audit(resolver, app.Entries, analysis.Options{})
+		if err != nil {
+			t.Fatalf("reference xss %s: %v", app.Name, err)
+		}
+		if len(res.Findings) == 0 || len(xf) == 0 {
+			t.Fatalf("soak fixture %s is not mixed: %d sql findings, %d xss findings",
+				app.Name, len(res.Findings), len(xf))
+		}
+		refs = append(refs, soakReference{app: app, res: res, xss: xf})
+	}
+	return refs
+}
+
+// checkServed compares one served payload against its reference,
+// tolerating only the async path's trace span ids.
+func checkServed(ref soakReference, got *sqlciv.AnalyzeResponse, async bool) error {
+	rec := got.CoreResult()
+	if async {
+		scrubSpanIDs(rec)
+	}
+	if !reflect.DeepEqual(rec.Findings, ref.res.Findings) {
+		return fmt.Errorf("%s: findings diverged\nserved: %#v\nlocal:  %#v",
+			ref.app.Name, rec.Findings, ref.res.Findings)
+	}
+	if len(rec.Degradations) != 0 || len(ref.res.Degradations) != 0 {
+		if !reflect.DeepEqual(rec.Degradations, ref.res.Degradations) {
+			return fmt.Errorf("%s: degradations diverged", ref.app.Name)
+		}
+	}
+	if len(got.XSS) != len(ref.xss) {
+		return fmt.Errorf("%s: %d served xss findings, want %d", ref.app.Name, len(got.XSS), len(ref.xss))
+	}
+	for i, wf := range got.XSS {
+		if cf := wf.Core(); !reflect.DeepEqual(cf, ref.xss[i]) {
+			return fmt.Errorf("%s: xss finding %d diverged: served %#v, local %#v",
+				ref.app.Name, i, cf, ref.xss[i])
+		}
+	}
+	return nil
+}
+
+// TestSoakConcurrentTenants is the race-mode soak.
+func TestSoakConcurrentTenants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+	const (
+		bigClients   = 4
+		smallClients = 2
+		iters        = 3
+	)
+	refs := buildReferences(t)
+	starved := corpus.EVE() // small corpus subject the starved tenant submits
+
+	_, client := newTestService(t, server.Config{
+		Workers:    2,
+		QueueDepth: 64,
+		Tenants: map[string]server.Tenant{
+			"big":   {},
+			"small": {Limits: budget.Limits{MaxSteps: 50}},
+		},
+	})
+	srvStats := func() *sqlciv.ServerStats {
+		st, err := client.ServerStats(context.Background())
+		if err != nil {
+			t.Fatalf("ServerStats: %v", err)
+		}
+		return st
+	}
+	base := srvStats()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, bigClients*iters*len(refs)+smallClients*iters)
+	smallResults := make([][]*sqlciv.AnalyzeResponse, smallClients)
+
+	// Unlimited tenant: every client loops over all apps, alternating the
+	// sync and async paths, asserting reference equality on every response.
+	for c := 0; c < bigClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			bc := &sqlciv.Client{BaseURL: client.BaseURL, Tenant: "big"}
+			ctx := context.Background()
+			for it := 0; it < iters; it++ {
+				for ai, ref := range refs {
+					req := &sqlciv.AnalyzeRequest{
+						Sources: ref.app.Sources,
+						Entries: ref.app.Entries,
+						Options: sqlciv.AnalyzeRequestOptions{XSS: true},
+					}
+					async := (c+it+ai)%2 == 1
+					var res *sqlciv.AnalyzeResponse
+					var err error
+					if async {
+						var st *sqlciv.JobStatus
+						if st, err = bc.SubmitJob(ctx, req); err == nil {
+							res, err = bc.WaitJob(ctx, st.ID)
+						}
+					} else {
+						res, err = bc.Analyze(ctx, req)
+					}
+					if err != nil {
+						errc <- fmt.Errorf("big client %d %s: %v", c, ref.app.Name, err)
+						continue
+					}
+					if err := checkServed(ref, res, async); err != nil {
+						errc <- fmt.Errorf("big client %d: %w", c, err)
+					}
+				}
+			}
+		}(c)
+	}
+
+	// Starved tenant: repeat submissions of a corpus subject under a
+	// 50-step ceiling. Every run must degrade (never a silent pass), and
+	// repeats must degrade identically (step metering is deterministic).
+	for c := 0; c < smallClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sc := &sqlciv.Client{BaseURL: client.BaseURL, Tenant: "small"}
+			ctx := context.Background()
+			for it := 0; it < iters; it++ {
+				res, err := sc.Analyze(ctx, &sqlciv.AnalyzeRequest{
+					Sources: starved.Sources, Entries: starved.Entries,
+				})
+				if err != nil {
+					errc <- fmt.Errorf("small client %d: %v", c, err)
+					continue
+				}
+				if res.Verified {
+					errc <- fmt.Errorf("small client %d: budget-starved run served as verified", c)
+				}
+				if res.DegradedHotspots == 0 && res.DegradedPages == 0 {
+					errc <- fmt.Errorf("small client %d: 50-step run did not degrade", c)
+				}
+				smallResults[c] = append(smallResults[c], res)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Repeat degradations are deterministic across all small-tenant runs.
+	var first *sqlciv.AnalyzeResponse
+	for c := range smallResults {
+		for _, res := range smallResults[c] {
+			if first == nil {
+				first = res
+				continue
+			}
+			if !reflect.DeepEqual(res.Findings, first.Findings) ||
+				!reflect.DeepEqual(res.Degradations, first.Degradations) {
+				t.Errorf("small tenant degraded runs diverged between repeats")
+			}
+		}
+	}
+
+	st := srvStats()
+	big, small := st.Tenants["big"], st.Tenants["small"]
+	if big.Jobs != bigClients*iters*int64(len(refs)) {
+		t.Errorf("big tenant jobs = %d, want %d", big.Jobs, bigClients*iters*len(refs))
+	}
+	if small.Jobs != smallClients*iters {
+		t.Errorf("small tenant jobs = %d, want %d", small.Jobs, smallClients*iters)
+	}
+	// Isolation: all budget trips belong to the starved tenant.
+	if big.BudgetTrips != 0 {
+		t.Errorf("budget trips bled into the unlimited tenant: %d", big.BudgetTrips)
+	}
+	if small.BudgetTrips == 0 {
+		t.Error("starved tenant recorded no budget trips")
+	}
+	if big.InFlight != 0 || small.InFlight != 0 {
+		t.Errorf("in-flight not drained: big %d, small %d", big.InFlight, small.InFlight)
+	}
+
+	// Amortization: across (clients × iters) repeats of the same apps, the
+	// warm verdict-cache tiers must answer at least half of all hotspot
+	// checks (only the first submission of each app computes).
+	dh := st.DiskCacheHits - base.DiskCacheHits
+	vh := st.VerdictCacheHits - base.VerdictCacheHits
+	vm := st.VerdictCacheMisses - base.VerdictCacheMisses
+	if total := dh + vh + vm; total > 0 {
+		warm := 100 * float64(dh+vh) / float64(total)
+		t.Logf("soak warm hit rate: %.1f%% (disk %d + memo %d of %d checks)", warm, dh, vh, total)
+		if warm < 50 {
+			t.Errorf("soak warm hit rate %.1f%% < 50%%", warm)
+		}
+	} else {
+		t.Error("soak recorded no hotspot checks")
+	}
+}

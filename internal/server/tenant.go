@@ -1,0 +1,169 @@
+// tenant.go isolates clients from each other. Every request runs under a
+// tenant (named by the X-Sqlciv-Tenant header; unnamed requests share the
+// default tenant) with two independent protections:
+//
+//   - an in-flight cap: at most MaxInFlight of the tenant's jobs may be
+//     queued or running at once — submissions past the cap get 429 without
+//     consuming a queue slot, so one abusive client cannot fill the bounded
+//     queue and starve the fleet;
+//   - a budget ceiling: every limit in the tenant's budget.Limits clamps
+//     the request's own budget (effective = min of the two nonzero values),
+//     so an oversized app degrades soundly to analysis-incomplete findings
+//     (VerdictUnknown) inside the tenant's own allowance instead of
+//     monopolizing a worker.
+//
+// Budget state is strictly per-request (each analysis unit meters its own
+// *budget.Budget), so there is no cross-tenant bleed by construction; the
+// soak test asserts it anyway.
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqlciv/internal/budget"
+)
+
+// Tenant configures one client class.
+type Tenant struct {
+	// Limits is the tenant's budget ceiling; the zero value is unlimited.
+	Limits budget.Limits
+	// MaxInFlight caps the tenant's queued+running jobs; 0 means no cap.
+	MaxInFlight int
+}
+
+// TenantStats is one tenant's counter snapshot, served on /debug/server.
+type TenantStats struct {
+	InFlight int64 `json:"in_flight"`
+	// Jobs counts accepted submissions (sync and async).
+	Jobs int64 `json:"jobs"`
+	// Rejected counts submissions refused at the tenant's in-flight cap
+	// (queue-full rejections are server-wide, not charged to a tenant).
+	Rejected int64 `json:"rejected"`
+	// BudgetTrips counts analysis units (pages or hotspots) that degraded
+	// to VerdictUnknown under this tenant's runs.
+	BudgetTrips int64 `json:"budget_trips"`
+	// Findings totals findings returned to this tenant.
+	Findings int64 `json:"findings"`
+}
+
+// tenantState is the live accounting for one tenant.
+type tenantState struct {
+	cfg         Tenant
+	inFlight    atomic.Int64
+	jobs        atomic.Int64
+	rejected    atomic.Int64
+	budgetTrips atomic.Int64
+	findings    atomic.Int64
+}
+
+func (t *tenantState) stats() TenantStats {
+	return TenantStats{
+		InFlight:    t.inFlight.Load(),
+		Jobs:        t.jobs.Load(),
+		Rejected:    t.rejected.Load(),
+		BudgetTrips: t.budgetTrips.Load(),
+		Findings:    t.findings.Load(),
+	}
+}
+
+// tenants is the registry: named tenants come from the server config,
+// unknown names lazily inherit the default tenant's configuration (so each
+// client still gets its own in-flight cap and counters).
+type tenants struct {
+	def Tenant
+	mu  sync.Mutex
+	m   map[string]*tenantState
+}
+
+func newTenants(def Tenant, named map[string]Tenant) *tenants {
+	ts := &tenants{def: def, m: map[string]*tenantState{}}
+	for name, cfg := range named {
+		ts.m[name] = &tenantState{cfg: cfg}
+	}
+	return ts
+}
+
+// DefaultTenantName is the tenant unnamed requests run under.
+const DefaultTenantName = "default"
+
+func (ts *tenants) get(name string) *tenantState {
+	if name == "" {
+		name = DefaultTenantName
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	st, ok := ts.m[name]
+	if !ok {
+		st = &tenantState{cfg: ts.def}
+		ts.m[name] = st
+	}
+	return st
+}
+
+// acquire reserves one in-flight slot, failing when the cap is reached.
+// The matching release runs when the job finishes (or is rejected by the
+// queue after the reservation).
+func (t *tenantState) acquire() bool {
+	if max := t.cfg.MaxInFlight; max > 0 {
+		if t.inFlight.Add(1) > int64(max) {
+			t.inFlight.Add(-1)
+			t.rejected.Add(1)
+			return false
+		}
+	} else {
+		t.inFlight.Add(1)
+	}
+	return true
+}
+
+func (t *tenantState) release() { t.inFlight.Add(-1) }
+
+// snapshot renders every tenant's stats keyed by name.
+func (ts *tenants) snapshot() map[string]TenantStats {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make(map[string]TenantStats, len(ts.m))
+	for name, st := range ts.m {
+		out[name] = st.stats()
+	}
+	return out
+}
+
+// clampLimits combines the request budget with the tenant ceiling: for each
+// limit the effective value is the smaller nonzero one (zero = unlimited on
+// both sides). A tenant can tighten its own requests but never exceed its
+// ceiling.
+func clampLimits(req, ceiling budget.Limits) budget.Limits {
+	return budget.Limits{
+		Timeout:        minNonzeroDur(req.Timeout, ceiling.Timeout),
+		HotspotTimeout: minNonzeroDur(req.HotspotTimeout, ceiling.HotspotTimeout),
+		MaxSteps:       minNonzero(req.MaxSteps, ceiling.MaxSteps),
+		MaxMemBytes:    minNonzero(req.MaxMemBytes, ceiling.MaxMemBytes),
+	}
+}
+
+func minNonzero(a, b int64) int64 {
+	switch {
+	case a == 0:
+		return b
+	case b == 0:
+		return a
+	case a < b:
+		return a
+	}
+	return b
+}
+
+func minNonzeroDur(a, b time.Duration) time.Duration {
+	switch {
+	case a == 0:
+		return b
+	case b == 0:
+		return a
+	case a < b:
+		return a
+	}
+	return b
+}
