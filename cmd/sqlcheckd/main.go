@@ -26,7 +26,9 @@
 // timeout / -tenant-max-steps / -tenant-max-mem set the budget ceiling a
 // request's own budget is clamped to — an oversized job degrades its own
 // units to explicit analysis-incomplete findings instead of starving the
-// fleet.
+// fleet. Async job ids are unguessable and visible only to the submitting
+// tenant; finished reports stay pollable for -job-retention, then are
+// evicted so the id map stays bounded.
 //
 // Hotspot verdicts persist in the same content-addressed cache the sqlcheck
 // CLI uses (-cache-dir / -no-cache), flushed after every job, so a daemon
@@ -67,6 +69,7 @@ func run() int {
 	maxBody := flag.Int64("max-body", 16<<20, "request body cap in bytes")
 	maxParallel := flag.Int("max-request-parallel", 1, "per-job worker cap a request may ask for")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	jobRetention := flag.Duration("job-retention", 5*time.Minute, "how long a finished async job's report stays pollable before eviction")
 	tenantInflight := flag.Int("tenant-inflight", 8, "per-tenant queued+running job cap (0 = uncapped)")
 	tenantTimeout := flag.Duration("tenant-timeout", 0, "per-tenant whole-run budget ceiling (0 = unlimited)")
 	tenantHotspotTimeout := flag.Duration("tenant-hotspot-timeout", 0, "per-tenant hotspot budget ceiling (0 = unlimited)")
@@ -84,6 +87,7 @@ func run() int {
 		MaxBodyBytes:       *maxBody,
 		MaxRequestParallel: *maxParallel,
 		RetryAfter:         *retryAfter,
+		JobRetention:       *jobRetention,
 		FSRootPrefix:       *fsRoot,
 		DefaultTenant: server.Tenant{
 			MaxInFlight: *tenantInflight,

@@ -10,6 +10,7 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
 	"fmt"
 	"net/http"
 	"sync"
@@ -40,6 +41,9 @@ type Job struct {
 	err      *apiError
 	done     chan struct{}
 	enqueued time.Time
+	// doneAt is when the job reached a terminal state; the janitor evicts
+	// the job from the server's map JobRetention after it.
+	doneAt time.Time
 }
 
 func (j *Job) setRunning() {
@@ -55,6 +59,10 @@ func (j *Job) finish(res *Response, err *apiError) {
 	} else {
 		j.phase, j.result = StateDone, res
 	}
+	j.doneAt = time.Now()
+	// The request (sources up to MaxBodyBytes) is dead weight once the job
+	// is terminal; release it even while the status stays pollable.
+	j.req = nil
 	j.mu.Unlock()
 	j.state.release()
 	close(j.done)
@@ -102,7 +110,7 @@ func (s *Server) submit(tenant string, req *Request, traced bool) (*Job, *apiErr
 			"tenant %q has %d jobs in flight (cap %d)", orDefault(tenant), st.inFlight.Load(), st.cfg.MaxInFlight)
 	}
 	j := &Job{
-		id:       fmt.Sprintf("j%08d", s.nextJob.Add(1)),
+		id:       jobID(s.nextJob.Add(1)),
 		tenant:   orDefault(tenant),
 		state:    st,
 		req:      req,
@@ -113,10 +121,13 @@ func (s *Server) submit(tenant string, req *Request, traced bool) (*Job, *apiErr
 	}
 	if traced {
 		j.tracer = obs.New()
+		// Only async jobs are pollable, so only they enter the id map; a
+		// sync submitter holds the *Job directly and nothing is retained
+		// once its handler returns.
+		s.jobsMu.Lock()
+		s.jobs[j.id] = j
+		s.jobsMu.Unlock()
 	}
-	s.jobsMu.Lock()
-	s.jobs[j.id] = j
-	s.jobsMu.Unlock()
 	s.admitMu.RLock()
 	if s.closed.Load() {
 		s.admitMu.RUnlock()
@@ -144,6 +155,56 @@ func (s *Server) dropJob(id string) {
 	s.jobsMu.Lock()
 	delete(s.jobs, id)
 	s.jobsMu.Unlock()
+}
+
+// jobID mints one job id: a monotonic sequence (log-friendly ordering) plus
+// 48 random bits so ids cannot be enumerated — a client that never saw an
+// id cannot poll someone else's job by counting.
+func jobID(seq int64) string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// No entropy means no unguessable id; refuse the submission rather
+		// than mint an enumerable one (recoverMiddleware turns this into a
+		// structured 500).
+		panic(fmt.Sprintf("job id entropy: %v", err))
+	}
+	return fmt.Sprintf("j%08d-%x", seq, b)
+}
+
+// sweepJobs evicts finished jobs that reached a terminal state at or before
+// cutoff. Queued and running jobs are never touched.
+func (s *Server) sweepJobs(cutoff time.Time) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	for id, j := range s.jobs {
+		j.mu.Lock()
+		expired := (j.phase == StateDone || j.phase == StateFailed) && !j.doneAt.After(cutoff)
+		j.mu.Unlock()
+		if expired {
+			delete(s.jobs, id)
+			s.evicted.Add(1)
+		}
+	}
+}
+
+// janitor periodically sweeps finished jobs older than the retention window
+// so the id map cannot grow without bound on a long-running daemon.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	interval := s.cfg.JobRetention / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.runCtx.Done():
+			return
+		case <-t.C:
+			s.sweepJobs(time.Now().Add(-s.cfg.JobRetention))
+		}
+	}
 }
 
 func orDefault(tenant string) string {

@@ -1,0 +1,180 @@
+// retention_test.go pins the daemon's job-lifecycle hygiene: sync jobs are
+// never retained, finished async jobs release their request sources
+// immediately and are evicted from the id map by the retention sweep, job
+// ids are unguessable, polling is tenant-scoped, and filesystem roots
+// cannot escape the allowed prefix through symlinks.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get runs one GET through the daemon's handler with an optional tenant
+// header.
+func get(t *testing.T, srv *Server, path, tenant string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+// submitAndWait posts one async job (optionally under a tenant) and blocks
+// until it reaches a terminal state.
+func submitAndWait(t *testing.T, srv *Server, tenant string) string {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(goldenRequest))
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var st JobStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("submit: decode ack: %v", err)
+	}
+	srv.jobsMu.Lock()
+	j := srv.jobs[st.ID]
+	srv.jobsMu.Unlock()
+	if j == nil {
+		t.Fatalf("submitted job %q not in the id map", st.ID)
+	}
+	select {
+	case <-j.done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish", st.ID)
+	}
+	return st.ID
+}
+
+// TestSyncJobsNotRetained: the synchronous path never parks anything in the
+// id map — nothing to evict, nothing to leak.
+func TestSyncJobsNotRetained(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	code, body := post(t, srv, "/v1/analyze", goldenRequest)
+	if code != http.StatusOK {
+		t.Fatalf("analyze: status %d: %s", code, body)
+	}
+	if st := srv.Stats(); st.JobsRetained != 0 {
+		t.Errorf("sync analyze retained %d jobs, want 0", st.JobsRetained)
+	}
+}
+
+// TestFinishedJobReleasedAndEvicted: a finished async job drops its request
+// (the retained status must not pin the submitted sources) and the
+// retention sweep removes it from the map, after which polling 404s.
+func TestFinishedJobReleasedAndEvicted(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	id := submitAndWait(t, srv, "")
+
+	srv.jobsMu.Lock()
+	j := srv.jobs[id]
+	srv.jobsMu.Unlock()
+	j.mu.Lock()
+	phase, req := j.phase, j.req
+	j.mu.Unlock()
+	if phase != StateDone {
+		t.Fatalf("job state %q, want done", phase)
+	}
+	if req != nil {
+		t.Error("finished job still holds its request sources")
+	}
+
+	// Still pollable inside the retention window.
+	if code, body := get(t, srv, "/v1/jobs/"+id, ""); code != http.StatusOK {
+		t.Fatalf("poll before sweep: status %d: %s", code, body)
+	}
+	// A sweep with a cutoff in the future evicts everything terminal.
+	srv.sweepJobs(time.Now().Add(time.Hour))
+	st := srv.Stats()
+	if st.JobsRetained != 0 || st.JobsEvicted == 0 {
+		t.Errorf("after sweep: retained %d evicted %d, want 0 and >0", st.JobsRetained, st.JobsEvicted)
+	}
+	if code, _ := get(t, srv, "/v1/jobs/"+id, ""); code != http.StatusNotFound {
+		t.Errorf("poll after sweep: status %d, want 404", code)
+	}
+}
+
+// TestJobTenantScoped: only the submitting tenant can read a job; everyone
+// else gets the unknown-id 404, and the id itself carries entropy so other
+// tenants' ids cannot be enumerated.
+func TestJobTenantScoped(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	id := submitAndWait(t, srv, "alpha")
+
+	if !regexp.MustCompile(`^j\d{8}-[0-9a-f]{12}$`).MatchString(id) {
+		t.Errorf("job id %q carries no random suffix", id)
+	}
+	if code, body := get(t, srv, "/v1/jobs/"+id, "alpha"); code != http.StatusOK {
+		t.Fatalf("owner poll: status %d: %s", code, body)
+	}
+	for _, tenant := range []string{"", "beta"} {
+		code, body := get(t, srv, "/v1/jobs/"+id, tenant)
+		if code != http.StatusNotFound {
+			t.Errorf("tenant %q read another tenant's job: status %d: %s", tenant, code, body)
+		}
+		if strings.Contains(body, StateDone) || strings.Contains(body, "findings") {
+			t.Errorf("tenant %q 404 leaked job contents: %s", tenant, body)
+		}
+	}
+}
+
+// TestLoadRootSymlinkEscape: a symlinked directory under the allowed prefix
+// must not grant access outside it, and symlinked .php files inside a legal
+// root are skipped rather than followed.
+func TestLoadRootSymlinkEscape(t *testing.T) {
+	outside := t.TempDir()
+	if err := os.WriteFile(filepath.Join(outside, "secret.php"), []byte("<?php // secret"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prefix := t.TempDir()
+	appDir := filepath.Join(prefix, "app")
+	if err := os.Mkdir(appDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(appDir, "ok.php"), []byte("<?php // ok"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Symlink(outside, filepath.Join(prefix, "escape")); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	if err := os.Symlink(filepath.Join(outside, "secret.php"), filepath.Join(appDir, "leak.php")); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New(Config{Workers: 1, FSRootPrefix: prefix})
+	defer srv.Close()
+
+	// The symlinked directory resolves outside the prefix: denied.
+	if _, aerr := srv.loadRoot(filepath.Join(prefix, "escape")); aerr == nil || aerr.code != CodeRootDenied {
+		t.Errorf("symlinked root escaped the prefix: %v", aerr)
+	}
+	// A legal root loads, but the symlinked file inside it is skipped.
+	sources, aerr := srv.loadRoot(appDir)
+	if aerr != nil {
+		t.Fatalf("loadRoot(%s): %v", appDir, aerr)
+	}
+	if _, ok := sources["ok.php"]; !ok {
+		t.Errorf("regular file missing from loaded root: %v", sources)
+	}
+	if _, ok := sources["leak.php"]; ok {
+		t.Error("symlinked .php file was followed out of the root")
+	}
+}

@@ -12,7 +12,10 @@
 //	                     job id immediately
 //	GET  /v1/jobs/<id>   job status: live obs progress snapshot while it
 //	                     runs (?wait=DURATION long-polls for completion),
-//	                     the final report when done
+//	                     the final report when done. Ids are unguessable
+//	                     and visible only to the submitting tenant; a
+//	                     finished report stays pollable for JobRetention,
+//	                     then the janitor evicts it
 //	GET  /healthz        liveness probe
 //	GET  /debug/server   queue depth, per-tenant budget trips, verdict-
 //	                     cache hit rates, arena/intern census
@@ -62,6 +65,10 @@ type Config struct {
 	MaxRequestParallel int
 	// RetryAfter is the Retry-After hint on 429 responses (default 1s).
 	RetryAfter time.Duration
+	// JobRetention is how long a finished async job's status (and final
+	// report) stays pollable before the janitor evicts it (default 5m).
+	// Without eviction every completed job would accumulate forever.
+	JobRetention time.Duration
 	// DefaultTenant configures unnamed and unknown tenants.
 	DefaultTenant Tenant
 	// Tenants configures named tenants (header X-Sqlciv-Tenant).
@@ -94,6 +101,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 5 * time.Minute
+	}
 	if c.Tracer == nil {
 		c.Tracer = obs.New()
 	}
@@ -105,10 +115,14 @@ type StatsSnapshot struct {
 	Workers    int `json:"workers"`
 	QueueDepth int `json:"queue_depth"`
 	// QueueLen is the current number of jobs waiting (not yet running).
-	QueueLen          int   `json:"queue_len"`
-	JobsSubmitted     int64 `json:"jobs_submitted"`
-	JobsCompleted     int64 `json:"jobs_completed"`
-	JobsFailed        int64 `json:"jobs_failed"`
+	QueueLen      int   `json:"queue_len"`
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	// JobsRetained is the current size of the pollable async-job map;
+	// JobsEvicted counts finished jobs the retention janitor swept.
+	JobsRetained      int   `json:"jobs_retained"`
+	JobsEvicted       int64 `json:"jobs_evicted"`
 	RejectedQueueFull int64 `json:"rejected_queue_full"`
 	FlushErrors       int64 `json:"flush_errors,omitempty"`
 	// VerdictCacheHits/Misses is the in-memory memo tier; DiskCacheHits/
@@ -154,6 +168,7 @@ type Server struct {
 	submitted    atomic.Int64
 	completed    atomic.Int64
 	failed       atomic.Int64
+	evicted      atomic.Int64
 	rejectedFull atomic.Int64
 	flushErrs    atomic.Int64
 	closed       atomic.Bool
@@ -177,10 +192,11 @@ func New(cfg Config) *Server {
 		runCtx:  ctx,
 		stopRun: cancel,
 	}
-	s.wg.Add(cfg.Workers)
+	s.wg.Add(cfg.Workers + 1)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
+	go s.janitor()
 	return s
 }
 
@@ -220,6 +236,9 @@ func (s *Server) Stats() StatsSnapshot {
 		hitPct = 100 * float64(dh+vh) / float64(dh+vh+vm)
 	}
 	arena := grammar.ArenaStatsSnapshot()
+	s.jobsMu.Lock()
+	retained := len(s.jobs)
+	s.jobsMu.Unlock()
 	return StatsSnapshot{
 		Workers:            s.cfg.Workers,
 		QueueDepth:         s.cfg.QueueDepth,
@@ -227,6 +246,8 @@ func (s *Server) Stats() StatsSnapshot {
 		JobsSubmitted:      s.submitted.Load(),
 		JobsCompleted:      s.completed.Load(),
 		JobsFailed:         s.failed.Load(),
+		JobsRetained:       retained,
+		JobsEvicted:        s.evicted.Load(),
 		RejectedQueueFull:  s.rejectedFull.Load(),
 		FlushErrors:        s.flushErrs.Load(),
 		VerdictCacheHits:   vh,
@@ -334,13 +355,16 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 
 // handleJob serves one job's status. ?wait=DURATION long-polls: the
 // response is sent as soon as the job completes or the wait elapses,
-// whichever is first.
+// whichever is first. A job is visible only to the tenant that submitted
+// it; any other tenant gets the same 404 as an unknown id, so neither the
+// job's contents nor its existence leaks across tenants.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
 	s.jobsMu.Lock()
-	j, ok := s.jobs[r.PathValue("id")]
+	j, ok := s.jobs[id]
 	s.jobsMu.Unlock()
-	if !ok {
-		s.writeError(w, errf(http.StatusNotFound, CodeNotFound, "no such job: %s", r.PathValue("id")))
+	if !ok || j.tenant != orDefault(r.Header.Get(TenantHeader)) {
+		s.writeError(w, errf(http.StatusNotFound, CodeNotFound, "no such job: %s", id))
 		return
 	}
 	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
@@ -368,13 +392,23 @@ func (s *Server) loadRoot(root string) (map[string]string, *apiError) {
 	if s.cfg.FSRootPrefix == "" {
 		return nil, errf(http.StatusForbidden, CodeRootDenied, "filesystem roots are disabled")
 	}
+	// Resolve symlinks on both sides before the containment check: a
+	// symlinked directory under the prefix must not reach outside it, and
+	// a prefix that is itself behind a symlink must still match.
+	prefix, err := filepath.Abs(s.cfg.FSRootPrefix)
+	if err == nil {
+		prefix, err = filepath.EvalSymlinks(prefix)
+	}
+	if err != nil {
+		return nil, errf(http.StatusInternalServerError, CodeInternal, "bad root prefix: %v", err)
+	}
 	abs, err := filepath.Abs(root)
 	if err != nil {
 		return nil, errf(http.StatusBadRequest, CodeBadRequest, "bad root: %v", err)
 	}
-	prefix, err := filepath.Abs(s.cfg.FSRootPrefix)
+	abs, err = filepath.EvalSymlinks(abs)
 	if err != nil {
-		return nil, errf(http.StatusInternalServerError, CodeInternal, "bad root prefix: %v", err)
+		return nil, errf(http.StatusUnprocessableEntity, CodeBadApp, "root %q: %v", root, err)
 	}
 	if abs != prefix && !strings.HasPrefix(abs, prefix+string(filepath.Separator)) {
 		return nil, errf(http.StatusForbidden, CodeRootDenied, "root %q is outside the allowed prefix", root)
@@ -383,6 +417,11 @@ func (s *Server) loadRoot(root string) (map[string]string, *apiError) {
 	walkErr := filepath.Walk(abs, func(path string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".php") {
 			return err
+		}
+		// A symlinked .php file could point anywhere (ReadFile follows
+		// links); only regular files under the resolved root are served.
+		if info.Mode()&os.ModeSymlink != 0 {
+			return nil
 		}
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -405,7 +444,7 @@ func (s *Server) loadRoot(root string) (map[string]string, *apiError) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
-	if e.status == http.StatusTooManyRequests || e.status == 429 {
+	if e.status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.5)))
 	}
 	status := e.status
