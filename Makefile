@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-classes bench-diff bench-mem bench-server trace-smoke fuzz-smoke daemon-smoke
+.PHONY: build test check bench bench-classes bench-diff bench-mem bench-server trace-smoke fuzz-smoke daemon-smoke metrics-smoke
 
 # Each fuzz target gets a short randomized burn beyond its seed corpus.
 FUZZ_TIME ?= 30s
@@ -78,10 +78,13 @@ bench-mem:
 
 # bench-server measures the daemon's serving throughput: warm HTTP+JSON
 # round trips per second (sync and async, single subjects and a mixed
-# fleet) plus the warm-hit-% custom metric — the fraction of hotspot checks
-# a warm resident server answers from its verdict-cache tiers instead of
-# recomputing. Records to BENCH_server.json; the EXPERIMENTS.md
-# analysis-as-a-service table comes from this file.
+# fleet) plus custom metrics — warm-hit-% (the fraction of hotspot checks a
+# warm resident server answers from its verdict-cache tiers instead of
+# recomputing) and p99-ms (the server's own request-latency histogram over
+# /v1/analyze). Each run also prints a "benchsnap" line carrying the full
+# served metrics snapshot, which benchjson records under "snapshots".
+# Records to BENCH_server.json; the EXPERIMENTS.md analysis-as-a-service
+# table comes from this file.
 bench-server:
 	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchtime 5x ./internal/server \
 		| $(GO) run ./cmd/benchjson -o BENCH_server.json
@@ -93,6 +96,14 @@ bench-server:
 # the repeat.
 daemon-smoke:
 	$(GO) run ./cmd/sqlcheckd -smoke -cache-dir "$$(mktemp -d)"
+
+# metrics-smoke is the end-to-end telemetry check: boot sqlcheckd on a
+# loopback port, serve one healthy and one budget-starved (degraded)
+# analyze, then require that /metrics parses as strict Prometheus text with
+# every core series family present and that the degraded request's full
+# span trace is still retrievable from /debug/flight after the fact.
+metrics-smoke:
+	$(GO) run ./cmd/sqlcheckd -metrics-smoke
 
 # trace-smoke exercises the observability surface end to end: a -table1 run
 # with a Chrome trace (Perfetto-loadable; CI uploads it as an artifact) and

@@ -12,6 +12,15 @@
 // values such as grammar-V, verdict-cache-hit-pct, or the alphabet
 // compression census — dfas, dfa-states, dfa-classes, slab-B, and
 // class-memo-hit-pct) keyed by unit.
+//
+// Benchmarks can also attach whole JSON snapshots to the document: a stdin
+// line of the form
+//
+//	benchsnap <name> <compact-json>
+//
+// lands verbatim under "snapshots" keyed by name. The server benchmarks use
+// this to record the daemon's full /metrics state (Server.MetricsSnapshot)
+// next to the req/s numbers it produced.
 package main
 
 import (
@@ -31,9 +40,10 @@ type record struct {
 }
 
 type document struct {
-	Command    string   `json:"command"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []record `json:"benchmarks"`
+	Command    string                     `json:"command"`
+	CPU        string                     `json:"cpu,omitempty"`
+	Benchmarks []record                   `json:"benchmarks"`
+	Snapshots  map[string]json.RawMessage `json:"snapshots,omitempty"`
 }
 
 func main() {
@@ -51,6 +61,13 @@ func main() {
 		fmt.Println(line)
 		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
 			doc.CPU = v
+		}
+		if name, raw, ok := parseSnapLine(line); ok {
+			if doc.Snapshots == nil {
+				doc.Snapshots = map[string]json.RawMessage{}
+			}
+			doc.Snapshots[name] = raw
+			continue
 		}
 		if rec, ok := parseBenchLine(line); ok {
 			doc.Benchmarks = append(doc.Benchmarks, rec)
@@ -74,6 +91,25 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parseSnapLine parses one "benchsnap <name> <compact-json>" line. The JSON
+// payload must be valid; malformed payloads are dropped with a warning
+// rather than corrupting the output document.
+func parseSnapLine(line string) (string, json.RawMessage, bool) {
+	rest, ok := strings.CutPrefix(line, "benchsnap ")
+	if !ok {
+		return "", nil, false
+	}
+	name, payload, ok := strings.Cut(strings.TrimSpace(rest), " ")
+	if !ok || name == "" {
+		return "", nil, false
+	}
+	if !json.Valid([]byte(payload)) {
+		fmt.Fprintf(os.Stderr, "benchjson: dropping malformed snapshot %q\n", name)
+		return "", nil, false
+	}
+	return name, json.RawMessage(payload), true
 }
 
 // parseBenchLine parses one "BenchmarkName-P  N  value unit  value unit ..."

@@ -16,8 +16,20 @@
 //	GET  /v1/jobs/<id>   progress snapshot / final report (?wait= to
 //	                     long-poll)
 //	GET  /healthz        liveness
+//	GET  /metrics        Prometheus text exposition: RED metrics per
+//	                     endpoint, queue/admission, verdict-cache tiers,
+//	                     degradations by cause, go runtime
 //	GET  /debug/server   queue + tenant + cache counters
+//	GET  /debug/flight   flight recorder: recent request summaries plus
+//	                     the retained span traces of degraded/errored/
+//	                     SLO-breaching requests (?id= for one full trace)
 //	GET  /debug/...      expvar, pprof
+//
+// Observability: -slo-ms sets the latency objective (breaches are counted
+// in sqlcheckd_slo_breaches_total and promote the request's trace into the
+// flight recorder); -access-log PATH writes one JSON audit line per
+// finished request and async job ("-" = stderr). -metrics-smoke is the CI
+// self-check for this surface.
 //
 // Admission control: -workers analysis workers drain a bounded queue of
 // -queue-depth waiting jobs; a full queue answers 429 with Retry-After.
@@ -41,9 +53,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -54,6 +68,7 @@ import (
 	"sqlciv"
 	"sqlciv/internal/corpus"
 	"sqlciv/internal/obs"
+	"sqlciv/internal/obs/metrics"
 	"sqlciv/internal/server"
 	"sqlciv/internal/vcache"
 )
@@ -78,7 +93,10 @@ func run() int {
 	cacheDir := flag.String("cache-dir", "", "persistent verdict-cache directory (default: a sqlciv dir under the user cache dir)")
 	noCache := flag.Bool("no-cache", false, "disable the persistent verdict cache")
 	fsRoot := flag.String("fs-root", "", "allow requests to name resolver roots under this directory (empty = inline sources only)")
+	sloMS := flag.Int64("slo-ms", 0, "request latency SLO in milliseconds; breaches are counted and their traces retained by the flight recorder (0 = disabled)")
+	accessLog := flag.String("access-log", "", "write one JSON audit line per request/job to this file (\"-\" = stderr)")
 	smoke := flag.Bool("smoke", false, "self-check: serve on a loopback port, submit a corpus app over HTTP, assert its known findings, exit")
+	metricsSmoke := flag.Bool("metrics-smoke", false, "self-check: serve on a loopback port, drive one healthy and one degraded request, assert /metrics parses with the required series and /debug/flight retained the degraded trace, exit")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -89,10 +107,24 @@ func run() int {
 		RetryAfter:         *retryAfter,
 		JobRetention:       *jobRetention,
 		FSRootPrefix:       *fsRoot,
+		SLO:                time.Duration(*sloMS) * time.Millisecond,
 		DefaultTenant: server.Tenant{
 			MaxInFlight: *tenantInflight,
 		},
 		Tracer: obs.New(),
+	}
+	if *accessLog != "" {
+		if *accessLog == "-" {
+			cfg.AuditLog = os.Stderr
+		} else {
+			f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sqlcheckd: access log:", err)
+				return 1
+			}
+			defer f.Close()
+			cfg.AuditLog = f
+		}
 	}
 	cfg.DefaultTenant.Limits.Timeout = *tenantTimeout
 	cfg.DefaultTenant.Limits.HotspotTimeout = *tenantHotspotTimeout
@@ -122,6 +154,9 @@ func run() int {
 
 	if *smoke {
 		return runSmoke(cfg)
+	}
+	if *metricsSmoke {
+		return runMetricsSmoke(cfg)
 	}
 
 	srv := server.New(cfg)
@@ -225,4 +260,147 @@ func runSmoke(cfg server.Config) int {
 		return 1
 	}
 	return 0
+}
+
+// runMetricsSmoke is the CI telemetry self-check: boot the daemon on a
+// loopback port, drive one healthy analyze and one that degrades under a
+// one-step budget, then assert GET /metrics serves strictly parseable
+// Prometheus text covering the request/queue/cache/degradation/runtime
+// series, and that GET /debug/flight retained the degraded request's span
+// trace.
+func runMetricsSmoke(cfg server.Config) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "sqlcheckd: metrics-smoke: "+format+"\n", args...)
+		return 1
+	}
+	// The telemetry smoke must not depend on (or warm) the shared on-disk
+	// cache, and it needs degradations: a fresh in-memory-only server.
+	cfg.VerdictCache = nil
+	srv := server.New(cfg)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail("%v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	base := "http://" + ln.Addr().String()
+	client := sqlciv.NewServiceClient(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	app := corpus.Utopia()
+	req := &sqlciv.AnalyzeRequest{Sources: app.Sources, Entries: app.Entries}
+	if _, err := client.Analyze(ctx, req); err != nil {
+		return fail("healthy analyze: %v", err)
+	}
+	degradedReq := &sqlciv.AnalyzeRequest{
+		Sources: app.Sources, Entries: app.Entries,
+		Budget: sqlciv.AnalyzeRequestBudget{MaxSteps: 1},
+	}
+	degRes, err := client.Analyze(ctx, degradedReq)
+	if err != nil {
+		return fail("degraded analyze: %v", err)
+	}
+	if degRes.DegradedHotspots+degRes.DegradedPages == 0 {
+		return fail("one-step budget did not degrade anything")
+	}
+
+	// /metrics must parse strictly and cover every required family.
+	body, err := httpGet(ctx, base+"/metrics")
+	if err != nil {
+		return fail("GET /metrics: %v", err)
+	}
+	names, err := metrics.ValidateExposition(body)
+	if err != nil {
+		return fail("exposition does not parse: %v", err)
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	required := []string{
+		"sqlcheckd_requests_total",
+		"sqlcheckd_request_seconds",
+		"sqlcheckd_queue_len",
+		"sqlcheckd_queue_capacity",
+		"sqlcheckd_jobs_submitted_total",
+		"sqlciv_hotspots_checked_total",
+		"sqlciv_verdict_memo_hits_total",
+		"sqlciv_verdict_cache_warm_pct",
+		"sqlciv_degradations_total",
+		"sqlciv_findings_total",
+		"sqlciv_analysis_seconds",
+		"go_goroutines",
+		"go_heap_alloc_bytes",
+	}
+	for _, want := range required {
+		if !have[want] {
+			return fail("/metrics is missing series %s", want)
+		}
+	}
+
+	// The degraded request's full span trace must be retrievable after the
+	// fact from the flight recorder.
+	flightBody, err := httpGet(ctx, base+"/debug/flight")
+	if err != nil {
+		return fail("GET /debug/flight: %v", err)
+	}
+	var flight struct {
+		Retained []struct {
+			ID       string `json:"id"`
+			Degraded bool   `json:"degraded"`
+		} `json:"retained"`
+	}
+	if err := json.Unmarshal(flightBody, &flight); err != nil {
+		return fail("flight snapshot: %v", err)
+	}
+	var degradedID string
+	for _, e := range flight.Retained {
+		if e.Degraded {
+			degradedID = e.ID
+		}
+	}
+	if degradedID == "" {
+		return fail("flight recorder retained no degraded entry: %s", flightBody)
+	}
+	entryBody, err := httpGet(ctx, base+"/debug/flight?id="+degradedID)
+	if err != nil {
+		return fail("GET /debug/flight?id=%s: %v", degradedID, err)
+	}
+	var entry struct {
+		Trace []json.RawMessage `json:"trace"`
+	}
+	if err := json.Unmarshal(entryBody, &entry); err != nil {
+		return fail("flight entry: %v", err)
+	}
+	if len(entry.Trace) == 0 {
+		return fail("retained entry %s has no span trace", degradedID)
+	}
+
+	fmt.Printf("sqlcheckd: metrics-smoke ok: %d series parse, degraded request %s retained %d span events\n",
+		len(names), degradedID, len(entry.Trace))
+	return 0
+}
+
+func httpGet(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, body)
+	}
+	return body, nil
 }

@@ -282,6 +282,30 @@ func (r *AppResult) IncompleteFindings() int {
 // Theorem 3.4 it is then free of SQLCIVs relative to the modeled subset.
 func (r *AppResult) Verified() bool { return len(r.Findings) == 0 }
 
+// HotspotsChecked counts the hotspot checks that ran across all pages
+// (degraded ones included — a cut-short check still ran).
+func (r *AppResult) HotspotsChecked() int {
+	n := 0
+	for _, p := range r.Pages {
+		n += len(p.Hotspots)
+	}
+	return n
+}
+
+// DegradationsByReason buckets the run's degradations by budget reason
+// (e.g. "steps", "wall", "mem", "panic"), the shape metrics exporters want.
+// Returns nil for a clean run.
+func (r *AppResult) DegradationsByReason() map[string]int {
+	if len(r.Degradations) == 0 {
+		return nil
+	}
+	out := make(map[string]int, 4)
+	for _, d := range r.Degradations {
+		out[d.Reason.String()]++
+	}
+	return out
+}
+
 // AnalyzeApp analyzes every entry page of an application. Each entry is
 // analyzed independently (PHP's execution model: every page is its own
 // program), with includes resolved through the resolver; findings are

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimeSampler is the daemon's runtime watchdog: a ticker goroutine that
+// samples goroutine count, heap, and GC state into gauges, so a scrape sees
+// fresh-enough process health without paying runtime.ReadMemStats (a
+// stop-the-world) on every request to /metrics.
+type RuntimeSampler struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartRuntime registers the go_* runtime series on r and starts sampling
+// them every interval (default 5 s when ≤ 0). One immediate sample runs
+// before returning so a scrape right after startup sees live values.
+func StartRuntime(r *Registry, interval time.Duration) *RuntimeSampler {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	goroutines := r.Gauge("go_goroutines",
+		"Number of live goroutines (sampled by the runtime watchdog).")
+	heapAlloc := r.Gauge("go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.")
+	heapSys := r.Gauge("go_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS.")
+	gcCycles := r.Gauge("go_gc_cycles_total",
+		"Completed GC cycles (monotonic; exported as a sampled gauge).")
+	gcPause := r.Gauge("go_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause seconds (monotonic; sampled).")
+	lastGC := r.Gauge("go_last_gc_seconds",
+		"Seconds since the last completed GC cycle (0 before the first).")
+
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapSys.Set(float64(ms.HeapSys))
+		gcCycles.Set(float64(ms.NumGC))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		if ms.LastGC > 0 {
+			lastGC.Set(time.Since(time.Unix(0, int64(ms.LastGC))).Seconds())
+		}
+	}
+	sample()
+
+	s := &RuntimeSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	return s
+}
+
+// Stop ends the sampling goroutine and waits for it to exit.
+func (s *RuntimeSampler) Stop() {
+	close(s.stop)
+	<-s.done
+}

@@ -1,0 +1,69 @@
+package obs
+
+import "sync"
+
+// RingSink is a bounded in-memory trace sink: it keeps the most recent N
+// span events and drops the oldest beyond that, counting what it dropped.
+// It is the capture substrate of the daemon's flight recorder — every
+// request records its spans into a per-job ring, and only the rings of
+// requests that degraded, errored, or breached the latency SLO are retained
+// afterwards, so "trace everything, keep only the bad ones" costs a fixed
+// amount of memory per request in flight.
+//
+// Emit is called under the tracer's lock (the Sink contract); Events and
+// Dropped may be called concurrently from other goroutines, so the ring
+// carries its own mutex.
+type RingSink struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+	dropped int64
+}
+
+// NewRingSink returns a ring keeping the latest capacity events
+// (default 4096 when capacity ≤ 0).
+func NewRingSink(capacity int) *RingSink {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &RingSink{buf: make([]Event, 0, capacity)}
+}
+
+// Emit implements Sink.
+func (s *RingSink) Emit(e *Event) {
+	s.mu.Lock()
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, *e)
+	} else {
+		s.buf[s.next] = *e
+		s.next = (s.next + 1) % cap(s.buf)
+		s.full = true
+		s.dropped++
+	}
+	s.mu.Unlock()
+}
+
+// Close implements Sink (no-op; the ring owns no resources).
+func (s *RingSink) Close() error { return nil }
+
+// Events returns the retained events oldest-first, as a copy.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, 0, len(s.buf))
+	if s.full {
+		out = append(out, s.buf[s.next:]...)
+		out = append(out, s.buf[:s.next]...)
+	} else {
+		out = append(out, s.buf...)
+	}
+	return out
+}
+
+// Dropped returns how many events were evicted to stay within capacity.
+func (s *RingSink) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}

@@ -194,6 +194,7 @@ type Checker struct {
 	cacheMisses atomic.Int64
 	diskHits    atomic.Int64
 	diskMisses  atomic.Int64
+	checks      atomic.Int64
 
 	oddQuotes  *automata.DFA
 	unescQuote *automata.DFA
@@ -216,6 +217,10 @@ func (c *Checker) VerdictCacheStats() (hits, misses int64) {
 func (c *Checker) DiskCacheStats() (hits, misses int64) {
 	return c.diskHits.Load(), c.diskMisses.Load()
 }
+
+// ChecksRun returns how many hotspot checks this checker has executed
+// (cache hits included — every CheckSlice call counts one).
+func (c *Checker) ChecksRun() int64 { return c.checks.Load() }
 
 type attackDFA struct {
 	name string
@@ -682,6 +687,7 @@ func (c *Checker) CheckSlice(s *Slice, b *budget.Budget, sp *obs.Span) (res *Res
 // checkSlice is CheckSlice without the recovery wrapper (CheckHotspotT
 // supplies its own, covering PrepareSlice too).
 func (c *Checker) checkSlice(s *Slice, b *budget.Budget, sp *obs.Span) *Result {
+	c.checks.Add(1)
 	if s.hit != nil {
 		out := *s.hit
 		if s.cg != nil {

@@ -1,0 +1,62 @@
+// audit.go is the per-request audit log: one JSON line per finished HTTP
+// request and per finished async job, written to whatever sink the operator
+// pointed -access-log at. The schema is flat and stable so the lines grep
+// and load into any log pipeline without parsing code.
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// auditRecord is one JSONL audit line.
+type auditRecord struct {
+	TS   string `json:"ts"`   // RFC3339Nano, UTC
+	Kind string `json:"kind"` // "request" | "job"
+	// ID is the request id (kind request) or job id (kind job); JobID links
+	// a request line to the job it submitted, when there was one.
+	ID           string `json:"id"`
+	JobID        string `json:"job_id,omitempty"`
+	Tenant       string `json:"tenant,omitempty"`
+	Endpoint     string `json:"endpoint,omitempty"`
+	Status       int    `json:"status,omitempty"`
+	Code         string `json:"code,omitempty"`
+	BytesIn      int64  `json:"bytes_in,omitempty"`
+	WallMS       int64  `json:"wall_ms"`
+	QueueMS      int64  `json:"queue_ms,omitempty"`
+	Findings     int    `json:"findings,omitempty"`
+	Degradations int    `json:"degradations,omitempty"`
+	SLOBreach    bool   `json:"slo_breach,omitempty"`
+	// TraceRetained marks units whose span trace the flight recorder kept;
+	// the trace is at /debug/flight?id=<id>.
+	TraceRetained bool `json:"trace_retained,omitempty"`
+}
+
+// auditLog serializes line writes; a nil *auditLog logs nothing, so call
+// sites never branch.
+type auditLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newAuditLog(w io.Writer) *auditLog {
+	if w == nil {
+		return nil
+	}
+	return &auditLog{w: w}
+}
+
+func (a *auditLog) write(rec auditRecord) {
+	if a == nil {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	a.mu.Lock()
+	a.w.Write(line)
+	a.mu.Unlock()
+}

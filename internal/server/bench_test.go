@@ -1,13 +1,19 @@
 // bench_test.go measures the daemon's serving throughput: full HTTP+JSON
 // round trips through a warm resident server, which is the steady state a
-// fleet of CI clients sees. `make bench-server` records the results (and
-// the warm-hit-rate custom metric) to BENCH_server.json via cmd/benchjson;
-// the EXPERIMENTS.md "analysis as a service" table comes from that file.
+// fleet of CI clients sees. `make bench-server` records the results (the
+// warm-hit-rate and served-p99 custom metrics, plus each run's full metrics
+// snapshot) to BENCH_server.json via cmd/benchjson; the EXPERIMENTS.md
+// "analysis as a service" table comes from that file.
 package server_test
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
 	"testing"
 
 	"sqlciv"
@@ -17,7 +23,7 @@ import (
 
 // benchService starts a warm server: every benchmark app is analyzed once
 // cold so the measured loop sees only the amortized path.
-func benchService(b *testing.B, apps []*corpus.App) *sqlciv.Client {
+func benchService(b *testing.B, apps []*corpus.App) (*sqlciv.Client, *server.Server) {
 	b.Helper()
 	srv := server.New(server.Config{Workers: 2})
 	ts := httptest.NewServer(srv.Handler())
@@ -32,13 +38,57 @@ func benchService(b *testing.B, apps []*corpus.App) *sqlciv.Client {
 			b.Fatalf("prewarm %s: %v", app.Name, err)
 		}
 	}
-	return client
+	return client, srv
+}
+
+// reportServed turns the server's own telemetry into benchmark output: the
+// served p99 over /v1/analyze becomes a custom metric, and the full metrics
+// snapshot is queued as a "benchsnap <name> <json>" line that cmd/benchjson
+// records under "snapshots" in BENCH_server.json. The lines are printed
+// from TestMain after every benchmark has finished — printing mid-run would
+// interleave with the harness's partially written result line and corrupt
+// the stream benchjson parses.
+func reportServed(b *testing.B, srv *server.Server) {
+	b.Helper()
+	snap := srv.MetricsSnapshot()
+	if p99 := snap["sqlcheckd_request_seconds_p99{endpoint=/v1/analyze}"]; p99 > 0 {
+		b.ReportMetric(p99*1000, "p99-ms")
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		b.Fatalf("marshal metrics snapshot: %v", err)
+	}
+	snapMu.Lock()
+	// Re-runs of the same benchmark (harness calibration passes) overwrite:
+	// only the final, full-length run's snapshot is worth keeping.
+	servedSnaps[b.Name()] = payload
+	snapMu.Unlock()
+}
+
+var (
+	snapMu      sync.Mutex
+	servedSnaps = map[string][]byte{}
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	snapMu.Lock()
+	names := make([]string, 0, len(servedSnaps))
+	for name := range servedSnaps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("benchsnap %s %s\n", name, servedSnaps[name])
+	}
+	snapMu.Unlock()
+	os.Exit(code)
 }
 
 // benchServe measures warm round trips for one app and reports the served
 // warm-hit-rate alongside the wall metrics.
 func benchServe(b *testing.B, app *corpus.App, async bool) {
-	client := benchService(b, []*corpus.App{app})
+	client, srv := benchService(b, []*corpus.App{app})
 	ctx := context.Background()
 	req := &sqlciv.AnalyzeRequest{Sources: app.Sources, Entries: app.Entries}
 	before, err := client.ServerStats(ctx)
@@ -76,6 +126,7 @@ func benchServe(b *testing.B, app *corpus.App, async bool) {
 		b.ReportMetric(100*float64(dh+vh)/float64(total), "warm-hit-%")
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	reportServed(b, srv)
 }
 
 func BenchmarkServeUtopiaSync(b *testing.B)  { benchServe(b, corpus.Utopia(), false) }
@@ -88,7 +139,7 @@ func BenchmarkServeEVESync(b *testing.B)     { benchServe(b, corpus.EVE(), false
 // benchable analogue of the CI-fleet steady state.
 func BenchmarkServeFleet(b *testing.B) {
 	apps := corpus.Apps()
-	client := benchService(b, apps)
+	client, srv := benchService(b, apps)
 	before, err := client.ServerStats(context.Background())
 	if err != nil {
 		b.Fatalf("stats: %v", err)
@@ -122,4 +173,5 @@ func BenchmarkServeFleet(b *testing.B) {
 		b.ReportMetric(100*float64(dh+vh)/float64(total), "warm-hit-%")
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	reportServed(b, srv)
 }

@@ -1,0 +1,170 @@
+// flight.go is the degradation flight recorder: a fixed-size ring of recent
+// request/job summaries, plus a second ring that retains the FULL obs span
+// trace of any request that degraded, errored, or breached the latency SLO.
+// Every job is traced into a bounded per-job ring (see queue.go); healthy
+// traces are discarded when the job completes, so the steady-state cost is
+// one small ring per request in flight — but when something goes wrong the
+// whole span timeline of that request is still retrievable afterwards from
+// GET /debug/flight?id=<id>, long after the logs have scrolled.
+package server
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"sqlciv/internal/obs"
+)
+
+// FlightEntry is one recorded request or job. Trace is populated only for
+// promoted (retained) entries fetched by id.
+type FlightEntry struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"` // "request" | "job"
+	// Time is when the unit finished, RFC3339Nano.
+	Time     string `json:"time"`
+	Tenant   string `json:"tenant,omitempty"`
+	Endpoint string `json:"endpoint,omitempty"`
+	Status   int    `json:"status,omitempty"`
+	Code     string `json:"code,omitempty"` // error-envelope code, if any
+	WallMS   int64  `json:"wall_ms"`
+	QueueMS  int64  `json:"queue_ms,omitempty"`
+	Findings int    `json:"findings,omitempty"`
+	// Degradations counts units cut short; Degraded mirrors it as the
+	// promotion trigger (alongside errors and SLO breaches).
+	Degradations int  `json:"degradations,omitempty"`
+	Degraded     bool `json:"degraded,omitempty"`
+	SLOBreach    bool `json:"slo_breach,omitempty"`
+	// Retained marks entries whose trace survived; Trace carries the span
+	// events (only in the by-id view), TraceDropped how many the bounded
+	// per-job ring evicted before promotion.
+	Retained     bool        `json:"retained,omitempty"`
+	Trace        []obs.Event `json:"trace,omitempty"`
+	TraceDropped int64       `json:"trace_dropped,omitempty"`
+}
+
+// bad reports whether the entry earns trace retention.
+func (e *FlightEntry) bad() bool {
+	return e.Degraded || e.SLOBreach || e.Status >= 500
+}
+
+// flightRecorder keeps the two rings. recent holds summaries of the last N
+// units regardless of health; retained holds the last K bad units WITH
+// their traces. The rings evict independently, so a burst of healthy
+// traffic can scroll a bad request out of recent while its trace stays in
+// retained — that separation is the whole point.
+type flightRecorder struct {
+	mu       sync.Mutex
+	recent   []FlightEntry // ring, no traces
+	recentAt int
+	retained []FlightEntry // ring, traces attached
+	retainAt int
+}
+
+func newFlightRecorder(recent, retain int) *flightRecorder {
+	return &flightRecorder{
+		recent:   make([]FlightEntry, 0, recent),
+		retained: make([]FlightEntry, 0, retain),
+	}
+}
+
+// record files the finished unit. ring may be nil (nothing traced); when the
+// entry is bad and a ring exists, the trace is promoted into the retained
+// ring before the per-job ring is dropped.
+func (f *flightRecorder) record(e FlightEntry, ring *obs.RingSink) {
+	if e.bad() && ring != nil {
+		e.Retained = true
+		e.Trace = ring.Events()
+		e.TraceDropped = ring.Dropped()
+	}
+	f.mu.Lock()
+	summary := e
+	summary.Trace = nil // the recent ring carries summaries only
+	push(&f.recent, &f.recentAt, summary)
+	if e.Retained {
+		push(&f.retained, &f.retainAt, e)
+	}
+	f.mu.Unlock()
+}
+
+func push(ring *[]FlightEntry, at *int, e FlightEntry) {
+	if cap(*ring) == 0 {
+		return
+	}
+	if len(*ring) < cap(*ring) {
+		*ring = append(*ring, e)
+		return
+	}
+	(*ring)[*at] = e
+	*at = (*at + 1) % cap(*ring)
+}
+
+// ordered returns a ring's entries oldest-first.
+func ordered(ring []FlightEntry, at int) []FlightEntry {
+	out := make([]FlightEntry, 0, len(ring))
+	if len(ring) == cap(ring) && cap(ring) > 0 {
+		out = append(out, ring[at:]...)
+		out = append(out, ring[:at]...)
+	} else {
+		out = append(out, ring...)
+	}
+	return out
+}
+
+// flightSnapshot is the GET /debug/flight payload: newest-last in each list.
+type flightSnapshot struct {
+	Recent   []FlightEntry `json:"recent"`
+	Retained []FlightEntry `json:"retained"`
+}
+
+func (f *flightRecorder) snapshot() flightSnapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	snap := flightSnapshot{
+		Recent:   ordered(f.recent, f.recentAt),
+		Retained: make([]FlightEntry, 0, len(f.retained)),
+	}
+	// Summaries only in the listing; the trace comes via ?id=.
+	for _, e := range ordered(f.retained, f.retainAt) {
+		e.Trace = nil
+		snap.Retained = append(snap.Retained, e)
+	}
+	return snap
+}
+
+// find returns the full entry (trace included when retained) by id.
+func (f *flightRecorder) find(id string) (FlightEntry, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, e := range f.retained {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	for _, e := range f.recent {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return FlightEntry{}, false
+}
+
+// handler serves GET /debug/flight (the two rings, summaries only) and
+// GET /debug/flight?id=<id> (one entry, trace included when retained).
+func (f *flightRecorder) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if id := r.URL.Query().Get("id"); id != "" {
+			e, ok := f.find(id)
+			if !ok {
+				writeJSON(w, http.StatusNotFound,
+					errorEnvelope{Error: ErrorBody{Code: CodeNotFound, Message: "no flight entry: " + id}})
+				return
+			}
+			writeJSON(w, http.StatusOK, e)
+			return
+		}
+		writeJSON(w, http.StatusOK, f.snapshot())
+	})
+}
+
+func flightNow() string { return time.Now().UTC().Format(time.RFC3339Nano) }

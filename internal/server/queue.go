@@ -3,9 +3,9 @@
 // fixed-capacity channel — so the overload behavior is uniform: when the
 // queue is full the submission is refused immediately with 429 and a
 // Retry-After hint, never buffered without bound. Each job owns a tracer
-// (no sinks, counters + progress only), so GET /v1/jobs/<id> can serve a
-// live obs snapshot of the analysis in flight and the final findings keep
-// span ids that link into it.
+// feeding a bounded ring of span events: GET /v1/jobs/<id> serves a live
+// obs snapshot of the analysis in flight, and the ring is what the flight
+// recorder promotes when the request degrades, errors, or breaches the SLO.
 package server
 
 import (
@@ -28,11 +28,16 @@ type Job struct {
 	tenant string
 	state  *tenantState
 	req    *Request
-	// tracer observes the run for the progress endpoint; per-job so one
-	// job's counters never mix into another's snapshot.
+	// tracer observes the run for the progress endpoint and feeds ring, the
+	// bounded span buffer the flight recorder promotes when the job goes
+	// bad; per-job so one job's events never mix into another's.
 	tracer *obs.Tracer
-	// sync jobs skip tracing so their findings are byte-identical to an
-	// untraced library run (span ids are 0); async jobs trace for progress.
+	ring   *obs.RingSink
+	// traced marks async jobs: they are pollable (id map + progress
+	// snapshots) and their findings carry span ids on the wire. Sync jobs
+	// trace too — the flight recorder needs the spans — but their wire
+	// responses scrub span ids so the payload stays byte-identical to an
+	// untraced library run.
 	traced bool
 
 	mu       sync.Mutex
@@ -41,6 +46,7 @@ type Job struct {
 	err      *apiError
 	done     chan struct{}
 	enqueued time.Time
+	started  time.Time
 	// doneAt is when the job reached a terminal state; the janitor evicts
 	// the job from the server's map JobRetention after it.
 	doneAt time.Time
@@ -49,7 +55,23 @@ type Job struct {
 func (j *Job) setRunning() {
 	j.mu.Lock()
 	j.phase = StateRunning
+	j.started = time.Now()
 	j.mu.Unlock()
+}
+
+// flightInfo snapshots the terminal result counts for the HTTP-side flight
+// and audit recording of a sync job.
+func (j *Job) flightInfo() (findings, degradations int, queueMS int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result != nil {
+		findings = len(j.result.Findings)
+		degradations = j.result.DegradedHotspots + j.result.DegradedPages
+	}
+	if !j.started.IsZero() {
+		queueMS = j.started.Sub(j.enqueued).Milliseconds()
+	}
+	return
 }
 
 func (j *Job) finish(res *Response, err *apiError) {
@@ -100,9 +122,10 @@ func (e *apiError) body() *ErrorBody {
 }
 
 // submit creates a job for req under tenant and enqueues it, enforcing the
-// tenant in-flight cap and the queue bound. traced controls whether the job
-// runs under a per-job tracer (async jobs do; sync jobs stay untraced so
-// their findings match an untraced library run exactly).
+// tenant in-flight cap and the queue bound. traced marks async jobs (they
+// become pollable and expose span ids on the wire); every job traces into
+// its bounded ring regardless, so the flight recorder can keep the span
+// timeline of a request that goes bad.
 func (s *Server) submit(tenant string, req *Request, traced bool) (*Job, *apiError) {
 	st := s.tenants.get(tenant)
 	if !st.acquire() {
@@ -119,8 +142,9 @@ func (s *Server) submit(tenant string, req *Request, traced bool) (*Job, *apiErr
 		done:     make(chan struct{}),
 		enqueued: time.Now(),
 	}
+	j.ring = obs.NewRingSink(s.cfg.FlightTraceEvents)
+	j.tracer = obs.New(j.ring)
 	if traced {
-		j.tracer = obs.New()
 		// Only async jobs are pollable, so only they enter the id map; a
 		// sync submitter holds the *Job directly and nothing is retained
 		// once its handler returns.
@@ -223,19 +247,66 @@ func (s *Server) worker() {
 }
 
 // runJob executes one analysis under the job's tenant budget and the shared
-// warm checker, then publishes the result.
+// warm checker, then publishes the result — and files the job's telemetry:
+// queue-wait and run-time histograms for every job, plus a flight entry and
+// audit line for async jobs (a sync job's outcome rides its HTTP request's
+// entry instead, so nothing is recorded twice).
 func (s *Server) runJob(j *Job) {
 	j.setRunning()
+	wait := j.started.Sub(j.enqueued)
+	s.metrics.queueWaitSec.ObserveDuration(wait)
 	res, err := s.analyze(j)
-	if err != nil {
+	dur := time.Since(j.started)
+	s.metrics.jobRunSec.ObserveDuration(dur)
+	if err == nil {
+		j.state.budgetTrips.Add(int64(res.DegradedHotspots + res.DegradedPages))
+		j.state.findings.Add(int64(len(res.Findings)))
+		s.completed.Add(1)
+	} else {
 		s.failed.Add(1)
-		j.finish(nil, err)
-		return
 	}
-	j.state.budgetTrips.Add(int64(res.DegradedHotspots + res.DegradedPages))
-	j.state.findings.Add(int64(len(res.Findings)))
-	s.completed.Add(1)
-	j.finish(res, nil)
+	if j.traced {
+		s.recordAsyncJob(j, res, err, wait, dur)
+	}
+	j.finish(res, err)
+}
+
+// recordAsyncJob files the flight entry and audit line for a finished async
+// job. Runs before finish so the entry is visible by the time the job's
+// status flips to done.
+func (s *Server) recordAsyncJob(j *Job, res *Response, aerr *apiError, wait, dur time.Duration) {
+	entry := FlightEntry{
+		ID:        j.id,
+		Kind:      "job",
+		Time:      flightNow(),
+		Tenant:    j.tenant,
+		WallMS:    dur.Milliseconds(),
+		QueueMS:   wait.Milliseconds(),
+		SLOBreach: s.cfg.SLO > 0 && dur > s.cfg.SLO,
+	}
+	if aerr != nil {
+		entry.Status = aerr.status
+		entry.Code = aerr.code
+	} else {
+		entry.Findings = len(res.Findings)
+		entry.Degradations = res.DegradedHotspots + res.DegradedPages
+		entry.Degraded = entry.Degradations > 0
+	}
+	s.flight.record(entry, j.ring)
+	s.audit.write(auditRecord{
+		TS:            entry.Time,
+		Kind:          "job",
+		ID:            j.id,
+		Tenant:        j.tenant,
+		Status:        entry.Status,
+		Code:          entry.Code,
+		WallMS:        entry.WallMS,
+		QueueMS:       entry.QueueMS,
+		Findings:      entry.Findings,
+		Degradations:  entry.Degradations,
+		SLOBreach:     entry.SLOBreach,
+		TraceRetained: entry.bad(),
+	})
 }
 
 // analyze maps a wire request onto the library: resolver, options, tenant
@@ -265,10 +336,16 @@ func (s *Server) analyze(j *Job) (*Response, *apiError) {
 	if parallel > s.cfg.MaxRequestParallel {
 		parallel = s.cfg.MaxRequestParallel
 	}
+	reqLimits := req.Budget.Limits()
+	effLimits := clampLimits(reqLimits, j.state.cfg.Limits)
+	if effLimits != reqLimits {
+		j.state.clamped.Add(1)
+		s.metrics.clamped.Inc()
+	}
 	opts := core.Options{
 		Parallel:         parallel,
 		ParallelHotspots: parallel,
-		Budget:           clampLimits(req.Budget.Limits(), j.state.cfg.Limits),
+		Budget:           effLimits,
 		Tracer:           j.tracer,
 		Checker:          s.checker,
 	}
@@ -282,6 +359,17 @@ func (s *Server) analyze(j *Job) (*Response, *apiError) {
 		// that cannot be loaded) — the client's fault, structured as such.
 		return nil, errf(422, CodeBadApp, "%v", err)
 	}
+	m := s.metrics
+	m.pagesAnalyzed.Add(int64(len(res.Pages)))
+	m.pagesDegraded.Add(int64(res.DegradedPages))
+	m.hotspotsDegraded.Add(int64(res.DegradedHotspots))
+	m.findings.Add(int64(len(res.Findings)))
+	for reason, n := range res.DegradationsByReason() {
+		m.degradations.With(reason).Add(int64(n))
+	}
+	m.analysisSec.With("string_analysis").Observe(res.StringAnalysisWall.Seconds())
+	m.analysisSec.With("check").Observe(res.CheckWall.Seconds())
+	m.slabBytes.Set(float64(res.GrammarSlabBytes))
 	var xssFindings []xss.Finding
 	if req.Options.XSS {
 		xssFindings, err = xss.Audit(resolver, entries, opts.Analysis)
@@ -296,7 +384,11 @@ func (s *Server) analyze(j *Job) (*Response, *apiError) {
 			s.flushErrs.Add(1)
 		}
 	}
-	return responseFromResult(res, xssFindings), nil
+	// Sync responses scrub span ids (j.traced false): the payload must stay
+	// byte-identical to an untraced library run even though the job WAS
+	// traced for the flight recorder. Async responses keep them — they link
+	// into the job's progress snapshots.
+	return responseFromResult(res, xssFindings, j.traced), nil
 }
 
 // await blocks until the job finishes or ctx is done. The job keeps running

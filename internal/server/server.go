@@ -37,6 +37,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -47,6 +48,7 @@ import (
 
 	"sqlciv/internal/grammar"
 	"sqlciv/internal/obs"
+	"sqlciv/internal/obs/metrics"
 	"sqlciv/internal/policy"
 	"sqlciv/internal/vcache"
 )
@@ -83,6 +85,23 @@ type Config struct {
 	// Tracer, when set, is the server-level tracer behind /debug/progress
 	// and /debug/vars. Per-job progress uses per-job tracers regardless.
 	Tracer *obs.Tracer
+	// SLO, when positive, is the latency objective: requests (and async job
+	// runs) slower than this count as breaches and have their span traces
+	// retained by the flight recorder. Zero disables SLO accounting.
+	SLO time.Duration
+	// AuditLog, when set, receives one JSON line per finished request and
+	// per finished async job. Writes are serialized; nil disables the log.
+	AuditLog io.Writer
+	// FlightRecent sizes the flight recorder's ring of recent request/job
+	// summaries (default 128); FlightRetain sizes the ring of bad entries
+	// whose full span traces are retained (default 16); FlightTraceEvents
+	// bounds the per-job span buffer (default 8192 events).
+	FlightRecent      int
+	FlightRetain      int
+	FlightTraceEvents int
+	// RuntimeSample is the runtime watchdog's sampling interval for the
+	// go_* metrics series (default 5s).
+	RuntimeSample time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +125,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Tracer == nil {
 		c.Tracer = obs.New()
+	}
+	if c.FlightRecent <= 0 {
+		c.FlightRecent = 128
+	}
+	if c.FlightRetain <= 0 {
+		c.FlightRetain = 16
+	}
+	if c.FlightTraceEvents <= 0 {
+		c.FlightTraceEvents = 8192
 	}
 	return c
 }
@@ -141,6 +169,17 @@ type StatsSnapshot struct {
 	InternRuns   int64                  `json:"intern_runs"`
 	InternSyms   int64                  `json:"intern_syms"`
 	Tenants      map[string]TenantStats `json:"tenants"`
+	// Latency is the served request-latency distribution by endpoint,
+	// read back from the same histograms /metrics exposes.
+	Latency map[string]LatencyQuantiles `json:"latency,omitempty"`
+}
+
+// LatencyQuantiles summarizes one endpoint's request-latency histogram.
+type LatencyQuantiles struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
 }
 
 // Server is one resident analyzer. Create with New, expose with Handler,
@@ -165,6 +204,7 @@ type Server struct {
 	jobs   map[string]*Job
 
 	nextJob      atomic.Int64
+	nextReq      atomic.Int64
 	submitted    atomic.Int64
 	completed    atomic.Int64
 	failed       atomic.Int64
@@ -172,6 +212,12 @@ type Server struct {
 	rejectedFull atomic.Int64
 	flushErrs    atomic.Int64
 	closed       atomic.Bool
+
+	metrics       *serverMetrics
+	flight        *flightRecorder
+	audit         *auditLog
+	rtSampler     *metrics.RuntimeSampler
+	expvarRelease func()
 }
 
 // New starts a Server: the shared warm checker is configured once here and
@@ -192,6 +238,11 @@ func New(cfg Config) *Server {
 		runCtx:  ctx,
 		stopRun: cancel,
 	}
+	s.metrics = newServerMetrics(s)
+	s.flight = newFlightRecorder(cfg.FlightRecent, cfg.FlightRetain)
+	s.audit = newAuditLog(cfg.AuditLog)
+	s.rtSampler = metrics.StartRuntime(s.metrics.reg, cfg.RuntimeSample)
+	s.expvarRelease = obs.PublishExpvar(cfg.Tracer)
 	s.wg.Add(cfg.Workers + 1)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -218,6 +269,8 @@ func (s *Server) Close() error {
 	}
 	s.stopRun()
 	s.wg.Wait()
+	s.rtSampler.Stop()
+	s.expvarRelease()
 	if s.store != nil {
 		return s.store.Close()
 	}
@@ -260,7 +313,36 @@ func (s *Server) Stats() StatsSnapshot {
 		InternRuns:         arena.InternRuns,
 		InternSyms:         arena.InternSyms,
 		Tenants:            s.tenants.snapshot(),
+		Latency:            s.latency(),
 	}
+}
+
+// latency reads the per-endpoint quantiles back out of the request-latency
+// histograms /metrics serves.
+func (s *Server) latency() map[string]LatencyQuantiles {
+	out := map[string]LatencyQuantiles{}
+	s.metrics.requestSec.Each(func(values []string, h *metrics.Histogram) {
+		if len(values) != 1 || h.Count() == 0 {
+			return
+		}
+		out[values[0]] = LatencyQuantiles{
+			Count: h.Count(),
+			P50MS: h.Quantile(0.50) * 1000,
+			P95MS: h.Quantile(0.95) * 1000,
+			P99MS: h.Quantile(0.99) * 1000,
+		}
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// MetricsSnapshot flattens every served series to name→value (histograms as
+// _count/_sum/_p50/_p95/_p99), the form the bench harness records into
+// BENCH_server.json.
+func (s *Server) MetricsSnapshot() map[string]float64 {
+	return s.metrics.reg.Snapshot()
 }
 
 // Handler returns the daemon's mux.
@@ -276,19 +358,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/server", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	mux.Handle("GET /debug/flight", s.flight.handler())
 	// The existing obs debug surface (expvar, pprof, run-level progress)
-	// rides along under /debug/; the more specific /debug/server pattern
-	// above wins over this subtree.
-	mux.Handle("/debug/", obs.DebugHandler(s.cfg.Tracer))
+	// rides along under /debug/; the more specific patterns above win over
+	// this subtree.
+	mux.Handle("/debug/", obs.DebugHandlerMetrics(s.cfg.Tracer, s.metrics.reg.Handler()))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprint(w, "sqlcheckd\n\nPOST /v1/analyze\nPOST /v1/jobs\nGET  /v1/jobs/<id>\nGET  /healthz\nGET  /debug/server\n")
+			fmt.Fprint(w, "sqlcheckd\n\nPOST /v1/analyze\nPOST /v1/jobs\nGET  /v1/jobs/<id>\nGET  /healthz\nGET  /metrics\nGET  /debug/server\nGET  /debug/flight\n")
 			return
 		}
-		s.writeError(w, errf(http.StatusNotFound, CodeNotFound, "no such endpoint: %s", r.URL.Path))
+		s.writeError(w, r, errf(http.StatusNotFound, CodeNotFound, "no such endpoint: %s", r.URL.Path))
 	})
-	return recoverMiddleware(mux, s)
+	// instrument sits outside recoverMiddleware so a recovered panic is
+	// still counted and audited as the 500 it became.
+	return s.instrument(recoverMiddleware(mux, s))
 }
 
 // recoverMiddleware converts a handler panic into a structured 500 instead
@@ -299,7 +385,7 @@ func recoverMiddleware(next http.Handler, s *Server) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
-				s.writeError(w, errf(http.StatusInternalServerError, CodeInternal,
+				s.writeError(w, r, errf(http.StatusInternalServerError, CodeInternal,
 					"internal error: %v", rec))
 			}
 		}()
@@ -321,17 +407,20 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request) (*Request, *
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	req, aerr := s.decodeBody(w, r)
 	if aerr != nil {
-		s.writeError(w, aerr)
+		s.writeError(w, r, aerr)
 		return
 	}
 	j, aerr := s.submit(r.Header.Get(TenantHeader), req, false)
 	if aerr != nil {
-		s.writeError(w, aerr)
+		s.writeError(w, r, aerr)
 		return
+	}
+	if rec := recFrom(r); rec != nil {
+		rec.job = j
 	}
 	res, aerr := j.await(r.Context())
 	if aerr != nil {
-		s.writeError(w, aerr)
+		s.writeError(w, r, aerr)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -342,13 +431,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	req, aerr := s.decodeBody(w, r)
 	if aerr != nil {
-		s.writeError(w, aerr)
+		s.writeError(w, r, aerr)
 		return
 	}
 	j, aerr := s.submit(r.Header.Get(TenantHeader), req, true)
 	if aerr != nil {
-		s.writeError(w, aerr)
+		s.writeError(w, r, aerr)
 		return
+	}
+	if rec := recFrom(r); rec != nil {
+		rec.job = j
 	}
 	writeJSON(w, http.StatusAccepted, j.Status())
 }
@@ -364,13 +456,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs[id]
 	s.jobsMu.Unlock()
 	if !ok || j.tenant != orDefault(r.Header.Get(TenantHeader)) {
-		s.writeError(w, errf(http.StatusNotFound, CodeNotFound, "no such job: %s", id))
+		s.writeError(w, r, errf(http.StatusNotFound, CodeNotFound, "no such job: %s", id))
 		return
 	}
 	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
 		wait, err := time.ParseDuration(waitStr)
 		if err != nil || wait < 0 {
-			s.writeError(w, errf(http.StatusBadRequest, CodeBadRequest, "invalid wait duration: %q", waitStr))
+			s.writeError(w, r, errf(http.StatusBadRequest, CodeBadRequest, "invalid wait duration: %q", waitStr))
 			return
 		}
 		const maxWait = 30 * time.Second
@@ -443,7 +535,13 @@ func (s *Server) loadRoot(root string) (map[string]string, *apiError) {
 	return sources, nil
 }
 
-func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
+// writeError writes the structured error envelope and stamps the error code
+// on the request's instrumentation record, feeding the errors_total metric
+// and the audit log.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, e *apiError) {
+	if rec := recFrom(r); rec != nil {
+		rec.errCode = e.code
+	}
 	if e.status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.5)))
 	}

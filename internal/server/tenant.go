@@ -46,6 +46,10 @@ type TenantStats struct {
 	BudgetTrips int64 `json:"budget_trips"`
 	// Findings totals findings returned to this tenant.
 	Findings int64 `json:"findings"`
+	// Clamped counts requests whose budget the tenant ceiling tightened
+	// (the request asked for more than — or left unlimited what — the
+	// ceiling allows).
+	Clamped int64 `json:"clamped"`
 }
 
 // tenantState is the live accounting for one tenant.
@@ -56,6 +60,7 @@ type tenantState struct {
 	rejected    atomic.Int64
 	budgetTrips atomic.Int64
 	findings    atomic.Int64
+	clamped     atomic.Int64
 }
 
 func (t *tenantState) stats() TenantStats {
@@ -65,6 +70,7 @@ func (t *tenantState) stats() TenantStats {
 		Rejected:    t.rejected.Load(),
 		BudgetTrips: t.budgetTrips.Load(),
 		Findings:    t.findings.Load(),
+		Clamped:     t.clamped.Load(),
 	}
 }
 

@@ -199,6 +199,11 @@ type Stats struct {
 	GrammarSlabBytes     int64 `json:"grammar_slab_bytes"`
 	InternHits           int64 `json:"intern_hits"`
 	InternMisses         int64 `json:"intern_misses"`
+	// Pages and HotspotsChecked are the run's deterministic unit census
+	// (unlike the timings above): entry pages analyzed and hotspot checks
+	// executed, degraded units included.
+	Pages           int `json:"pages"`
+	HotspotsChecked int `json:"hotspots_checked"`
 }
 
 // Response is the full analysis payload of POST /v1/analyze and of a
@@ -238,8 +243,11 @@ func (r *Response) CoreResult() *core.AppResult {
 }
 
 // responseFromResult renders an AppResult (and optional XSS findings) to the
-// wire.
-func responseFromResult(res *core.AppResult, xssFindings []xss.Finding) *Response {
+// wire. exposeSpans keeps the findings' and degradations' span ids (async
+// jobs, where they link into the job trace); sync responses pass false so
+// the payload is byte-identical to an untraced library run even though the
+// job was traced for the flight recorder.
+func responseFromResult(res *core.AppResult, xssFindings []xss.Finding, exposeSpans bool) *Response {
 	out := &Response{
 		Verified: res.Verified() && len(xssFindings) == 0,
 		Files:    res.Files, Lines: res.Lines,
@@ -263,13 +271,23 @@ func responseFromResult(res *core.AppResult, xssFindings []xss.Finding) *Respons
 			GrammarSlabBytes:     res.GrammarSlabBytes,
 			InternHits:           res.InternHits,
 			InternMisses:         res.InternMisses,
+			Pages:                len(res.Pages),
+			HotspotsChecked:      res.HotspotsChecked(),
 		},
 	}
 	for _, f := range res.Findings {
-		out.Findings = append(out.Findings, findingFromCore(f))
+		wf := findingFromCore(f)
+		if !exposeSpans {
+			wf.SpanID = 0
+		}
+		out.Findings = append(out.Findings, wf)
 	}
 	for _, d := range res.Degradations {
-		out.Degradations = append(out.Degradations, degradationFromCore(d))
+		wd := degradationFromCore(d)
+		if !exposeSpans {
+			wd.SpanID = 0
+		}
+		out.Degradations = append(out.Degradations, wd)
 	}
 	for _, f := range xssFindings {
 		out.XSS = append(out.XSS, xssFromCore(f))
