@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-classes bench-diff bench-mem bench-server trace-smoke fuzz-smoke daemon-smoke metrics-smoke
+.PHONY: build test check bench bench-classes bench-diff bench-mem bench-server bench-incremental trace-smoke fuzz-smoke daemon-smoke metrics-smoke
 
 # Each fuzz target gets a short randomized burn beyond its seed corpus.
 FUZZ_TIME ?= 30s
@@ -88,6 +88,19 @@ bench-mem:
 bench-server:
 	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchtime 5x ./internal/server \
 		| $(GO) run ./cmd/benchjson -o BENCH_server.json
+
+# bench-incremental measures incremental re-analysis per Table 1 subject:
+# the Cold benchmarks are the from-scratch baseline (fresh session each
+# iteration), the Edit benchmarks re-analyze through a warm session after
+# editing exactly one entry page. The headline number is the Edit/Cold
+# ns/op ratio per subject; the custom metrics (incr-page-replay-pct,
+# incr-hotspot-replay-pct, incr-file-reuse-pct, files-parsed) pin how much
+# of the app was replayed rather than recomputed. Records to
+# BENCH_incremental.json; the EXPERIMENTS.md incremental table comes from
+# this file.
+bench-incremental:
+	$(GO) test -run '^$$' -bench 'BenchmarkIncremental' -benchtime 5x . \
+		| $(GO) run ./cmd/benchjson -o BENCH_incremental.json
 
 # daemon-smoke is the end-to-end service check: start sqlcheckd on a
 # loopback port with a throwaway verdict-cache dir, submit a corpus subject

@@ -127,6 +127,95 @@ func benchAppWarm(b *testing.B, app *corpus.App) {
 	benchAppOpts(b, app, opts)
 }
 
+// ---- Incremental re-analysis (BENCH_incremental.json) ----------------------
+
+// benchIncrementalCold is the from-scratch baseline every incremental edit
+// is measured against: a fresh session per iteration, so every page fills
+// its memo for the first time.
+func benchIncrementalCold(b *testing.B, app *corpus.App) {
+	b.Helper()
+	var last *core.AppResult
+	for i := 0; i < b.N; i++ {
+		res, err := core.AnalyzeApp(analysis.NewMapResolver(app.Sources), app.Entries,
+			core.Options{Session: core.NewSession(core.SessionConfig{})})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Incr.PagesRecomputed), "pages-recomputed")
+	b.ReportMetric(float64(last.Lines), "loc")
+}
+
+// benchIncrementalEdit is the headline single-file-edit latency: one untimed
+// cold run warms a session, then every timed iteration toggles target (one
+// entry page) between its original and an edited form and re-analyzes. Each
+// iteration therefore dirties exactly one page — the steady state of an IDE
+// or watch-mode client — and the reuse percentages are reported alongside
+// the wall time, mirroring the verdict-cache hit metric of the _Warm runs.
+//
+// An empty target edits the app's first entry. Tiger overrides it to
+// static0.php — the same typical content page the CI smoke gate
+// (TestIncrementalEditRecheckBudget) edits — because its first entry is the
+// app's single most expensive tiger_encode page, whose unavoidable
+// recompute cost would measure that page's grammar, not the incremental
+// machinery.
+func benchIncrementalEdit(b *testing.B, app *corpus.App, target string) {
+	b.Helper()
+	ses := core.NewSession(core.SessionConfig{})
+	sources := make(map[string]string, len(app.Sources))
+	for k, v := range app.Sources {
+		sources[k] = v
+	}
+	if _, err := core.AnalyzeApp(analysis.NewMapResolver(sources), app.Entries,
+		core.Options{Session: ses}); err != nil {
+		b.Fatal(err)
+	}
+	if target == "" {
+		target = app.Entries[0]
+	}
+	orig, ok := sources[target]
+	if !ok {
+		b.Fatalf("edit target %q is not a source file", target)
+	}
+	var last *core.AppResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			sources[target] = orig + "<!-- bench edit -->\n"
+		} else {
+			sources[target] = orig
+		}
+		res, err := core.AnalyzeApp(analysis.NewMapResolver(sources), app.Entries,
+			core.Options{Session: ses})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	in := last.Incr
+	if in == nil || in.PagesRecomputed != 1 {
+		b.Fatalf("edit iteration did not recompute exactly one page: %+v", in)
+	}
+	b.ReportMetric(in.PageReplayPct(), "incr-page-replay-pct")
+	b.ReportMetric(in.HotspotReplayPct(), "incr-hotspot-replay-pct")
+	b.ReportMetric(in.FileReusePct(), "incr-file-reuse-pct")
+	b.ReportMetric(float64(in.FilesParsed), "files-parsed")
+}
+
+func BenchmarkIncrementalCold_E107(b *testing.B)   { benchIncrementalCold(b, corpus.E107()) }
+func BenchmarkIncrementalCold_EVE(b *testing.B)    { benchIncrementalCold(b, corpus.EVE()) }
+func BenchmarkIncrementalCold_Tiger(b *testing.B)  { benchIncrementalCold(b, corpus.Tiger()) }
+func BenchmarkIncrementalCold_Utopia(b *testing.B) { benchIncrementalCold(b, corpus.Utopia()) }
+func BenchmarkIncrementalCold_Warp(b *testing.B)   { benchIncrementalCold(b, corpus.Warp()) }
+
+func BenchmarkIncrementalEdit_E107(b *testing.B)   { benchIncrementalEdit(b, corpus.E107(), "") }
+func BenchmarkIncrementalEdit_EVE(b *testing.B)    { benchIncrementalEdit(b, corpus.EVE(), "") }
+func BenchmarkIncrementalEdit_Tiger(b *testing.B)  { benchIncrementalEdit(b, corpus.Tiger(), "static0.php") }
+func BenchmarkIncrementalEdit_Utopia(b *testing.B) { benchIncrementalEdit(b, corpus.Utopia(), "") }
+func BenchmarkIncrementalEdit_Warp(b *testing.B)   { benchIncrementalEdit(b, corpus.Warp(), "") }
+
 // parallelOpts runs pages and hotspot checks over one worker per CPU.
 func parallelOpts() core.Options {
 	return core.Options{Parallel: runtime.NumCPU(), ParallelHotspots: runtime.NumCPU()}

@@ -24,6 +24,15 @@
 // overrides its location (default: a sqlciv directory under the user cache
 // dir); -no-cache disables it for a run.
 //
+// Incremental re-analysis: -incremental additionally memoizes whole-page
+// analysis summaries keyed by the content hashes of each page's include
+// closure (persisted under -incr-dir, next to the verdict cache), so a
+// re-run replays unchanged pages byte-identically and recomputes only
+// dirtied files. -watch keeps the process alive and re-checks whenever a
+// file's content hash changes — the warm in-process session makes each
+// iteration a hash sweep plus a delta re-check. -stats reports the reuse
+// percentages alongside the verdict-cache hit rates.
+//
 // Observability: -trace FILE records a span trace of the run, in JSONL
 // (-trace-format jsonl, the default) or the Chrome trace-event format
 // (-trace-format chrome, loadable in Perfetto / chrome://tracing with one
@@ -42,6 +51,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
@@ -52,6 +62,7 @@ import (
 	"sqlciv/internal/analysis"
 	"sqlciv/internal/core"
 	"sqlciv/internal/corpus"
+	"sqlciv/internal/incr"
 	"sqlciv/internal/vcache"
 	"sqlciv/internal/xss"
 )
@@ -82,6 +93,10 @@ func run() int {
 	maxMem := flag.Int64("max-mem", 0, "estimated memory budget in bytes per analysis unit (0 = unlimited)")
 	cacheDir := flag.String("cache-dir", "", "persistent verdict-cache directory (default: a sqlciv dir under the user cache dir)")
 	noCache := flag.Bool("no-cache", false, "disable the persistent verdict cache")
+	incremental := flag.Bool("incremental", false, "reuse per-page analysis summaries keyed by content hash: unchanged pages replay their prior findings, only dirtied files recompute")
+	incrDir := flag.String("incr-dir", "", "persistent page-summary directory for -incremental (default: a sqlciv dir under the user cache dir)")
+	watch := flag.Bool("watch", false, "keep running, re-checking the directory whenever a file's content hash changes (implies -incremental)")
+	watchInterval := flag.Duration("watch-interval", 2*time.Second, "poll interval for -watch")
 	flag.Var(&entries, "entry", "top-level page (repeatable)")
 	flag.Parse()
 
@@ -148,6 +163,40 @@ func run() int {
 		}
 	}
 
+	// Incremental re-analysis: a session memoizes per-page outcomes keyed by
+	// the content hashes of each page's include closure, persisted next to
+	// the verdict cache so even the first run of a process can replay
+	// unchanged pages. Like the verdict cache, a bad or missing directory
+	// only costs speed — warn and run with an in-memory session.
+	if *watch {
+		*incremental = true
+	}
+	if *incremental {
+		var sumStore *incr.Store
+		dir := *incrDir
+		if dir == "" {
+			d, err := incr.DefaultDir()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sqlcheck: summary store disabled:", err)
+			}
+			dir = d
+		}
+		if dir != "" {
+			s, err := incr.Open(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sqlcheck: summary store disabled:", err)
+			} else {
+				defer func() {
+					if err := s.Close(); err != nil {
+						fmt.Fprintln(os.Stderr, "sqlcheck: summary store flush:", err)
+					}
+				}()
+				sumStore = s
+			}
+		}
+		opts.Session = core.NewSession(core.SessionConfig{Summaries: sumStore})
+	}
+
 	tracer, stopTracing, err := setupTracer(*traceFile, *traceFormat, *progress, *debugAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlcheck:", err)
@@ -165,6 +214,9 @@ func run() int {
 		return 2
 	}
 	dir := flag.Arg(0)
+	if *watch {
+		return runWatch(dir, entries, opts, *watchInterval, *asJSON, *stats)
+	}
 	sources, err := loadDir(dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlcheck:", err)
@@ -214,6 +266,56 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// runWatch re-checks the directory whenever any file's content hash changes
+// (mtime-independent: touching a file without editing it re-checks nothing,
+// and the session replays every page whose include closure is unchanged, so
+// a steady-state iteration is a hash sweep plus a tiny delta re-check).
+// Runs until interrupted. XSS auditing is not wired here — watch mode serves
+// the edit loop for the injection analysis.
+func runWatch(dir string, entries []string, opts core.Options, interval time.Duration, asJSON, stats bool) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var last incr.Hash
+	first := true
+	for {
+		sources, err := loadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sqlcheck:", err)
+		} else if digest := incr.NewSnapshot(sources).Digest(); first || digest != last {
+			first, last = false, digest
+			pages := entries
+			if len(pages) == 0 {
+				pages = guessEntries(sources)
+			}
+			res, err := core.AnalyzeAppCtx(ctx, analysis.NewMapResolver(sources), pages, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sqlcheck:", err)
+			} else {
+				fmt.Printf("-- %s: %d files checked in %v\n", time.Now().Format("15:04:05"),
+					res.Files, (res.StringAnalysisWall + res.CheckWall).Round(time.Millisecond))
+				if asJSON {
+					emitJSON(res, nil)
+				} else {
+					fmt.Print(res.Summary())
+				}
+				if stats {
+					fmt.Fprint(os.Stderr, res.Stats())
+				}
+				// Flush per iteration so a parallel process (or the next cold
+				// start) sees the freshest summaries.
+				if err := opts.Session.Flush(); err != nil {
+					fmt.Fprintln(os.Stderr, "sqlcheck: summary store flush:", err)
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return 0
+		case <-time.After(interval):
+		}
+	}
 }
 
 type multiFlag []string

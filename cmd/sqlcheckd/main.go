@@ -46,6 +46,14 @@
 // CLI uses (-cache-dir / -no-cache), flushed after every job, so a daemon
 // restart starts warm.
 //
+// Incremental re-analysis: a request that sets options.incremental runs
+// through a resident per-app session (parse trees + page memos keyed by
+// content hash), so re-submitting an app after editing one file replays
+// every unchanged page and re-checks only the dirtied include closure.
+// -max-sessions bounds the resident sessions (LRU); -session-retention
+// sweeps idle ones. Reuse shows up in the response's incr_* stats, the
+// sqlciv_incr_* metrics series, and /debug/server's "incremental" section.
+//
 // -smoke runs the CI self-check: start the server on a loopback port,
 // submit a corpus subject through the real HTTP surface with the library
 // client, and exit 0 only if the known findings come back.
@@ -85,6 +93,8 @@ func run() int {
 	maxParallel := flag.Int("max-request-parallel", 1, "per-job worker cap a request may ask for")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 	jobRetention := flag.Duration("job-retention", 5*time.Minute, "how long a finished async job's report stays pollable before eviction")
+	maxSessions := flag.Int("max-sessions", 8, "resident incremental sessions kept warm for requests with options.incremental (LRU beyond the cap)")
+	sessionRetention := flag.Duration("session-retention", 15*time.Minute, "how long an idle incremental session survives before the janitor sweeps it")
 	tenantInflight := flag.Int("tenant-inflight", 8, "per-tenant queued+running job cap (0 = uncapped)")
 	tenantTimeout := flag.Duration("tenant-timeout", 0, "per-tenant whole-run budget ceiling (0 = unlimited)")
 	tenantHotspotTimeout := flag.Duration("tenant-hotspot-timeout", 0, "per-tenant hotspot budget ceiling (0 = unlimited)")
@@ -106,6 +116,8 @@ func run() int {
 		MaxRequestParallel: *maxParallel,
 		RetryAfter:         *retryAfter,
 		JobRetention:       *jobRetention,
+		MaxSessions:        *maxSessions,
+		SessionRetention:   *sessionRetention,
 		FSRootPrefix:       *fsRoot,
 		SLO:                time.Duration(*sloMS) * time.Millisecond,
 		DefaultTenant: server.Tenant{

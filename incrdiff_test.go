@@ -1,0 +1,256 @@
+package sqlciv
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sqlciv/internal/analysis"
+	"sqlciv/internal/core"
+	"sqlciv/internal/corpus"
+	"sqlciv/internal/incr"
+)
+
+// taintProbe is a second PHP segment appended after a page's padded HTML: a
+// fresh direct flow into a quoted literal. Appending keeps every existing
+// hotspot's line number, so the edit adds exactly one finding.
+const taintProbe = "<?php\n$incr_probe = $_GET['incr_probe'];\nmysql_query(\"SELECT * FROM incr_probe WHERE name='$incr_probe'\");\n?>\n"
+
+func cloneSources(src map[string]string) map[string]string {
+	out := make(map[string]string, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// assertSameOutcome compares the parts of two AppResults that are analysis
+// results proper (not timings or cache traffic): findings, degradations, and
+// the Table 1 census.
+func assertSameOutcome(t *testing.T, label string, want, got *core.AppResult) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Findings, got.Findings) {
+		t.Errorf("%s: findings diverged\ncold: %+v\nincr: %+v", label, want.Findings, got.Findings)
+	}
+	if want.DegradedPages != got.DegradedPages || want.DegradedHotspots != got.DegradedHotspots {
+		t.Errorf("%s: degradation census diverged: cold %d/%d, incr %d/%d", label,
+			want.DegradedPages, want.DegradedHotspots, got.DegradedPages, got.DegradedHotspots)
+	}
+	if want.Files != got.Files || want.Lines != got.Lines ||
+		want.NumNTs != got.NumNTs || want.NumProds != got.NumProds {
+		t.Errorf("%s: census diverged: cold files=%d lines=%d |V|=%d |R|=%d, incr files=%d lines=%d |V|=%d |R|=%d",
+			label, want.Files, want.Lines, want.NumNTs, want.NumProds,
+			got.Files, got.Lines, got.NumNTs, got.NumProds)
+	}
+	if want.HotspotsChecked() != got.HotspotsChecked() {
+		t.Errorf("%s: hotspot census diverged: cold %d, incr %d", label,
+			want.HotspotsChecked(), got.HotspotsChecked())
+	}
+}
+
+// TestIncrementalDifferentialOnCorpus is the incremental layer's oracle: for
+// every Table 1 subject, mutate one file three ways — touch-only (rewrite
+// the same bytes), an append-only comment edit, and a real taint-relevant
+// edit — re-analyze through a warm session, and require the findings to be
+// byte-identical to a cold full run over the mutated sources. The touch-only
+// case must additionally recompute zero pages, re-parse zero files, and
+// re-check zero hotspots; the content edits must recompute exactly the one
+// dirtied page.
+func TestIncrementalDifferentialOnCorpus(t *testing.T) {
+	edits := []struct {
+		name  string
+		apply func(string) string
+		dirty bool // does the edit change the file's bytes?
+	}{
+		{"touch", func(s string) string { return s }, false},
+		{"comment", func(s string) string { return s + "<!-- incremental cache probe -->\n" }, true},
+		{"taint", func(s string) string { return s + taintProbe }, true},
+	}
+	for _, app := range corpus.Apps() {
+		target := app.Entries[0]
+		for _, edit := range edits {
+			label := app.Name + "/" + edit.name
+
+			ses := core.NewSession(core.SessionConfig{})
+			base, err := core.AnalyzeApp(analysis.NewMapResolver(cloneSources(app.Sources)),
+				app.Entries, core.Options{Session: ses})
+			if err != nil {
+				t.Fatalf("%s base: %v", label, err)
+			}
+			if base.Incr == nil || base.Incr.PagesRecomputed != int64(len(app.Entries)) {
+				t.Fatalf("%s: cold fill did not recompute all pages: %+v", label, base.Incr)
+			}
+
+			mutated := cloneSources(app.Sources)
+			mutated[target] = edit.apply(mutated[target])
+			warm, err := core.AnalyzeApp(analysis.NewMapResolver(mutated),
+				app.Entries, core.Options{Session: ses})
+			if err != nil {
+				t.Fatalf("%s warm: %v", label, err)
+			}
+			cold, err := core.AnalyzeApp(analysis.NewMapResolver(mutated),
+				app.Entries, core.Options{})
+			if err != nil {
+				t.Fatalf("%s cold: %v", label, err)
+			}
+			assertSameOutcome(t, label, cold, warm)
+
+			in := warm.Incr
+			if in == nil {
+				t.Fatalf("%s: warm run reported no incremental stats", label)
+			}
+			if !edit.dirty {
+				if in.PagesRecomputed != 0 || in.HotspotsRechecked != 0 || in.FilesParsed != 0 {
+					t.Errorf("%s: touch-only run recomputed %d pages, re-checked %d hotspots, parsed %d files; want all zero",
+						label, in.PagesRecomputed, in.HotspotsRechecked, in.FilesParsed)
+				}
+			} else {
+				// The edited file is an entry page no other page includes, so
+				// exactly one page dirties and only the edited file re-parses
+				// (its unchanged includes come from the session parse cache).
+				if in.PagesRecomputed != 1 {
+					t.Errorf("%s: recomputed %d pages, want exactly 1", label, in.PagesRecomputed)
+				}
+				if in.PagesReplayed != int64(len(app.Entries)-1) {
+					t.Errorf("%s: replayed %d pages, want %d", label, in.PagesReplayed, len(app.Entries)-1)
+				}
+				if in.FilesParsed != 1 {
+					t.Errorf("%s: parsed %d files, want exactly 1 (the edited file)", label, in.FilesParsed)
+				}
+			}
+			if edit.name == "taint" && len(cold.Findings) != len(base.Findings)+1 {
+				t.Errorf("%s: taint edit changed findings %d -> %d, want exactly one new",
+					label, len(base.Findings), len(cold.Findings))
+			}
+		}
+	}
+}
+
+// TestIncrementalReplayFromSummaryStore exercises the cross-process path: a
+// fresh session over an unchanged project must replay every page from the
+// persistent summary store — zero parses, zero phase-1 runs, zero hotspot
+// checks — and still reproduce the cold findings exactly.
+func TestIncrementalReplayFromSummaryStore(t *testing.T) {
+	for _, app := range corpus.Apps() {
+		store, err := incr.Open(t.TempDir())
+		if err != nil {
+			t.Fatalf("incr.Open: %v", err)
+		}
+		cold, err := core.AnalyzeApp(analysis.NewMapResolver(cloneSources(app.Sources)),
+			app.Entries, core.Options{Session: core.NewSession(core.SessionConfig{Summaries: store})})
+		if err != nil {
+			t.Fatalf("%s cold: %v", app.Name, err)
+		}
+		if err := store.Flush(); err != nil {
+			t.Fatalf("%s flush: %v", app.Name, err)
+		}
+
+		// A brand-new session simulates a process restart: its only warmth is
+		// the on-disk summaries.
+		warm, err := core.AnalyzeApp(analysis.NewMapResolver(cloneSources(app.Sources)),
+			app.Entries, core.Options{Session: core.NewSession(core.SessionConfig{Summaries: store})})
+		if err != nil {
+			t.Fatalf("%s warm: %v", app.Name, err)
+		}
+		in := warm.Incr
+		if in == nil || in.PagesReplayed != int64(len(app.Entries)) || in.PagesRecomputed != 0 {
+			t.Fatalf("%s: store-warm run did not replay all pages: %+v", app.Name, in)
+		}
+		if in.SummaryHits != int64(len(app.Entries)) {
+			t.Errorf("%s: %d summary hits, want %d", app.Name, in.SummaryHits, len(app.Entries))
+		}
+		if in.FilesParsed != 0 || in.HotspotsRechecked != 0 {
+			t.Errorf("%s: store-warm run parsed %d files, re-checked %d hotspots; want zero",
+				app.Name, in.FilesParsed, in.HotspotsRechecked)
+		}
+		if !reflect.DeepEqual(cold.Findings, warm.Findings) {
+			t.Errorf("%s: store-replayed findings diverged\ncold: %+v\nwarm: %+v",
+				app.Name, cold.Findings, warm.Findings)
+		}
+	}
+}
+
+// TestIncrementalCorruptSummariesRecompute corrupts every persisted page
+// summary and requires the next run to degrade to a full cold recompute with
+// identical findings — a bad store can cost time, never findings.
+func TestIncrementalCorruptSummariesRecompute(t *testing.T) {
+	app := corpus.EVE()
+	dir := t.TempDir()
+	store, err := incr.Open(dir)
+	if err != nil {
+		t.Fatalf("incr.Open: %v", err)
+	}
+	cold, err := core.AnalyzeApp(analysis.NewMapResolver(cloneSources(app.Sources)),
+		app.Entries, core.Options{Session: core.NewSession(core.SessionConfig{Summaries: store})})
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	if err := store.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	corrupted := 0
+	if err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".json") {
+			return err
+		}
+		corrupted++
+		return os.WriteFile(p, []byte("{definitely not a summary"), 0o644)
+	}); err != nil {
+		t.Fatalf("corrupting store: %v", err)
+	}
+	if corrupted == 0 {
+		t.Fatal("no summaries were flushed to disk")
+	}
+
+	warm, err := core.AnalyzeApp(analysis.NewMapResolver(cloneSources(app.Sources)),
+		app.Entries, core.Options{Session: core.NewSession(core.SessionConfig{Summaries: store})})
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	in := warm.Incr
+	if in == nil || in.PagesReplayed != 0 || in.PagesRecomputed != int64(len(app.Entries)) {
+		t.Fatalf("corrupted store did not force a cold recompute: %+v", in)
+	}
+	if in.SummaryErrors != int64(len(app.Entries)) {
+		t.Errorf("summary errors = %d, want %d", in.SummaryErrors, len(app.Entries))
+	}
+	if !reflect.DeepEqual(cold.Findings, warm.Findings) {
+		t.Errorf("findings diverged after store corruption\ncold: %+v\nwarm: %+v",
+			cold.Findings, warm.Findings)
+	}
+}
+
+// TestIncrementalEditRecheckBudget is the CI smoke gate: after editing one
+// Tiger file, the incremental re-check must re-run the cascade for fewer
+// than 10% of the application's hotspots.
+func TestIncrementalEditRecheckBudget(t *testing.T) {
+	app := corpus.Tiger()
+	ses := core.NewSession(core.SessionConfig{})
+	base, err := core.AnalyzeApp(analysis.NewMapResolver(cloneSources(app.Sources)),
+		app.Entries, core.Options{Session: ses})
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	total := base.HotspotsChecked()
+	if total == 0 {
+		t.Fatal("Tiger produced no hotspots")
+	}
+
+	mutated := cloneSources(app.Sources)
+	mutated["static0.php"] += "<!-- edited -->\n"
+	warm, err := core.AnalyzeApp(analysis.NewMapResolver(mutated), app.Entries,
+		core.Options{Session: ses})
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	in := warm.Incr
+	if in == nil {
+		t.Fatal("warm run reported no incremental stats")
+	}
+	if rechecked := in.HotspotsRechecked; rechecked*10 >= int64(total) {
+		t.Errorf("edit re-checked %d of %d hotspots (%.1f%%); want < 10%%",
+			rechecked, total, 100*float64(rechecked)/float64(total))
+	}
+}

@@ -135,6 +135,11 @@ func (m *MapResolver) ParseCacheStats() (hits, misses int64) {
 	return m.hits, m.misses
 }
 
+// SourceMap exposes the raw path→source map. The incremental layer hashes
+// it to decide which prior page analyses are still byte-for-byte valid;
+// resolvers that cannot expose their sources simply run cold.
+func (m *MapResolver) SourceMap() map[string]string { return m.Sources }
+
 // Files implements Resolver.
 func (m *MapResolver) Files() []string {
 	out := make([]string, 0, len(m.Sources))

@@ -65,6 +65,20 @@ type Options struct {
 	// Invalid or stale entries are ignored, never trusted — a bad cache can
 	// cost time, not findings. nil disables persistence.
 	VerdictCache *vcache.Store
+	// Incremental enables content-hash incremental re-analysis for this
+	// call. With no Session set, an ephemeral session is created per call —
+	// useful only with a persistent summary store wired by the caller via
+	// Session; prefer setting Session directly for in-process reuse. The
+	// flag is implied by a non-nil Session.
+	Incremental bool
+	// Session, when set, carries incremental state (per-page dependency
+	// memos, a cross-run parse cache, optionally a persistent summary
+	// store) across runs: pages whose include closure is byte-identical to
+	// a prior run replay their findings without re-parsing, re-lowering, or
+	// re-checking; only dirtied pages recompute. Requires a resolver that
+	// exposes its sources for hashing (analysis.MapResolver does); other
+	// resolvers silently run cold. Safe to share across concurrent runs.
+	Session *Session
 	// Checker, when set, is the policy checker the run executes on instead
 	// of a fresh one — the long-lived-daemon path: a resident checker keeps
 	// its in-memory fingerprint-keyed verdict memo warm across requests, so
@@ -224,6 +238,11 @@ type AppResult struct {
 	GrammarSlabBytes int64
 	InternHits       int64
 	InternMisses     int64
+	// Incr carries the incremental-reuse counters when the run used a
+	// Session (nil otherwise). Like the cache counters above, these are
+	// observability data: replay changes where results come from, never
+	// what they are.
+	Incr *IncrStats
 }
 
 // Stats renders the run's performance counters (phase wall times and cache
@@ -247,6 +266,13 @@ func (r *AppResult) Stats() string {
 		r.GrammarSlabBytes, r.InternHits, r.InternMisses, internPct)
 	fmt.Fprintf(&b, "budget:          %d steps, %d B peak unit mem, %d degraded hotspots, %d degraded pages\n",
 		r.BudgetSteps, r.BudgetMemHigh, r.DegradedHotspots, r.DegradedPages)
+	if in := r.Incr; in != nil {
+		fmt.Fprintf(&b, "incremental:     %d/%d pages replayed (%.1f%%); %d hotspots replayed, %d re-checked (%.1f%% replay); files %d reused, %d parsed (%.1f%% reuse); summaries %d hits, %d misses\n",
+			in.PagesReplayed, in.PagesReplayed+in.PagesRecomputed, in.PageReplayPct(),
+			in.HotspotsReplayed, in.HotspotsRechecked, in.HotspotReplayPct(),
+			in.FilesReused, in.FilesParsed, in.FileReusePct(),
+			in.SummaryHits, in.SummaryMisses)
+	}
 	return b.String()
 }
 
@@ -336,10 +362,22 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 		MaxSteps:       opts.Budget.MaxSteps,
 		MaxMemBytes:    opts.Budget.MaxMemBytes,
 	}
+	// Incremental mode: hash the project, then serve every page whose
+	// recorded dependency closure is byte-identical from the session memo
+	// (or the persistent summary store) instead of re-analyzing it. inc is
+	// nil on cold runs and when the resolver cannot expose sources.
+	ses := opts.Session
+	if ses == nil && opts.Incremental {
+		ses = NewSession(SessionConfig{})
+	}
+	inc := ses.begin(resolver, entries, opts.Analysis)
+
 	type parseCacheStats interface{ ParseCacheStats() (int64, int64) }
 	var parseHits0, parseMisses0 int64
-	if pc, ok := resolver.(parseCacheStats); ok {
-		parseHits0, parseMisses0 = pc.ParseCacheStats()
+	if inc == nil {
+		if pc, ok := resolver.(parseCacheStats); ok {
+			parseHits0, parseMisses0 = pc.ParseCacheStats()
+		}
 	}
 	arena0 := grammar.ArenaStatsSnapshot()
 
@@ -357,6 +395,21 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, entry := range entries {
+		if inc != nil {
+			if pr, ok := inc.replay(i, entry); ok {
+				// Replayed: the page's dependency closure is byte-identical
+				// to when it was memoized, so its prior outcome is reused
+				// without re-parsing or re-lowering anything. The span exists
+				// only to keep trace/progress totals consistent.
+				psp := p1.Child("page", entry,
+					obs.Attr{Key: "entry", Val: entry},
+					obs.Attr{Key: "replayed", Val: inc.replaySrc[i]})
+				psp.End()
+				tr.PageDone(false)
+				pages[i] = pr
+				continue
+			}
+		}
 		wg.Add(1)
 		go func(i int, entry string) {
 			defer wg.Done()
@@ -372,7 +425,14 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 			// memory limits, but not by HotspotTimeout (a phase 2 knob).
 			pb := budget.New(ctx, budget.Limits{
 				MaxSteps: opts.Budget.MaxSteps, MaxMemBytes: opts.Budget.MaxMemBytes})
-			ar, err := analysis.AnalyzeT(resolver, entry, opts.Analysis, pb, psp)
+			// Dirty pages load through the session's caching resolver behind
+			// a per-page dependency recorder, so their unchanged includes
+			// skip re-parsing and their closure is captured for next run.
+			var pageResolver analysis.Resolver = resolver
+			if inc != nil {
+				pageResolver = inc.recorder(i)
+			}
+			ar, err := analysis.AnalyzeT(pageResolver, entry, opts.Analysis, pb, psp)
 			psp.Count("budget.steps", pb.Steps())
 			psp.Count("budget.mem.high", pb.MemHigh())
 			if err != nil {
@@ -422,6 +482,10 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 	type job struct{ page, slot int }
 	var jobs []job
 	for i := range pages {
+		if inc != nil && inc.replayed[i] {
+			// A replayed page's hotspot verdicts came with it; no checks run.
+			continue
+		}
 		for j := range pages[i].Hotspots {
 			jobs = append(jobs, job{page: i, slot: j})
 		}
@@ -486,7 +550,13 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 	res.VerdictCacheHits, res.VerdictCacheMisses = vh-verdictHits0, vm-verdictMisses0
 	dh, dm := checker.DiskCacheStats()
 	res.DiskCacheHits, res.DiskCacheMisses = dh-diskHits0, dm-diskMisses0
-	if pc, ok := resolver.(parseCacheStats); ok {
+	if inc != nil {
+		// Incremental loads went through the session parse cache, not the
+		// caller's resolver; report that cache's per-run delta under the
+		// same counters.
+		h, m := inc.resolver.ParseCacheStats()
+		res.ParseCacheHits, res.ParseCacheMisses = h-inc.parseHits0, m-inc.parseMiss0
+	} else if pc, ok := resolver.(parseCacheStats); ok {
 		h, m := pc.ParseCacheStats()
 		res.ParseCacheHits, res.ParseCacheMisses = h-parseHits0, m-parseMisses0
 	}
@@ -578,6 +648,9 @@ func AnalyzeAppCtx(ctx context.Context, resolver analysis.Resolver, entries []st
 	})
 	res.Files = len(resolver.Files())
 	res.Lines = totalLines(resolver)
+	if inc != nil {
+		inc.commit(pages, res)
+	}
 	tr.AddFindings(len(res.Findings))
 	return res, nil
 }

@@ -3,6 +3,7 @@ package grammar
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"sort"
 	"sync"
 )
@@ -16,6 +17,11 @@ import (
 // grammars are canonically equal must get the same verdict, so one check
 // serves all of them.
 type Fingerprint [sha256.Size]byte
+
+// Hex renders the fingerprint as lowercase hex — the canonical stable form
+// the persistent caches (verdict store, incremental page summaries) embed
+// in file names and entry bodies.
+func (fp Fingerprint) Hex() string { return hex.EncodeToString(fp[:]) }
 
 // fnv-1a style mixing for the refinement colors.
 const (

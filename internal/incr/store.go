@@ -1,0 +1,308 @@
+package incr
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// FormatVersion is the on-disk page-summary schema version; summaries
+// written by a different schema are ignored. Bump it whenever PageSummary's
+// shape or meaning changes — the same discipline as vcache.FormatVersion.
+const FormatVersion = 1
+
+// PageSummary is one page's persisted analysis outcome: the dependency
+// closure that makes it valid, and everything core needs to replay the
+// page's findings and census byte-identically without re-running either
+// phase. Degraded pages and pages with any analysis-incomplete hotspot are
+// never summarized (a retry could succeed — same rule as the verdict cache).
+type PageSummary struct {
+	Format int    `json:"format"`
+	Tag    string `json:"tag"` // policy version + analysis-options tag
+	Entry  string `json:"entry"`
+
+	// Deps is the recorded include closure; Dynamic marks a page that
+	// resolved a dynamic include against the project layout, whose sorted
+	// path list hashed to Layout at record time.
+	Deps    []DepEntry `json:"deps"`
+	Dynamic bool       `json:"dynamic,omitempty"`
+	Layout  string     `json:"layout,omitempty"`
+
+	// Phase 1 census, summed into the app result on replay.
+	AnalysisTimeNS int64 `json:"analysis_time_ns"`
+	NumNTs         int   `json:"num_nts"`
+	NumProds       int   `json:"num_prods"`
+
+	Hotspots []HotspotSummary `json:"hotspots,omitempty"`
+}
+
+// DepEntry is one serialized dependency.
+type DepEntry struct {
+	Path    string `json:"path"`
+	Hash    string `json:"hash,omitempty"`
+	Missing bool   `json:"missing,omitempty"`
+}
+
+// HotspotSummary is one hotspot's persisted verdict and check census.
+// Report fields mirror policy.Report structurally, exactly as vcache.Report
+// does; the core layer converts.
+type HotspotSummary struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Call    string `json:"call"`
+	Verdict string `json:"verdict"` // "verified" or "vulnerable"
+	// LabeledNTs is the number of labeled nonterminals the cascade examined.
+	LabeledNTs int      `json:"labeled_nts"`
+	Reports    []Report `json:"reports,omitempty"`
+
+	CheckTimeNS   int64 `json:"check_time_ns"`
+	SliceNTs      int   `json:"slice_nts"`
+	SliceProds    int   `json:"slice_prods"`
+	CompactNTs    int   `json:"compact_nts"`
+	CompactProds  int   `json:"compact_prods"`
+	BudgetSteps   int64 `json:"budget_steps,omitempty"`
+	BudgetMemHigh int64 `json:"budget_mem_high,omitempty"`
+}
+
+// Report is one persisted policy report.
+type Report struct {
+	Label   uint8  `json:"label"`
+	Check   int    `json:"check"`
+	Witness string `json:"witness"`
+	Source  string `json:"source,omitempty"`
+}
+
+// StoreStats is a snapshot of a store's traffic counters.
+type StoreStats struct {
+	Hits    int64 // Get found a valid summary
+	Misses  int64 // Get found nothing usable
+	Errors  int64 // unreadable/invalid summaries encountered (subset of Misses)
+	Puts    int64 // summaries buffered
+	Written int64 // summaries flushed to disk
+}
+
+// Store is a page-summary store rooted at one directory. Unlike the
+// content-addressed verdict cache, summaries are keyed by LOCATION (the
+// entry path): an edited page's summary is superseded, not orphaned, so
+// Flush overwrites and the latest run wins. The corruption discipline is
+// vcache's: anything unreadable, truncated, stale, or version-mismatched is
+// a miss that degrades to a cold recompute — never a wrong reuse. All
+// methods are safe for concurrent use and on a nil receiver (nil = no
+// persistence).
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	pending map[string][]byte // entry path → serialized summary awaiting Flush
+
+	hits, misses, errs, puts, written atomic.Int64
+}
+
+// DefaultDir returns the default summary directory,
+// <os.UserCacheDir()>/sqlciv/incr — a sibling of the vcache directory.
+func DefaultDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("incr: no user cache dir: %w", err)
+	}
+	return filepath.Join(base, "sqlciv", "incr"), nil
+}
+
+// Open returns a Store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("incr: %w", err)
+	}
+	return &Store{dir: dir, pending: map[string][]byte{}}, nil
+}
+
+// Dir returns the store's root directory ("" on a nil store).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// path returns the summary file for entry: <dir>/<aa>/<sha256(entry)>.json,
+// sharded like vcache by the first digest byte.
+func (s *Store) path(entry string) string {
+	sum := sha256.Sum256([]byte(entry))
+	hx := hex.EncodeToString(sum[:])
+	return filepath.Join(s.dir, hx[:2], hx+".json")
+}
+
+// Get returns the valid on-disk summary for (entry, tag), if any. Summaries
+// buffered by Put but not yet flushed are not visible. Any invalid summary —
+// wrong schema version, wrong tag (stale policy or analysis options), wrong
+// embedded entry (renamed or corrupted file), malformed JSON or hashes,
+// out-of-range fields — counts as a miss.
+func (s *Store) Get(entry, tag string) (*PageSummary, bool) {
+	if s == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(entry))
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.errs.Add(1)
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	var ps PageSummary
+	if err := json.Unmarshal(data, &ps); err != nil || !valid(&ps, entry, tag) {
+		s.errs.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return &ps, true
+}
+
+// valid vets a decoded summary against its expected identity and value
+// ranges, mirroring vcache's entry validation.
+func valid(ps *PageSummary, entry, tag string) bool {
+	if ps.Format != FormatVersion || ps.Tag != tag || ps.Entry != entry {
+		return false
+	}
+	if ps.AnalysisTimeNS < 0 || ps.NumNTs < 0 || ps.NumProds < 0 {
+		return false
+	}
+	for _, d := range ps.Deps {
+		if d.Path == "" {
+			return false
+		}
+		if d.Missing {
+			if d.Hash != "" {
+				return false
+			}
+			continue
+		}
+		if _, ok := ParseHex(d.Hash); !ok {
+			return false
+		}
+	}
+	if ps.Dynamic {
+		if _, ok := ParseHex(ps.Layout); !ok {
+			return false
+		}
+	}
+	for i := range ps.Hotspots {
+		h := &ps.Hotspots[i]
+		switch h.Verdict {
+		case "verified":
+			if len(h.Reports) != 0 {
+				return false
+			}
+		case "vulnerable":
+			if len(h.Reports) == 0 {
+				return false
+			}
+		default:
+			// VerdictUnknown is never summarized: a degraded check could
+			// succeed on retry, so replaying it would freeze a transient
+			// failure into the findings.
+			return false
+		}
+		if h.LabeledNTs < 0 || h.CheckTimeNS < 0 || h.Line <= 0 ||
+			h.SliceNTs < 0 || h.SliceProds < 0 || h.CompactNTs < 0 || h.CompactProds < 0 {
+			return false
+		}
+		for _, r := range h.Reports {
+			// Replayable reports come from cascade checks 1-4
+			// (analysis-incomplete results are never stored).
+			if r.Check < 1 || r.Check > 4 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Put buffers a summary for its entry. The identity fields (Format, Tag) are
+// filled in here; ps.Entry must already be set. Within one run the last
+// writer wins (each entry is analyzed once per run, so there is no race to
+// tiebreak the way vcache must).
+func (s *Store) Put(tag string, ps *PageSummary) {
+	if s == nil || ps == nil {
+		return
+	}
+	ps.Format = FormatVersion
+	ps.Tag = tag
+	data, err := json.Marshal(ps)
+	if err != nil {
+		s.errs.Add(1)
+		return
+	}
+	s.puts.Add(1)
+	s.mu.Lock()
+	s.pending[ps.Entry] = data
+	s.mu.Unlock()
+}
+
+// Flush writes every pending summary to disk via temp file + rename,
+// OVERWRITING existing files: summaries are location-keyed, so the newest
+// analysis of an entry supersedes the old one. The pending buffer is cleared
+// even on error; the first error is returned.
+func (s *Store) Flush() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	pending := s.pending
+	s.pending = map[string][]byte{}
+	s.mu.Unlock()
+	var first error
+	for entry, data := range pending {
+		if err := s.write(entry, data); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (s *Store) write(entry string, data []byte) error {
+	path := s.path(entry)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("incr: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("incr: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("incr: writing %s: %w", path, errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("incr: %w", err)
+	}
+	s.written.Add(1)
+	return nil
+}
+
+// Close flushes pending summaries.
+func (s *Store) Close() error { return s.Flush() }
+
+// CacheStats returns a snapshot of the store's counters.
+func (s *Store) CacheStats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	return StoreStats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Errors:  s.errs.Load(),
+		Puts:    s.puts.Load(),
+		Written: s.written.Load(),
+	}
+}

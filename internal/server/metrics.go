@@ -195,6 +195,40 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Verdict-store read errors (treated as misses).",
 			func() float64 { return float64(s.store.CacheStats().Errors) })
 	}
+	// Incremental re-analysis: resident sessions and the reuse their page
+	// replays bought (one tier above the verdict caches, which only see the
+	// hotspots that were actually re-checked).
+	r.GaugeFunc("sqlciv_incr_sessions",
+		"Resident incremental sessions (apps kept warm for replay).",
+		func() float64 { return float64(s.sessionCount()) })
+	r.CounterFunc("sqlciv_incr_sessions_evicted_total",
+		"Incremental sessions evicted by the LRU cap or the idle-retention sweep.",
+		func() float64 { return float64(s.sessEvicted.Load()) })
+	r.CounterFunc("sqlciv_incr_files_hashed_total",
+		"Source files content-hashed by incremental runs (every file, every run).",
+		func() float64 { return float64(s.incr.filesHashed.Load()) })
+	r.CounterFunc("sqlciv_incr_files_reused_total",
+		"Parse-tree loads served by the cross-run parse cache.",
+		func() float64 { return float64(s.incr.filesReused.Load()) })
+	r.CounterFunc("sqlciv_incr_files_parsed_total",
+		"Files actually re-parsed by incremental runs (content changed).",
+		func() float64 { return float64(s.incr.filesParsed.Load()) })
+	r.CounterFunc("sqlciv_incr_pages_replayed_total",
+		"Pages whose unchanged dependency closure replayed a memoized outcome.",
+		func() float64 { return float64(s.incr.pagesReplayed.Load()) })
+	r.CounterFunc("sqlciv_incr_pages_recomputed_total",
+		"Pages incremental runs re-analyzed because their closure changed.",
+		func() float64 { return float64(s.incr.pagesRecomputed.Load()) })
+	r.CounterFunc("sqlciv_incr_hotspots_replayed_total",
+		"Hotspot verdicts served by page replay without entering phase 2.",
+		func() float64 { return float64(s.incr.hotspotsReplayed.Load()) })
+	r.CounterFunc("sqlciv_incr_hotspots_rechecked_total",
+		"Hotspot checks incremental runs actually re-ran.",
+		func() float64 { return float64(s.incr.hotspotsRechecked.Load()) })
+	r.GaugeFunc("sqlciv_incr_page_replay_pct",
+		"Percent of incremental pages served by replay instead of recomputation.",
+		func() float64 { return s.incr.pageReplayPct() })
+
 	r.CounterFunc("sqlciv_arena_intern_hits_total",
 		"Terminal-run intern hits in the grammar arena.",
 		func() float64 { return float64(grammar.ArenaStatsSnapshot().InternHits) })

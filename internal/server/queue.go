@@ -212,7 +212,9 @@ func (s *Server) sweepJobs(cutoff time.Time) {
 }
 
 // janitor periodically sweeps finished jobs older than the retention window
-// so the id map cannot grow without bound on a long-running daemon.
+// so the id map cannot grow without bound on a long-running daemon, and
+// idle incremental sessions past theirs (sessions hold a whole app's parse
+// trees and page memos — the daemon's largest resident state).
 func (s *Server) janitor() {
 	defer s.wg.Done()
 	interval := s.cfg.JobRetention / 4
@@ -226,7 +228,9 @@ func (s *Server) janitor() {
 		case <-s.runCtx.Done():
 			return
 		case <-t.C:
-			s.sweepJobs(time.Now().Add(-s.cfg.JobRetention))
+			now := time.Now()
+			s.sweepJobs(now.Add(-s.cfg.JobRetention))
+			s.sweepSessions(now.Add(-s.cfg.SessionRetention))
 		}
 	}
 }
@@ -351,6 +355,12 @@ func (s *Server) analyze(j *Job) (*Response, *apiError) {
 	}
 	opts.Analysis.DisableGuardRefinement = req.Options.NoGuardRefinement
 	opts.Analysis.MagicQuotes = req.Options.MagicQuotes
+	if req.Options.Incremental {
+		// The resident session turns a repeat submission into a hash sweep
+		// plus a delta re-check: unchanged pages replay their memoized
+		// outcome without re-parsing or re-checking anything.
+		opts.Session = s.session(sessionKey(j.tenant, req))
+	}
 
 	resolver := analysis.NewMapResolver(sources)
 	res, err := core.AnalyzeAppCtx(s.runCtx, resolver, entries, opts)
@@ -370,6 +380,9 @@ func (s *Server) analyze(j *Job) (*Response, *apiError) {
 	m.analysisSec.With("string_analysis").Observe(res.StringAnalysisWall.Seconds())
 	m.analysisSec.With("check").Observe(res.CheckWall.Seconds())
 	m.slabBytes.Set(float64(res.GrammarSlabBytes))
+	if res.Incr != nil {
+		s.incr.add(res.Incr)
+	}
 	var xssFindings []xss.Finding
 	if req.Options.XSS {
 		xssFindings, err = xss.Audit(resolver, entries, opts.Analysis)

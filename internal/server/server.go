@@ -71,6 +71,16 @@ type Config struct {
 	// report) stays pollable before the janitor evicts it (default 5m).
 	// Without eviction every completed job would accumulate forever.
 	JobRetention time.Duration
+	// MaxSessions bounds the resident incremental sessions kept for
+	// requests that opt into incremental re-analysis (default 8). Beyond the
+	// cap the least recently used session is evicted; an evicted app's next
+	// submission simply runs cold again.
+	MaxSessions int
+	// SessionRetention is how long an idle incremental session survives
+	// before the janitor sweeps it (default 15m). Sessions hold parse trees
+	// and page memos for a whole application, so idle ones are the largest
+	// resident state the daemon keeps.
+	SessionRetention time.Duration
 	// DefaultTenant configures unnamed and unknown tenants.
 	DefaultTenant Tenant
 	// Tenants configures named tenants (header X-Sqlciv-Tenant).
@@ -123,6 +133,12 @@ func (c Config) withDefaults() Config {
 	if c.JobRetention <= 0 {
 		c.JobRetention = 5 * time.Minute
 	}
+	if c.MaxSessions < 1 {
+		c.MaxSessions = 8
+	}
+	if c.SessionRetention <= 0 {
+		c.SessionRetention = 15 * time.Minute
+	}
 	if c.Tracer == nil {
 		c.Tracer = obs.New()
 	}
@@ -172,6 +188,29 @@ type StatsSnapshot struct {
 	// Latency is the served request-latency distribution by endpoint,
 	// read back from the same histograms /metrics exposes.
 	Latency map[string]LatencyQuantiles `json:"latency,omitempty"`
+	// Incremental is the resident-session census, present once any request
+	// has opted into incremental re-analysis.
+	Incremental *IncrementalStats `json:"incremental,omitempty"`
+}
+
+// IncrementalStats summarizes the daemon's incremental-session tier:
+// resident sessions and the cumulative reuse their replays bought.
+type IncrementalStats struct {
+	Sessions        int   `json:"sessions"`
+	SessionsEvicted int64 `json:"sessions_evicted"`
+	FilesHashed     int64 `json:"files_hashed"`
+	FilesReused     int64 `json:"files_reused"`
+	FilesParsed     int64 `json:"files_parsed"`
+	PagesReplayed   int64 `json:"pages_replayed"`
+	PagesRecomputed int64 `json:"pages_recomputed"`
+	// HotspotsReplayed verdicts were served by page replay without running
+	// phase 2 at all — one tier above the verdict caches, which still see
+	// the re-checked remainder.
+	HotspotsReplayed  int64 `json:"hotspots_replayed"`
+	HotspotsRechecked int64 `json:"hotspots_rechecked"`
+	// PageReplayPct is the fraction of incremental pages served by replay;
+	// a daemon fed single-file edits should sit near 100.
+	PageReplayPct float64 `json:"page_replay_pct"`
 }
 
 // LatencyQuantiles summarizes one endpoint's request-latency histogram.
@@ -203,6 +242,14 @@ type Server struct {
 	jobsMu sync.Mutex
 	jobs   map[string]*Job
 
+	// sessions are the resident incremental sessions (sessions.go), keyed
+	// by tenant + app identity; incr accumulates their per-run reuse
+	// counters for /metrics and /debug/server.
+	sessMu      sync.Mutex
+	sessions    map[string]*residentSession
+	sessEvicted atomic.Int64
+	incr        incrTotals
+
 	nextJob      atomic.Int64
 	nextReq      atomic.Int64
 	submitted    atomic.Int64
@@ -229,14 +276,15 @@ func New(cfg Config) *Server {
 	checker.Disk = cfg.VerdictCache
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		checker: checker,
-		store:   cfg.VerdictCache,
-		tenants: newTenants(cfg.DefaultTenant, cfg.Tenants),
-		queue:   make(chan *Job, cfg.QueueDepth),
-		jobs:    map[string]*Job{},
-		runCtx:  ctx,
-		stopRun: cancel,
+		cfg:      cfg,
+		checker:  checker,
+		store:    cfg.VerdictCache,
+		tenants:  newTenants(cfg.DefaultTenant, cfg.Tenants),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     map[string]*Job{},
+		sessions: map[string]*residentSession{},
+		runCtx:   ctx,
+		stopRun:  cancel,
 	}
 	s.metrics = newServerMetrics(s)
 	s.flight = newFlightRecorder(cfg.FlightRecent, cfg.FlightRetain)
@@ -314,6 +362,7 @@ func (s *Server) Stats() StatsSnapshot {
 		InternSyms:         arena.InternSyms,
 		Tenants:            s.tenants.snapshot(),
 		Latency:            s.latency(),
+		Incremental:        s.incrementalStats(),
 	}
 }
 

@@ -167,6 +167,130 @@ func TestWarmRepeatHitsCache(t *testing.T) {
 	}
 }
 
+// TestIncrementalEditOverWire pins the daemon's incremental acceptance
+// claim: a warm sqlcheckd serves an edit-one-file re-analysis without
+// re-parsing unchanged files — proven by exact incremental counters, not
+// timings — while the served findings stay byte-identical to a cold
+// in-process run over the edited sources.
+func TestIncrementalEditOverWire(t *testing.T) {
+	srv, client := newTestService(t, server.Config{Workers: 1})
+	app := corpus.Tiger()
+	target := app.Entries[0]
+	submit := func(sources map[string]string) *sqlciv.AnalyzeResponse {
+		t.Helper()
+		res, err := client.Analyze(context.Background(), &sqlciv.AnalyzeRequest{
+			Sources: sources, Entries: app.Entries,
+			Options: sqlciv.AnalyzeRequestOptions{Incremental: true},
+		})
+		if err != nil {
+			t.Fatalf("incremental Analyze(%s): %v", app.Name, err)
+		}
+		return res
+	}
+
+	cold := submit(app.Sources)
+	if cold.Stats.IncrPagesRecomputed != int64(len(app.Entries)) || cold.Stats.IncrPagesReplayed != 0 {
+		t.Fatalf("cold fill recomputed %d / replayed %d pages, want %d / 0",
+			cold.Stats.IncrPagesRecomputed, cold.Stats.IncrPagesReplayed, len(app.Entries))
+	}
+
+	mutated := make(map[string]string, len(app.Sources))
+	for k, v := range app.Sources {
+		mutated[k] = v
+	}
+	mutated[target] += "<!-- edited -->\n"
+	warm := submit(mutated)
+
+	// The edited file is an entry page no other page includes: exactly one
+	// page recomputes, every other page replays, and the recompute re-parses
+	// only the edited file (its unchanged includes come from the session's
+	// parse cache).
+	if warm.Stats.IncrPagesRecomputed != 1 {
+		t.Errorf("edit recomputed %d pages, want exactly 1", warm.Stats.IncrPagesRecomputed)
+	}
+	if warm.Stats.IncrPagesReplayed != int64(len(app.Entries)-1) {
+		t.Errorf("edit replayed %d pages, want %d", warm.Stats.IncrPagesReplayed, len(app.Entries)-1)
+	}
+	if warm.Stats.IncrFilesParsed != 1 {
+		t.Errorf("edit re-parsed %d files, want exactly 1 (the edited file)", warm.Stats.IncrFilesParsed)
+	}
+	if warm.Stats.IncrHotspotsReplayed == 0 {
+		t.Error("edit replayed no hotspot verdicts")
+	}
+
+	// Replay must not cost fidelity: the served payload reconstructs the
+	// cold in-process run over the same edited sources exactly.
+	res, err := core.AnalyzeAppCtx(context.Background(),
+		analysis.NewMapResolver(mutated), app.Entries, core.Options{})
+	if err != nil {
+		t.Fatalf("reference AnalyzeAppCtx: %v", err)
+	}
+	assertSame(t, app.Name+"/incr-edit", res, warm, true)
+
+	// The reuse is visible on the operational surfaces too: /debug/server's
+	// incremental section and the sqlciv_incr_* metrics series.
+	st := srv.Stats()
+	if st.Incremental == nil {
+		t.Fatal("server stats carry no incremental section after incremental jobs")
+	}
+	if st.Incremental.Sessions != 1 {
+		t.Errorf("resident sessions = %d, want 1", st.Incremental.Sessions)
+	}
+	if st.Incremental.PagesReplayed != warm.Stats.IncrPagesReplayed {
+		t.Errorf("server pages_replayed = %d, want %d",
+			st.Incremental.PagesReplayed, warm.Stats.IncrPagesReplayed)
+	}
+	if st.Incremental.FilesParsed != cold.Stats.IncrFilesParsed+warm.Stats.IncrFilesParsed {
+		t.Errorf("server files_parsed = %d, want %d",
+			st.Incremental.FilesParsed, cold.Stats.IncrFilesParsed+warm.Stats.IncrFilesParsed)
+	}
+	snap := srv.MetricsSnapshot()
+	if got := snap["sqlciv_incr_pages_replayed_total"]; got != float64(warm.Stats.IncrPagesReplayed) {
+		t.Errorf("sqlciv_incr_pages_replayed_total = %v, want %d", got, warm.Stats.IncrPagesReplayed)
+	}
+	if got := snap["sqlciv_incr_sessions"]; got != 1 {
+		t.Errorf("sqlciv_incr_sessions = %v, want 1", got)
+	}
+	if got := snap["sqlciv_incr_page_replay_pct"]; got <= 0 {
+		t.Errorf("sqlciv_incr_page_replay_pct = %v, want > 0", got)
+	}
+}
+
+// TestIncrementalSessionEviction pins the session bound: with MaxSessions=1
+// a second app evicts the first, whose next submission runs cold again —
+// eviction costs warmth, never correctness.
+func TestIncrementalSessionEviction(t *testing.T) {
+	srv, client := newTestService(t, server.Config{Workers: 1, MaxSessions: 1})
+	submit := func(app *corpus.App) *sqlciv.AnalyzeResponse {
+		t.Helper()
+		res, err := client.Analyze(context.Background(), &sqlciv.AnalyzeRequest{
+			Sources: app.Sources, Entries: app.Entries,
+			Options: sqlciv.AnalyzeRequestOptions{Incremental: true},
+		})
+		if err != nil {
+			t.Fatalf("incremental Analyze(%s): %v", app.Name, err)
+		}
+		return res
+	}
+	first, second := corpus.Warp(), corpus.EVE()
+	submit(first)
+	submit(second) // evicts first's session under the cap of 1
+	again := submit(first)
+	if again.Stats.IncrPagesReplayed != 0 {
+		t.Errorf("evicted app replayed %d pages, want 0 (cold rebuild)", again.Stats.IncrPagesReplayed)
+	}
+	st := srv.Stats()
+	if st.Incremental == nil {
+		t.Fatal("no incremental section")
+	}
+	if st.Incremental.Sessions != 1 {
+		t.Errorf("resident sessions = %d, want 1 under MaxSessions=1", st.Incremental.Sessions)
+	}
+	if st.Incremental.SessionsEvicted < 2 {
+		t.Errorf("sessions evicted = %d, want >= 2", st.Incremental.SessionsEvicted)
+	}
+}
+
 // TestServedXSS checks the optional XSS audit travels the wire and matches
 // the library audit.
 func TestServedXSS(t *testing.T) {

@@ -60,6 +60,13 @@ type RequestOptions struct {
 	// XSS also audits every entry page's HTML output for cross-site
 	// scripting.
 	XSS bool `json:"xss,omitempty"`
+	// Incremental routes the job through a resident incremental session
+	// keyed by (tenant, app identity): pages whose include closure is
+	// byte-identical to the previous submission replay their prior outcome
+	// instead of re-parsing, re-lowering, and re-checking. Findings stay
+	// byte-identical to a cold run; the response's incr_* stats report the
+	// reuse.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // RequestBudget is budget.Limits in wire-friendly milliseconds.
@@ -199,6 +206,16 @@ type Stats struct {
 	GrammarSlabBytes     int64 `json:"grammar_slab_bytes"`
 	InternHits           int64 `json:"intern_hits"`
 	InternMisses         int64 `json:"intern_misses"`
+	// Incremental-session counters, present only when the request opted into
+	// incremental re-analysis (omitempty keeps non-incremental payloads —
+	// and the golden fixtures — unchanged).
+	IncrFilesHashed       int64 `json:"incr_files_hashed,omitempty"`
+	IncrFilesReused       int64 `json:"incr_files_reused,omitempty"`
+	IncrFilesParsed       int64 `json:"incr_files_parsed,omitempty"`
+	IncrPagesReplayed     int64 `json:"incr_pages_replayed,omitempty"`
+	IncrPagesRecomputed   int64 `json:"incr_pages_recomputed,omitempty"`
+	IncrHotspotsReplayed  int64 `json:"incr_hotspots_replayed,omitempty"`
+	IncrHotspotsRechecked int64 `json:"incr_hotspots_rechecked,omitempty"`
 	// Pages and HotspotsChecked are the run's deterministic unit census
 	// (unlike the timings above): entry pages analyzed and hotspot checks
 	// executed, degraded units included.
@@ -274,6 +291,15 @@ func responseFromResult(res *core.AppResult, xssFindings []xss.Finding, exposeSp
 			Pages:                len(res.Pages),
 			HotspotsChecked:      res.HotspotsChecked(),
 		},
+	}
+	if in := res.Incr; in != nil {
+		out.Stats.IncrFilesHashed = in.FilesHashed
+		out.Stats.IncrFilesReused = in.FilesReused
+		out.Stats.IncrFilesParsed = in.FilesParsed
+		out.Stats.IncrPagesReplayed = in.PagesReplayed
+		out.Stats.IncrPagesRecomputed = in.PagesRecomputed
+		out.Stats.IncrHotspotsReplayed = in.HotspotsReplayed
+		out.Stats.IncrHotspotsRechecked = in.HotspotsRechecked
 	}
 	for _, f := range res.Findings {
 		wf := findingFromCore(f)

@@ -28,7 +28,6 @@
 package vcache
 
 import (
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -115,7 +114,7 @@ func (s *Store) Dir() string {
 
 // path returns the entry file for fp.
 func (s *Store) path(fp grammar.Fingerprint) string {
-	hx := hex.EncodeToString(fp[:])
+	hx := fp.Hex()
 	return filepath.Join(s.dir, hx[:2], hx+".json")
 }
 
@@ -148,7 +147,7 @@ func (s *Store) Get(fp grammar.Fingerprint, tag string) (*Entry, bool) {
 
 // valid vets a decoded entry against its expected identity and value ranges.
 func (s *Store) valid(e *Entry, fp grammar.Fingerprint, tag string) bool {
-	if e.Format != FormatVersion || e.Tag != tag || e.FP != hex.EncodeToString(fp[:]) {
+	if e.Format != FormatVersion || e.Tag != tag || e.FP != fp.Hex() {
 		return false
 	}
 	switch e.Verdict {
@@ -187,7 +186,7 @@ func (s *Store) Put(fp grammar.Fingerprint, tag string, e *Entry) {
 	}
 	e.Format = FormatVersion
 	e.Tag = tag
-	e.FP = hex.EncodeToString(fp[:])
+	e.FP = fp.Hex()
 	data, err := json.Marshal(e)
 	if err != nil {
 		s.errs.Add(1)
