@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-classes bench-diff bench-mem bench-server bench-incremental trace-smoke fuzz-smoke daemon-smoke metrics-smoke
+.PHONY: build test check bench bench-classes bench-diff bench-mem bench-server bench-incremental bench-enforce bench-enforce-diff trace-smoke fuzz-smoke daemon-smoke metrics-smoke
 
 # Each fuzz target gets a short randomized burn beyond its seed corpus.
 FUZZ_TIME ?= 30s
@@ -12,7 +12,8 @@ FUZZ_TARGETS = \
 	FuzzAnalyze:./internal/analysis \
 	FuzzIntersect:./internal/grammar \
 	FuzzByteClasses:./internal/rx \
-	FuzzServerRequest:./internal/server
+	FuzzServerRequest:./internal/server \
+	FuzzPackLoad:./internal/enforce
 
 build:
 	$(GO) build ./...
@@ -101,6 +102,29 @@ bench-server:
 bench-incremental:
 	$(GO) test -run '^$$' -bench 'BenchmarkIncremental' -benchtime 5x . \
 		| $(GO) run ./cmd/benchjson -o BENCH_incremental.json
+
+# bench-enforce measures the runtime enforcement engine: queries/sec through
+# the zero-alloc pack matcher (target ≥1M/s single-core), ns per query byte,
+# serialized pack size, and the false-block rate over the legit witness
+# corpus (must be 0 — the pack language over-approximates each hotspot's
+# derived language). BenchmarkEnforceCompile adds the pack-compilation cost
+# itself. Records to BENCH_enforcement.json; the EXPERIMENTS.md enforcement
+# table comes from this file.
+bench-enforce:
+	$(GO) test -run '^$$' -bench 'BenchmarkEnforce' -benchtime 2s -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_enforcement.json
+
+# bench-enforce-diff is the zero-alloc ratchet: re-bench the matcher into
+# BENCH_enforce_new.json (not committed) and diff against the committed
+# BENCH_enforcement.json baseline. allocs/op has a zero baseline, which
+# benchdiff ratchets absolutely — any allocation on the enforcement hot path
+# fails CI regardless of band. queries/s is deliberately not ratcheted
+# (wall-clock noise); ns/op gets the usual loose band.
+bench-enforce-diff:
+	$(GO) test -run '^$$' -bench 'BenchmarkEnforceMatch' -benchtime 2s -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_enforce_new.json
+	$(GO) run ./cmd/benchdiff -metrics 'ns/op:50,B/op:0,allocs/op:0' -o bench-enforce-diff.json \
+		BENCH_enforcement.json BENCH_enforce_new.json
 
 # daemon-smoke is the end-to-end service check: start sqlcheckd on a
 # loopback port with a throwaway verdict-cache dir, submit a corpus subject

@@ -201,3 +201,47 @@ func (c *Client) ServerStats(ctx context.Context) (*ServerStats, error) {
 	}
 	return &out, nil
 }
+
+// Pack submits an application via POST /v1/pack and returns the compiled
+// runtime policy pack bytes (load them with sqlciv/enforce or write them
+// to disk for cmd/sqlguard). The daemon forces emit_pack on, so req need
+// not set it. The pack's coverage summary rides the X-Sqlciv-Pack-*
+// response headers; for the full stats alongside the findings use Analyze
+// with Options.EmitPack instead.
+func (c *Client) Pack(ctx context.Context, req *AnalyzeRequest) ([]byte, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("sqlcheckd client: encode: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/pack", bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("sqlcheckd client: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if c.Tenant != "" {
+		hreq.Header.Set(server.TenantHeader, c.Tenant)
+	}
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("sqlcheckd client: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, fmt.Errorf("sqlcheckd client: read: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Status: resp.StatusCode, Code: "unknown", Message: string(body)}
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(body, &env) == nil && env.Error.Code != "" {
+			apiErr.Code, apiErr.Message = env.Error.Code, env.Error.Message
+		}
+		return nil, apiErr
+	}
+	return body, nil
+}

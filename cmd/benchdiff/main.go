@@ -19,8 +19,11 @@
 // are reported but never fail the diff — adding or renaming a benchmark
 // should not break the ratchet. A benchmark lacking a tracked metric on
 // either side is skipped for that metric (not every benchmark reports every
-// census counter). -o writes the full comparison as JSON (the CI job uploads
-// it as an artifact); the human-readable table always prints to stdout.
+// census counter). A zero baseline ratchets absolutely: when the old value
+// is 0 (e.g. allocs/op on a zero-alloc hot path) any nonzero new value fails
+// regardless of the band. -o writes the full comparison as JSON (the CI job
+// uploads it as an artifact); the human-readable table always prints to
+// stdout.
 //
 // Single-digit-iteration bench runs are noisy on wall-clock, so the default
 // ns/op threshold is deliberately loose: that ratchet exists to catch
@@ -187,8 +190,13 @@ func main() {
 				r.Old, r.New = ov, nv
 				if ov != 0 {
 					r.DeltaPct = 100 * (nv - ov) / ov
+					r.Regressed = r.DeltaPct > spec.MaxRegressPct
+				} else if nv > 0 {
+					// A zero baseline is an absolute claim (allocs/op on a
+					// zero-alloc hot path): no percentage band can express
+					// "stay at zero", so any nonzero new value regresses.
+					r.Regressed = true
 				}
-				r.Regressed = r.DeltaPct > spec.MaxRegressPct
 				mark := ""
 				if r.Regressed {
 					mark = "  REGRESSED"

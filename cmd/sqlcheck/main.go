@@ -97,6 +97,7 @@ func run() int {
 	incrDir := flag.String("incr-dir", "", "persistent page-summary directory for -incremental (default: a sqlciv dir under the user cache dir)")
 	watch := flag.Bool("watch", false, "keep running, re-checking the directory whenever a file's content hash changes (implies -incremental)")
 	watchInterval := flag.Duration("watch-interval", 2*time.Second, "poll interval for -watch")
+	emitPack := flag.String("emit-pack", "", "after analysis, compile the per-hotspot query languages into a runtime policy pack at this path (enforce with cmd/sqlguard)")
 	flag.Var(&entries, "entry", "top-level page (repeatable)")
 	flag.Parse()
 
@@ -206,6 +207,10 @@ func run() int {
 	opts.Tracer = tracer
 
 	if *table1 {
+		if *emitPack != "" {
+			fmt.Fprintln(os.Stderr, "sqlcheck: -emit-pack needs an application directory, not -table1")
+			return 2
+		}
 		runTable1(opts, *stats)
 		return 0
 	}
@@ -230,6 +235,19 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlcheck:", err)
 		return 1
+	}
+	if *emitPack != "" {
+		data, pstats, err := core.BuildPack(res, core.PackOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sqlcheck: emit-pack:", err)
+			return 1
+		}
+		if err := os.WriteFile(*emitPack, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sqlcheck: emit-pack:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "sqlcheck: wrote policy pack %s: %d hotspots (%d verified, %d unavailable), %d automaton states, %d bytes\n",
+			*emitPack, pstats.Hotspots, pstats.Verified, pstats.Unavailable, pstats.States, pstats.PackBytes)
 	}
 	bad := !res.Verified()
 	var xssFindings []xss.Finding

@@ -1,0 +1,172 @@
+// Command sqlguard enforces a sqlciv policy pack at runtime: it checks SQL
+// queries against the statically-derived per-hotspot query languages and
+// blocks, flags, or logs anything the application's source cannot emit.
+//
+// Usage:
+//
+//	sqlguard -pack app.pack -list                      print the hotspot index
+//	sqlguard -pack app.pack -hotspot page.php:3        filter stdin queries,
+//	                                                   one per line
+//	sqlguard -pack app.pack                            filter stdin lines of
+//	                                                   the form "hotspot<TAB>query"
+//	sqlguard -pack app.pack -http localhost:8844       serve POST /v1/check
+//
+// Modes (-mode): "block" (default) passes only in-language queries to
+// stdout and rejects the rest; "flag" passes everything but annotates
+// out-of-language queries on stderr; "log" passes everything and logs every
+// decision. Unknown hotspot keys and hotspots whose automaton could not be
+// compiled fail closed: their queries are out-of-language by definition.
+//
+// In block mode the exit status is 1 when anything was blocked — usable as
+// a corpus gate in CI. The same engine embeds as a library via
+// sqlciv/enforce (Guard, net/http Middleware) with zero allocations per
+// in-language check.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"sqlciv/enforce"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	packPath := flag.String("pack", "", "policy pack file (from sqlcheck -emit-pack or sqlcheckd GET /v1/pack)")
+	modeStr := flag.String("mode", "block", "what to do with out-of-language queries: block, flag, or log")
+	hotspot := flag.String("hotspot", "", "check every stdin line against this hotspot key (file:line); without it, lines are \"hotspot<TAB>query\"")
+	list := flag.Bool("list", false, "print the pack's hotspot index and exit")
+	httpAddr := flag.String("http", "", "serve POST /v1/check {\"hotspot\":...,\"query\":...} on this address instead of filtering stdin")
+	quiet := flag.Bool("quiet", false, "suppress the per-query decision log on stderr")
+	flag.Parse()
+
+	if *packPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: sqlguard -pack app.pack [-mode block|flag|log] [-hotspot file:line] [-list] [-http addr]")
+		return 2
+	}
+	mode, err := enforce.ParseMode(*modeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlguard:", err)
+		return 2
+	}
+	pack, err := enforce.Open(*packPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlguard:", err)
+		return 1
+	}
+	defer pack.Close()
+
+	if *list {
+		for _, key := range pack.Keys() {
+			m, _ := pack.Hotspot(key)
+			status := "enforced"
+			if !m.Available() {
+				status = "unavailable (fails closed)"
+			}
+			verified := ""
+			if m.Verified() {
+				verified = " verified"
+			}
+			fmt.Printf("%-40s %4d states %3d classes  %s%s\n", key, m.NumStates(), m.NumClasses(), status, verified)
+		}
+		return 0
+	}
+
+	guard := enforce.NewGuard(pack, mode)
+	if !*quiet {
+		guard.Log = func(d enforce.Decision) {
+			action := "BLOCK"
+			if d.Allowed {
+				action = "FLAG"
+			}
+			fmt.Fprintf(os.Stderr, "sqlguard: %s %s: %s\n", action, d.Hotspot, d.Reason)
+		}
+	}
+
+	if *httpAddr != "" {
+		return serveHTTP(*httpAddr, guard)
+	}
+	return filterStdin(guard, *hotspot, mode)
+}
+
+// filterStdin checks one query per stdin line (or "hotspot<TAB>query" when
+// no fixed -hotspot is set): allowed queries pass through to stdout, and in
+// block mode the exit status reports whether anything was rejected.
+func filterStdin(guard *enforce.Guard, fixedHotspot string, mode enforce.Mode) int {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	var total, rejected, flagged int
+	for sc.Scan() {
+		line := sc.Text()
+		key, query := fixedHotspot, line
+		if key == "" {
+			var ok bool
+			key, query, ok = strings.Cut(line, "\t")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "sqlguard: malformed line (want \"hotspot<TAB>query\"): %q\n", line)
+				rejected++
+				continue
+			}
+		}
+		total++
+		d := guard.CheckString(key, query)
+		if !d.Allowed {
+			rejected++
+			continue
+		}
+		if d.Flagged {
+			flagged++
+		}
+		fmt.Fprintln(out, query)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "sqlguard:", err)
+		return 1
+	}
+	out.Flush()
+	fmt.Fprintf(os.Stderr, "sqlguard: %d queries, %d blocked, %d flagged (mode %s)\n", total, rejected, flagged, mode)
+	if mode == enforce.ModeBlock && rejected > 0 {
+		return 1
+	}
+	return 0
+}
+
+// serveHTTP exposes the guard as a tiny check service: POST /v1/check with
+// {"hotspot": "file:line", "query": "..."} returns the Decision as JSON.
+// The middleware embedding (sqlciv/enforce.Middleware) is the in-process
+// variant of the same surface.
+func serveHTTP(addr string, guard *enforce.Guard) int {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/check", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Hotspot string `json:"hotspot"`
+			Query   string `json:"query"`
+		}
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		d := guard.CheckString(req.Hotspot, req.Query)
+		w.Header().Set("Content-Type", "application/json")
+		if !d.Allowed {
+			w.WriteHeader(http.StatusForbidden)
+		}
+		json.NewEncoder(w).Encode(d)
+	})
+	fmt.Fprintf(os.Stderr, "sqlguard: serving POST /v1/check on %s (mode %s)\n", addr, guard.Mode())
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "sqlguard:", err)
+		return 1
+	}
+	return 0
+}

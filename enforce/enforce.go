@@ -1,0 +1,248 @@
+// Package enforce is the runtime enforcement surface of sqlciv: load a
+// policy pack compiled by the static analyzer (`sqlcheck -emit-pack`,
+// sqlcheckd's GET /v1/pack, or sqlciv.BuildPack) and check live SQL
+// against each hotspot's statically-derived query language in
+// O(len(query)) with zero allocations per check.
+//
+// The pack's language is a sound over-approximation of everything the
+// application can legitimately emit, so legitimate traffic is never
+// blocked; a query outside the language is one the application's source
+// cannot produce — the signature of an injection.
+//
+// Three layers are provided: Matcher (raw membership), Guard (block /
+// flag / log policy with fail-closed handling of unknown hotspots), and
+// Middleware (net/http decoration for HTTP-fronted database proxies).
+// cmd/sqlguard wraps the same Guard as a stdin filter and check server.
+package enforce
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	ienforce "sqlciv/internal/enforce"
+)
+
+// Pack is a loaded policy pack: one enforcement automaton per hotspot,
+// keyed by "file:line". Immutable and safe for concurrent use.
+type Pack = ienforce.Pack
+
+// Matcher answers membership in one hotspot's query language with zero
+// allocations per check.
+type Matcher = ienforce.Matcher
+
+// LoadError is the structured rejection of a malformed pack; loading
+// always fails closed, never panics.
+type LoadError = ienforce.LoadError
+
+// Load validates serialized pack bytes. The data is aliased, not copied.
+func Load(data []byte) (*Pack, error) { return ienforce.Load(data) }
+
+// Open memory-maps (on Linux) or reads a pack file and validates it.
+func Open(path string) (*Pack, error) { return ienforce.Open(path) }
+
+// Mode selects what a Guard does with a query outside the derived
+// language.
+type Mode int
+
+const (
+	// ModeBlock rejects out-of-language queries (Decision.Allowed=false).
+	ModeBlock Mode = iota
+	// ModeFlag lets them pass but marks the decision — the canary
+	// deployment mode.
+	ModeFlag
+	// ModeLog only reports; like ModeFlag but intended for sinks that
+	// record every decision.
+	ModeLog
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBlock:
+		return "block"
+	case ModeFlag:
+		return "flag"
+	case ModeLog:
+		return "log"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses "block", "flag", or "log".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "block":
+		return ModeBlock, nil
+	case "flag":
+		return ModeFlag, nil
+	case "log":
+		return ModeLog, nil
+	}
+	return 0, fmt.Errorf("enforce: unknown mode %q (want block, flag, or log)", s)
+}
+
+// Reasons a query is outside the enforced language.
+const (
+	// ReasonOutsideLanguage: the automaton rejected the query — the
+	// application's source cannot emit it.
+	ReasonOutsideLanguage = "outside-language"
+	// ReasonUnknownHotspot: the pack has no entry for the hotspot key.
+	// Fail closed: an unknown site has no derived language to hide in.
+	ReasonUnknownHotspot = "unknown-hotspot"
+	// ReasonUnavailable: the hotspot is in the pack but its automaton
+	// could not be compiled (degraded analysis or approximation caps).
+	ReasonUnavailable = "automaton-unavailable"
+)
+
+// Decision is the outcome of one query check.
+type Decision struct {
+	Hotspot string `json:"hotspot"`
+	// InLanguage reports raw membership in the derived query language.
+	InLanguage bool `json:"in_language"`
+	// Allowed is the guard's action after applying its mode: in ModeBlock
+	// it equals InLanguage, in ModeFlag/ModeLog it is always true.
+	Allowed bool `json:"allowed"`
+	// Flagged marks out-of-language queries that were let through by a
+	// non-blocking mode.
+	Flagged bool `json:"flagged,omitempty"`
+	// Reason is empty for in-language queries, else one of the Reason*
+	// constants.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Guard applies a pack plus a mode to a stream of queries. The zero-cost
+// path (in-language query, no Log sink) performs no allocations.
+type Guard struct {
+	pack *Pack
+	mode Mode
+	// Log, when set, receives every decision for an out-of-language
+	// query (blocked or flagged). It runs synchronously on the checking
+	// goroutine.
+	Log func(Decision)
+}
+
+// NewGuard returns a Guard enforcing pack under mode.
+func NewGuard(pack *Pack, mode Mode) *Guard { return &Guard{pack: pack, mode: mode} }
+
+// Mode reports the guard's mode.
+func (g *Guard) Mode() Mode { return g.mode }
+
+// Pack returns the guarded pack.
+func (g *Guard) Pack() *Pack { return g.pack }
+
+// CheckString decides one query against one hotspot key.
+func (g *Guard) CheckString(hotspot, query string) Decision {
+	m, known := g.pack.Hotspot(hotspot)
+	d := Decision{Hotspot: hotspot}
+	switch {
+	case !known:
+		d.Reason = ReasonUnknownHotspot
+	case !m.Available():
+		d.Reason = ReasonUnavailable
+	case m.MatchString(query):
+		d.InLanguage = true
+		d.Allowed = true
+		return d
+	default:
+		d.Reason = ReasonOutsideLanguage
+	}
+	// Out of language: block or wave through flagged.
+	if g.mode != ModeBlock {
+		d.Allowed = true
+		d.Flagged = true
+	}
+	if g.Log != nil {
+		g.Log(d)
+	}
+	return d
+}
+
+// Check is CheckString on raw query bytes.
+func (g *Guard) Check(hotspot string, query []byte) Decision {
+	m, known := g.pack.Hotspot(hotspot)
+	d := Decision{Hotspot: hotspot}
+	switch {
+	case !known:
+		d.Reason = ReasonUnknownHotspot
+	case !m.Available():
+		d.Reason = ReasonUnavailable
+	case m.Match(query):
+		d.InLanguage = true
+		d.Allowed = true
+		return d
+	default:
+		d.Reason = ReasonOutsideLanguage
+	}
+	if g.mode != ModeBlock {
+		d.Allowed = true
+		d.Flagged = true
+	}
+	if g.Log != nil {
+		g.Log(d)
+	}
+	return d
+}
+
+// Default header names the middleware reads when no extractors are
+// configured: the hotspot key and the SQL text of the statement the
+// request wants to run.
+const (
+	HeaderHotspot = "X-Sqlciv-Hotspot"
+	HeaderQuery   = "X-Sqlciv-Query"
+)
+
+// MiddlewareConfig wires a Guard into an http.Handler chain — the shape
+// of an HTTP-fronted database proxy, where each request names the query
+// it wants executed.
+type MiddlewareConfig struct {
+	Guard *Guard
+	// Hotspot extracts the hotspot key from the request; defaults to the
+	// X-Sqlciv-Hotspot header.
+	Hotspot func(*http.Request) string
+	// Query extracts the SQL text; defaults to the X-Sqlciv-Query header,
+	// falling back to the "query" form value.
+	Query func(*http.Request) string
+	// OnBlock handles blocked requests; defaults to a 403 with the
+	// Decision as JSON.
+	OnBlock func(http.ResponseWriter, *http.Request, Decision)
+}
+
+// Middleware returns next decorated with query enforcement: the guard
+// checks the request's (hotspot, query) pair and either forwards the
+// request (in-language, or out-of-language under flag/log mode — flagged
+// requests gain an X-Sqlciv-Flagged header with the reason) or invokes
+// OnBlock.
+func Middleware(cfg MiddlewareConfig, next http.Handler) http.Handler {
+	hotspot := cfg.Hotspot
+	if hotspot == nil {
+		hotspot = func(r *http.Request) string { return r.Header.Get(HeaderHotspot) }
+	}
+	query := cfg.Query
+	if query == nil {
+		query = func(r *http.Request) string {
+			if q := r.Header.Get(HeaderQuery); q != "" {
+				return q
+			}
+			return r.FormValue("query")
+		}
+	}
+	onBlock := cfg.OnBlock
+	if onBlock == nil {
+		onBlock = func(w http.ResponseWriter, r *http.Request, d Decision) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusForbidden)
+			json.NewEncoder(w).Encode(d)
+		}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := cfg.Guard.CheckString(hotspot(r), query(r))
+		if !d.Allowed {
+			onBlock(w, r, d)
+			return
+		}
+		if d.Flagged {
+			w.Header().Set("X-Sqlciv-Flagged", d.Reason)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"sqlciv/internal/enforce"
+	"sqlciv/internal/policy"
+)
+
+// PackOptions configures policy-pack compilation from an analysis run.
+type PackOptions struct {
+	// Caps bounds the grammar→automaton approximation per hotspot; zero
+	// fields take the enforce package defaults.
+	Caps enforce.ApproxCaps
+}
+
+// PackStats reports what a compiled pack covers.
+type PackStats = enforce.CompileStats
+
+// PackEntries derives the per-hotspot enforcement automata from a
+// completed run: for every hotspot (keyed "file:line", merged across
+// pages that share a site), the minimized byte-class automaton of a sound
+// over-approximation of its query language. Hotspots on degraded pages,
+// and hotspots whose automaton exceeds the approximation caps, get a nil
+// automaton — the pack records them as unavailable and the runtime fails
+// closed on their traffic. A hotspot is marked verified only when every
+// page reaching it got a VerdictVerified from the cascade.
+func PackEntries(res *AppResult, opts PackOptions) []enforce.BuildEntry {
+	type site struct {
+		slices   []enforce.GrammarSlice
+		verified bool
+		degraded bool
+	}
+	sites := map[string]*site{}
+	var order []string
+	for pi := range res.Pages {
+		pr := &res.Pages[pi]
+		for hi := range pr.Hotspots {
+			hr := &pr.Hotspots[hi]
+			key := fmt.Sprintf("%s:%d", hr.File, hr.Line)
+			st := sites[key]
+			if st == nil {
+				st = &site{verified: true}
+				sites[key] = st
+				order = append(order, key)
+			}
+			if pr.Degraded != nil || pr.Analysis == nil || pr.Analysis.G == nil {
+				st.degraded = true
+			} else {
+				st.slices = append(st.slices, enforce.GrammarSlice{G: pr.Analysis.G, Root: hr.Root})
+			}
+			if hr.Policy == nil || hr.Policy.Verdict != policy.VerdictVerified {
+				st.verified = false
+			}
+		}
+	}
+	entries := make([]enforce.BuildEntry, 0, len(order))
+	for _, key := range order {
+		st := sites[key]
+		e := enforce.BuildEntry{Key: key, Verified: st.verified}
+		if !st.degraded && len(st.slices) > 0 {
+			if c, ok := enforce.BuildAutomaton(st.slices, opts.Caps); ok {
+				e.Automaton = c
+			}
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// BuildPack compiles the run's hotspot languages into a serialized policy
+// pack (see internal/enforce for the format). The resulting bytes are
+// what `sqlcheck -emit-pack`, sqlcheckd's GET /v1/pack, and cmd/sqlguard
+// exchange.
+func BuildPack(res *AppResult, opts PackOptions) ([]byte, PackStats, error) {
+	return enforce.Compile(PackEntries(res, opts))
+}

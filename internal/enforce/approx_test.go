@@ -1,0 +1,115 @@
+package enforce
+
+import (
+	"testing"
+
+	"sqlciv/internal/grammar"
+)
+
+// testGrammar builds S -> "SELECT '" V "'" ; V -> V "x" | "" — a loop the
+// flattening must collapse soundly.
+func testGrammar(t *testing.T) (*grammar.Grammar, grammar.Sym) {
+	t.Helper()
+	g := grammar.New()
+	s := g.NewNT("S")
+	v := g.NewNT("V")
+	pre := grammar.TermString("SELECT '")
+	g.Add(s, append(append([]grammar.Sym{}, pre...), v, grammar.T('\''))...)
+	g.Add(v, v, grammar.T('x'))
+	g.Add(v)
+	g.SetStart(s)
+	return g, s
+}
+
+// TestApproximateSoundness: the flattened automaton accepts every string
+// the grammar derives (L(NFA) ⊇ L(G)) — the property the zero-false-block
+// guarantee rests on.
+func TestApproximateSoundness(t *testing.T) {
+	g, s := testGrammar(t)
+	c, ok := BuildAutomaton([]GrammarSlice{{G: g, Root: s}}, ApproxCaps{})
+	if !ok {
+		t.Fatal("BuildAutomaton failed on a tiny grammar")
+	}
+	for _, q := range g.Enumerate(s, 40, 200) {
+		if !g.DerivesString(s, q) {
+			t.Fatalf("Enumerate produced %q which Earley rejects", q)
+		}
+		if !c.AcceptsString(q) {
+			t.Fatalf("approximation rejects derivable query %q", q)
+		}
+	}
+	// And it is not trivially Σ*: queries that break the quoting must be
+	// rejected by this grammar's approximation.
+	for _, q := range []string{"", "DROP TABLE t", "SELECT ''; --", "SELECT 'x' OR '1'='1'"} {
+		if c.AcceptsString(q) {
+			t.Errorf("approximation accepts %q, expected outside the language", q)
+		}
+	}
+}
+
+// TestApproximateMutualRecursion exercises ε-productions and mutual
+// recursion in the flattening.
+func TestApproximateMutualRecursion(t *testing.T) {
+	g := grammar.New()
+	a := g.NewNT("A")
+	b := g.NewNT("B")
+	g.Add(a, grammar.T('('), b, grammar.T(')'))
+	g.Add(b, a)
+	g.Add(b)
+	g.SetStart(a)
+	c, ok := BuildAutomaton([]GrammarSlice{{G: g, Root: a}}, ApproxCaps{})
+	if !ok {
+		t.Fatal("BuildAutomaton failed")
+	}
+	for _, q := range g.Enumerate(a, 20, 100) {
+		if !c.AcceptsString(q) {
+			t.Fatalf("approximation rejects derivable %q", q)
+		}
+	}
+	// The regular collapse of balanced parens accepts unbalanced mixes
+	// like "(()" — over-approximation — but must still reject strings
+	// using symbols the grammar never derives.
+	if c.AcceptsString("x") || c.AcceptsString("(x)") {
+		t.Error("approximation accepts symbols outside the grammar's alphabet")
+	}
+}
+
+// TestApproximateCaps: a cap too small for the grammar reports failure
+// instead of producing a wrong automaton.
+func TestApproximateCaps(t *testing.T) {
+	g, s := testGrammar(t)
+	if _, ok := BuildAutomaton([]GrammarSlice{{G: g, Root: s}}, ApproxCaps{MaxNFAStates: 2}); ok {
+		t.Error("expected NFA cap failure")
+	}
+	if _, ok := BuildAutomaton([]GrammarSlice{{G: g, Root: s}}, ApproxCaps{MaxDFAStates: 1}); ok {
+		t.Error("expected DFA cap failure")
+	}
+	if _, ok := BuildAutomaton(nil, ApproxCaps{}); ok {
+		t.Error("expected failure on no slices")
+	}
+	if _, ok := BuildAutomaton([]GrammarSlice{{G: nil}}, ApproxCaps{}); ok {
+		t.Error("expected failure on nil grammar")
+	}
+}
+
+// TestBuildAutomatonUnion: the union automaton covers both slices.
+func TestBuildAutomatonUnion(t *testing.T) {
+	g1 := grammar.New()
+	s1 := g1.NewNT("S")
+	g1.AddString(s1, "alpha")
+	g1.SetStart(s1)
+	g2 := grammar.New()
+	s2 := g2.NewNT("S")
+	g2.AddString(s2, "beta")
+	g2.SetStart(s2)
+	c, ok := BuildAutomaton([]GrammarSlice{{G: g1, Root: s1}, {G: g2, Root: s2}}, ApproxCaps{})
+	if !ok {
+		t.Fatal("BuildAutomaton failed")
+	}
+	if !c.AcceptsString("alpha") || !c.AcceptsString("beta") {
+		t.Error("union misses a slice's language")
+	}
+	if c.AcceptsString("gamma") || c.AcceptsString("") {
+		t.Error("union accepts strings outside both languages")
+	}
+}

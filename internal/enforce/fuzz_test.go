@@ -1,0 +1,52 @@
+package enforce
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzPackLoad hammers the loader with arbitrary bytes and mutated valid
+// packs. The contract under fuzz: Load either returns a *LoadError or a
+// pack whose every matcher can be walked over adversarial inputs without
+// panicking or leaving its slab — the fail-closed guarantee of the
+// enforcement layer.
+func FuzzPackLoad(f *testing.F) {
+	valid := buildTestPack(f)
+	f.Add(valid)
+	f.Add(valid[:headerSize])
+	f.Add(valid[:headerSize+recordSize])
+	f.Add([]byte{})
+	f.Add([]byte("SQLCIVP\x01"))
+	// Seed a couple of targeted mutants: flipped checksum byte, version skew.
+	mut := append([]byte(nil), valid...)
+	mut[25] ^= 0xff
+	f.Add(mut)
+	mut2 := append([]byte(nil), valid...)
+	mut2[8] = 99
+	rehash(mut2)
+	f.Add(mut2)
+
+	probes := []string{"", "SELECT 'x'", "1'; DROP TABLE users; --", "\x00\xff\xfe", "SELECT '" + string(make([]byte, 300)) + "'"}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Load(data)
+		if err != nil {
+			var lerr *LoadError
+			if !errors.As(err, &lerr) {
+				t.Fatalf("Load error is %T, want *LoadError: %v", err, err)
+			}
+			return
+		}
+		for _, k := range p.Keys() {
+			m, ok := p.Hotspot(k)
+			if !ok {
+				t.Fatalf("indexed key %q not found", k)
+			}
+			for _, q := range probes {
+				m.MatchString(q)
+			}
+		}
+		if m, ok := p.Hotspot("no/such:0"); ok || m.MatchString("x") {
+			t.Fatal("unknown hotspot did not fail closed")
+		}
+	})
+}

@@ -1,0 +1,214 @@
+package enforce
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// LoadError is the structured rejection of a policy pack. Every way a pack
+// can be malformed — truncation, bit flips, version or byte-order skew,
+// out-of-bounds geometry — fails closed with one of these; Load never
+// panics and never returns a pack whose matcher could walk out of bounds.
+type LoadError struct {
+	// Field names the header field or index section that failed
+	// validation ("magic", "checksum", "slab", ...).
+	Field string
+	// Hotspot is the offending index record (-1 for header-level errors).
+	Hotspot int
+	Detail  string
+}
+
+func (e *LoadError) Error() string {
+	if e.Hotspot >= 0 {
+		return fmt.Sprintf("enforce: invalid pack: %s (hotspot %d): %s", e.Field, e.Hotspot, e.Detail)
+	}
+	return fmt.Sprintf("enforce: invalid pack: %s: %s", e.Field, e.Detail)
+}
+
+func loadErr(field string, hotspot int, format string, args ...any) error {
+	return &LoadError{Field: field, Hotspot: hotspot, Detail: fmt.Sprintf(format, args...)}
+}
+
+// entry is one decoded hotspot record. Its slices alias the pack data.
+type entry struct {
+	key     string
+	flags   uint32
+	n       int32 // numStates
+	nc      int32 // numClasses
+	start   int32
+	classes *[256]byte
+	accept  []byte
+	slab    []byte
+}
+
+// Pack is a loaded policy pack. It is immutable and safe for concurrent
+// use; matchers returned by Hotspot alias its memory, so keep the Pack
+// alive (and un-Closed) while matchers are in use.
+type Pack struct {
+	data    []byte
+	entries []entry
+	closer  func() error
+}
+
+// Load validates data as a version-1 policy pack and returns it ready for
+// matching. The data is aliased, not copied — for mmap-backed packs no
+// allocation proportional to pack size happens at all. Every structural
+// invariant the matcher's hot loop relies on is checked here once: header
+// magic/version/byte-order/size/checksum, index bounds and key ordering,
+// and for each hotspot that the class table only names valid classes and
+// every slab transition targets a valid state.
+func Load(data []byte) (*Pack, error) {
+	le := binary.LittleEndian
+	if len(data) < headerSize {
+		return nil, loadErr("size", -1, "%d bytes, need at least the %d-byte header", len(data), headerSize)
+	}
+	if string(data[:8]) != packMagic {
+		return nil, loadErr("magic", -1, "%q is not a policy pack", data[:8])
+	}
+	if v := le.Uint32(data[8:]); v != packVersion {
+		return nil, loadErr("version", -1, "pack version %d, this build reads version %d", v, packVersion)
+	}
+	if s := le.Uint32(data[12:]); s != packSentinel {
+		return nil, loadErr("byte-order", -1, "sentinel %#08x, want %#08x (pack written with mismatched endianness?)", s, packSentinel)
+	}
+	if sz := le.Uint64(data[16:]); sz != uint64(len(data)) {
+		return nil, loadErr("file-size", -1, "header says %d bytes, have %d (truncated or padded pack)", sz, len(data))
+	}
+	if sum := le.Uint64(data[24:]); sum != checksum(data[headerSize:]) {
+		return nil, loadErr("checksum", -1, "payload checksum mismatch (corrupted pack)")
+	}
+	count := int(le.Uint32(data[32:]))
+	if uint64(headerSize)+uint64(count)*recordSize > uint64(len(data)) {
+		return nil, loadErr("count", -1, "%d hotspot records do not fit in %d bytes", count, len(data))
+	}
+
+	p := &Pack{data: data, entries: make([]entry, count)}
+	for i := 0; i < count; i++ {
+		rec := data[headerSize+i*recordSize : headerSize+(i+1)*recordSize]
+		keyOff, keyLen := uint64(le.Uint32(rec[0:])), uint64(le.Uint32(rec[4:]))
+		if keyOff+keyLen > uint64(len(data)) || keyOff < headerSize {
+			return nil, loadErr("key", i, "key bytes [%d:%d) out of bounds", keyOff, keyOff+keyLen)
+		}
+		e := &p.entries[i]
+		e.key = string(data[keyOff : keyOff+keyLen])
+		e.flags = le.Uint32(rec[8:])
+		if e.flags&^uint32(flagsKnown) != 0 {
+			return nil, loadErr("flags", i, "unknown flag bits %#x", e.flags&^uint32(flagsKnown))
+		}
+		if i > 0 && p.entries[i-1].key >= e.key {
+			return nil, loadErr("key", i, "index not sorted: %q after %q", e.key, p.entries[i-1].key)
+		}
+		n := uint64(le.Uint32(rec[12:]))
+		nc := uint64(le.Uint32(rec[16:]))
+		start := uint64(le.Uint32(rec[20:]))
+		classOff := uint64(le.Uint32(rec[24:]))
+		acceptOff, acceptLen := uint64(le.Uint32(rec[28:])), uint64(le.Uint32(rec[32:]))
+		slabOff, slabLen := uint64(le.Uint32(rec[36:])), uint64(le.Uint32(rec[40:]))
+		if e.flags&FlagUnavailable != 0 {
+			// Unavailable hotspots carry no automaton; the matcher fails
+			// closed on them without touching these fields.
+			if n|nc|start|classOff|acceptOff|acceptLen|slabOff|slabLen != 0 {
+				return nil, loadErr("geometry", i, "unavailable hotspot with automaton fields set")
+			}
+			continue
+		}
+		if n == 0 || n > 1<<28 {
+			return nil, loadErr("geometry", i, "numStates %d out of range", n)
+		}
+		if nc == 0 || nc > 256 {
+			return nil, loadErr("geometry", i, "numClasses %d out of range (class table is one byte per class)", nc)
+		}
+		if start >= n {
+			return nil, loadErr("start", i, "start state %d with %d states", start, n)
+		}
+		if classOff < headerSize || classOff+256 > uint64(len(data)) {
+			return nil, loadErr("class-table", i, "class table [%d:%d) out of bounds", classOff, classOff+256)
+		}
+		if acceptLen != (n+7)/8 {
+			return nil, loadErr("accept", i, "accept bitmap %d bytes for %d states", acceptLen, n)
+		}
+		if acceptOff < headerSize || acceptOff+acceptLen > uint64(len(data)) {
+			return nil, loadErr("accept", i, "accept bitmap [%d:%d) out of bounds", acceptOff, acceptOff+acceptLen)
+		}
+		if slabLen != n*nc*4 {
+			return nil, loadErr("slab", i, "slab %d bytes for %d states × %d classes", slabLen, n, nc)
+		}
+		if slabOff%4 != 0 || slabOff < headerSize || slabOff+slabLen > uint64(len(data)) {
+			return nil, loadErr("slab", i, "slab [%d:%d) out of bounds or misaligned", slabOff, slabOff+slabLen)
+		}
+		e.n, e.nc, e.start = int32(n), int32(nc), int32(start)
+		e.classes = (*[256]byte)(data[classOff:])
+		e.accept = data[acceptOff : acceptOff+acceptLen : acceptOff+acceptLen]
+		e.slab = data[slabOff : slabOff+slabLen : slabOff+slabLen]
+		for b := 0; b < 256; b++ {
+			if uint64(e.classes[b]) >= nc {
+				return nil, loadErr("class-table", i, "byte %#02x maps to class %d of %d", b, e.classes[b], nc)
+			}
+		}
+		// Validate every transition target once so the matcher's walk
+		// needs no per-step checks to stay in bounds.
+		for off := 0; off < len(e.slab); off += 4 {
+			if t := le.Uint32(e.slab[off:]); uint64(t) >= n {
+				return nil, loadErr("slab", i, "transition %d targets state %d of %d", off/4, t, n)
+			}
+		}
+	}
+	return p, nil
+}
+
+// NumHotspots reports the number of hotspot entries in the pack.
+func (p *Pack) NumHotspots() int { return len(p.entries) }
+
+// Keys returns the hotspot keys in index (ascending) order.
+func (p *Pack) Keys() []string {
+	out := make([]string, len(p.entries))
+	for i := range p.entries {
+		out[i] = p.entries[i].key
+	}
+	return out
+}
+
+// Bytes returns the pack's underlying serialized bytes.
+func (p *Pack) Bytes() []byte { return p.data }
+
+// Hotspot looks up the matcher for a hotspot key ("file:line"). The lookup
+// is a binary search over the sorted index and allocates nothing; the
+// returned Matcher is a value aliasing the pack's memory. ok is false for
+// keys the pack does not know — enforcement layers must fail closed on
+// those (the zero Matcher reports every query outside the language).
+func (p *Pack) Hotspot(key string) (m Matcher, ok bool) {
+	lo, hi := 0, len(p.entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.entries[mid].key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(p.entries) || p.entries[lo].key != key {
+		return Matcher{flags: FlagUnavailable}, false
+	}
+	e := &p.entries[lo]
+	return Matcher{
+		flags:   e.flags,
+		n:       e.n,
+		nc:      e.nc,
+		start:   e.start,
+		classes: e.classes,
+		accept:  e.accept,
+		slab:    e.slab,
+	}, true
+}
+
+// Close releases the pack's backing mapping (for packs from Open). Packs
+// from Load own no resources and Close is a no-op. No matcher obtained
+// from the pack may be used after Close.
+func (p *Pack) Close() error {
+	if p.closer == nil {
+		return nil
+	}
+	c := p.closer
+	p.closer = nil
+	return c()
+}

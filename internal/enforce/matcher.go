@@ -1,0 +1,73 @@
+package enforce
+
+import "encoding/binary"
+
+// Matcher answers membership in one hotspot's statically-derived query
+// language. It is a value type aliasing the pack's memory: obtaining one
+// via Pack.Hotspot and running Match allocates nothing, holds no per-query
+// state, and dispatches through no interfaces — the hot loop is a flat
+// class-table lookup plus one 32-bit load per query byte, O(len(query))
+// with constants set by L1 latency.
+//
+// The zero Matcher (and the matcher of any unavailable hotspot) fails
+// closed: Match reports false for every query, including the empty one.
+type Matcher struct {
+	flags   uint32
+	n       int32
+	nc      int32
+	start   int32
+	classes *[256]byte
+	accept  []byte
+	slab    []byte
+}
+
+// Available reports whether the hotspot carries an enforcement automaton.
+// Unavailable hotspots (approximation caps exceeded, degraded analysis, or
+// a key the pack does not know) fail closed: Match is constantly false, so
+// block-mode enforcement rejects all their traffic and flag mode flags it.
+func (m Matcher) Available() bool { return m.flags&FlagUnavailable == 0 && m.slab != nil }
+
+// Verified reports whether the static cascade fully verified the hotspot
+// (no injection findings). Unverified hotspots still enforce — their
+// language is still a sound over-approximation of what the app emits — but
+// a vulnerable hotspot's language may itself contain attack strings.
+func (m Matcher) Verified() bool { return m.flags&FlagVerified != 0 }
+
+// Match reports whether query is inside the hotspot's statically-derived
+// query language. Zero allocations; every transition target was validated
+// at load time, so the walk cannot leave the slab.
+func (m Matcher) Match(query []byte) bool {
+	if m.flags&FlagUnavailable != 0 || m.slab == nil {
+		return false
+	}
+	s := uint32(m.start)
+	nc := uint32(m.nc)
+	slab := m.slab
+	classes := m.classes
+	for i := 0; i < len(query); i++ {
+		s = binary.LittleEndian.Uint32(slab[(s*nc+uint32(classes[query[i]]))*4:])
+	}
+	return m.accept[s>>3]&(1<<(s&7)) != 0
+}
+
+// MatchString is Match on the bytes of query, with the same zero-alloc
+// guarantee (no []byte conversion happens).
+func (m Matcher) MatchString(query string) bool {
+	if m.flags&FlagUnavailable != 0 || m.slab == nil {
+		return false
+	}
+	s := uint32(m.start)
+	nc := uint32(m.nc)
+	slab := m.slab
+	classes := m.classes
+	for i := 0; i < len(query); i++ {
+		s = binary.LittleEndian.Uint32(slab[(s*nc+uint32(classes[query[i]]))*4:])
+	}
+	return m.accept[s>>3]&(1<<(s&7)) != 0
+}
+
+// NumStates reports the automaton's state count (0 when unavailable).
+func (m Matcher) NumStates() int { return int(m.n) }
+
+// NumClasses reports the automaton's byte-class count (0 when unavailable).
+func (m Matcher) NumClasses() int { return int(m.nc) }

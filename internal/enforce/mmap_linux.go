@@ -1,0 +1,40 @@
+//go:build linux
+
+package enforce
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Open maps the pack file read-only into memory and validates it. The
+// kernel pages the slab in on demand and shares the mapping across
+// processes opening the same pack — a fleet of guards pays for one
+// resident copy. Close releases the mapping.
+func Open(path string) (*Pack, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size > 1<<40 {
+		return nil, loadErr("size", -1, "pack file is %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("enforce: mmap %s: %w", path, err)
+	}
+	p, err := Load(data)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, err
+	}
+	p.closer = func() error { return syscall.Munmap(data) }
+	return p, nil
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package enforce
+
+import "os"
+
+// Open reads the pack file and validates it. On platforms without the
+// mmap fast path the file is read into memory once; the pack's runtime
+// behavior is identical.
+func Open(path string) (*Pack, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Load(data)
+}

@@ -1,0 +1,227 @@
+package enforce
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"sqlciv/internal/grammar"
+)
+
+// buildTestPack compiles a small three-hotspot pack (two automata, one
+// unavailable) used across the loader and corruption tests.
+func buildTestPack(t testing.TB) []byte {
+	g, s := testGrammarTB(t)
+	c, ok := BuildAutomaton([]GrammarSlice{{G: g, Root: s}}, ApproxCaps{})
+	if !ok {
+		t.Fatal("BuildAutomaton failed")
+	}
+	g2 := grammar.New()
+	s2 := g2.NewNT("S")
+	g2.AddString(s2, "DELETE FROM log")
+	g2.SetStart(s2)
+	c2, ok := BuildAutomaton([]GrammarSlice{{G: g2, Root: s2}}, ApproxCaps{})
+	if !ok {
+		t.Fatal("BuildAutomaton failed")
+	}
+	data, stats, err := Compile([]BuildEntry{
+		{Key: "page.php:10", Automaton: c, Verified: true},
+		{Key: "admin.php:3", Automaton: c2},
+		{Key: "degraded.php:7", Automaton: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hotspots != 3 || stats.Unavailable != 1 || stats.Verified != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	return data
+}
+
+func testGrammarTB(t testing.TB) (*grammar.Grammar, grammar.Sym) {
+	g := grammar.New()
+	s := g.NewNT("S")
+	v := g.NewNT("V")
+	pre := grammar.TermString("SELECT '")
+	g.Add(s, append(append([]grammar.Sym{}, pre...), v, grammar.T('\''))...)
+	g.Add(v, v, grammar.T('x'))
+	g.Add(v)
+	g.SetStart(s)
+	return g, s
+}
+
+func TestPackRoundTrip(t *testing.T) {
+	data := buildTestPack(t)
+	p, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumHotspots() != 3 {
+		t.Fatalf("NumHotspots = %d", p.NumHotspots())
+	}
+	keys := p.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys not sorted: %v", keys)
+		}
+	}
+	m, ok := p.Hotspot("page.php:10")
+	if !ok || !m.Available() || !m.Verified() {
+		t.Fatalf("page.php:10 lookup: ok=%v available=%v verified=%v", ok, m.Available(), m.Verified())
+	}
+	for _, q := range []string{"SELECT ''", "SELECT 'x'", "SELECT 'xxxxx'"} {
+		if !m.MatchString(q) {
+			t.Errorf("matcher rejects in-language %q", q)
+		}
+		if !m.Match([]byte(q)) {
+			t.Errorf("Match([]byte) rejects in-language %q", q)
+		}
+	}
+	for _, q := range []string{"", "SELECT 'x' OR '1'='1'", "DROP TABLE t"} {
+		if m.MatchString(q) {
+			t.Errorf("matcher accepts out-of-language %q", q)
+		}
+	}
+
+	m2, ok := p.Hotspot("admin.php:3")
+	if !ok || m2.Verified() {
+		t.Fatalf("admin.php:3: ok=%v verified=%v", ok, m2.Verified())
+	}
+	if !m2.MatchString("DELETE FROM log") || m2.MatchString("DELETE FROM logs") {
+		t.Error("admin.php:3 automaton wrong")
+	}
+
+	// Unavailable hotspot: present, fails closed.
+	mu, ok := p.Hotspot("degraded.php:7")
+	if !ok {
+		t.Fatal("degraded.php:7 missing")
+	}
+	if mu.Available() || mu.MatchString("") || mu.MatchString("anything") {
+		t.Error("unavailable hotspot did not fail closed")
+	}
+
+	// Unknown hotspot: not found, and the returned matcher fails closed.
+	munk, ok := p.Hotspot("nowhere.php:1")
+	if ok || munk.Available() || munk.MatchString("SELECT 'x'") {
+		t.Error("unknown hotspot did not fail closed")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	g, s := testGrammarTB(t)
+	c, _ := BuildAutomaton([]GrammarSlice{{G: g, Root: s}}, ApproxCaps{})
+	if _, _, err := Compile([]BuildEntry{{Key: "a:1", Automaton: c}, {Key: "a:1", Automaton: c}}); err == nil {
+		t.Error("duplicate keys not rejected")
+	}
+}
+
+// TestPackCorruption: every corruption class fails closed with a
+// *LoadError naming the offending field — never a panic, never a loaded
+// pack with an invalid matcher.
+func TestPackCorruption(t *testing.T) {
+	valid := buildTestPack(t)
+	if _, err := Load(append([]byte(nil), valid...)); err != nil {
+		t.Fatalf("pristine pack rejected: %v", err)
+	}
+	le := binary.LittleEndian
+
+	// mutate corrupts a copy; when rehashed it also recomputes size and
+	// checksum so the mutation reaches the deeper structural validators.
+	run := func(name, wantField string, rehashed bool, mutate func([]byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			data := mutate(append([]byte(nil), valid...))
+			if rehashed {
+				rehash(data)
+			}
+			p, err := Load(data)
+			if err == nil {
+				t.Fatalf("corrupted pack loaded (%d hotspots)", p.NumHotspots())
+			}
+			var lerr *LoadError
+			if !errors.As(err, &lerr) {
+				t.Fatalf("error is %T, want *LoadError: %v", err, err)
+			}
+			if lerr.Field != wantField {
+				t.Errorf("Field = %q, want %q (%v)", lerr.Field, wantField, err)
+			}
+		})
+	}
+
+	run("truncated-header", "size", false, func(d []byte) []byte { return d[:headerSize-1] })
+	run("truncated-body", "file-size", false, func(d []byte) []byte { return d[:len(d)-5] })
+	run("empty", "size", false, func(d []byte) []byte { return nil })
+	run("bad-magic", "magic", false, func(d []byte) []byte { d[0] ^= 0xff; return d })
+	run("version-skew", "version", false, func(d []byte) []byte { le.PutUint32(d[8:], packVersion+1); return d })
+	run("endianness-confused", "byte-order", false, func(d []byte) []byte {
+		// A big-endian writer would have stored the sentinel byte-swapped.
+		le.PutUint32(d[12:], 0x04030201)
+		return d
+	})
+	run("bit-flip-payload", "checksum", false, func(d []byte) []byte { d[len(d)-1] ^= 0x01; return d })
+	run("bit-flip-index", "checksum", false, func(d []byte) []byte { d[headerSize+8] ^= 0x80; return d })
+	run("checksum-zeroed", "checksum", false, func(d []byte) []byte { le.PutUint64(d[24:], 0); return d })
+
+	// Structural corruption behind a valid checksum: rehash after mutating.
+	run("count-overflow", "count", true, func(d []byte) []byte { le.PutUint32(d[32:], 1<<30); return d })
+	run("key-out-of-bounds", "key", true, func(d []byte) []byte {
+		le.PutUint32(d[headerSize+0:], uint32(len(d))) // first record keyOff past EOF
+		return d
+	})
+	run("index-unsorted", "key", true, func(d []byte) []byte {
+		// Swap the first two records; keys fall out of order.
+		tmp := make([]byte, recordSize)
+		copy(tmp, d[headerSize:])
+		copy(d[headerSize:], d[headerSize+recordSize:headerSize+2*recordSize])
+		copy(d[headerSize+recordSize:], tmp)
+		return d
+	})
+	run("unknown-flags", "flags", true, func(d []byte) []byte {
+		le.PutUint32(d[headerSize+8:], 1<<7)
+		return d
+	})
+	// Record 0 is "admin.php:3" (sorted order) and carries an automaton.
+	run("start-out-of-range", "start", true, func(d []byte) []byte {
+		le.PutUint32(d[headerSize+20:], 1<<20)
+		return d
+	})
+	run("zero-states", "geometry", true, func(d []byte) []byte {
+		le.PutUint32(d[headerSize+12:], 0)
+		return d
+	})
+	run("slab-length-skew", "slab", true, func(d []byte) []byte {
+		le.PutUint32(d[headerSize+40:], le.Uint32(d[headerSize+40:])+4)
+		return d
+	})
+	run("slab-target-out-of-range", "slab", true, func(d []byte) []byte {
+		off := le.Uint32(d[headerSize+36:])
+		le.PutUint32(d[off:], 1<<20)
+		return d
+	})
+	run("class-out-of-range", "class-table", true, func(d []byte) []byte {
+		off := le.Uint32(d[headerSize+24:])
+		d[off] = 255
+		return d
+	})
+	run("unavailable-with-geometry", "geometry", true, func(d []byte) []byte {
+		// Record 1 is "degraded.php:7", the unavailable one.
+		le.PutUint32(d[headerSize+recordSize+12:], 5)
+		return d
+	})
+}
+
+// TestLoadErrorMessage pins the error surface: structured fields plus a
+// readable message.
+func TestLoadErrorMessage(t *testing.T) {
+	_, err := Load([]byte("junk"))
+	var lerr *LoadError
+	if !errors.As(err, &lerr) || lerr.Field != "size" || lerr.Hotspot != -1 {
+		t.Fatalf("err = %#v", err)
+	}
+	if !strings.Contains(err.Error(), "invalid pack") {
+		t.Errorf("message %q", err.Error())
+	}
+}

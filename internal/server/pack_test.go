@@ -1,0 +1,218 @@
+// pack_test.go covers the daemon's policy-pack surface: POST /v1/pack and
+// GET /v1/pack return loadable binary packs whose coverage matches an
+// in-process core.BuildPack over the same application, emit_pack threads the
+// pack through the JSON report, and the GET route stays behind the same
+// filesystem-root gate as /v1/analyze.
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sqlciv"
+	"sqlciv/enforce"
+	"sqlciv/internal/core"
+	"sqlciv/internal/corpus"
+	"sqlciv/internal/server"
+)
+
+// packBody encodes a corpus app as a /v1/pack request body.
+func packBody(t *testing.T, app *corpus.App) io.Reader {
+	t.Helper()
+	data, err := json.Marshal(&sqlciv.AnalyzeRequest{Sources: app.Sources, Entries: app.Entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(data)
+}
+
+// readAll drains a binary pack response.
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read pack body: %v", err)
+	}
+	return data
+}
+
+// TestPackEndpoint: POST /v1/pack on a corpus subject yields a pack that
+// Load accepts, with the same hotspot keys an in-process BuildPack produces.
+func TestPackEndpoint(t *testing.T) {
+	app := corpus.Utopia()
+	_, client := newTestService(t, server.Config{Workers: 2})
+
+	data, err := client.Pack(context.Background(),
+		&sqlciv.AnalyzeRequest{Sources: app.Sources, Entries: app.Entries})
+	if err != nil {
+		t.Fatalf("Pack(%s): %v", app.Name, err)
+	}
+	pack, err := enforce.Load(data)
+	if err != nil {
+		t.Fatalf("served pack does not load: %v", err)
+	}
+	if pack.NumHotspots() == 0 {
+		t.Fatal("served pack has no hotspots")
+	}
+
+	ref := reference(t, app)
+	want, wantStats, err := core.BuildPack(ref, core.PackOptions{})
+	if err != nil {
+		t.Fatalf("in-process BuildPack: %v", err)
+	}
+	local, err := enforce.Load(want)
+	if err != nil {
+		t.Fatalf("in-process pack does not load: %v", err)
+	}
+	gotKeys, wantKeys := pack.Keys(), local.Keys()
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("served pack has %d hotspots, in-process %d", len(gotKeys), len(wantKeys))
+	}
+	for i, k := range wantKeys {
+		if gotKeys[i] != k {
+			t.Errorf("hotspot %d: served key %q, in-process %q", i, gotKeys[i], k)
+		}
+		sm, _ := pack.Hotspot(k)
+		lm, _ := local.Hotspot(k)
+		if sm.Available() != lm.Available() || sm.Verified() != lm.Verified() ||
+			sm.NumStates() != lm.NumStates() {
+			t.Errorf("hotspot %q: served (avail=%v verified=%v states=%d) != in-process (avail=%v verified=%v states=%d)",
+				k, sm.Available(), sm.Verified(), sm.NumStates(),
+				lm.Available(), lm.Verified(), lm.NumStates())
+		}
+	}
+	if wantStats.Hotspots != len(wantKeys) {
+		t.Errorf("stats hotspots=%d, keys=%d", wantStats.Hotspots, len(wantKeys))
+	}
+}
+
+// TestPackCoverageHeaders: the binary response carries the coverage summary
+// as X-Sqlciv-Pack-* headers and an octet-stream content type.
+func TestPackCoverageHeaders(t *testing.T) {
+	app := corpus.Utopia()
+	_, client := newTestService(t, server.Config{Workers: 1})
+
+	resp, err := http.Post(client.BaseURL+"/v1/pack", "application/json",
+		packBody(t, app))
+	if err != nil {
+		t.Fatalf("POST /v1/pack: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/pack: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("Content-Type = %q, want application/octet-stream", ct)
+	}
+	if resp.Header.Get(server.PackHotspotsHeader) == "" {
+		t.Errorf("%s header missing", server.PackHotspotsHeader)
+	}
+	if resp.Header.Get(server.PackUnavailableHeader) == "" {
+		t.Errorf("%s header missing", server.PackUnavailableHeader)
+	}
+}
+
+// TestAnalyzeEmitPack: Options.EmitPack threads the pack and its stats
+// through the JSON report; a plain analyze leaves both empty so existing
+// consumers see byte-identical responses.
+func TestAnalyzeEmitPack(t *testing.T) {
+	app := corpus.Utopia()
+	_, client := newTestService(t, server.Config{Workers: 1})
+	ctx := context.Background()
+
+	plain, err := client.Analyze(ctx,
+		&sqlciv.AnalyzeRequest{Sources: app.Sources, Entries: app.Entries})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(plain.Pack) != 0 || plain.PackStats != nil {
+		t.Errorf("plain analyze leaked pack fields: %d bytes, stats %v",
+			len(plain.Pack), plain.PackStats)
+	}
+
+	withPack, err := client.Analyze(ctx, &sqlciv.AnalyzeRequest{
+		Sources: app.Sources, Entries: app.Entries,
+		Options: sqlciv.AnalyzeRequestOptions{EmitPack: true},
+	})
+	if err != nil {
+		t.Fatalf("Analyze(emit_pack): %v", err)
+	}
+	if len(withPack.Pack) == 0 || withPack.PackStats == nil {
+		t.Fatalf("emit_pack analyze returned no pack (len=%d stats=%v)",
+			len(withPack.Pack), withPack.PackStats)
+	}
+	pack, err := enforce.Load(withPack.Pack)
+	if err != nil {
+		t.Fatalf("emit_pack pack does not load: %v", err)
+	}
+	if pack.NumHotspots() != withPack.PackStats.Hotspots {
+		t.Errorf("pack has %d hotspots, stats say %d",
+			pack.NumHotspots(), withPack.PackStats.Hotspots)
+	}
+}
+
+// TestPackGetRootGate: GET /v1/pack requires a root parameter, refuses roots
+// when filesystem access is disabled, and serves a loadable pack for a legal
+// root under the configured prefix.
+func TestPackGetRootGate(t *testing.T) {
+	t.Run("no-root-param", func(t *testing.T) {
+		_, client := newTestService(t, server.Config{Workers: 1})
+		resp, err := http.Get(client.BaseURL + "/v1/pack")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /v1/pack without root: status %d, want 400", resp.StatusCode)
+		}
+	})
+
+	t.Run("fs-disabled", func(t *testing.T) {
+		_, client := newTestService(t, server.Config{Workers: 1})
+		resp, err := http.Get(client.BaseURL + "/v1/pack?root=/tmp/app")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Errorf("GET /v1/pack with roots disabled: status %d, want 403", resp.StatusCode)
+		}
+	})
+
+	t.Run("legal-root", func(t *testing.T) {
+		app := corpus.Utopia()
+		prefix := t.TempDir()
+		appDir := filepath.Join(prefix, "app")
+		if err := os.Mkdir(appDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, src := range app.Sources {
+			if err := os.WriteFile(filepath.Join(appDir, name), []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, client := newTestService(t, server.Config{Workers: 1, FSRootPrefix: prefix})
+		url := client.BaseURL + "/v1/pack?root=" + appDir
+		for _, e := range app.Entries {
+			url += "&entry=" + e
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/pack legal root: status %d", resp.StatusCode)
+		}
+		data := readAll(t, resp)
+		if _, err := enforce.Load(data); err != nil {
+			t.Errorf("GET pack does not load: %v", err)
+		}
+	})
+}

@@ -401,7 +401,20 @@ func (s *Server) analyze(j *Job) (*Response, *apiError) {
 	// byte-identical to an untraced library run even though the job WAS
 	// traced for the flight recorder. Async responses keep them — they link
 	// into the job's progress snapshots.
-	return responseFromResult(res, xssFindings, j.traced), nil
+	out := responseFromResult(res, xssFindings, j.traced)
+	if req.Options.EmitPack {
+		// Compile the warm result's hotspot languages into a runtime policy
+		// pack. Degraded or cap-exceeding hotspots become unavailable entries
+		// that fail closed at enforcement time, so a degraded analysis still
+		// yields a sound (if stricter) pack.
+		pack, pstats, perr := core.BuildPack(res, core.PackOptions{})
+		if perr != nil {
+			return nil, errf(http.StatusInternalServerError, CodeInternal, "pack compilation: %v", perr)
+		}
+		out.Pack = pack
+		out.PackStats = &pstats
+	}
+	return out, nil
 }
 
 // await blocks until the job finishes or ctx is done. The job keeps running

@@ -67,6 +67,11 @@ type RequestOptions struct {
 	// byte-identical to a cold run; the response's incr_* stats report the
 	// reuse.
 	Incremental bool `json:"incremental,omitempty"`
+	// EmitPack additionally compiles the run's per-hotspot query languages
+	// into a runtime policy pack (see internal/enforce) and returns it in
+	// the response's pack field. GET /v1/pack is the convenience route that
+	// sets this and serves the raw pack bytes.
+	EmitPack bool `json:"emit_pack,omitempty"`
 }
 
 // RequestBudget is budget.Limits in wire-friendly milliseconds.
@@ -238,6 +243,12 @@ type Response struct {
 	Degradations     []Degradation `json:"degradations,omitempty"`
 	XSS              []XSSFinding  `json:"xss,omitempty"`
 	Stats            Stats         `json:"stats"`
+	// Pack is the serialized runtime policy pack, present only when the
+	// request set options.emit_pack (base64 on the wire, per encoding/json's
+	// []byte convention); PackStats summarizes its coverage. Responses
+	// without emit_pack are byte-identical to pre-pack servers.
+	Pack      []byte          `json:"pack,omitempty"`
+	PackStats *core.PackStats `json:"pack_stats,omitempty"`
 }
 
 // CoreResult reconstructs the analysis-result fields of the library
